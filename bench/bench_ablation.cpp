@@ -1,0 +1,269 @@
+//===- bench/bench_ablation.cpp - E6/E7: design-choice ablations -----------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+// Ablations for the design choices DESIGN.md calls out:
+//
+//  E6 - unlimited virtual registers (paper §6.2): "preliminary results
+//       indicate that the addition of this (optional) support would
+//       increase code generation cost by roughly a factor of two."
+//       BM_VRegLayer vs BM_DirectRegs measures generation time; the
+//       vreg_code_growth counter shows the generated-code blowup.
+//
+//  E7 - delay-slot scheduling (§5.3) and leaf-procedure optimization
+//       (§5.2): simulated-cycle cost of a loop with scheduled vs nop-filled
+//       delay slots, and of plus1 generated as leaf vs non-leaf.
+//
+//  Strength reduction (§5.4): simulated cycles of mul-by-constant through
+//       the extension vs the hardware multiply.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Peephole.h"
+#include "core/StrengthReduce.h"
+#include "core/VCode.h"
+#include "core/VRegLayer.h"
+#include "mips/MipsTarget.h"
+#include <chrono>
+#include "sim/MipsSim.h"
+#include <benchmark/benchmark.h>
+
+using namespace vcode;
+
+namespace {
+
+struct Env {
+  sim::Memory Mem;
+  mips::MipsTarget Mips;
+  sim::MipsSim Cpu{Mem};
+  CodeMem Code;
+  Env() {
+    registerStrengthReduce(Mips);
+    Code = Mem.allocCode(1 << 20);
+  }
+};
+
+Env &env() {
+  static Env E;
+  return E;
+}
+
+// --- E6: unlimited virtual registers ------------------------------------------
+
+void BM_DirectRegs(benchmark::State &State) {
+  Env &E = env();
+  const int Ops = int(State.range(0));
+  for (auto _ : State) {
+    VCode V(E.Mips);
+    Reg Arg[1];
+    V.lambda("%i", Arg, LeafHint, E.Code);
+    Reg A = V.getreg(Type::I), B = V.getreg(Type::I);
+    V.movi(A, Arg[0]);
+    V.movi(B, Arg[0]);
+    for (int I = 0; I < Ops; ++I)
+      V.addi(A, A, B);
+    V.reti(A);
+    CodePtr P = V.end();
+    benchmark::DoNotOptimize(P.Entry);
+    V.putreg(A);
+    V.putreg(B);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * Ops);
+}
+
+void BM_VRegLayer(benchmark::State &State) {
+  Env &E = env();
+  const int Ops = int(State.range(0));
+  size_t CodeWords = 0, DirectWords = 1;
+  for (auto _ : State) {
+    VCode V(E.Mips);
+    Reg Arg[1];
+    V.lambda("%i", Arg, LeafHint, E.Code);
+    VRegLayer VL(V);
+    VReg A = VL.alloc(Type::I), B = VL.alloc(Type::I);
+    VL.fromPhys(A, Arg[0]);
+    VL.fromPhys(B, Arg[0]);
+    for (int I = 0; I < Ops; ++I)
+      VL.binop(BinOp::Add, Type::I, A, A, B);
+    VL.ret(Type::I, A);
+    CodePtr P = V.end();
+    benchmark::DoNotOptimize(P.Entry);
+    CodeWords = P.SizeBytes / 4;
+  }
+  // Direct equivalent emits ~1 word per op.
+  DirectWords = size_t(Ops) + 8;
+  State.SetItemsProcessed(int64_t(State.iterations()) * Ops);
+  State.counters["vreg_code_growth"] =
+      double(CodeWords) / double(DirectWords);
+}
+
+// --- E7: delay-slot scheduling and leaf optimization -----------------------------
+
+/// Simulated cycles of a count-down accumulation loop, delay slots
+/// nop-filled vs client-scheduled.
+void BM_DelaySlots(benchmark::State &State) {
+  Env &E = env();
+  bool Scheduled = State.range(0) != 0;
+
+  VCode V(E.Mips);
+  Reg Arg[1];
+  V.lambda("%i", Arg, LeafHint, E.Code);
+  Reg N = V.getreg(Type::I), Sum = V.getreg(Type::I), C = V.getreg(Type::I);
+  V.movi(N, Arg[0]);
+  V.seti(Sum, 0);
+  V.seti(C, 0);
+  Label Loop = V.genLabel();
+  V.label(Loop);
+  V.addi(Sum, Sum, N);
+  V.subii(N, N, 1);
+  if (Scheduled)
+    V.scheduleDelay([&] { V.bgtii(N, 0, Loop); },
+                    [&] { V.addii(C, C, 1); });
+  else {
+    V.addii(C, C, 1);
+    V.bgtii(N, 0, Loop);
+  }
+  V.addi(Sum, Sum, C);
+  V.reti(Sum);
+  CodePtr P = V.end();
+
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    int32_t R =
+        E.Cpu.call(P.Entry, {sim::TypedValue::fromInt(1000)}).asInt32();
+    benchmark::DoNotOptimize(R);
+    Cycles = E.Cpu.lastStats().Cycles;
+  }
+  State.counters["sim_cycles"] = double(Cycles);
+  State.SetLabel(Scheduled ? "scheduled" : "nop-filled");
+}
+
+/// plus1 generated as a declared leaf (3 instructions, no frame) vs as a
+/// conservative non-leaf (frame + ra save).
+void BM_LeafOptimization(benchmark::State &State) {
+  Env &E = env();
+  bool IsLeaf = State.range(0) != 0;
+
+  VCode V(E.Mips);
+  Reg Arg[1];
+  V.lambda("%i", Arg, IsLeaf, E.Code);
+  V.addii(Arg[0], Arg[0], 1);
+  V.reti(Arg[0]);
+  CodePtr P = V.end();
+
+  uint64_t Cycles = 0, Instrs = 0;
+  for (auto _ : State) {
+    int32_t R = E.Cpu.call(P.Entry, {sim::TypedValue::fromInt(41)}).asInt32();
+    benchmark::DoNotOptimize(R);
+    Cycles = E.Cpu.lastStats().Cycles;
+    Instrs = E.Cpu.lastStats().Instrs;
+  }
+  State.counters["sim_cycles"] = double(Cycles);
+  State.counters["sim_instrs"] = double(Instrs);
+  State.SetLabel(IsLeaf ? "leaf" : "non-leaf");
+}
+
+// --- Peephole optimizer (§6.2 future work) -------------------------------------
+
+/// tcc-shaped instruction stream (constants materialized into registers
+/// then consumed) generated with and without the peephole layer: measures
+/// both the extra generation cost and the generated-code win.
+void BM_Peephole(benchmark::State &State) {
+  Env &E = env();
+  bool Optimized = State.range(0) != 0;
+  const int Ops = 200;
+
+  CodePtr P;
+  unsigned SavedInsns = 0;
+  double GenNs = 0;
+  {
+    auto Start = std::chrono::steady_clock::now();
+    const int Reps = 200;
+    for (int Rep = 0; Rep < Reps; ++Rep) {
+      VCode V(E.Mips);
+      Reg Arg[1];
+      V.lambda("%i", Arg, LeafHint, E.Code);
+      Peephole PH(V);
+      Reg T = V.getreg(Type::I);
+      Reg U = V.getreg(Type::I);
+      V.movi(U, Arg[0]);
+      for (int I = 0; I < Ops; ++I) {
+        if (Optimized) {
+          PH.setInt(Type::I, T, I + 1);
+          PH.binop(BinOp::Add, Type::I, T, U, T);
+          PH.unop(UnOp::Mov, Type::I, U, T);
+          PH.binopImm(BinOp::Mul, Type::I, U, U, 1); // algebraic no-op
+        } else {
+          V.seti(T, I + 1);
+          V.addi(T, U, T);
+          V.movi(U, T);
+          V.mulii(U, U, 1);
+        }
+      }
+      if (Optimized) {
+        PH.ret(Type::I, U);
+        SavedInsns = PH.saved();
+      } else {
+        V.reti(U);
+      }
+      P = V.end();
+    }
+    GenNs = std::chrono::duration<double, std::nano>(
+                std::chrono::steady_clock::now() - Start)
+                .count() /
+            Reps;
+  }
+
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    int32_t R = E.Cpu.call(P.Entry, {sim::TypedValue::fromInt(1)}).asInt32();
+    benchmark::DoNotOptimize(R);
+    Cycles = E.Cpu.lastStats().Cycles;
+  }
+  State.counters["sim_cycles"] = double(Cycles);
+  State.counters["gen_ns"] = GenNs;
+  State.counters["insns_saved"] = double(SavedInsns);
+  State.SetLabel(Optimized ? "peephole" : "plain");
+}
+
+// --- Strength reduction (§5.4) -----------------------------------------------------
+
+void BM_MulConstant(benchmark::State &State) {
+  Env &E = env();
+  bool Reduced = State.range(0) != 0;
+  const int64_t K = State.range(1);
+
+  VCode V(E.Mips);
+  Reg Arg[1];
+  V.lambda("%i", Arg, LeafHint, E.Code);
+  Reg R = V.getreg(Type::I);
+  if (Reduced)
+    V.ext("mulki", {opReg(R), opReg(Arg[0]), opImm(K)});
+  else
+    V.mulii(R, Arg[0], K);
+  V.reti(R);
+  CodePtr P = V.end();
+
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    int32_t Out =
+        E.Cpu.call(P.Entry, {sim::TypedValue::fromInt(12345)}).asInt32();
+    benchmark::DoNotOptimize(Out);
+    Cycles = E.Cpu.lastStats().Cycles;
+  }
+  State.counters["sim_cycles"] = double(Cycles);
+  State.SetLabel(Reduced ? "strength-reduced" : "hardware mul");
+}
+
+} // namespace
+
+BENCHMARK(BM_DirectRegs)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VRegLayer)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DelaySlots)->Arg(0)->Arg(1);
+BENCHMARK(BM_LeafOptimization)->Arg(1)->Arg(0);
+BENCHMARK(BM_Peephole)->Arg(0)->Arg(1);
+BENCHMARK(BM_MulConstant)
+    ->ArgsProduct({{0, 1}, {8, 10, 100}})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+//===- bench/bench_table3_dpf.cpp - Table 3: DPF vs PATHFINDER vs MPF ------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+// Regenerates paper Table 3: "Average time on a DEC5000/200 to classify
+// TCP/IP headers destined for one of ten TCP/IP filters; times are in
+// microseconds ... the average of 100,000 trials is taken as the base cost
+// of message classification. In this experiment, DPF is 20 times faster
+// than MPF and 10 times faster than PATHFINDER."
+//
+// All engines run as machine code on the simulated DEC5000/200 (25 MHz
+// R3000-class, split 64K direct-mapped caches); see DESIGN.md for the
+// hardware substitution. Additional rows report DPF under each forced
+// dispatch strategy (paper §4.2's switch-style specialization choices).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpf/Engines.h"
+#include "mips/MipsTarget.h"
+#include "sim/MipsSim.h"
+#include "support/Rng.h"
+#include "support/TablePrinter.h"
+#include <cstdio>
+
+using namespace vcode;
+using namespace vcode::dpf;
+
+namespace {
+
+struct Trial {
+  SimAddr Msg;
+};
+
+/// Average per-classification time over \p Trials random messages.
+double avgMicroseconds(Engine &E, sim::Cpu &Cpu,
+                       const std::vector<Trial> &Trials, int &Checksum) {
+  uint64_t Cycles = 0;
+  // One warm-up pass (install has just evicted everything).
+  Checksum += E.classify(Cpu, Trials[0].Msg);
+  for (const Trial &T : Trials) {
+    int Id = E.classify(Cpu, T.Msg);
+    Checksum += Id;
+    Cycles += Cpu.lastStats().Cycles;
+  }
+  return double(Cycles) / double(Trials.size()) / Cpu.config().ClockMHz;
+}
+
+} // namespace
+
+int main() {
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  sim::MipsSim Cpu(Mem, sim::dec5000Config());
+
+  const unsigned NumFilters = 10;
+  const uint16_t BasePort = 1024;
+  std::vector<Filter> Filters = makeTcpIpFilters(NumFilters, BasePort);
+
+  // 100,000 trials, each a TCP/IP header destined for one of the ten
+  // filters (paper §4.2). Pre-generate distinct packets.
+  const int NumTrials = 100'000;
+  const int NumPackets = 64;
+  Rng R(42);
+  std::vector<SimAddr> Packets;
+  for (int I = 0; I < NumPackets; ++I) {
+    SimAddr P = Mem.alloc(pkt::HeaderBytes, 8);
+    writeTcpPacket(Mem, P, uint16_t(BasePort + R.below(NumFilters)));
+    Packets.push_back(P);
+  }
+  std::vector<Trial> Trials(NumTrials);
+  for (int I = 0; I < NumTrials; ++I)
+    Trials[I].Msg = Packets[R.below(NumPackets)];
+
+  MpfEngine Mpf(Tgt, Mem);
+  PathFinderEngine Pf(Tgt, Mem);
+  DpfEngine Dpf(Tgt, Mem);
+  Mpf.install(Filters);
+  Pf.install(Filters);
+  Dpf.install(Filters);
+
+  int Check = 0;
+  double MpfUs = avgMicroseconds(Mpf, Cpu, Trials, Check);
+  double PfUs = avgMicroseconds(Pf, Cpu, Trials, Check);
+  double DpfUs = avgMicroseconds(Dpf, Cpu, Trials, Check);
+
+  std::printf("Table 3: average time to classify TCP/IP headers destined "
+              "for one of ten TCP/IP filters\n");
+  std::printf("(simulated DEC5000/200, %d trials; paper reports DPF 20x "
+              "faster than MPF, 10x faster than PATHFINDER)\n\n",
+              NumTrials);
+
+  TablePrinter T({"Engine", "us/message", "vs DPF"});
+  T.addRow({"MPF", strFormat("%.2f", MpfUs), strFormat("%.1fx", MpfUs / DpfUs)});
+  T.addRow({"PATHFINDER", strFormat("%.2f", PfUs),
+            strFormat("%.1fx", PfUs / DpfUs)});
+  T.addRow({"DPF (vcode)", strFormat("%.2f", DpfUs), "1.0x"});
+  T.print();
+
+  std::printf("\nDPF dispatch-strategy ablation (paper §4.2: direct range "
+              "check / binary search / hash chosen from runtime keys):\n\n");
+  TablePrinter T2({"Dispatch", "us/message", "code bytes"});
+  const std::pair<DpfEngine::Dispatch, const char *> Strategies[] = {
+      {DpfEngine::Dispatch::Auto, "auto"},
+      {DpfEngine::Dispatch::Chain, "compare chain"},
+      {DpfEngine::Dispatch::Binary, "binary search"},
+      {DpfEngine::Dispatch::Hash, "perfect hash"},
+      {DpfEngine::Dispatch::Table, "jump table"},
+  };
+  for (auto [S, Name] : Strategies) {
+    DpfEngine E(Tgt, Mem, S);
+    E.install(Filters);
+    double Us = avgMicroseconds(E, Cpu, Trials, Check);
+    T2.addRow({strFormat("%s (%s)", Name, E.dispatchUsed()),
+               strFormat("%.2f", Us), strFormat("%zu", E.codeBytes())});
+  }
+  T2.print();
+
+  std::printf("\nScaling with the number of installed filters "
+              "(interpreters degrade linearly; DPF stays flat):\n\n");
+  TablePrinter T3({"Filters", "MPF us", "PATHFINDER us", "DPF us"});
+  for (unsigned N : {1u, 2u, 5u, 10u, 20u, 50u}) {
+    std::vector<Filter> Fs = makeTcpIpFilters(N, BasePort);
+    std::vector<Trial> Ts(10'000);
+    Rng R2(7);
+    std::vector<SimAddr> Ps;
+    for (int I = 0; I < 16; ++I) {
+      SimAddr P = Mem.alloc(pkt::HeaderBytes, 8);
+      writeTcpPacket(Mem, P, uint16_t(BasePort + R2.below(N)));
+      Ps.push_back(P);
+    }
+    for (auto &Tr : Ts)
+      Tr.Msg = Ps[R2.below(Ps.size())];
+    MpfEngine M2(Tgt, Mem);
+    PathFinderEngine P2(Tgt, Mem);
+    DpfEngine D2(Tgt, Mem);
+    M2.install(Fs);
+    P2.install(Fs);
+    D2.install(Fs);
+    T3.addRow({strFormat("%u", N),
+               strFormat("%.2f", avgMicroseconds(M2, Cpu, Ts, Check)),
+               strFormat("%.2f", avgMicroseconds(P2, Cpu, Ts, Check)),
+               strFormat("%.2f", avgMicroseconds(D2, Cpu, Ts, Check))});
+  }
+  T3.print();
+
+  // Paper §6: "A reasonable question to ask is how fast a dynamic code
+  // generation system must be before it is fast enough." Estimate the
+  // break-even point: installing DPF's classifier costs roughly
+  // (emitted instructions) x (VCODE's ~10-instruction generation cost)
+  // on the same machine; every message then saves the difference to the
+  // interpreters.
+  double InstallInsns = double(Dpf.codeBytes() / 4) * 10.0;
+  double InstallUs = InstallInsns / Cpu.config().ClockMHz;
+  std::printf("\nInstall economics (paper §6): compiling the 10-filter "
+              "classifier emits %zu bytes;\nat ~10 generation instructions "
+              "per instruction that is ~%.0f instructions (~%.0f us\n"
+              "on this machine). Break-even vs MPF after %.1f messages, vs "
+              "PATHFINDER after %.1f.\n",
+              Dpf.codeBytes(), InstallInsns, InstallUs,
+              InstallUs / (MpfUs - DpfUs), InstallUs / (PfUs - DpfUs));
+
+  std::printf("\n(check %d)\n", Check & 1);
+  return 0;
+}

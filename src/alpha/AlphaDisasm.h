@@ -1,0 +1,28 @@
+//===- alpha/AlphaDisasm.h - Alpha disassembler -----------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic disassembler for the Alpha subset the backend emits
+/// (paper §6.2 debugger support).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_ALPHA_ALPHADISASM_H
+#define VCODE_ALPHA_ALPHADISASM_H
+
+#include "core/CodeBuffer.h"
+#include <string>
+
+namespace vcode {
+namespace alpha {
+
+/// Disassembles one instruction word fetched from address \p Pc.
+std::string disassemble(uint32_t Word, SimAddr Pc);
+
+} // namespace alpha
+} // namespace vcode
+
+#endif // VCODE_ALPHA_ALPHADISASM_H

@@ -1,0 +1,129 @@
+//===- ash/Ash.h - Integrated message-data manipulation ---------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ASH data-manipulation subsystem of paper §4.3 (Table 4). Network
+/// protocol layers each want a data-touching pass over the message (copy,
+/// checksum, byte swap); performed separately they touch memory multiple
+/// times, "stressing the weak link in modern workstations, the memory
+/// subsystem." ASH uses VCODE "to compose multiple data processing steps
+/// dynamically into a single specialized data copying loop generated at
+/// runtime."
+///
+/// Three implementations, all executing as machine code on the ISA
+/// simulator:
+///
+///  - SeparateLoops: one single-purpose loop per step, run back to back
+///    (the modular baseline; its "uncached" variant flushes first).
+///  - IntegratedLoop: a hand-integrated single-pass loop of static-compiler
+///    quality (the "C" rows of Table 4).
+///  - Pipeline: the ASH engine — steps registered as modular pieces and
+///    compiled into one unrolled, delay-slot-scheduled pass.
+///
+/// All variants compute the same function: copy src to dst word by word,
+/// optionally byte-swapping each word, and return the 16-bit ones'-
+/// complement (Internet) checksum of the data as stored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_ASH_ASH_H
+#define VCODE_ASH_ASH_H
+
+#include "core/VCode.h"
+#include "sim/Cpu.h"
+#include "sim/Memory.h"
+
+namespace vcode {
+namespace ash {
+
+/// A modular data-manipulation step.
+enum class Step : uint8_t {
+  Copy,     ///< store the (possibly transformed) word to the destination
+  Checksum, ///< accumulate the Internet checksum of the current word
+  ByteSwap, ///< reverse the bytes of the current word
+  Xor,      ///< XOR the word with a key (a stand-in crypto/scramble layer;
+            ///< the key is a runtime constant encoded into the generated
+            ///< instructions, DPF-style)
+};
+
+/// Key used by Step::Xor (see refRun / the generators).
+inline constexpr uint32_t DefaultXorKey = 0x5aa51c3bu;
+
+/// Host-side reference implementation (for tests): applies the steps to
+/// the buffer and returns the folded checksum (0 when Checksum absent).
+uint32_t refRun(const std::vector<Step> &Steps, sim::Memory &M, SimAddr Dst,
+                SimAddr Src, uint32_t Bytes, uint32_t XorKey = DefaultXorKey);
+
+/// Common harness for generated message-data routines:
+/// u32 f(char *dst, const char *src, u32 nbytes), nbytes % 4 == 0.
+class Routine {
+public:
+  uint32_t run(sim::Cpu &Cpu, SimAddr Dst, SimAddr Src, uint32_t Bytes) {
+    return Cpu
+        .call(Code.Entry,
+              {sim::TypedValue::fromPtr(Dst), sim::TypedValue::fromPtr(Src),
+               sim::TypedValue::fromUInt(Bytes)},
+              Type::U)
+        .asUInt32();
+  }
+  SimAddr entry() const { return Code.Entry; }
+
+protected:
+  CodePtr Code;
+};
+
+/// The modular baseline: one loop per step, run sequentially (each loop is
+/// its own generated routine; run() invokes them back to back, touching
+/// the data once per step).
+class SeparateLoops {
+public:
+  SeparateLoops(Target &T, sim::Memory &M, const std::vector<Step> &Steps,
+                uint32_t XorKey = DefaultXorKey);
+
+  /// Runs all passes; returns the checksum (0 when no Checksum step).
+  /// Accumulates simulated cycles of all passes into \p TotalCycles.
+  uint32_t run(sim::Cpu &Cpu, SimAddr Dst, SimAddr Src, uint32_t Bytes,
+               uint64_t *TotalCycles = nullptr);
+
+private:
+  std::vector<Step> Steps;
+  CodePtr CopyLoop, SwapLoop, CksumLoop, XorLoop;
+};
+
+/// The hand-integrated single-pass loop ("C integrated" rows): fixed,
+/// straight-line-compiled quality, no specialization or unrolling.
+class IntegratedLoop : public Routine {
+public:
+  IntegratedLoop(Target &T, sim::Memory &M, const std::vector<Step> &Steps,
+                 uint32_t XorKey = DefaultXorKey);
+};
+
+/// The ASH engine: modular steps dynamically composed into one unrolled,
+/// delay-slot-scheduled loop at runtime.
+class Pipeline : public Routine {
+public:
+  Pipeline(Target &T, sim::Memory &M) : Tgt(T), Mem(M) {}
+
+  /// Registers the next step of the pipeline (modular composition).
+  void addStep(Step S) { Steps.push_back(S); }
+
+  /// Key for any Step::Xor in the pipeline (compiled into the code).
+  void setXorKey(uint32_t K) { XorKey = K; }
+
+  /// Compiles the composed pipeline, unrolled \p Unroll times.
+  void compile(unsigned Unroll = 4);
+
+private:
+  Target &Tgt;
+  sim::Memory &Mem;
+  std::vector<Step> Steps;
+  uint32_t XorKey = DefaultXorKey;
+};
+
+} // namespace ash
+} // namespace vcode
+
+#endif // VCODE_ASH_ASH_H

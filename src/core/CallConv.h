@@ -1,0 +1,108 @@
+//===- core/CallConv.h - Calling convention descriptions --------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data-driven calling convention descriptions. VCODE handles calling
+/// conventions for the client (paper §3.2) and allows clients to substitute
+/// conventions on a per-generated-function basis (paper §5.4). The
+/// convention is described by data (argument registers, result registers,
+/// stack layout constants) interpreted by shared placement logic, so a
+/// client can swap in a custom convention without touching a backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_CALLCONV_H
+#define VCODE_CORE_CALLCONV_H
+
+#include "core/Reg.h"
+#include "core/Types.h"
+#include <cstdint>
+#include <vector>
+
+namespace vcode {
+
+/// Where one argument of a call lives at the call boundary.
+struct ArgLoc {
+  Type Ty = Type::V;
+  bool OnStack = false;
+  Reg R;             ///< valid when !OnStack
+  int32_t StackOff = 0; ///< byte offset into the outgoing-argument area
+};
+
+/// A calling convention: argument/result registers plus stack rules.
+///
+/// Placement rule (uniform across targets in this reproduction, documented
+/// in DESIGN.md): arguments are scanned left to right; integer/pointer
+/// arguments take the next free register of IntArgRegs, floating-point
+/// arguments the next of FpArgRegs; once the respective list is exhausted
+/// the argument is passed in the outgoing-argument area at the next
+/// naturally-aligned offset.
+struct CallConv {
+  std::vector<Reg> IntArgRegs;
+  std::vector<Reg> FpArgRegs;
+  Reg IntRet; ///< integer/pointer result register
+  Reg FpRet;  ///< floating-point result register
+  /// Register holding the return address on entry. Defaults to the
+  /// machine's standard link register; substituted conventions (e.g. the
+  /// Alpha division helpers, paper §5.2) may pick another so leaf callers
+  /// need not save their own link register.
+  Reg LinkReg;
+  /// Bytes always reserved at the bottom of a non-leaf frame for outgoing
+  /// arguments, even when every argument is in registers (MIPS O32 style
+  /// home area). May be zero.
+  uint32_t MinOutArgBytes = 0;
+};
+
+/// Computes the location of every argument of a call with argument types
+/// \p ArgTypes under convention \p CC. \p WordBytes is the target word size
+/// (stack slots are word-granular; doubles take 8 bytes always).
+inline std::vector<ArgLoc> computeArgLocs(const CallConv &CC,
+                                          const std::vector<Type> &ArgTypes,
+                                          unsigned WordBytes) {
+  std::vector<ArgLoc> Locs;
+  Locs.reserve(ArgTypes.size());
+  size_t NextInt = 0, NextFp = 0;
+  uint32_t StackOff = 0;
+  for (Type T : ArgTypes) {
+    ArgLoc L;
+    L.Ty = T;
+    bool IsFp = isFpType(T);
+    const std::vector<Reg> &Regs = IsFp ? CC.FpArgRegs : CC.IntArgRegs;
+    size_t &Next = IsFp ? NextFp : NextInt;
+    if (Next < Regs.size()) {
+      L.OnStack = false;
+      L.R = Regs[Next++];
+    } else {
+      unsigned Size = typeSize(T, WordBytes);
+      if (Size < WordBytes)
+        Size = WordBytes; // promote sub-word arguments to a full slot
+      StackOff = uint32_t((StackOff + Size - 1) & ~uint32_t(Size - 1));
+      L.OnStack = true;
+      L.StackOff = int32_t(StackOff);
+      StackOff += Size;
+    }
+    Locs.push_back(L);
+  }
+  return Locs;
+}
+
+/// Returns the number of outgoing-argument-area bytes a call with locations
+/// \p Locs needs under convention \p CC.
+inline uint32_t outArgBytes(const CallConv &CC, const std::vector<ArgLoc> &Locs,
+                            unsigned WordBytes) {
+  uint32_t Max = CC.MinOutArgBytes;
+  for (const ArgLoc &L : Locs)
+    if (L.OnStack) {
+      uint32_t End = uint32_t(L.StackOff) + typeSize(L.Ty, WordBytes);
+      if (End > Max)
+        Max = End;
+    }
+  return Max;
+}
+
+} // namespace vcode
+
+#endif // VCODE_CORE_CALLCONV_H

@@ -1,0 +1,116 @@
+//===- core/CodeBuffer.h - In-place instruction emission --------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-place code buffer. VCODE's defining property is that instructions
+/// are emitted directly into client-provided code memory with a bumped
+/// instruction pointer (paper Fig. 2: "*v_ip++ = ..."), with no intermediate
+/// data structures. CodeBuffer is exactly that pointer bump, plus the
+/// book-keeping needed to know the (simulated-machine) address of each word
+/// so absolute addresses can be encoded at emission time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_CODEBUFFER_H
+#define VCODE_CORE_CODEBUFFER_H
+
+#include "support/Error.h"
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+namespace vcode {
+
+/// Simulated-machine address. 64-bit to cover the Alpha target; the 32-bit
+/// targets use the low 32 bits.
+using SimAddr = uint64_t;
+
+/// A span of code memory handed to v_lambda: host storage backing a range
+/// of simulated addresses. On the real system these coincide; here the host
+/// pointer is the simulator arena's backing store.
+struct CodeMem {
+  uint8_t *Host = nullptr; ///< host storage for the region
+  SimAddr Guest = 0;       ///< simulated address of Host[0]
+  size_t Size = 0;         ///< capacity in bytes
+};
+
+/// Result of v_end: the entry address of a finished function. SizeBytes
+/// counts from the start of the code region (the entry may sit past a
+/// partially used prologue reserve; see Target::endFunction).
+struct CodePtr {
+  SimAddr Entry = 0;
+  size_t SizeBytes = 0;
+  constexpr bool isValid() const { return Entry != 0; }
+};
+
+/// Bump-pointer emitter over a CodeMem region. All targets emit fixed
+/// 32-bit instruction words (MIPS, SPARC, and Alpha all do).
+class CodeBuffer {
+public:
+  CodeBuffer() = default;
+
+  /// Rebinds the buffer to \p Mem and resets the cursor. \p Mem must be
+  /// 4-byte aligned.
+  void reset(CodeMem Mem) {
+    assert((Mem.Guest & 3) == 0 && "code memory must be word aligned");
+    Base = reinterpret_cast<uint32_t *>(Mem.Host);
+    Ip = Base;
+    Limit = Base + Mem.Size / 4;
+    GuestBase = Mem.Guest;
+  }
+
+  /// True once reset() has bound a region.
+  bool isBound() const { return Base != nullptr; }
+
+  /// Emits one instruction word; the paper's "*v_ip++ = w".
+  void put(uint32_t W) {
+    if (Ip == Limit)
+      fatal("code buffer overflow (%zu words); pass a larger region to "
+            "v_lambda",
+            size_t(Limit - Base));
+    *Ip++ = W;
+  }
+
+  /// Current cursor as a function-relative word index.
+  uint32_t wordIndex() const { return uint32_t(Ip - Base); }
+
+  /// Simulated address of the next word to be emitted.
+  SimAddr cursorAddr() const { return GuestBase + 4 * wordIndex(); }
+
+  /// Simulated address of word \p Idx.
+  SimAddr addrOfWord(uint32_t Idx) const { return GuestBase + 4 * SimAddr(Idx); }
+
+  /// Reads back an already-emitted word (for backpatching).
+  uint32_t read(uint32_t Idx) const {
+    assert(Idx < wordIndex() && "patch index out of range");
+    return Base[Idx];
+  }
+
+  /// Overwrites word \p Idx (backpatching).
+  void patch(uint32_t Idx, uint32_t W) {
+    assert(Idx < wordIndex() && "patch index out of range");
+    Base[Idx] = W;
+  }
+
+  /// ORs bits into word \p Idx (filling a displacement field).
+  void patchOr(uint32_t Idx, uint32_t Bits) { patch(Idx, read(Idx) | Bits); }
+
+  /// Simulated address of the start of the region.
+  SimAddr baseAddr() const { return GuestBase; }
+
+  /// Number of words still available.
+  size_t remainingWords() const { return size_t(Limit - Ip); }
+
+private:
+  uint32_t *Base = nullptr;
+  uint32_t *Ip = nullptr;
+  uint32_t *Limit = nullptr;
+  SimAddr GuestBase = 0;
+};
+
+} // namespace vcode
+
+#endif // VCODE_CORE_CODEBUFFER_H

@@ -1,0 +1,46 @@
+//===- core/Debug.h - Generated-code debugging helpers ----------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic-listing helpers over generated code, addressing the paper's
+/// §6.2 complaint that "debugging dynamically generated code currently
+/// requires stepping through it at the level of host-specific machine
+/// code". Each port supplies Target::disassemble; these helpers format
+/// whole functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_DEBUG_H
+#define VCODE_CORE_DEBUG_H
+
+#include "core/Target.h"
+#include <cstring>
+#include <string>
+
+namespace vcode {
+
+/// Formats a symbolic listing of the code in [Guest, Guest+Bytes), whose
+/// backing store starts at \p Host. One "addr:  word  mnemonic" line per
+/// instruction.
+inline std::string disassembleRange(const Target &T, const uint8_t *Host,
+                                    SimAddr Guest, size_t Bytes) {
+  std::string Out;
+  char Line[64];
+  for (size_t Off = 0; Off + 4 <= Bytes; Off += 4) {
+    uint32_t W;
+    std::memcpy(&W, Host + Off, 4);
+    std::snprintf(Line, sizeof(Line), "%10llx:  %08x  ",
+                  (unsigned long long)(Guest + Off), W);
+    Out += Line;
+    Out += T.disassemble(W, Guest + Off);
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace vcode
+
+#endif // VCODE_CORE_DEBUG_H

@@ -1,0 +1,225 @@
+//===- core/Extension.cpp - Instruction-set extension layer ---------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Extension.h"
+#include "core/VCode.h"
+#include "support/Error.h"
+#include <cctype>
+
+using namespace vcode;
+
+namespace {
+
+/// Minimal S-expression tokenizer for the spec language. Commas are
+/// whitespace, as in the paper's examples.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) {}
+
+  /// Token kinds: '(' ')' atom, or end.
+  enum Kind { LParen, RParen, Atom, End };
+
+  Kind next(std::string &AtomText) {
+    while (Pos < Text.size() &&
+           (std::isspace(uint8_t(Text[Pos])) || Text[Pos] == ','))
+      ++Pos;
+    if (Pos >= Text.size())
+      return End;
+    char C = Text[Pos];
+    if (C == '(') {
+      ++Pos;
+      return LParen;
+    }
+    if (C == ')') {
+      ++Pos;
+      return RParen;
+    }
+    size_t Start = Pos;
+    while (Pos < Text.size() && !std::isspace(uint8_t(Text[Pos])) &&
+           Text[Pos] != ',' && Text[Pos] != '(' && Text[Pos] != ')')
+      ++Pos;
+    AtomText = Text.substr(Start, Pos - Start);
+    return Atom;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+bool isTypeLetter(const std::string &S) {
+  return S == "c" || S == "uc" || S == "s" || S == "us" || S == "i" ||
+         S == "u" || S == "l" || S == "ul" || S == "p" || S == "f" ||
+         S == "d" || S == "v";
+}
+
+} // namespace
+
+std::vector<SpecInsn> vcode::parseSpecs(const std::string &Text,
+                                        std::string *Err) {
+  std::vector<SpecInsn> Out;
+  Lexer Lex(Text);
+  std::string Tok;
+  auto Fail = [&](const char *Msg) {
+    if (Err)
+      *Err = Msg;
+    Out.clear();
+    return Out;
+  };
+
+  for (;;) {
+    Lexer::Kind K = Lex.next(Tok);
+    if (K == Lexer::End)
+      return Out;
+    if (K != Lexer::LParen)
+      return Fail("expected '(' starting an instruction specification");
+
+    SpecInsn Insn;
+    if (Lex.next(Tok) != Lexer::Atom)
+      return Fail("expected base instruction name");
+    Insn.Name = Tok;
+
+    // Parameter list: ( rd rs ... )
+    if (Lex.next(Tok) != Lexer::LParen)
+      return Fail("expected '(' starting the parameter list");
+    for (;;) {
+      K = Lex.next(Tok);
+      if (K == Lexer::RParen)
+        break;
+      if (K != Lexer::Atom)
+        return Fail("expected parameter name");
+      Insn.Params.push_back(Tok);
+    }
+
+    // Mappings: ( type-list mach_insn [mach_imm_insn] )+
+    for (;;) {
+      K = Lex.next(Tok);
+      if (K == Lexer::RParen)
+        break;
+      if (K != Lexer::LParen)
+        return Fail("expected '(' starting a type mapping");
+      SpecInsn::Mapping M;
+      // Leading type letters, then one or two machine-instruction names.
+      std::vector<std::string> Atoms;
+      for (;;) {
+        K = Lex.next(Tok);
+        if (K == Lexer::RParen)
+          break;
+        if (K != Lexer::Atom)
+          return Fail("expected atom inside a type mapping");
+        Atoms.push_back(Tok);
+      }
+      size_t NumTypes = 0;
+      while (NumTypes < Atoms.size() && isTypeLetter(Atoms[NumTypes]))
+        ++NumTypes;
+      size_t NumInsns = Atoms.size() - NumTypes;
+      if (NumTypes == 0 || NumInsns == 0 || NumInsns > 2)
+        return Fail("a type mapping is (type... mach_insn [mach_imm_insn])");
+      M.Types.assign(Atoms.begin(), Atoms.begin() + NumTypes);
+      M.MachInsn = Atoms[NumTypes];
+      if (NumInsns == 2)
+        M.MachImmInsn = Atoms[NumTypes + 1];
+      Insn.Mappings.push_back(std::move(M));
+    }
+    if (Insn.Mappings.empty())
+      return Fail("instruction specification has no type mappings");
+    Out.push_back(std::move(Insn));
+  }
+}
+
+std::vector<std::string> vcode::defineFromSpec(Target &T,
+                                               const std::string &Text) {
+  std::string Err;
+  std::vector<SpecInsn> Insns = parseSpecs(Text, &Err);
+  if (Insns.empty() && !Err.empty())
+    fatal("extension specification error: %s", Err.c_str());
+
+  std::vector<std::string> Defined;
+  for (const SpecInsn &Insn : Insns) {
+    for (const SpecInsn::Mapping &M : Insn.Mappings) {
+      if (!T.hasInstruction(M.MachInsn))
+        fatal("extension '%s': machine instruction '%s' is not provided by "
+              "target %s; register it first (paper §5.4: \"the client must "
+              "then provide any missing instructions\")",
+              Insn.Name.c_str(), M.MachInsn.c_str(), T.info().Name);
+      if (!M.MachImmInsn.empty() && !T.hasInstruction(M.MachImmInsn))
+        fatal("extension '%s': machine instruction '%s' is not provided by "
+              "target %s",
+              Insn.Name.c_str(), M.MachImmInsn.c_str(), T.info().Name);
+      for (const std::string &Ty : M.Types) {
+        unsigned Arity = unsigned(Insn.Params.size());
+        // Register-form instruction, e.g. v_sqrtf -> fsqrts.
+        std::string VName = Insn.Name + Ty;
+        std::string Mach = M.MachInsn;
+        T.defineInstruction(
+            VName, [Mach, Arity](VCode &VC, const Operand *Ops, unsigned N) {
+              if (N != Arity)
+                fatal("extension instruction: expected %u operands, got %u",
+                      Arity, N);
+              VC.target().emitExtension(VC, Mach, Ops, N);
+            });
+        Defined.push_back(VName);
+        // Immediate form, e.g. v_addfooii.
+        if (!M.MachImmInsn.empty()) {
+          std::string VNameImm = VName + "i";
+          std::string MachImm = M.MachImmInsn;
+          T.defineInstruction(VNameImm, [MachImm, Arity](VCode &VC,
+                                                         const Operand *Ops,
+                                                         unsigned N) {
+            if (N != Arity)
+              fatal("extension instruction: expected %u operands, got %u",
+                    Arity, N);
+            VC.target().emitExtension(VC, MachImm, Ops, N);
+          });
+          Defined.push_back(VNameImm);
+        }
+      }
+    }
+  }
+  return Defined;
+}
+
+std::string vcode::generateCppExtensionHeader(
+    const std::vector<SpecInsn> &Specs) {
+  std::string Out;
+  Out += "// Generated by tools/vcodegen -- do not edit.\n";
+  Out += "// VCODE extension instruction wrappers (paper \xc2\xa7""5.4).\n";
+  Out += "#include \"core/Target.h\"\n";
+  Out += "#include \"core/VCode.h\"\n\n";
+
+  auto EmitOne = [&Out](const SpecInsn &Insn, const std::string &Ty,
+                        const std::string &Mach, bool ImmForm) {
+    std::string Name = "v_" + Insn.Name + Ty + (ImmForm ? "i" : "");
+    Out += "inline void " + Name + "(vcode::VCode &V";
+    for (size_t P = 0; P < Insn.Params.size(); ++P) {
+      bool IsImm = Insn.Params[P] == "imm" ||
+                   (ImmForm && P + 1 == Insn.Params.size());
+      Out += ", ";
+      Out += IsImm ? "int64_t " : "vcode::Reg ";
+      Out += Insn.Params[P];
+    }
+    Out += ") {\n  const vcode::Operand Ops[] = {";
+    for (size_t P = 0; P < Insn.Params.size(); ++P) {
+      bool IsImm = Insn.Params[P] == "imm" ||
+                   (ImmForm && P + 1 == Insn.Params.size());
+      if (P)
+        Out += ", ";
+      Out += IsImm ? ("vcode::opImm(" + Insn.Params[P] + ")")
+                   : ("vcode::opReg(" + Insn.Params[P] + ")");
+    }
+    Out += "};\n  V.target().emitExtension(V, \"" + Mach + "\", Ops, " +
+           std::to_string(Insn.Params.size()) + ");\n}\n\n";
+  };
+
+  for (const SpecInsn &Insn : Specs)
+    for (const SpecInsn::Mapping &M : Insn.Mappings)
+      for (const std::string &Ty : M.Types) {
+        EmitOne(Insn, Ty, M.MachInsn, /*ImmForm=*/false);
+        if (!M.MachImmInsn.empty())
+          EmitOne(Insn, Ty, M.MachImmInsn, /*ImmForm=*/true);
+      }
+  return Out;
+}

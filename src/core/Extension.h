@@ -1,0 +1,70 @@
+//===- core/Extension.h - Instruction-set extension layer ------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VCODE extension mechanism (paper §5.4). Because VCODE emits code in
+/// place and attaches no semantics to instructions, the instruction set can
+/// be extended with a single line of specification:
+///
+///   (sqrt (rd, rs) (f fsqrts) (d fsqrtd))
+///
+/// composes base instruction `sqrt` with types `f` and `d` and maps the
+/// result onto the named machine instructions. This header provides:
+///
+///  - parseSpecs(): a parser for the concise specification language,
+///    shared with the offline tools/vcodegen preprocessor; and
+///  - defineFromSpec(): a runtime interpreter that registers the resulting
+///    VCODE instructions on a Target, resolving machine-instruction names
+///    against instructions the target (or the client) has already
+///    registered. Extensions couched in terms of the VCODE core — or other
+///    extensions — are therefore automatically present on every machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_EXTENSION_H
+#define VCODE_CORE_EXTENSION_H
+
+#include "core/Target.h"
+#include <string>
+#include <vector>
+
+namespace vcode {
+
+/// One parsed extension specification.
+struct SpecInsn {
+  std::string Name;                ///< base instruction name, e.g. "sqrt"
+  std::vector<std::string> Params; ///< operand names, e.g. {"rd", "rs"}
+  struct Mapping {
+    std::vector<std::string> Types; ///< type letters, e.g. {"f", "d"}
+    std::string MachInsn;           ///< register-form machine instruction
+    std::string MachImmInsn;        ///< optional immediate-form instruction
+  };
+  std::vector<Mapping> Mappings;
+};
+
+/// Parses a sequence of specifications. On success returns the parsed
+/// instructions; on a syntax error returns an empty vector and fills
+/// \p Err with a diagnostic.
+std::vector<SpecInsn> parseSpecs(const std::string &Text, std::string *Err);
+
+/// Registers every instruction described by \p Text on \p T. Machine
+/// instruction names are resolved through T's instruction registry, so a
+/// target must pre-register its native instructions (e.g. "fsqrts") and
+/// clients may register portable bodies built from the VCODE core.
+/// Returns the list of VCODE instruction names defined (e.g. "sqrtf",
+/// "sqrtd"); fatal error on syntax errors or unresolvable machine names.
+std::vector<std::string> defineFromSpec(Target &T, const std::string &Text);
+
+/// Emits C++ inline wrapper functions for the instructions described by
+/// \p Specs — the output of the offline tools/vcodegen preprocessor (the
+/// paper's static-compile-time path, where "a single line in a
+/// preprocessing specification can add a new family of instructions").
+/// Parameters named "imm" become int64_t immediates; all others are Regs.
+std::string generateCppExtensionHeader(const std::vector<SpecInsn> &Specs);
+
+} // namespace vcode
+
+#endif // VCODE_CORE_EXTENSION_H

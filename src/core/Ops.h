@@ -1,0 +1,126 @@
+//===- core/Ops.h - VCODE operations and fixups -----------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Base operations of the VCODE core instruction set (paper Table 2) and the
+/// fixup records used to backpatch jumps and constant-pool references when
+/// the client signals the end of code generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_OPS_H
+#define VCODE_CORE_OPS_H
+
+#include "support/Error.h"
+#include <cstdint>
+
+namespace vcode {
+
+/// Standard binary operations (paper Table 2).
+enum class BinOp : uint8_t { Add, Sub, Mul, Div, Mod, And, Or, Xor, Lsh, Rsh };
+
+/// Standard unary operations.
+enum class UnOp : uint8_t { Com, Not, Mov, Neg };
+
+/// Branch conditions.
+enum class Cond : uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// Returns the condition with operands swapped (a C b == b swap(C) a).
+constexpr Cond swapCond(Cond C) {
+  switch (C) {
+  case Cond::Lt:
+    return Cond::Gt;
+  case Cond::Le:
+    return Cond::Ge;
+  case Cond::Gt:
+    return Cond::Lt;
+  case Cond::Ge:
+    return Cond::Le;
+  case Cond::Eq:
+  case Cond::Ne:
+    return C;
+  }
+  unreachable("bad Cond");
+}
+
+/// Returns the logical negation of a condition.
+constexpr Cond negateCond(Cond C) {
+  switch (C) {
+  case Cond::Lt:
+    return Cond::Ge;
+  case Cond::Le:
+    return Cond::Gt;
+  case Cond::Gt:
+    return Cond::Le;
+  case Cond::Ge:
+    return Cond::Lt;
+  case Cond::Eq:
+    return Cond::Ne;
+  case Cond::Ne:
+    return Cond::Eq;
+  }
+  unreachable("bad Cond");
+}
+
+/// Printable name of a BinOp (for diagnostics and the vcodegen tool).
+constexpr const char *binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "add";
+  case BinOp::Sub:
+    return "sub";
+  case BinOp::Mul:
+    return "mul";
+  case BinOp::Div:
+    return "div";
+  case BinOp::Mod:
+    return "mod";
+  case BinOp::And:
+    return "and";
+  case BinOp::Or:
+    return "or";
+  case BinOp::Xor:
+    return "xor";
+  case BinOp::Lsh:
+    return "lsh";
+  case BinOp::Rsh:
+    return "rsh";
+  }
+  unreachable("bad BinOp");
+}
+
+/// A code label. Labels are created with VCode::genLabel() and bound with
+/// VCode::label(); branches to not-yet-bound labels are backpatched at
+/// VCode::end() (paper §3.2 step 4).
+struct Label {
+  int32_t Id = -1;
+  constexpr bool isValid() const { return Id >= 0; }
+  friend constexpr bool operator==(Label A, Label B) { return A.Id == B.Id; }
+};
+
+/// What a pending fixup patches once label addresses are known.
+enum class FixupKind : uint8_t {
+  Branch,       ///< pc-relative conditional branch displacement
+  Jump,         ///< unconditional jump to a label
+  Call,         ///< jump-and-link to a label (paper Table 2: "jal ...
+                ///< immediate, register, or label")
+  EpilogueJump, ///< jump to the function epilogue; the target may rewrite
+                ///< this into a direct return when no epilogue is needed
+  AddrHi,       ///< high part of an absolute label address materialization
+  AddrLo,       ///< low part of an absolute label address materialization
+};
+
+/// A recorded patch site: instruction word \p WordIdx (function-relative)
+/// must be completed with the address of \p Lab.
+struct Fixup {
+  uint32_t WordIdx;
+  Label Lab;
+  FixupKind Kind;
+};
+
+} // namespace vcode
+
+#endif // VCODE_CORE_OPS_H

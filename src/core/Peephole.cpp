@@ -1,0 +1,166 @@
+//===- core/Peephole.cpp - VCODE-level peephole optimizer ------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Peephole.h"
+#include "core/StrengthReduce.h"
+#include "support/BitUtils.h"
+
+using namespace vcode;
+
+void Peephole::emitPending() {
+  switch (Pend.Kind) {
+  case PendKind::None:
+    return;
+  case PendKind::Set:
+    V.setInt(Pend.Ty, Pend.Rd, Pend.Imm);
+    break;
+  case PendKind::Store:
+    V.storeImm(Pend.Ty, Pend.Val, Pend.Base, Pend.Off);
+    break;
+  }
+  Pend.Kind = PendKind::None;
+}
+
+void Peephole::flush() { emitPending(); }
+
+void Peephole::setInt(Type Ty, Reg Rd, uint64_t Imm) {
+  if (!Enabled) {
+    V.setInt(Ty, Rd, Imm);
+    return;
+  }
+  // set d, _ ; set d, k  ->  set d, k
+  if (Pend.Kind == PendKind::Set && Pend.Rd == Rd) {
+    ++Saved;
+    Pend.Ty = Ty;
+    Pend.Imm = Imm;
+    return;
+  }
+  emitPending();
+  Pend.Kind = PendKind::Set;
+  Pend.Ty = Ty;
+  Pend.Rd = Rd;
+  Pend.Imm = Imm;
+}
+
+void Peephole::binop(BinOp Op, Type Ty, Reg Rd, Reg Rs1, Reg Rs2) {
+  if (!Enabled) {
+    V.binop(Op, Ty, Rd, Rs1, Rs2);
+    return;
+  }
+  // set t, k ; op d, s, t  with t == d: the constant register dies here,
+  // so the pair folds to the immediate form.
+  if (Pend.Kind == PendKind::Set && Pend.Rd == Rs2 && Rs2 == Rd &&
+      Rs1 != Rs2 && !isFpType(Ty)) {
+    uint64_t K = Pend.Imm;
+    Pend.Kind = PendKind::None;
+    ++Saved;
+    binopImm(Op, Ty, Rd, Rs1, int64_t(K));
+    return;
+  }
+  emitPending();
+  V.binop(Op, Ty, Rd, Rs1, Rs2);
+}
+
+void Peephole::binopImm(BinOp Op, Type Ty, Reg Rd, Reg Rs1, int64_t Imm) {
+  if (!Enabled) {
+    V.binopImm(Op, Ty, Rd, Rs1, Imm);
+    return;
+  }
+  emitPending();
+  if (!isFpType(Ty)) {
+    switch (Op) {
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Or:
+    case BinOp::Xor:
+    case BinOp::Lsh:
+    case BinOp::Rsh:
+      if (Imm == 0) {
+        ++Saved;
+        if (Rd != Rs1)
+          V.unop(UnOp::Mov, Ty, Rd, Rs1);
+        return;
+      }
+      break;
+    case BinOp::Mul:
+      if (Imm == 0) {
+        ++Saved;
+        V.setInt(Ty, Rd, 0);
+        return;
+      }
+      if (Imm == 1) {
+        ++Saved;
+        if (Rd != Rs1)
+          V.unop(UnOp::Mov, Ty, Rd, Rs1);
+        return;
+      }
+      if (Imm > 1 && isPowerOf2(uint64_t(Imm))) {
+        ++Saved;
+        V.binopImm(BinOp::Lsh, Ty, Rd, Rs1, int64_t(log2Floor(uint64_t(Imm))));
+        return;
+      }
+      if (Imm < 0 && Imm != INT64_MIN && isPowerOf2(uint64_t(-Imm)) &&
+          isSignedType(Ty)) {
+        ++Saved;
+        V.binopImm(BinOp::Lsh, Ty, Rd, Rs1,
+                   int64_t(log2Floor(uint64_t(-Imm))));
+        V.unop(UnOp::Neg, Ty, Rd, Rd);
+        return;
+      }
+      break;
+    default:
+      break;
+    }
+  }
+  V.binopImm(Op, Ty, Rd, Rs1, Imm);
+}
+
+void Peephole::unop(UnOp Op, Type Ty, Reg Rd, Reg Rs) {
+  if (!Enabled) {
+    V.unop(Op, Ty, Rd, Rs);
+    return;
+  }
+  emitPending();
+  if (Op == UnOp::Mov && Rd == Rs) {
+    ++Saved;
+    return;
+  }
+  V.unop(Op, Ty, Rd, Rs);
+}
+
+void Peephole::storeImm(Type Ty, Reg Val, Reg Base, int64_t Off) {
+  if (!Enabled) {
+    V.storeImm(Ty, Val, Base, Off);
+    return;
+  }
+  emitPending();
+  Pend.Kind = PendKind::Store;
+  Pend.Ty = Ty;
+  Pend.Val = Val;
+  Pend.Base = Base;
+  Pend.Off = Off;
+}
+
+void Peephole::loadImm(Type Ty, Reg Rd, Reg Base, int64_t Off) {
+  if (!Enabled) {
+    V.loadImm(Ty, Rd, Base, Off);
+    return;
+  }
+  // st v, [b+o] ; ld d, [b+o]  ->  st ; mov d, v  (no intervening code,
+  // so the loaded value is exactly the stored register). Sub-word stores
+  // narrow the value, so only fold full-width matches.
+  if (Pend.Kind == PendKind::Store && Pend.Base == Base && Pend.Off == Off &&
+      Pend.Ty == Ty && isRegType(Ty)) {
+    Reg Val = Pend.Val;
+    emitPending(); // the store itself still happens
+    ++Saved;
+    if (Rd != Val)
+      V.unop(UnOp::Mov, Ty, Rd, Val);
+    return;
+  }
+  emitPending();
+  V.loadImm(Ty, Rd, Base, Off);
+}

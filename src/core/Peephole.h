@@ -1,0 +1,110 @@
+//===- core/Peephole.h - VCODE-level peephole optimizer --------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VCODE-level peephole optimizer the paper leaves as future work
+/// (§6.2): "Future work will include implementing a VCODE-level peephole
+/// optimizer for clients that wish to trade runtime compilation overhead
+/// for better generated code."
+///
+/// The layer buffers a one-instruction window of VCODE-level operations
+/// and applies strictly semantics-preserving local rewrites before
+/// forwarding to the underlying stream:
+///
+///   set t, k ; op d, s, t   (t == d)  ->  op-immediate d, s, k
+///   set d, _ ; set d, k                ->  set d, k
+///   add/sub d, s, 0                    ->  mov d, s (dropped when d == s)
+///   mul d, s, +/-2^k                   ->  shift (and negate)
+///   mul d, s, 0 / 1                    ->  set 0 / mov
+///   or/xor d, s, 0                     ->  mov d, s
+///   mov d, d                           ->  (dropped)
+///   st [b+o] ; ld same [b+o]           ->  st ; mov (load elided)
+///
+/// Anything not recognized flushes the window. Labels, branches, jumps,
+/// returns, and end() are barriers. `saved()` reports how many
+/// instructions the rewrites removed (the ablation benchmark measures the
+/// codegen-time cost against the generated-code win).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_PEEPHOLE_H
+#define VCODE_CORE_PEEPHOLE_H
+
+#include "core/VCode.h"
+
+namespace vcode {
+
+/// One-instruction-window peephole layer over a VCode stream.
+class Peephole {
+public:
+  /// \p Enabled false makes the layer a zero-rewrite pass-through, so
+  /// clients can keep one code path and toggle optimization.
+  explicit Peephole(VCode &V, bool Enabled = true)
+      : V(V), Enabled(Enabled) {}
+  ~Peephole() { flush(); }
+
+  // --- Mirrored surface (the subset the optimizer understands) ----------
+  void binop(BinOp Op, Type Ty, Reg Rd, Reg Rs1, Reg Rs2);
+  void binopImm(BinOp Op, Type Ty, Reg Rd, Reg Rs1, int64_t Imm);
+  void unop(UnOp Op, Type Ty, Reg Rd, Reg Rs);
+  void setInt(Type Ty, Reg Rd, uint64_t Imm);
+  void loadImm(Type Ty, Reg Rd, Reg Base, int64_t Off);
+  void storeImm(Type Ty, Reg Val, Reg Base, int64_t Off);
+
+  // Barriers: flush the window, then forward.
+  void label(Label L) {
+    flush();
+    V.label(L);
+  }
+  void branch(Cond C, Type Ty, Reg A, Reg B, Label L) {
+    flush();
+    V.branch(C, Ty, A, B, L);
+  }
+  void branchImm(Cond C, Type Ty, Reg A, int64_t Imm, Label L) {
+    flush();
+    V.branchImm(C, Ty, A, Imm, L);
+  }
+  void jmp(Label L) {
+    flush();
+    V.jmp(L);
+  }
+  void ret(Type Ty, Reg Rs) {
+    flush();
+    V.ret(Ty, Rs);
+  }
+
+  /// Emits any buffered instruction.
+  void flush();
+
+  /// Number of VCODE instructions the rewrites eliminated or simplified.
+  unsigned saved() const { return Saved; }
+
+  /// The underlying stream (for operations the layer does not mirror;
+  /// callers must flush() first).
+  VCode &stream() { return V; }
+
+private:
+  enum class PendKind { None, Set, Store };
+  struct PendingInsn {
+    PendKind Kind = PendKind::None;
+    Type Ty = Type::I;
+    Reg Rd, Base;
+    uint64_t Imm = 0;
+    int64_t Off = 0;
+    Reg Val;
+  };
+
+  void emitPending();
+
+  VCode &V;
+  PendingInsn Pend;
+  unsigned Saved = 0;
+  bool Enabled = true;
+};
+
+} // namespace vcode
+
+#endif // VCODE_CORE_PEEPHOLE_H

@@ -1,0 +1,62 @@
+//===- core/Reg.h - Register handles and classes ----------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register handles. The paper represents VCODE registers as one-word C
+/// structs (for type checking) wrapping a physical register number; we do
+/// the same. A Reg names either an integer or a floating-point physical
+/// register of the current target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_REG_H
+#define VCODE_CORE_REG_H
+
+#include <cstdint>
+
+namespace vcode {
+
+/// A physical register handle. Invalid (default-constructed) Regs are
+/// returned by the allocator on exhaustion, mirroring the paper's error
+/// code return.
+struct Reg {
+  enum KindType : uint8_t { None = 0, Int = 1, Fp = 2 };
+
+  uint8_t Kind = None;
+  uint8_t Num = 0;
+
+  constexpr Reg() = default;
+  constexpr Reg(KindType K, uint8_t N) : Kind(K), Num(N) {}
+
+  /// Returns true if this handle names a real register.
+  constexpr bool isValid() const { return Kind != None; }
+  constexpr bool isInt() const { return Kind == Int; }
+  constexpr bool isFp() const { return Kind == Fp; }
+
+  friend constexpr bool operator==(Reg A, Reg B) {
+    return A.Kind == B.Kind && A.Num == B.Num;
+  }
+  friend constexpr bool operator!=(Reg A, Reg B) { return !(A == B); }
+};
+
+/// Makes an integer register handle.
+constexpr Reg intReg(unsigned N) { return Reg(Reg::Int, uint8_t(N)); }
+/// Makes a floating-point register handle.
+constexpr Reg fpReg(unsigned N) { return Reg(Reg::Fp, uint8_t(N)); }
+
+/// Allocation classes (paper §3.2): \c Temp registers are caller-saved
+/// scratch; \c Var registers are "persistent across procedure calls"
+/// (callee-saved).
+enum class RegClass : uint8_t { Temp, Var };
+
+/// Dynamic register classification (paper §5.3): clients can control the
+/// class VCODE assigns to each physical register, e.g. treating every
+/// register as callee-saved inside an interrupt handler.
+enum class RegKind : uint8_t { CallerSaved, CalleeSaved, Unavailable };
+
+} // namespace vcode
+
+#endif // VCODE_CORE_REG_H

@@ -1,0 +1,133 @@
+//===- core/RegAlloc.cpp - Machine-independent register allocator ---------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegAlloc.h"
+#include "support/Error.h"
+#include <cassert>
+
+using namespace vcode;
+
+RegAlloc::Entry &RegAlloc::entry(Reg R) {
+  assert(R.isValid() && R.Num < MaxRegs && "bad register handle");
+  return R.isInt() ? Int[R.Num] : Fp[R.Num];
+}
+
+const RegAlloc::Entry &RegAlloc::entry(Reg R) const {
+  assert(R.isValid() && R.Num < MaxRegs && "bad register handle");
+  return R.isInt() ? Int[R.Num] : Fp[R.Num];
+}
+
+void RegAlloc::init(const TargetInfo &TI) {
+  for (unsigned I = 0; I < MaxRegs; ++I)
+    Int[I] = Fp[I] = Entry();
+  UsedCalleeInt = UsedCalleeFp = 0;
+
+  IntOrder.clear();
+  FpOrder.clear();
+  auto Add = [this](const std::vector<Reg> &Regs, RegKind K) {
+    for (Reg R : Regs) {
+      entry(R) = Entry{K, /*Free=*/true};
+      (R.isInt() ? IntOrder : FpOrder).push_back(R);
+    }
+  };
+  // Default priority: caller-saved scratch first (cheap), then the
+  // callee-saved registers (each first use costs a prologue save).
+  Add(TI.IntTemps, RegKind::CallerSaved);
+  Add(TI.IntSaves, RegKind::CalleeSaved);
+  Add(TI.FpTemps, RegKind::CallerSaved);
+  Add(TI.FpSaves, RegKind::CalleeSaved);
+}
+
+void RegAlloc::setPriorityOrder(Reg::KindType Kind,
+                                const std::vector<Reg> &Order) {
+  std::vector<Reg> &Dst = Kind == Reg::Int ? IntOrder : FpOrder;
+  // Registers dropped from the ordering stop being candidates; their class
+  // is retained so hard-coded uses still save correctly.
+  for (Reg R : Dst)
+    entry(R).Free = false;
+  Dst = Order;
+  for (Reg R : Dst)
+    entry(R).Free = true;
+}
+
+void RegAlloc::setKind(Reg R, RegKind K) {
+  Entry &E = entry(R);
+  E.Kind = K;
+  if (K == RegKind::Unavailable)
+    E.Free = false;
+}
+
+void RegAlloc::allCalleeSaved() {
+  for (unsigned I = 0; I < MaxRegs; ++I) {
+    if (Int[I].Kind == RegKind::CallerSaved)
+      Int[I].Kind = RegKind::CalleeSaved;
+    if (Fp[I].Kind == RegKind::CallerSaved)
+      Fp[I].Kind = RegKind::CalleeSaved;
+  }
+}
+
+Reg RegAlloc::scan(Reg::KindType Kind, RegKind Want) {
+  const std::vector<Reg> &Order = Kind == Reg::Int ? IntOrder : FpOrder;
+  for (Reg R : Order) {
+    Entry &E = entry(R);
+    if (E.Free && E.Kind == Want) {
+      E.Free = false;
+      if (Want == RegKind::CalleeSaved)
+        noteCalleeSavedUse(R);
+      return R;
+    }
+  }
+  return Reg();
+}
+
+Reg RegAlloc::get(Type Ty, RegClass C, bool IsLeaf) {
+  assert(isRegType(Ty) && "sub-word types have no register operations");
+  Reg::KindType Kind = isFpType(Ty) ? Reg::Fp : Reg::Int;
+
+  if (C == RegClass::Temp) {
+    // Prefer cheap scratch; fall back to a callee-saved register, which
+    // costs a prologue save ("callee-saved registers stand in for
+    // caller-saved ones").
+    if (Reg R = scan(Kind, RegKind::CallerSaved); R.isValid())
+      return R;
+    return scan(Kind, RegKind::CalleeSaved);
+  }
+
+  // RegClass::Var: persistent across calls. In a leaf procedure nothing
+  // clobbers caller-saved registers, so they may stand in for callee-saved
+  // ones at zero cost; prefer that.
+  if (IsLeaf)
+    if (Reg R = scan(Kind, RegKind::CallerSaved); R.isValid())
+      return R;
+  return scan(Kind, RegKind::CalleeSaved);
+}
+
+void RegAlloc::put(Reg R) {
+  Entry &E = entry(R);
+  assert(!E.Free && "double putreg");
+  if (E.Kind != RegKind::Unavailable)
+    E.Free = true;
+}
+
+bool RegAlloc::take(Reg R) {
+  Entry &E = entry(R);
+  if (!E.Free)
+    return false;
+  E.Free = false;
+  if (E.Kind == RegKind::CalleeSaved)
+    noteCalleeSavedUse(R);
+  return true;
+}
+
+bool RegAlloc::isFree(Reg R) const { return entry(R).Free; }
+
+void RegAlloc::noteCalleeSavedUse(Reg R) {
+  assert(R.Num < 32 && "save mask only covers 32 registers per kind");
+  if (R.isInt())
+    UsedCalleeInt |= 1u << R.Num;
+  else
+    UsedCalleeFp |= 1u << R.Num;
+}

@@ -1,0 +1,112 @@
+//===- core/StrengthReduce.cpp - mul/div-by-constant reducer ---------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StrengthReduce.h"
+#include "core/VCode.h"
+#include "support/BitUtils.h"
+
+using namespace vcode;
+
+void vcode::emitMulConst(VCode &VC, Type Ty, Reg Rd, Reg Rs, int64_t K) {
+  if (Rd == Rs)
+    fatal("mulk: destination must differ from source");
+  if (K == 0) {
+    VC.setInt(Ty, Rd, 0);
+    return;
+  }
+  if (K == 1) {
+    VC.unop(UnOp::Mov, Ty, Rd, Rs);
+    return;
+  }
+  bool Negate = K < 0;
+  uint64_t M = Negate ? uint64_t(-K) : uint64_t(K);
+
+  if (isPowerOf2(M)) {
+    VC.binopImm(BinOp::Lsh, Ty, Rd, Rs, int64_t(log2Floor(M)));
+    if (Negate)
+      VC.unop(UnOp::Neg, Ty, Rd, Rd);
+    return;
+  }
+  // 2^k - 1 pattern: (rs << k) - rs.
+  if (isPowerOf2(M + 1)) {
+    VC.binopImm(BinOp::Lsh, Ty, Rd, Rs, int64_t(log2Floor(M + 1)));
+    VC.binop(BinOp::Sub, Ty, Rd, Rd, Rs);
+    if (Negate)
+      VC.unop(UnOp::Neg, Ty, Rd, Rd);
+    return;
+  }
+  // General binary decomposition if it stays cheap (a handful of set
+  // bits); otherwise the hardware multiply wins.
+  unsigned SetBits = 0;
+  for (uint64_t V = M; V; V &= V - 1)
+    ++SetBits;
+  Reg T = SetBits <= 4 ? VC.getreg(Ty) : Reg();
+  if (T.isValid()) {
+    bool First = true;
+    for (int Bit = 63; Bit >= 0; --Bit) {
+      if (!(M & (uint64_t(1) << Bit)))
+        continue;
+      if (First) {
+        if (Bit == 0)
+          VC.unop(UnOp::Mov, Ty, Rd, Rs);
+        else
+          VC.binopImm(BinOp::Lsh, Ty, Rd, Rs, Bit);
+        First = false;
+        continue;
+      }
+      if (Bit == 0) {
+        VC.binop(BinOp::Add, Ty, Rd, Rd, Rs);
+      } else {
+        VC.binopImm(BinOp::Lsh, Ty, T, Rs, Bit);
+        VC.binop(BinOp::Add, Ty, Rd, Rd, T);
+      }
+    }
+    if (Negate)
+      VC.unop(UnOp::Neg, Ty, Rd, Rd);
+    VC.putreg(T);
+    return;
+  }
+  VC.binopImm(BinOp::Mul, Ty, Rd, Rs, K);
+}
+
+void vcode::emitDivPow2(VCode &VC, Type Ty, Reg Rd, Reg Rs, int64_t K) {
+  if (K <= 0 || !isPowerOf2(uint64_t(K)))
+    fatal("divk: constant must be a positive power of two");
+  if (K == 1) {
+    VC.unop(UnOp::Mov, Ty, Rd, Rs);
+    return;
+  }
+  unsigned Sh = log2Floor(uint64_t(K));
+  unsigned Bits = Ty == Type::L ? VC.info().WordBytes * 8 : 32;
+  // Round-toward-zero: add (2^sh - 1) to negative dividends first.
+  Reg T = VC.getreg(Ty);
+  if (!T.isValid())
+    fatal("divk: out of scratch registers");
+  VC.binopImm(BinOp::Rsh, Ty, T, Rs, int64_t(Bits - 1)); // 0 or -1
+  VC.binopImm(BinOp::And, Ty, T, T, K - 1);
+  VC.binop(BinOp::Add, Ty, T, T, Rs);
+  VC.binopImm(BinOp::Rsh, Ty, Rd, T, int64_t(Sh));
+  VC.putreg(T);
+}
+
+void vcode::registerStrengthReduce(Target &T) {
+  auto MulK = [](Type Ty) {
+    return [Ty](VCode &VC, const Operand *Ops, unsigned N) {
+      if (N != 3 || Ops[0].Kind != Operand::RegOp ||
+          Ops[1].Kind != Operand::RegOp || Ops[2].Kind != Operand::ImmOp)
+        fatal("mulk expects (rd, rs, imm)");
+      emitMulConst(VC, Ty, Ops[0].R, Ops[1].R, Ops[2].Imm);
+    };
+  };
+  T.defineInstruction("mulki", MulK(Type::I));
+  T.defineInstruction("mulkl", MulK(Type::L));
+  T.defineInstruction("divki", [](VCode &VC, const Operand *Ops, unsigned N) {
+    if (N != 3 || Ops[0].Kind != Operand::RegOp ||
+        Ops[1].Kind != Operand::RegOp || Ops[2].Kind != Operand::ImmOp)
+      fatal("divk expects (rd, rs, imm)");
+    emitDivPow2(VC, Type::I, Ops[0].R, Ops[1].R, Ops[2].Imm);
+  });
+}

@@ -1,0 +1,42 @@
+//===- core/StrengthReduce.h - mul/div-by-constant reducer -----*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The strength reducer of paper §5.4: "we have built a sophisticated
+/// strength reducer for multiplication and division by integer constants on
+/// top of VCODE". It is layered strictly above the core — it expands into
+/// core shift/add/sub instructions — so registering it on any ported target
+/// works unmodified (the extension-layer portability property of §3.1).
+///
+/// Registered instructions:
+///   "mulki"  (rd, rs, imm)  — multiply by a constant, type i
+///   "mulkl"  (rd, rs, imm)  — multiply by a constant, type l
+///   "divki"  (rd, rs, imm)  — signed divide by a power-of-two constant
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_STRENGTHREDUCE_H
+#define VCODE_CORE_STRENGTHREDUCE_H
+
+#include "core/Target.h"
+
+namespace vcode {
+
+/// Registers the strength-reduction extension instructions on \p T.
+void registerStrengthReduce(Target &T);
+
+/// Expansion used by "mulki"/"mulkl": multiplies \p Rs by the constant
+/// \p K into \p Rd using shifts and adds when profitable, falling back to
+/// the core multiply otherwise. \p Rd must differ from \p Rs.
+void emitMulConst(VCode &VC, Type Ty, Reg Rd, Reg Rs, int64_t K);
+
+/// Expansion used by "divki": signed division by a power of two with
+/// correct round-toward-zero behaviour for negative dividends.
+void emitDivPow2(VCode &VC, Type Ty, Reg Rd, Reg Rs, int64_t K);
+
+} // namespace vcode
+
+#endif // VCODE_CORE_STRENGTHREDUCE_H

@@ -1,0 +1,211 @@
+//===- core/Target.h - Backend interface ------------------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retargeting interface. A backend ("port" in the paper's terms)
+/// supplies a TargetInfo describing its register file and conventions plus
+/// emitters that transliterate each VCODE instruction into machine words
+/// in place. Porting VCODE to a new RISC machine means implementing this
+/// interface (paper §3.3: "one to four days").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_TARGET_H
+#define VCODE_CORE_TARGET_H
+
+#include "core/CallConv.h"
+#include "support/BitUtils.h"
+#include "core/CodeBuffer.h"
+#include "core/Ops.h"
+#include "core/Reg.h"
+#include "core/Types.h"
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vcode {
+
+class VCode;
+
+/// Static description of a target machine.
+struct TargetInfo {
+  const char *Name = "?";
+  unsigned WordBytes = 4;          ///< 4 (MIPS/SPARC) or 8 (Alpha)
+  bool HasBranchDelaySlot = false; ///< MIPS/SPARC: one branch delay slot
+  unsigned LoadDelaySlots = 0;     ///< architectural load-use delay (MIPS I)
+
+  Reg Zero; ///< hardwired zero register
+  Reg At;   ///< assembler temporary, reserved for synthesis sequences
+  Reg Sp;   ///< stack pointer
+  Reg Ra;   ///< return-address register
+
+  /// Allocation candidates in priority order (paper §3.2: the client can
+  /// re-declare the ordering; these are the defaults).
+  std::vector<Reg> IntTemps; ///< caller-saved integer registers
+  std::vector<Reg> IntSaves; ///< callee-saved integer registers
+  std::vector<Reg> FpTemps;  ///< caller-saved FP registers
+  std::vector<Reg> FpSaves;  ///< callee-saved FP registers
+
+  CallConv DefaultCC;
+
+  /// Fixed bytes reserved at the bottom of every non-leaf frame for
+  /// outgoing arguments (the space-for-time trade of paper §5.2).
+  uint32_t OutArgReserveBytes = 32;
+
+  /// Worst-case register save area, reserved in every frame (paper §5.2:
+  /// "it simply allocates the space needed to save all machine registers
+  /// ... in the worst case, the stack space required to save 32 integer
+  /// and floating point registers"). One slot per register number so that
+  /// dynamically reclassified registers (paper §5.3 interrupt-handler mode)
+  /// have a home too: link slot + 32 integer slots + 32 FP slots.
+  uint32_t saveAreaBytes() const {
+    return uint32_t(alignTo(33 * WordBytes, 8)) + 32 * 8;
+  }
+
+  /// SP offset of the save slot for integer register \p N (slot 32 within
+  /// the integer area is the link register's).
+  uint32_t intSaveSlot(unsigned N) const {
+    return OutArgReserveBytes + N * WordBytes;
+  }
+  /// SP offset of the link register's save slot.
+  uint32_t linkSaveSlot() const { return OutArgReserveBytes + 32 * WordBytes; }
+  /// SP offset of the save slot for FP register \p N.
+  uint32_t fpSaveSlot(unsigned N) const {
+    return uint32_t(alignTo(OutArgReserveBytes + 33 * WordBytes, 8)) + N * 8;
+  }
+
+  /// SP offset where locals start (above out-args and the save area).
+  uint32_t localAreaBase() const {
+    return OutArgReserveBytes + saveAreaBytes();
+  }
+};
+
+/// Operand of a client-defined extension instruction (paper §5.4).
+struct Operand {
+  enum KindType : uint8_t { RegOp, ImmOp, FpImmOp, LabelOp } Kind = ImmOp;
+  Reg R;
+  int64_t Imm = 0;
+  double FpImm = 0;
+  Label L;
+};
+
+/// Makes a register operand.
+inline Operand opReg(Reg R) {
+  Operand O;
+  O.Kind = Operand::RegOp;
+  O.R = R;
+  return O;
+}
+/// Makes an immediate operand.
+inline Operand opImm(int64_t V) {
+  Operand O;
+  O.Kind = Operand::ImmOp;
+  O.Imm = V;
+  return O;
+}
+/// Makes a floating-point immediate operand.
+inline Operand opFpImm(double V) {
+  Operand O;
+  O.Kind = Operand::FpImmOp;
+  O.FpImm = V;
+  return O;
+}
+/// Makes a label operand.
+inline Operand opLabel(Label L) {
+  Operand O;
+  O.Kind = Operand::LabelOp;
+  O.L = L;
+  return O;
+}
+
+/// Body of an extension instruction: emits code through the VCode state.
+using ExtensionFn =
+    std::function<void(VCode &, const Operand *Ops, unsigned NumOps)>;
+
+/// Abstract backend. All emit methods write machine words into
+/// VCode::buf() immediately — there is no intermediate representation.
+class Target {
+public:
+  virtual ~Target();
+
+  virtual const TargetInfo &info() const = 0;
+
+  // --- Instruction transliteration (paper Table 2) -----------------------
+  virtual void emitBinop(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
+                         Reg Rs2) = 0;
+  virtual void emitBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
+                            int64_t Imm) = 0;
+  virtual void emitUnop(VCode &VC, UnOp Op, Type Ty, Reg Rd, Reg Rs) = 0;
+  virtual void emitSetInt(VCode &VC, Type Ty, Reg Rd, uint64_t Imm) = 0;
+  virtual void emitSetFp(VCode &VC, Type Ty, Reg Rd, double Val) = 0;
+  virtual void emitCvt(VCode &VC, Type From, Type To, Reg Rd, Reg Rs) = 0;
+  virtual void emitLoad(VCode &VC, Type Ty, Reg Rd, Reg Base, Reg Off) = 0;
+  virtual void emitLoadImm(VCode &VC, Type Ty, Reg Rd, Reg Base,
+                           int64_t Off) = 0;
+  virtual void emitStore(VCode &VC, Type Ty, Reg Val, Reg Base, Reg Off) = 0;
+  virtual void emitStoreImm(VCode &VC, Type Ty, Reg Val, Reg Base,
+                            int64_t Off) = 0;
+  virtual void emitBranch(VCode &VC, Cond C, Type Ty, Reg Rs1, Reg Rs2,
+                          Label L) = 0;
+  virtual void emitBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1, int64_t Imm,
+                             Label L) = 0;
+  virtual void emitJump(VCode &VC, Label L) = 0;
+  virtual void emitJumpReg(VCode &VC, Reg R) = 0;
+  virtual void emitJumpAddr(VCode &VC, SimAddr A) = 0;
+  virtual void emitCallAddr(VCode &VC, SimAddr A) = 0;
+  virtual void emitCallLabel(VCode &VC, Label L) = 0;
+  /// Return-through-link-register for local subroutines entered with
+  /// callLabel/callReg (accounts for the machine's link semantics, e.g.
+  /// SPARC linking to the call site rather than past it).
+  virtual void emitLinkReturn(VCode &VC) = 0;
+  virtual void emitCallReg(VCode &VC, Reg R) = 0;
+  virtual void emitRet(VCode &VC, Type Ty, Reg Rs) = 0;
+  virtual void emitNop(VCode &VC) = 0;
+
+  // --- Function framing ---------------------------------------------------
+  /// Called by v_lambda after argument locations are known: reserves
+  /// prologue space in the instruction stream (paper §5.2).
+  virtual void beginFunction(VCode &VC) = 0;
+  /// Called by v_end: writes the real prologue into the reserved area,
+  /// emits the epilogue (or rewrites returns when none is needed) and
+  /// returns the entry address.
+  virtual CodePtr endFunction(VCode &VC) = 0;
+  /// Completes one patch site now that the label address is known.
+  virtual void applyFixup(VCode &VC, const Fixup &F, SimAddr Target) = 0;
+
+  // --- Debugging (paper §6.2) ----------------------------------------------
+  /// Symbolic disassembly of one emitted instruction word; ports override
+  /// (default prints a raw .word). This is the §6.2 "symbolic debugger"
+  /// support the paper names as its most critical missing piece.
+  virtual std::string disassemble(uint32_t Word, SimAddr Pc) const;
+
+  // --- Extensibility (paper §5.4) -----------------------------------------
+  /// Registers (or overrides) an extension instruction under \p Name.
+  void defineInstruction(const std::string &Name, ExtensionFn Fn) {
+    Extensions[Name] = std::move(Fn);
+  }
+  /// True if \p Name names a registered extension.
+  bool hasInstruction(const std::string &Name) const {
+    return Extensions.count(Name) != 0;
+  }
+  /// Emits extension \p Name; fatal error if it was never defined.
+  void emitExtension(VCode &VC, const std::string &Name, const Operand *Ops,
+                     unsigned NumOps) {
+    auto It = Extensions.find(Name);
+    if (It == Extensions.end())
+      fatal("unknown extension instruction '%s' on target %s", Name.c_str(),
+            info().Name);
+    It->second(VC, Ops, NumOps);
+  }
+
+private:
+  std::map<std::string, ExtensionFn> Extensions;
+};
+
+} // namespace vcode
+
+#endif // VCODE_CORE_TARGET_H

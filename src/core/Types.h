@@ -1,0 +1,133 @@
+//===- core/Types.h - The VCODE type system (paper Table 1) -----*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VCODE base types (paper Table 1), named for their mappings to ANSI C
+/// types. Instructions are composed from a base operation and one of these
+/// types. As in the paper, some types may not be distinct on a given target
+/// (e.g. \c L is equivalent to \c I on 32-bit machines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_TYPES_H
+#define VCODE_CORE_TYPES_H
+
+#include "support/Error.h"
+#include <cstdint>
+
+namespace vcode {
+
+/// VCODE value types. Mirrors paper Table 1.
+enum class Type : uint8_t {
+  V,  ///< void
+  C,  ///< signed char (memory-only type)
+  UC, ///< unsigned char (memory-only type)
+  S,  ///< signed short (memory-only type)
+  US, ///< unsigned short (memory-only type)
+  I,  ///< int
+  U,  ///< unsigned
+  L,  ///< long
+  UL, ///< unsigned long
+  P,  ///< void *
+  F,  ///< float
+  D,  ///< double
+};
+
+/// Number of distinct VCODE types (for table sizing).
+inline constexpr unsigned NumTypes = 12;
+
+/// Returns true for the floating-point types F and D.
+constexpr bool isFpType(Type T) { return T == Type::F || T == Type::D; }
+
+/// Returns true for the signed integer types (C, S, I, L).
+constexpr bool isSignedType(Type T) {
+  return T == Type::C || T == Type::S || T == Type::I || T == Type::L;
+}
+
+/// Returns true for the sub-word "memory only" types. Per the paper, most
+/// non-memory operations do not take these as operands.
+constexpr bool isSmallIntType(Type T) {
+  return T == Type::C || T == Type::UC || T == Type::S || T == Type::US;
+}
+
+/// Returns true for types register operations accept (word-sized and up,
+/// plus floating point).
+constexpr bool isRegType(Type T) {
+  return !isSmallIntType(T) && T != Type::V;
+}
+
+/// Returns true for the integer/pointer register types.
+constexpr bool isIntRegType(Type T) {
+  return T == Type::I || T == Type::U || T == Type::L || T == Type::UL ||
+         T == Type::P;
+}
+
+/// Returns true for the 64-bit-capable types (L, UL, P) whose width depends
+/// on the target word size.
+constexpr bool isLongType(Type T) {
+  return T == Type::L || T == Type::UL || T == Type::P;
+}
+
+/// Size in bytes of \p T in memory on a target with \p WordBytes-byte words
+/// (4 for MIPS/SPARC, 8 for Alpha).
+constexpr unsigned typeSize(Type T, unsigned WordBytes) {
+  switch (T) {
+  case Type::V:
+    return 0;
+  case Type::C:
+  case Type::UC:
+    return 1;
+  case Type::S:
+  case Type::US:
+    return 2;
+  case Type::I:
+  case Type::U:
+  case Type::F:
+    return 4;
+  case Type::L:
+  case Type::UL:
+  case Type::P:
+    return WordBytes;
+  case Type::D:
+    return 8;
+  }
+  unreachable("bad Type");
+}
+
+/// One-letter (or two-letter) paper name for \p T, e.g. "i", "ul".
+constexpr const char *typeName(Type T) {
+  switch (T) {
+  case Type::V:
+    return "v";
+  case Type::C:
+    return "c";
+  case Type::UC:
+    return "uc";
+  case Type::S:
+    return "s";
+  case Type::US:
+    return "us";
+  case Type::I:
+    return "i";
+  case Type::U:
+    return "u";
+  case Type::L:
+    return "l";
+  case Type::UL:
+    return "ul";
+  case Type::P:
+    return "p";
+  case Type::F:
+    return "f";
+  case Type::D:
+    return "d";
+  }
+  unreachable("bad Type");
+}
+
+} // namespace vcode
+
+#endif // VCODE_CORE_TYPES_H

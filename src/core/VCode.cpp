@@ -1,0 +1,293 @@
+//===- core/VCode.cpp - The VCODE dynamic code generator ------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VCode.h"
+#include "support/BitUtils.h"
+#include <cassert>
+#include <cstdio>
+
+using namespace vcode;
+
+// Virtual method anchor.
+Target::~Target() = default;
+
+std::string Target::disassemble(uint32_t Word, SimAddr Pc) const {
+  (void)Pc;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), ".word   0x%08x", Word);
+  return Buf;
+}
+
+VCode::VCode(Target &Tgt) : T(Tgt), TI(Tgt.info()) {
+  CurCC = TI.DefaultCC;
+  RA.init(TI);
+}
+
+std::vector<Type> VCode::parseTypeString(const char *Str) const {
+  std::vector<Type> Out;
+  for (const char *P = Str; *P;) {
+    if (*P != '%')
+      fatal("bad type string '%s': expected '%%<type>'", Str);
+    ++P;
+    switch (*P++) {
+    case 'v':
+      break; // void: no parameters
+    case 'i':
+      Out.push_back(Type::I);
+      break;
+    case 'u':
+      if (*P == 'l') { // "%ul": unsigned long
+        ++P;
+        Out.push_back(Type::UL);
+      } else {
+        Out.push_back(Type::U);
+      }
+      break;
+    case 'l':
+      Out.push_back(Type::L);
+      break;
+    case 'U':
+      Out.push_back(Type::UL);
+      break;
+    case 'p':
+      Out.push_back(Type::P);
+      break;
+    case 'f':
+      Out.push_back(Type::F);
+      break;
+    case 'd':
+      Out.push_back(Type::D);
+      break;
+    default:
+      fatal("bad type string '%s': unknown type letter '%c'", Str, P[-1]);
+    }
+  }
+  return Out;
+}
+
+void VCode::resetFunctionState() {
+  MadeCall = false;
+  SuppressDelayNop = false;
+  LabelPos.clear();
+  Fixups.clear();
+  LocalBytes = 0;
+  FrameBytes = 0;
+  ArgLocations.clear();
+  ArgCopies.clear();
+  ConstPool.clear();
+  ConstPoolLabels.clear();
+  ConstPoolIndex.clear();
+  CallLocs.clear();
+  CallNextArg = 0;
+}
+
+void VCode::lambda(const char *ArgTypeStr, Reg *ArgRegs, bool IsLeaf,
+                   CodeMem Mem) {
+  if (InFunction)
+    fatal("v_lambda: previous function not finished with v_end");
+  resetFunctionState();
+  InFunction = true;
+  LeafFlag = IsLeaf;
+  Buf.reset(Mem);
+  RA.init(TI);
+  EpiLabel = genLabel();
+
+  std::vector<Type> ArgTypes = parseTypeString(ArgTypeStr);
+  ArgLocations = computeArgLocs(CurCC, ArgTypes, TI.WordBytes);
+  for (size_t I = 0; I < ArgLocations.size(); ++I) {
+    const ArgLoc &L = ArgLocations[I];
+    Reg R;
+    if (!L.OnStack) {
+      // Keep the parameter in its incoming register (paper §3.2: "strives
+      // to keep parameters in their incoming registers"). The register may
+      // not be an allocation candidate under a substituted convention; it
+      // is used in place either way.
+      RA.take(L.R);
+      R = L.R;
+    } else {
+      R = RA.get(L.Ty, RegClass::Temp, LeafFlag);
+      if (!R.isValid())
+        fatal("v_lambda: out of registers for parameter %zu", I);
+      ArgCopies.push_back(PrologueArgCopy{L.Ty, R, L.StackOff});
+    }
+    if (ArgRegs)
+      ArgRegs[I] = R;
+  }
+  T.beginFunction(*this);
+}
+
+CodePtr VCode::end() {
+  if (!InFunction)
+    fatal("v_end without v_lambda");
+
+  // Fix the activation record size now that all locals are allocated
+  // (paper §5.2): fixed outgoing-argument reserve, worst-case register save
+  // area, then locals, rounded to 16 bytes.
+  FrameBytes = frameNeeded()
+                   ? uint32_t(alignTo(TI.localAreaBase() + LocalBytes, 16))
+                   : 0;
+
+  // Write the real prologue into the reserved area and the epilogue after
+  // the body; returns the entry point (which skips unused reserved words).
+  CodePtr Entry = T.endFunction(*this);
+
+  // Floating-point immediates go at the end of the instruction stream so
+  // their space is reclaimed with the function (paper §5.2).
+  if (!ConstPool.empty()) {
+    if (Buf.cursorAddr() & 7)
+      Buf.put(0);
+    for (size_t I = 0; I < ConstPool.size(); ++I) {
+      label(ConstPoolLabels[I]);
+      Buf.put(uint32_t(ConstPool[I]));
+      Buf.put(uint32_t(ConstPool[I] >> 32));
+    }
+  }
+
+  // Backpatch unresolved jumps, branches, and constant references
+  // (paper §3.2 step 4).
+  for (const Fixup &F : Fixups) {
+    if (F.Kind == FixupKind::EpilogueJump && !frameNeeded()) {
+      // No epilogue: the target rewrites the site into a direct return.
+      T.applyFixup(*this, F, 0);
+      continue;
+    }
+    T.applyFixup(*this, F, labelAddr(F.Lab));
+  }
+
+  InFunction = false;
+  Entry.SizeBytes = size_t(Buf.wordIndex()) * 4;
+  return Entry;
+}
+
+bool VCode::frameNeeded() const {
+  return !LeafFlag || MadeCall || LocalBytes != 0 ||
+         RA.usedCalleeSavedMask(Reg::Int) != 0 ||
+         RA.usedCalleeSavedMask(Reg::Fp) != 0;
+}
+
+Reg VCode::getreg(Type Ty, RegClass C) { return RA.get(Ty, C, LeafFlag); }
+
+void VCode::putreg(Reg R) { RA.put(R); }
+
+Reg VCode::tmp(unsigned I, Type Ty) const {
+  const std::vector<Reg> &L = isFpType(Ty) ? TI.FpTemps : TI.IntTemps;
+  if (I >= L.size())
+    fatal("register assertion: %s has only %zu %s temporaries, T%u requested",
+          TI.Name, L.size(), isFpType(Ty) ? "fp" : "integer", I);
+  return L[I];
+}
+
+Reg VCode::sav(unsigned I, Type Ty) {
+  const std::vector<Reg> &L = isFpType(Ty) ? TI.FpSaves : TI.IntSaves;
+  if (I >= L.size())
+    fatal("register assertion: %s has only %zu %s callee-saved registers, "
+          "S%u requested",
+          TI.Name, L.size(), isFpType(Ty) ? "fp" : "integer", I);
+  RA.noteCalleeSavedUse(L[I]);
+  return L[I];
+}
+
+Label VCode::genLabel() {
+  LabelPos.push_back(-1);
+  return Label{int32_t(LabelPos.size() - 1)};
+}
+
+void VCode::label(Label L) {
+  assert(L.isValid() && size_t(L.Id) < LabelPos.size() && "bad label");
+  if (LabelPos[L.Id] != -1)
+    fatal("label %d bound twice", L.Id);
+  LabelPos[L.Id] = Buf.wordIndex();
+}
+
+SimAddr VCode::labelAddr(Label L) const {
+  assert(L.isValid() && size_t(L.Id) < LabelPos.size() && "bad label");
+  if (LabelPos[L.Id] < 0)
+    fatal("v_end: label %d is referenced but never bound", L.Id);
+  return Buf.addrOfWord(uint32_t(LabelPos[L.Id]));
+}
+
+bool VCode::labelBound(Label L) const {
+  return L.isValid() && size_t(L.Id) < LabelPos.size() &&
+         LabelPos[L.Id] >= 0;
+}
+
+Local VCode::localVar(Type Ty) {
+  unsigned Size = typeSize(Ty, TI.WordBytes);
+  LocalBytes = uint32_t(alignTo(LocalBytes, Size));
+  Local Lo{int32_t(TI.localAreaBase() + LocalBytes), Ty};
+  LocalBytes += Size;
+  return Lo;
+}
+
+void VCode::loadLocal(Type Ty, Reg Rd, Local Lo) {
+  assert(Lo.isValid() && "local never allocated");
+  loadImm(Ty, Rd, spReg(), Lo.Off);
+}
+
+void VCode::storeLocal(Type Ty, Reg Rs, Local Lo) {
+  assert(Lo.isValid() && "local never allocated");
+  storeImm(Ty, Rs, spReg(), Lo.Off);
+}
+
+void VCode::localAddr(Reg Rd, Local Lo) {
+  assert(Lo.isValid() && "local never allocated");
+  binopImm(BinOp::Add, Type::P, Rd, spReg(), Lo.Off);
+}
+
+Label VCode::constPoolLabel(uint64_t Bits) {
+  auto It = ConstPoolIndex.find(Bits);
+  if (It != ConstPoolIndex.end())
+    return ConstPoolLabels[It->second];
+  ConstPoolIndex.emplace(Bits, unsigned(ConstPool.size()));
+  ConstPool.push_back(Bits);
+  ConstPoolLabels.push_back(genLabel());
+  return ConstPoolLabels.back();
+}
+
+void VCode::callBegin(const char *ArgTypeStr) {
+  if (LeafFlag)
+    fatal("call constructed inside a procedure declared V_LEAF");
+  std::vector<Type> Types = parseTypeString(ArgTypeStr);
+  CallLocs = computeArgLocs(CurCC, Types, TI.WordBytes);
+  CallNextArg = 0;
+  uint32_t Need = outArgBytes(CurCC, CallLocs, TI.WordBytes);
+  if (Need > TI.OutArgReserveBytes)
+    fatal("call needs %u bytes of stack arguments but the fixed reserve is "
+          "%u; raise TargetInfo::OutArgReserveBytes",
+          Need, TI.OutArgReserveBytes);
+  MadeCall = true;
+}
+
+void VCode::callArg(Reg Src) {
+  if (CallNextArg >= CallLocs.size())
+    fatal("callArg: more arguments supplied than declared in callBegin");
+  const ArgLoc &L = CallLocs[CallNextArg++];
+  if (L.OnStack)
+    storeImm(L.Ty, Src, spReg(), L.StackOff);
+  else if (Src != L.R)
+    unop(UnOp::Mov, L.Ty, L.R, Src);
+}
+
+void VCode::callAddr(SimAddr Callee) {
+  if (LeafFlag)
+    fatal("call constructed inside a procedure declared V_LEAF");
+  MadeCall = true;
+  T.emitCallAddr(*this, Callee);
+}
+
+void VCode::callReg(Reg Callee) {
+  if (LeafFlag)
+    fatal("call constructed inside a procedure declared V_LEAF");
+  MadeCall = true;
+  T.emitCallReg(*this, Callee);
+}
+
+void VCode::callLabel(Label L) {
+  if (LeafFlag)
+    fatal("call constructed inside a procedure declared V_LEAF");
+  MadeCall = true;
+  T.emitCallLabel(*this, L);
+}

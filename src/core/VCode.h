@@ -1,0 +1,325 @@
+//===- core/VCode.h - The VCODE dynamic code generator ----------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VCODE client interface (paper §3). A VCode object is the per-function
+/// dynamic code generation state: clients begin a function with lambda()
+/// (the paper's v_lambda), emit instructions of the idealized load-store
+/// RISC machine through the typed method families (v_addii -> addii), and
+/// finish with end() (v_end), which backpatches prologue/epilogue code and
+/// unresolved jumps and returns a pointer to the finished code. Machine code
+/// is generated in place: every instruction method writes machine words
+/// directly into the client-supplied code region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_VCODE_H
+#define VCODE_CORE_VCODE_H
+
+#include "core/CallConv.h"
+#include "core/CodeBuffer.h"
+#include "core/Ops.h"
+#include "core/Reg.h"
+#include "core/RegAlloc.h"
+#include "core/Target.h"
+#include "core/Types.h"
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <vector>
+
+namespace vcode {
+
+/// A stack local allocated with VCode::localVar (the paper's v_local).
+/// Offsets are SP-relative and stable from the moment of allocation
+/// because the register save area has a fixed worst-case size (§5.2).
+struct Local {
+  int32_t Off = -1;
+  Type Ty = Type::V;
+  constexpr bool isValid() const { return Off >= 0; }
+};
+
+/// Leaf-procedure hints for lambda() (paper V_LEAF / V_NLEAF).
+inline constexpr bool LeafHint = true;
+inline constexpr bool NonLeafHint = false;
+
+/// A stack argument that the prologue must copy into a register.
+struct PrologueArgCopy {
+  Type Ty;
+  Reg Dst;
+  int32_t IncomingOff; ///< byte offset above the callee frame
+};
+
+/// Per-function dynamic code generation state.
+class VCode {
+public:
+  explicit VCode(Target &Tgt);
+
+  Target &target() { return T; }
+  const TargetInfo &info() const { return TI; }
+
+  // --- Function lifecycle (paper §3.2) ------------------------------------
+
+  /// Overrides the calling convention for subsequently generated functions
+  /// (paper §5.4: "clients can dynamically substitute calling conventions
+  /// on a per-generated-function basis").
+  void setCallConv(const CallConv &CC) { CurCC = CC; }
+
+  /// Begins generation of a function. \p ArgTypeStr lists incoming
+  /// parameter types, e.g. "%i%p%d" ('U' stands for unsigned long); the
+  /// registers holding the parameters are returned in \p ArgRegs. \p IsLeaf
+  /// declares a leaf procedure; calling out of one is an error. \p Mem is
+  /// the storage for the generated code.
+  void lambda(const char *ArgTypeStr, Reg *ArgRegs, bool IsLeaf, CodeMem Mem);
+
+  /// Ends generation: links jumps, writes prologue/epilogue, emits the
+  /// floating-point constant pool, and returns the entry point.
+  CodePtr end();
+
+  // --- Registers (paper §3.2, §5.3) ---------------------------------------
+
+  /// Allocates a register for \p Ty; returns an invalid Reg on exhaustion.
+  Reg getreg(Type Ty, RegClass C = RegClass::Temp);
+  /// Releases a register obtained from getreg().
+  void putreg(Reg R);
+
+  /// Architecture-independent hard-coded caller-saved register names
+  /// ("T0", "T1", ... in the paper §5.3). Fatal if \p I exceeds what the
+  /// machine provides (the paper's "register assertion").
+  Reg tmp(unsigned I, Type Ty = Type::I) const;
+  /// Hard-coded callee-saved names ("S0", ...); noting the use so the
+  /// prologue saves the register.
+  Reg sav(unsigned I, Type Ty = Type::I);
+
+  /// The hardwired zero register.
+  Reg zeroReg() const { return TI.Zero; }
+  /// The stack pointer.
+  Reg spReg() const { return TI.Sp; }
+  /// The register in which a function of result type \p Ty returns its
+  /// value under the current convention (for register targeting).
+  Reg resultReg(Type Ty) const {
+    return isFpType(Ty) ? CurCC.FpRet : CurCC.IntRet;
+  }
+
+  /// Dynamically reclassifies a register (paper §5.3).
+  void setRegKind(Reg R, RegKind K) { RA.setKind(R, K); }
+  /// Treats every register as callee-saved (interrupt handler mode).
+  void allRegsCalleeSaved() { RA.allCalleeSaved(); }
+  /// Declares a new allocation priority ordering.
+  void setRegPriority(Reg::KindType K, const std::vector<Reg> &Order) {
+    RA.setPriorityOrder(K, Order);
+  }
+
+  // --- Labels ---------------------------------------------------------------
+
+  /// Creates a fresh, unbound label (paper v_genlabel).
+  Label genLabel();
+  /// Binds \p L to the current position (paper v_label).
+  void label(Label L);
+
+  // --- Locals (paper v_local) -----------------------------------------------
+
+  /// Allocates a stack local of type \p Ty.
+  Local localVar(Type Ty);
+  /// Loads a local into a register.
+  void loadLocal(Type Ty, Reg Rd, Local Lo);
+  /// Stores a register into a local.
+  void storeLocal(Type Ty, Reg Rs, Local Lo);
+  /// Materializes the address of a local into \p Rd.
+  void localAddr(Reg Rd, Local Lo);
+
+  // --- Dynamically constructed calls (paper §2: argument marshaling) --------
+
+  /// Starts a call whose argument types are given by \p ArgTypeStr. The
+  /// number and types of arguments need not be known until runtime.
+  void callBegin(const char *ArgTypeStr);
+  /// Supplies the next argument from \p Src (moved to its ABI location).
+  void callArg(Reg Src);
+  /// Performs the call to an absolute address.
+  void callAddr(SimAddr Callee);
+  /// Performs the call through a register.
+  void callReg(Reg Callee);
+  /// Performs the call to a label in the current stream (a local
+  /// subroutine; the callee returns with retlink()).
+  void callLabel(Label L);
+  /// Returns from a local subroutine through the link register.
+  void retlink() { T.emitLinkReturn(*this); }
+  /// Where the callee left a result of type \p Ty.
+  Reg retvalReg(Type Ty) const { return resultReg(Ty); }
+
+  // --- Raw instruction surface ----------------------------------------------
+
+  void binop(BinOp Op, Type Ty, Reg Rd, Reg Rs1, Reg Rs2) {
+    T.emitBinop(*this, Op, Ty, Rd, Rs1, Rs2);
+  }
+  void binopImm(BinOp Op, Type Ty, Reg Rd, Reg Rs1, int64_t Imm) {
+    T.emitBinopImm(*this, Op, Ty, Rd, Rs1, Imm);
+  }
+  void unop(UnOp Op, Type Ty, Reg Rd, Reg Rs) {
+    T.emitUnop(*this, Op, Ty, Rd, Rs);
+  }
+  void cvt(Type From, Type To, Reg Rd, Reg Rs) {
+    T.emitCvt(*this, From, To, Rd, Rs);
+  }
+  void load(Type Ty, Reg Rd, Reg Base, Reg Off) {
+    T.emitLoad(*this, Ty, Rd, Base, Off);
+  }
+  void loadImm(Type Ty, Reg Rd, Reg Base, int64_t Off) {
+    T.emitLoadImm(*this, Ty, Rd, Base, Off);
+  }
+  void store(Type Ty, Reg Val, Reg Base, Reg Off) {
+    T.emitStore(*this, Ty, Val, Base, Off);
+  }
+  void storeImm(Type Ty, Reg Val, Reg Base, int64_t Off) {
+    T.emitStoreImm(*this, Ty, Val, Base, Off);
+  }
+  void branch(Cond C, Type Ty, Reg A, Reg B, Label L) {
+    T.emitBranch(*this, C, Ty, A, B, L);
+  }
+  void branchImm(Cond C, Type Ty, Reg A, int64_t Imm, Label L) {
+    T.emitBranchImm(*this, C, Ty, A, Imm, L);
+  }
+  /// Unconditional jump to a label (paper "v j ... label").
+  void jmp(Label L) { T.emitJump(*this, L); }
+  /// Jump through a register.
+  void jmpr(Reg R) { T.emitJumpReg(*this, R); }
+  /// Jump to an absolute address.
+  void jmpi(SimAddr A) { T.emitJumpAddr(*this, A); }
+  /// Return \p Rs (typed variants in Instructions.inc).
+  void ret(Type Ty, Reg Rs) { T.emitRet(*this, Ty, Rs); }
+  /// Return with no value.
+  void retv() { T.emitRet(*this, Type::V, Reg()); }
+  void nop() { T.emitNop(*this); }
+  void setInt(Type Ty, Reg Rd, uint64_t V) { T.emitSetInt(*this, Ty, Rd, V); }
+  void setFp(Type Ty, Reg Rd, double V) { T.emitSetFp(*this, Ty, Rd, V); }
+
+  // Named per-type families (paper Table 2 naming: v_addii -> addii).
+#include "core/Instructions.inc"
+
+  // --- Portable instruction scheduling (paper §5.3) --------------------------
+
+  /// Emits branch \p Br with \p Slot scheduled into its delay slot when the
+  /// machine has one; otherwise \p Slot is placed before the branch. \p Slot
+  /// must emit exactly one instruction word and must not change the branch
+  /// condition (the paper's v_schedule_delay).
+  template <typename BrFn, typename SlotFn>
+  void scheduleDelay(BrFn Br, SlotFn Slot) {
+    if (!TI.HasBranchDelaySlot) {
+      Slot();
+      Br();
+      return;
+    }
+    SuppressDelayNop = true;
+    Br();
+    SuppressDelayNop = false;
+    uint32_t Before = Buf.wordIndex();
+    Slot();
+    if (Buf.wordIndex() != Before + 1)
+      fatal("scheduleDelay: delay-slot instruction must be one word");
+  }
+
+  /// Emits load \p Ld whose result is first used \p InstrsUntilUse VCODE
+  /// instructions later; pads with nops if the machine's load delay is
+  /// longer (the paper's v_raw_load).
+  template <typename LdFn> void rawLoad(LdFn Ld, unsigned InstrsUntilUse) {
+    Ld();
+    for (unsigned I = InstrsUntilUse; I < TI.LoadDelaySlots; ++I)
+      nop();
+  }
+
+  /// True while a branch emitter must omit its delay-slot nop.
+  bool suppressDelayNop() const { return SuppressDelayNop; }
+
+  // --- Extension instructions (paper §5.4) -----------------------------------
+
+  /// Emits the extension instruction \p Name with \p Ops.
+  void ext(const char *Name, std::initializer_list<Operand> Ops) {
+    T.emitExtension(*this, Name, Ops.begin(), unsigned(Ops.size()));
+  }
+
+  // --- Interface used by targets ---------------------------------------------
+
+  CodeBuffer &buf() { return Buf; }
+  RegAlloc &regAlloc() { return RA; }
+  Reg atReg() const { return TI.At; }
+  const CallConv &cc() const { return CurCC; }
+  bool isLeaf() const { return LeafFlag; }
+  bool inFunction() const { return InFunction; }
+  bool madeCall() const { return MadeCall; }
+  Label epilogueLabel() const { return EpiLabel; }
+  uint32_t localBytes() const { return LocalBytes; }
+  const std::vector<ArgLoc> &argLocs() const { return ArgLocations; }
+  const std::vector<PrologueArgCopy> &prologueArgCopies() const {
+    return ArgCopies;
+  }
+  /// Frame size in bytes, valid during Target::endFunction.
+  uint32_t frameBytes() const { return FrameBytes; }
+  /// True if the function needs a stack frame / prologue / epilogue.
+  bool frameNeeded() const;
+
+  /// Records a fixup anchored at the *next* word to be emitted.
+  void addFixup(FixupKind K, Label L) {
+    Fixups.push_back(Fixup{Buf.wordIndex(), L, K});
+  }
+  /// Records a fixup at an explicit word index.
+  void addFixupAt(uint32_t WordIdx, FixupKind K, Label L) {
+    Fixups.push_back(Fixup{WordIdx, L, K});
+  }
+  /// Returns a label bound (at end()) to an 8-byte constant-pool entry
+  /// holding \p Bits. Entries are de-duplicated.
+  Label constPoolLabel(uint64_t Bits);
+
+  /// Number of pending fixups (the *only* per-instruction-stream state
+  /// VCODE keeps: "other than the memory needed to store emitted
+  /// instructions, VCODE need only store pointers to labels and
+  /// unresolved jumps", paper §3).
+  size_t pendingFixups() const { return Fixups.size(); }
+  /// Number of labels created so far.
+  size_t labelCount() const { return LabelPos.size(); }
+
+  /// Resolved address of a bound label; fatal if unbound (used during
+  /// fixup application).
+  SimAddr labelAddr(Label L) const;
+  /// True if the label has been bound.
+  bool labelBound(Label L) const;
+
+private:
+  std::vector<Type> parseTypeString(const char *Str) const;
+  void resetFunctionState();
+
+  Target &T;
+  const TargetInfo &TI;
+  CodeBuffer Buf;
+  RegAlloc RA;
+  CallConv CurCC;
+
+  bool InFunction = false;
+  bool LeafFlag = false;
+  bool MadeCall = false;
+  bool SuppressDelayNop = false;
+
+  std::vector<int64_t> LabelPos; // word index, -1 if unbound
+  std::vector<Fixup> Fixups;
+  Label EpiLabel;
+
+  uint32_t LocalBytes = 0;
+  uint32_t FrameBytes = 0;
+
+  std::vector<ArgLoc> ArgLocations;
+  std::vector<PrologueArgCopy> ArgCopies;
+
+  std::vector<uint64_t> ConstPool;
+  std::vector<Label> ConstPoolLabels;
+  std::map<uint64_t, unsigned> ConstPoolIndex;
+
+  // Out-call in progress.
+  std::vector<ArgLoc> CallLocs;
+  unsigned CallNextArg = 0;
+};
+
+} // namespace vcode
+
+#endif // VCODE_CORE_VCODE_H

@@ -1,0 +1,113 @@
+//===- core/VRegLayer.cpp - Unlimited virtual registers --------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VRegLayer.h"
+#include <cassert>
+
+using namespace vcode;
+
+VRegLayer::VRegLayer(VCode &V) : V(V) {
+  for (unsigned I = 0; I < 3; ++I) {
+    IntStage[I] = V.getreg(Type::L, RegClass::Temp);
+    FpStage[I] = V.getreg(Type::D, RegClass::Temp);
+    if (!IntStage[I].isValid() || !FpStage[I].isValid())
+      fatal("vreg layer: could not claim staging registers");
+  }
+}
+
+VRegLayer::~VRegLayer() {
+  for (unsigned I = 0; I < 3; ++I) {
+    V.putreg(IntStage[I]);
+    V.putreg(FpStage[I]);
+  }
+}
+
+VReg VRegLayer::alloc(Type Ty) {
+  Slot S;
+  S.Ty = Ty;
+  S.Home = V.localVar(Ty);
+  Slots.push_back(S);
+  return VReg{int32_t(Slots.size() - 1)};
+}
+
+Reg VRegLayer::stage(unsigned Which, Type Ty) {
+  assert(Which < 3 && "bad staging index");
+  return isFpType(Ty) ? FpStage[Which] : IntStage[Which];
+}
+
+Reg VRegLayer::readIn(VReg R, unsigned Which) {
+  assert(R.isValid() && size_t(R.Id) < Slots.size() && "bad vreg");
+  const Slot &S = Slots[R.Id];
+  Reg P = stage(Which, S.Ty);
+  V.loadLocal(S.Ty, P, S.Home);
+  return P;
+}
+
+void VRegLayer::writeBack(VReg R, Reg Phys) {
+  const Slot &S = Slots[R.Id];
+  V.storeLocal(S.Ty, Phys, S.Home);
+}
+
+void VRegLayer::fromPhys(VReg Dst, Reg Src) {
+  writeBack(Dst, Src);
+}
+
+void VRegLayer::binop(BinOp Op, Type Ty, VReg Rd, VReg Rs1, VReg Rs2) {
+  Reg A = readIn(Rs1, 0);
+  Reg B = readIn(Rs2, 1);
+  Reg D = stage(2, Ty);
+  V.binop(Op, Ty, D, A, B);
+  writeBack(Rd, D);
+}
+
+void VRegLayer::binopImm(BinOp Op, Type Ty, VReg Rd, VReg Rs1, int64_t Imm) {
+  Reg A = readIn(Rs1, 0);
+  Reg D = stage(2, Ty);
+  V.binopImm(Op, Ty, D, A, Imm);
+  writeBack(Rd, D);
+}
+
+void VRegLayer::unop(UnOp Op, Type Ty, VReg Rd, VReg Rs) {
+  Reg A = readIn(Rs, 0);
+  Reg D = stage(2, Ty);
+  V.unop(Op, Ty, D, A);
+  writeBack(Rd, D);
+}
+
+void VRegLayer::setInt(Type Ty, VReg Rd, uint64_t Imm) {
+  Reg D = stage(2, Ty);
+  V.setInt(Ty, D, Imm);
+  writeBack(Rd, D);
+}
+
+void VRegLayer::load(Type Ty, VReg Rd, VReg Base, int64_t Off) {
+  Reg A = readIn(Base, 0);
+  Reg D = stage(2, Ty);
+  V.loadImm(Ty, D, A, Off);
+  writeBack(Rd, D);
+}
+
+void VRegLayer::store(Type Ty, VReg Val, VReg Base, int64_t Off) {
+  Reg A = readIn(Base, 0);
+  Reg Vv = readIn(Val, 1);
+  V.storeImm(Ty, Vv, A, Off);
+}
+
+void VRegLayer::branch(Cond C, Type Ty, VReg A, VReg B, Label L) {
+  Reg Pa = readIn(A, 0);
+  Reg Pb = readIn(B, 1);
+  V.branch(C, Ty, Pa, Pb, L);
+}
+
+void VRegLayer::branchImm(Cond C, Type Ty, VReg A, int64_t Imm, Label L) {
+  Reg Pa = readIn(A, 0);
+  V.branchImm(C, Ty, Pa, Imm, L);
+}
+
+void VRegLayer::ret(Type Ty, VReg Rs) {
+  Reg P = readIn(Rs, 0);
+  V.ret(Ty, P);
+}

@@ -1,0 +1,258 @@
+//===- dcg/Dcg.cpp - The DCG baseline code generator -----------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dcg/Dcg.h"
+#include "support/BitUtils.h"
+#include <cassert>
+
+using namespace vcode;
+using namespace vcode::dcg;
+
+void Dcg::beginFunction(const char *ArgTypeStr, bool IsLeaf, CodeMem Mem) {
+  Pool.clear();
+  ArgRegs.assign(16, Reg());
+  V.lambda(ArgTypeStr, ArgRegs.data(), IsLeaf, Mem);
+}
+
+CodePtr Dcg::endFunction() { return V.end(); }
+
+Node *Dcg::newNode(NodeOp Op, Type Ty) {
+  Pool.emplace_back();
+  Node *N = &Pool.back();
+  N->Op = Op;
+  N->Ty = Ty;
+  return N;
+}
+
+Node *Dcg::cnst(Type Ty, int64_t Value) {
+  Node *N = newNode(NodeOp::Const, Ty);
+  N->Value = Value;
+  return N;
+}
+
+Node *Dcg::regNode(Type Ty, Reg R) {
+  Node *N = newNode(NodeOp::Reg, Ty);
+  N->R = R;
+  return N;
+}
+
+Node *Dcg::arg(unsigned Index, Type Ty) {
+  assert(Index < ArgRegs.size() && ArgRegs[Index].isValid() &&
+         "argument index out of range");
+  Node *N = newNode(NodeOp::Arg, Ty);
+  N->Value = Index;
+  N->R = ArgRegs[Index];
+  return N;
+}
+
+Node *Dcg::load(Type Ty, Node *Addr) {
+  Node *N = newNode(NodeOp::Load, Ty);
+  N->Kids[0] = Addr;
+  return N;
+}
+
+Node *Dcg::binop(BinOp Op, Type Ty, Node *L, Node *R) {
+  Node *N = newNode(NodeOp::Binop, Ty);
+  N->Bin = Op;
+  N->Kids[0] = L;
+  N->Kids[1] = R;
+  return N;
+}
+
+Node *Dcg::unop(UnOp Op, Type Ty, Node *K) {
+  Node *N = newNode(NodeOp::Unop, Ty);
+  N->Un = Op;
+  N->Kids[0] = K;
+  return N;
+}
+
+Node *Dcg::cvt(Type From, Type To, Node *K) {
+  Node *N = newNode(NodeOp::Cvt, To);
+  N->FromTy = From;
+  N->Kids[0] = K;
+  return N;
+}
+
+/// Pass 1: bottom-up labelling. Assigns each node the cheapest matching
+/// rule and a subtree cost, mimicking the BURS-style matcher DCG used.
+void Dcg::labelTree(Node *T) {
+  if (!T || T->SelectedRule != Rule::Unlabelled)
+    return;
+  for (Node *K : T->Kids)
+    labelTree(K);
+  uint16_t KidCost = 0;
+  for (Node *K : T->Kids)
+    if (K)
+      KidCost = uint16_t(KidCost + K->Cost);
+
+  switch (T->Op) {
+  case NodeOp::Const:
+    T->SelectedRule = Rule::EmitConst;
+    T->Cost = isInt<16>(T->Value) ? 1 : 2;
+    return;
+  case NodeOp::Reg:
+  case NodeOp::Arg:
+    T->SelectedRule = T->Op == NodeOp::Arg ? Rule::EmitArg : Rule::ReuseReg;
+    T->Cost = 0;
+    return;
+  case NodeOp::Load:
+    // addr = base + const  -> fold the offset into the load.
+    if (T->Kids[0]->Op == NodeOp::Binop && T->Kids[0]->Bin == BinOp::Add &&
+        T->Kids[0]->Kids[1]->Op == NodeOp::Const &&
+        isInt<15>(T->Kids[0]->Kids[1]->Value)) {
+      T->SelectedRule = Rule::EmitLoadFold;
+      T->Cost = uint16_t(1 + T->Kids[0]->Kids[0]->Cost);
+      return;
+    }
+    T->SelectedRule = Rule::EmitLoad;
+    T->Cost = uint16_t(1 + KidCost);
+    return;
+  case NodeOp::Binop:
+    // op reg, const -> immediate form when the constant fits.
+    if (T->Kids[1]->Op == NodeOp::Const && isInt<13>(T->Kids[1]->Value) &&
+        T->Bin != BinOp::Mul && T->Bin != BinOp::Div &&
+        T->Bin != BinOp::Mod) {
+      T->SelectedRule = Rule::EmitBinopImm;
+      T->Cost = uint16_t(1 + T->Kids[0]->Cost);
+      return;
+    }
+    T->SelectedRule = Rule::EmitBinop;
+    T->Cost = uint16_t(1 + KidCost);
+    return;
+  case NodeOp::Unop:
+    T->SelectedRule = Rule::EmitUnop;
+    T->Cost = uint16_t(1 + KidCost);
+    return;
+  case NodeOp::Cvt:
+    T->SelectedRule = Rule::EmitCvt;
+    T->Cost = uint16_t(2 + KidCost);
+    return;
+  }
+  unreachable("bad NodeOp");
+}
+
+/// Pass 2: reduce — walk the labelled tree, allocating registers
+/// dynamically and emitting machine code through the backend.
+Reg Dcg::reduce(Node *T) {
+  switch (T->SelectedRule) {
+  case Rule::EmitConst: {
+    Reg R = V.getreg(T->Ty);
+    if (!R.isValid())
+      fatal("dcg: out of registers");
+    V.setInt(T->Ty, R, uint64_t(T->Value));
+    return R;
+  }
+  case Rule::ReuseReg:
+  case Rule::EmitArg:
+    // The value is pinned in its register; copy into a scratch so the
+    // consumer may clobber it (DCG's trees are single-use values).
+    {
+      Reg R = V.getreg(T->Ty);
+      if (!R.isValid())
+        fatal("dcg: out of registers");
+      V.unop(UnOp::Mov, T->Ty, R, T->R);
+      return R;
+    }
+  case Rule::EmitLoad: {
+    Reg A = reduce(T->Kids[0]);
+    Reg R = V.getreg(T->Ty);
+    if (!R.isValid())
+      fatal("dcg: out of registers");
+    V.loadImm(T->Ty, R, A, 0);
+    V.putreg(A);
+    return R;
+  }
+  case Rule::EmitLoadFold: {
+    Reg A = reduce(T->Kids[0]->Kids[0]);
+    Reg R = V.getreg(T->Ty);
+    if (!R.isValid())
+      fatal("dcg: out of registers");
+    V.loadImm(T->Ty, R, A, T->Kids[0]->Kids[1]->Value);
+    V.putreg(A);
+    return R;
+  }
+  case Rule::EmitBinop: {
+    Reg L = reduce(T->Kids[0]);
+    Reg R = reduce(T->Kids[1]);
+    V.binop(T->Bin, T->Ty, L, L, R);
+    V.putreg(R);
+    return L;
+  }
+  case Rule::EmitBinopImm: {
+    Reg L = reduce(T->Kids[0]);
+    V.binopImm(T->Bin, T->Ty, L, L, T->Kids[1]->Value);
+    return L;
+  }
+  case Rule::EmitUnop: {
+    Reg K = reduce(T->Kids[0]);
+    V.unop(T->Un, T->Ty, K, K);
+    return K;
+  }
+  case Rule::EmitCvt: {
+    Reg K = reduce(T->Kids[0]);
+    if (isFpType(T->Ty) != isFpType(T->FromTy)) {
+      Reg R = V.getreg(T->Ty);
+      if (!R.isValid())
+        fatal("dcg: out of registers");
+      V.cvt(T->FromTy, T->Ty, R, K);
+      V.putreg(K);
+      return R;
+    }
+    V.cvt(T->FromTy, T->Ty, K, K);
+    return K;
+  }
+  case Rule::Unlabelled:
+    break;
+  }
+  unreachable("reduce on unlabelled node");
+}
+
+Reg Dcg::genExpr(Node *T) {
+  labelTree(T);
+  return reduce(T);
+}
+
+void Dcg::stmtStore(Type Ty, Node *Addr, Node *Val) {
+  labelTree(Addr);
+  labelTree(Val);
+  Reg Vr = reduce(Val);
+  // Reuse the load folding rule for stores.
+  if (Addr->SelectedRule == Rule::EmitLoadFold ||
+      (Addr->Op == NodeOp::Binop && Addr->Bin == BinOp::Add &&
+       Addr->Kids[1]->Op == NodeOp::Const && isInt<13>(Addr->Kids[1]->Value))) {
+    Reg A = reduce(Addr->Kids[0]);
+    V.storeImm(Ty, Vr, A, Addr->Kids[1]->Value);
+    V.putreg(A);
+  } else {
+    Reg A = reduce(Addr);
+    V.storeImm(Ty, Vr, A, 0);
+    V.putreg(A);
+  }
+  V.putreg(Vr);
+}
+
+void Dcg::stmtRet(Type Ty, Node *T) {
+  Reg R = genExpr(T);
+  V.ret(Ty, R);
+  V.putreg(R);
+}
+
+void Dcg::stmtBranch(Cond C, Type Ty, Node *A, Node *B, Label L) {
+  labelTree(A);
+  labelTree(B);
+  Reg Ra = reduce(A);
+  if (B->Op == NodeOp::Const && !isFpType(Ty)) {
+    V.branchImm(C, Ty, Ra, B->Value, L);
+    V.putreg(Ra);
+    return;
+  }
+  Reg Rb = reduce(B);
+  V.branch(C, Ty, Ra, Rb, L);
+  V.putreg(Ra);
+  V.putreg(Rb);
+}
+
+void Dcg::stmtJump(Label L) { V.jmp(L); }

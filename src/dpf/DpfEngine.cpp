@@ -1,0 +1,295 @@
+//===- dpf/DpfEngine.cpp - Dynamic Packet Filters ---------------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+//
+// DPF "exploits dynamic code generation in two ways: (1) by using it to
+// eliminate interpretation overhead by compiling packet filters to
+// executable code when they are installed ... and (2) by using filter
+// constants to aggressively optimize this executable code" (paper §4.2).
+//
+// Installation merges the active filters into a decision trie and walks it
+// emitting straight-line compare-immediate code: every offset, mask and
+// comparison value is encoded directly in the instruction stream. Where
+// many filters diverge on one field (the TCP port case), the dispatch is
+// specialized from the runtime key set, "in a manner similar to how
+// optimizing compilers treat C switch statements": a short compare chain,
+// an indirect jump through a table for dense ranges, binary search for
+// sparse sets, or a perfect hash selected at code-generation time — whose
+// multiplier is encoded in the instruction stream, with no collision
+// chains to check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpf/Engines.h"
+#include "support/BitUtils.h"
+#include <algorithm>
+
+using namespace vcode;
+using namespace vcode::dpf;
+
+namespace {
+
+/// Full mask for a field of Size bytes.
+uint32_t fullMask(unsigned Size) {
+  return Size >= 4 ? 0xffffffffu : ((1u << (8 * Size)) - 1);
+}
+
+/// Searches for a collision-free multiplicative hash of \p Keys into a
+/// table of 2^Bits slots. Returns true and fills Mult on success.
+bool findPerfectHash(const std::vector<uint32_t> &Keys, unsigned Bits,
+                     uint32_t &Mult) {
+  static const uint32_t Candidates[] = {0x9e3779b1u, 0x85ebca6bu, 0xc2b2ae35u,
+                                        2654435761u, 0x7feb352du, 0x045d9f3bu,
+                                        0x27220a95u, 0x51afd7edu};
+  for (uint32_t M : Candidates) {
+    std::vector<bool> Seen(size_t(1) << Bits, false);
+    bool Ok = true;
+    for (uint32_t K : Keys) {
+      uint32_t H = (K * M) >> (32 - Bits);
+      if (Seen[H]) {
+        Ok = false;
+        break;
+      }
+      Seen[H] = true;
+    }
+    if (Ok) {
+      Mult = M;
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+void DpfEngine::emitBinarySearch(VCode &V, std::vector<EdgeCase> &Cases,
+                                 size_t Lo, size_t Hi, Reg V0, Label Reject) {
+  if (Hi - Lo <= 2) {
+    for (size_t I = Lo; I <= Hi; ++I)
+      V.bequi(V0, Cases[I].Value, Cases[I].Target);
+    V.jmp(Reject);
+    return;
+  }
+  size_t Mid = (Lo + Hi) / 2;
+  V.bequi(V0, Cases[Mid].Value, Cases[Mid].Target);
+  Label LLeft = V.genLabel();
+  V.bltui(V0, Cases[Mid].Value, LLeft);
+  if (Mid + 1 <= Hi)
+    emitBinarySearch(V, Cases, Mid + 1, Hi, V0, Reject);
+  else
+    V.jmp(Reject);
+  V.label(LLeft);
+  if (Mid >= Lo + 1)
+    emitBinarySearch(V, Cases, Lo, Mid - 1, V0, Reject);
+  else
+    V.jmp(Reject);
+}
+
+void DpfEngine::emitDispatch(VCode &V, std::vector<EdgeCase> &Cases, Reg V0,
+                             Reg T0, Label Reject) {
+  unsigned WB = Tgt.info().WordBytes;
+  std::sort(Cases.begin(), Cases.end(),
+            [](const EdgeCase &A, const EdgeCase &B) {
+              return A.Value < B.Value;
+            });
+  size_t N = Cases.size();
+  uint32_t LoV = Cases.front().Value, HiV = Cases.back().Value;
+  uint64_t Range = uint64_t(HiV) - LoV + 1;
+  bool Dense = Range <= 2 * N + 2;
+
+  Dispatch D = Strategy;
+  if (D == Dispatch::Auto) {
+    if (N <= 3)
+      D = Dispatch::Chain;
+    else if (Dense)
+      D = Dispatch::Table;
+    else if (N >= 8)
+      D = Dispatch::Hash;
+    else
+      D = Dispatch::Binary;
+  }
+
+  switch (D) {
+  case Dispatch::Chain:
+    Used = "chain";
+    for (EdgeCase &C : Cases)
+      V.bequi(V0, C.Value, C.Target);
+    V.jmp(Reject);
+    return;
+
+  case Dispatch::Binary:
+    Used = "binary";
+    emitBinarySearch(V, Cases, 0, N - 1, V0, Reject);
+    return;
+
+  case Dispatch::Table: {
+    Used = "table";
+    if (Range > 4096) { // degenerate request; fall back
+      emitBinarySearch(V, Cases, 0, N - 1, V0, Reject);
+      return;
+    }
+    SimAddr Table = Mem.alloc(size_t(Range) * WB, 8);
+    TablePatch TP;
+    TP.TableAddr = Table;
+    TP.Slots.assign(size_t(Range), Label()); // invalid -> reject
+    for (EdgeCase &C : Cases)
+      TP.Slots[C.Value - LoV] = C.Target;
+    Tables.push_back(std::move(TP));
+
+    Reg TPReg = V.getreg(Type::P);
+    if (!TPReg.isValid())
+      fatal("dpf: out of registers for table dispatch");
+    V.subui(T0, V0, int64_t(LoV));
+    V.bgtui(T0, int64_t(Range - 1), Reject);
+    V.lshii(T0, T0, int64_t(log2Floor(WB)));
+    V.setp(TPReg, Table);
+    V.addp(TPReg, TPReg, T0);
+    V.ldpi(TPReg, TPReg, 0);
+    V.jmpr(TPReg);
+    V.putreg(TPReg);
+    return;
+  }
+
+  case Dispatch::Hash: {
+    unsigned Bits = 1;
+    while ((size_t(1) << Bits) < 2 * N)
+      ++Bits;
+    uint32_t Mult = 0;
+    std::vector<uint32_t> Keys;
+    for (EdgeCase &C : Cases)
+      Keys.push_back(C.Value);
+    if (!findPerfectHash(Keys, Bits, Mult)) {
+      Used = "binary (no perfect hash)";
+      emitBinarySearch(V, Cases, 0, N - 1, V0, Reject);
+      return;
+    }
+    Used = "hash";
+    size_t TSize = size_t(1) << Bits;
+    SimAddr Table = Mem.alloc(TSize * WB, 8);
+    TablePatch TP;
+    TP.TableAddr = Table;
+    TP.Slots.assign(TSize, Label());
+
+    // Verification stubs: since keys are known at code-generation time,
+    // each slot needs exactly one compare — there are no collision chains.
+    std::vector<Label> Stubs;
+    for (EdgeCase &C : Cases) {
+      uint32_t H = (C.Value * Mult) >> (32 - Bits);
+      Label Stub = V.genLabel();
+      TP.Slots[H] = Stub;
+      Stubs.push_back(Stub);
+    }
+    Tables.push_back(std::move(TP));
+
+    Reg TPReg = V.getreg(Type::P);
+    if (!TPReg.isValid())
+      fatal("dpf: out of registers for hash dispatch");
+    // The chosen hash function is encoded directly in the instruction
+    // stream (paper §4.2).
+    V.mului(T0, V0, int64_t(Mult));
+    V.rshui(T0, T0, int64_t(32 - Bits));
+    V.lshii(T0, T0, int64_t(log2Floor(WB)));
+    V.setp(TPReg, Table);
+    V.addp(TPReg, TPReg, T0);
+    V.ldpi(TPReg, TPReg, 0);
+    V.jmpr(TPReg);
+    V.putreg(TPReg);
+
+    for (size_t I = 0; I < Cases.size(); ++I) {
+      V.label(Stubs[I]);
+      V.bneui(V0, Cases[I].Value, Reject);
+      V.jmp(Cases[I].Target);
+    }
+    return;
+  }
+
+  case Dispatch::Auto:
+    break;
+  }
+  unreachable("bad dispatch strategy");
+}
+
+void DpfEngine::emitNode(VCode &V, const Trie &T, int NodeIdx, Reg Msg,
+                         Reg V0, Reg T0, Label Reject) {
+  const Trie::Node &N = T.Nodes[NodeIdx];
+  if (!N.HasField) {
+    // Accept state: the id is a code-generation-time constant.
+    V.seti(V0, N.AcceptId);
+    V.reti(V0);
+    return;
+  }
+
+  // Fully specialized field fetch: offset and width are encoded in the
+  // instruction, not fetched from a description.
+  switch (N.Size) {
+  case 1:
+    V.lduci(V0, Msg, N.Offset);
+    break;
+  case 2:
+    V.ldusi(V0, Msg, N.Offset);
+    break;
+  default:
+    V.ldui(V0, Msg, N.Offset);
+    break;
+  }
+  if (N.Mask != fullMask(N.Size))
+    V.andui(V0, V0, N.Mask);
+
+  std::vector<EdgeCase> Cases;
+  Cases.reserve(N.Edges.size());
+  for (const auto &[Value, Child] : N.Edges)
+    Cases.push_back(EdgeCase{Value, V.genLabel()});
+
+  if (Cases.size() == 1) {
+    // Single successor: a compare-immediate falls through to the child.
+    V.bneui(V0, Cases[0].Value, Reject);
+    V.label(Cases[0].Target);
+    emitNode(V, T, N.Edges.begin()->second, Msg, V0, T0, Reject);
+    return;
+  }
+
+  emitDispatch(V, Cases, V0, T0, Reject);
+  size_t I = 0;
+  for (const auto &[Value, Child] : N.Edges) {
+    // Cases were sorted by value; map::iteration is sorted too.
+    V.label(Cases[I].Target);
+    emitNode(V, T, Child, Msg, V0, T0, Reject);
+    ++I;
+  }
+}
+
+void DpfEngine::install(const std::vector<Filter> &Filters) {
+  Trie T = Trie::build(Filters);
+  Tables.clear();
+  Used = "none";
+
+  VCode V(Tgt);
+  Reg Arg[1];
+  V.lambda("%p", Arg, LeafHint, Mem.allocCode(32768));
+  Reg Msg = Arg[0];
+  Reg V0 = V.getreg(Type::U);
+  Reg T0 = V.getreg(Type::U);
+  Label Reject = V.genLabel();
+
+  emitNode(V, T, 0, Msg, V0, T0, Reject);
+  V.label(Reject);
+  V.seti(V0, -1);
+  V.reti(V0);
+  Code = V.end();
+
+  // Fill the dispatch tables with the now-resolved code addresses.
+  unsigned WB = Tgt.info().WordBytes;
+  SimAddr RejectAddr = V.labelAddr(Reject);
+  for (const TablePatch &TP : Tables) {
+    for (size_t I = 0; I < TP.Slots.size(); ++I) {
+      SimAddr A =
+          TP.Slots[I].isValid() ? V.labelAddr(TP.Slots[I]) : RejectAddr;
+      if (WB == 8)
+        Mem.write<uint64_t>(TP.TableAddr + I * 8, A);
+      else
+        Mem.write<uint32_t>(TP.TableAddr + I * 4, uint32_t(A));
+    }
+  }
+}

@@ -1,0 +1,79 @@
+//===- dpf/Filter.cpp - Packet-filter language and workloads ----------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpf/Filter.h"
+#include "support/Error.h"
+
+using namespace vcode;
+using namespace vcode::dpf;
+
+std::vector<Filter> vcode::dpf::makeTcpIpFilters(unsigned N,
+                                                 uint16_t BasePort,
+                                                 uint32_t DstIp) {
+  std::vector<Filter> Filters;
+  Filters.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    Filter F;
+    F.Id = int(I);
+    // (1) IPv4 header, (2) protocol == TCP, (3) our address, (4) the
+    // endpoint's port — the per-filter runtime constant.
+    F.Atoms.push_back(Atom{pkt::VersionOff, 1, 0xff, 0x45});
+    F.Atoms.push_back(Atom{pkt::ProtoOff, 1, 0xff, 6});
+    F.Atoms.push_back(Atom{pkt::DstIpOff, 4, 0xffffffff, DstIp});
+    F.Atoms.push_back(
+        Atom{pkt::DstPortOff, 2, 0xffff, uint32_t(BasePort + I)});
+    Filters.push_back(std::move(F));
+  }
+  return Filters;
+}
+
+void vcode::dpf::writeTcpPacket(sim::Memory &M, SimAddr At, uint16_t DstPort,
+                                uint32_t DstIp, uint16_t SrcPort) {
+  for (uint32_t I = 0; I < pkt::HeaderBytes; ++I)
+    M.write<uint8_t>(At + I, 0);
+  M.write<uint8_t>(At + pkt::VersionOff, 0x45);
+  M.write<uint8_t>(At + pkt::ProtoOff, 6);
+  M.write<uint32_t>(At + pkt::SrcIpOff, 0xc0a80001);
+  M.write<uint32_t>(At + pkt::DstIpOff, DstIp);
+  M.write<uint16_t>(At + pkt::SrcPortOff, SrcPort);
+  M.write<uint16_t>(At + pkt::DstPortOff, DstPort);
+}
+
+Trie Trie::build(const std::vector<Filter> &Filters) {
+  Trie T;
+  T.Nodes.emplace_back(); // root
+  for (const Filter &F : Filters) {
+    int Cur = 0;
+    for (const Atom &A : F.Atoms) {
+      Node &N = T.Nodes[Cur];
+      if (!N.HasField) {
+        N.HasField = true;
+        N.Offset = A.Offset;
+        N.Size = A.Size;
+        N.Mask = A.Mask;
+      } else if (N.Offset != A.Offset || N.Size != A.Size ||
+                 N.Mask != A.Mask) {
+        fatal("dpf trie: filters disagree on the field at step (offset %u "
+              "vs %u); out-of-order atom lists are not supported",
+              N.Offset, A.Offset);
+      }
+      auto It = T.Nodes[Cur].Edges.find(A.Value);
+      if (It != T.Nodes[Cur].Edges.end()) {
+        Cur = It->second;
+      } else {
+        int Next = int(T.Nodes.size());
+        T.Nodes[Cur].Edges.emplace(A.Value, Next);
+        T.Nodes.emplace_back();
+        Cur = Next;
+      }
+    }
+    if (T.Nodes[Cur].AcceptId >= 0 && T.Nodes[Cur].AcceptId != F.Id)
+      fatal("dpf trie: duplicate filter (ids %d and %d)",
+            T.Nodes[Cur].AcceptId, F.Id);
+    T.Nodes[Cur].AcceptId = F.Id;
+  }
+  return T;
+}

@@ -1,0 +1,153 @@
+//===- dpf/PathFinderEngine.cpp - PATHFINDER-style cell interpreter --------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+//
+// PATHFINDER (Bailey et al., OSDI 1994) represents filters as patterns of
+// "cells" merged into a DAG so that prefixes shared between filters are
+// matched once. It remains an interpreter — the per-message loop walks
+// cell structures in memory — which is why DPF's compiled classifiers beat
+// it by an order of magnitude (Table 3).
+//
+// Cell layout (8 x u32): offset, size, mask, value, matchNext, failNext,
+// acceptId, pad.  matchNext/failNext are cell indices; -1 means reject.
+// A matching cell with acceptId >= 0 accepts immediately.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpf/Engines.h"
+#include "support/BitUtils.h"
+
+using namespace vcode;
+using namespace vcode::dpf;
+
+namespace {
+
+struct Cell {
+  uint32_t Offset, Size, Mask, Value;
+  int32_t MatchNext = -1, FailNext = -1, AcceptId = -1;
+};
+
+/// Flattens the decision trie into a cell list: each trie edge becomes a
+/// cell; a node's edges chain through FailNext (PATHFINDER tries the
+/// alternatives of a node sequentially).
+struct CellBuilder {
+  std::vector<Cell> Cells;
+  const Trie &T;
+
+  explicit CellBuilder(const Trie &Tr) : T(Tr) {}
+
+  /// Emits the cells for trie node \p NodeIdx; returns the index of its
+  /// first cell, or ~accept encoding for pure accept states.
+  int emit(int NodeIdx) {
+    const Trie::Node &N = T.Nodes[NodeIdx];
+    if (!N.HasField)
+      return -2 - N.AcceptId; // pure accept state marker
+    int First = -1, Prev = -1;
+    for (const auto &[Value, Child] : N.Edges) {
+      int Idx = int(Cells.size());
+      Cells.push_back(Cell{N.Offset, N.Size, N.Mask, Value, -1, -1, -1});
+      if (Prev >= 0)
+        Cells[Prev].FailNext = Idx;
+      if (First < 0)
+        First = Idx;
+      Prev = Idx;
+      int Sub = emit(Child);
+      if (Sub <= -2)
+        Cells[Idx].AcceptId = -2 - Sub; // child is an accept state
+      else
+        Cells[Idx].MatchNext = Sub;
+    }
+    return First;
+  }
+};
+
+} // namespace
+
+void PathFinderEngine::install(const std::vector<Filter> &Filters) {
+  Trie T = Trie::build(Filters);
+  CellBuilder CB(T);
+  int Root = CB.emit(0);
+  if (Root < 0)
+    fatal("pathfinder: degenerate filter set");
+
+  // Write the cells into simulator memory.
+  SimAddr Base = Mem.alloc(CB.Cells.size() * 32, 8);
+  for (size_t I = 0; I < CB.Cells.size(); ++I) {
+    const Cell &C = CB.Cells[I];
+    SimAddr A = Base + I * 32;
+    Mem.write<uint32_t>(A + 0, C.Offset);
+    Mem.write<uint32_t>(A + 4, C.Size);
+    Mem.write<uint32_t>(A + 8, C.Mask);
+    Mem.write<uint32_t>(A + 12, C.Value);
+    Mem.write<int32_t>(A + 16, C.MatchNext);
+    Mem.write<int32_t>(A + 20, C.FailNext);
+    Mem.write<int32_t>(A + 24, C.AcceptId);
+    Mem.write<uint32_t>(A + 28, 0);
+  }
+
+  // Generate the cell-walking interpreter.
+  VCode V(Tgt);
+  Reg Arg[1];
+  V.lambda("%p", Arg, LeafHint, Mem.allocCode(4096));
+  Reg Msg = Arg[0];
+  Reg Cur = V.getreg(Type::I);  // current cell index
+  Reg CA = V.getreg(Type::P);   // current cell address
+  Reg Vv = V.getreg(Type::U);   // message field value
+  Reg Fld = V.getreg(Type::U);  // cell field scratch
+  Reg T0 = V.getreg(Type::P);
+  Reg BaseR = V.getreg(Type::P);
+
+  Label LStep = V.genLabel(), LMatch = V.genLabel(), LFailEdge = V.genLabel();
+  Label LByte = V.genLabel(), LHalf = V.genLabel(), LHave = V.genLabel();
+  Label LReject = V.genLabel();
+
+  V.setp(BaseR, Base);
+  V.seti(Cur, Root);
+
+  V.label(LStep);
+  // ca = base + cur*32
+  V.lshii(CA, Cur, 5);
+  V.addp(CA, BaseR, CA);
+  // v = load(msg + offset, size)
+  V.ldui(Fld, CA, 0);
+  V.addp(T0, Msg, Fld);
+  V.ldui(Fld, CA, 4);
+  V.beqii(Fld, 1, LByte);
+  V.beqii(Fld, 2, LHalf);
+  V.ldui(Vv, T0, 0);
+  V.jmp(LHave);
+  V.label(LByte);
+  V.lduci(Vv, T0, 0);
+  V.jmp(LHave);
+  V.label(LHalf);
+  V.ldusi(Vv, T0, 0);
+  V.label(LHave);
+  V.ldui(Fld, CA, 8);
+  V.andu(Vv, Vv, Fld);
+  V.ldui(Fld, CA, 12);
+  V.bequ(Vv, Fld, LMatch);
+
+  // fail edge: cur = cell.failNext; reject if negative
+  V.label(LFailEdge);
+  V.ldii(Cur, CA, 20);
+  V.bltii(Cur, 0, LReject);
+  V.jmp(LStep);
+
+  // match: accept if the cell carries an id, else descend.
+  Label LDescend = V.genLabel();
+  V.label(LMatch);
+  V.ldii(Fld, CA, 24); // acceptId
+  V.bltii(Fld, 0, LDescend);
+  V.reti(Fld);
+  V.label(LDescend);
+  V.ldii(Cur, CA, 16); // matchNext
+  V.jmp(LStep);
+
+  V.label(LReject);
+  V.seti(Fld, -1);
+  V.reti(Fld);
+
+  Code = V.end();
+}

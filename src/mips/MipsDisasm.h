@@ -1,0 +1,31 @@
+//===- mips/MipsDisasm.h - MIPS disassembler --------------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A symbolic disassembler for the MIPS subset the backend emits — the
+/// §6.2 "symbolic debugger" support the paper lists as its most critical
+/// missing piece ("debugging dynamically generated code currently requires
+/// stepping through it at the level of host-specific machine code").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_MIPS_MIPSDISASM_H
+#define VCODE_MIPS_MIPSDISASM_H
+
+#include "core/CodeBuffer.h"
+#include <string>
+
+namespace vcode {
+namespace mips {
+
+/// Disassembles one instruction word fetched from address \p Pc
+/// (pc-relative branch targets print absolute).
+std::string disassemble(uint32_t Word, SimAddr Pc);
+
+} // namespace mips
+} // namespace vcode
+
+#endif // VCODE_MIPS_MIPSDISASM_H

@@ -1,0 +1,283 @@
+//===- mips/MipsEncoding.h - MIPS instruction encoders ----------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MIPS I/II instruction word encoders, written as constexpr functions in
+/// the style of the paper's Fig. 2 emission macros:
+///
+///   #define addu(dst, src1, src2)
+///     (*v_ip++ = (((src1)<<21)|((src2)<<16)|((dst)<<11)|0x21))
+///
+/// Clients on the fast path (paper §5.3: hard-coded register names) can use
+/// these encoders directly through the Asm wrapper; the portable layer uses
+/// them from MipsTarget. Register operands are raw register numbers so the
+/// compiler can constant-fold fully when the names are hard-coded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_MIPS_MIPSENCODING_H
+#define VCODE_MIPS_MIPSENCODING_H
+
+#include "core/CodeBuffer.h"
+#include <cstdint>
+
+namespace vcode {
+namespace mips {
+
+/// Conventional MIPS O32 register numbers.
+enum GpRegNum : unsigned {
+  ZERO = 0, AT = 1, V0 = 2, V1 = 3,
+  A0 = 4, A1 = 5, A2 = 6, A3 = 7,
+  T0 = 8, T1 = 9, T2 = 10, T3 = 11, T4 = 12, T5 = 13, T6 = 14, T7 = 15,
+  S0 = 16, S1 = 17, S2 = 18, S3 = 19, S4 = 20, S5 = 21, S6 = 22, S7 = 23,
+  T8 = 24, T9 = 25, K0 = 26, K1 = 27,
+  GP = 28, SP = 29, S8 = 30, RA = 31,
+};
+
+/// FPU condition-branch and data-format constants.
+enum FpFormat : unsigned { FMT_S = 16, FMT_D = 17, FMT_W = 20 };
+
+// --- Word builders ---------------------------------------------------------
+
+constexpr uint32_t rType(unsigned Fn, unsigned Rs, unsigned Rt, unsigned Rd,
+                         unsigned Sh = 0) {
+  return (Rs << 21) | (Rt << 16) | (Rd << 11) | (Sh << 6) | Fn;
+}
+constexpr uint32_t iType(unsigned Op, unsigned Rs, unsigned Rt, uint32_t Imm) {
+  return (Op << 26) | (Rs << 21) | (Rt << 16) | (Imm & 0xffff);
+}
+constexpr uint32_t jType(unsigned Op, uint64_t Target) {
+  return (Op << 26) | (uint32_t(Target >> 2) & 0x03ffffff);
+}
+constexpr uint32_t fpRType(unsigned Fmt, unsigned Ft, unsigned Fs, unsigned Fd,
+                           unsigned Fn) {
+  return (0x11u << 26) | (Fmt << 21) | (Ft << 16) | (Fs << 11) | (Fd << 6) |
+         Fn;
+}
+
+// --- ALU -------------------------------------------------------------------
+
+constexpr uint32_t addu(unsigned Rd, unsigned Rs, unsigned Rt) {
+  return rType(0x21, Rs, Rt, Rd);
+}
+constexpr uint32_t subu(unsigned Rd, unsigned Rs, unsigned Rt) {
+  return rType(0x23, Rs, Rt, Rd);
+}
+constexpr uint32_t and_(unsigned Rd, unsigned Rs, unsigned Rt) {
+  return rType(0x24, Rs, Rt, Rd);
+}
+constexpr uint32_t or_(unsigned Rd, unsigned Rs, unsigned Rt) {
+  return rType(0x25, Rs, Rt, Rd);
+}
+constexpr uint32_t xor_(unsigned Rd, unsigned Rs, unsigned Rt) {
+  return rType(0x26, Rs, Rt, Rd);
+}
+constexpr uint32_t nor(unsigned Rd, unsigned Rs, unsigned Rt) {
+  return rType(0x27, Rs, Rt, Rd);
+}
+constexpr uint32_t slt(unsigned Rd, unsigned Rs, unsigned Rt) {
+  return rType(0x2a, Rs, Rt, Rd);
+}
+constexpr uint32_t sltu(unsigned Rd, unsigned Rs, unsigned Rt) {
+  return rType(0x2b, Rs, Rt, Rd);
+}
+constexpr uint32_t sll(unsigned Rd, unsigned Rt, unsigned Sh) {
+  return rType(0x00, 0, Rt, Rd, Sh);
+}
+constexpr uint32_t srl(unsigned Rd, unsigned Rt, unsigned Sh) {
+  return rType(0x02, 0, Rt, Rd, Sh);
+}
+constexpr uint32_t sra(unsigned Rd, unsigned Rt, unsigned Sh) {
+  return rType(0x03, 0, Rt, Rd, Sh);
+}
+constexpr uint32_t sllv(unsigned Rd, unsigned Rt, unsigned Rs) {
+  return rType(0x04, Rs, Rt, Rd);
+}
+constexpr uint32_t srlv(unsigned Rd, unsigned Rt, unsigned Rs) {
+  return rType(0x06, Rs, Rt, Rd);
+}
+constexpr uint32_t srav(unsigned Rd, unsigned Rt, unsigned Rs) {
+  return rType(0x07, Rs, Rt, Rd);
+}
+constexpr uint32_t mult(unsigned Rs, unsigned Rt) {
+  return rType(0x18, Rs, Rt, 0);
+}
+constexpr uint32_t multu(unsigned Rs, unsigned Rt) {
+  return rType(0x19, Rs, Rt, 0);
+}
+constexpr uint32_t div_(unsigned Rs, unsigned Rt) {
+  return rType(0x1a, Rs, Rt, 0);
+}
+constexpr uint32_t divu(unsigned Rs, unsigned Rt) {
+  return rType(0x1b, Rs, Rt, 0);
+}
+constexpr uint32_t mfhi(unsigned Rd) { return rType(0x10, 0, 0, Rd); }
+constexpr uint32_t mflo(unsigned Rd) { return rType(0x12, 0, 0, Rd); }
+
+constexpr uint32_t addiu(unsigned Rt, unsigned Rs, int32_t Imm) {
+  return iType(0x09, Rs, Rt, uint32_t(Imm));
+}
+constexpr uint32_t slti(unsigned Rt, unsigned Rs, int32_t Imm) {
+  return iType(0x0a, Rs, Rt, uint32_t(Imm));
+}
+constexpr uint32_t sltiu(unsigned Rt, unsigned Rs, int32_t Imm) {
+  return iType(0x0b, Rs, Rt, uint32_t(Imm));
+}
+constexpr uint32_t andi(unsigned Rt, unsigned Rs, uint32_t Imm) {
+  return iType(0x0c, Rs, Rt, Imm);
+}
+constexpr uint32_t ori(unsigned Rt, unsigned Rs, uint32_t Imm) {
+  return iType(0x0d, Rs, Rt, Imm);
+}
+constexpr uint32_t xori(unsigned Rt, unsigned Rs, uint32_t Imm) {
+  return iType(0x0e, Rs, Rt, Imm);
+}
+constexpr uint32_t lui(unsigned Rt, uint32_t Imm) {
+  return iType(0x0f, 0, Rt, Imm);
+}
+
+// --- Memory ----------------------------------------------------------------
+
+constexpr uint32_t lb(unsigned Rt, unsigned Base, int32_t Off) {
+  return iType(0x20, Base, Rt, uint32_t(Off));
+}
+constexpr uint32_t lh(unsigned Rt, unsigned Base, int32_t Off) {
+  return iType(0x21, Base, Rt, uint32_t(Off));
+}
+constexpr uint32_t lw(unsigned Rt, unsigned Base, int32_t Off) {
+  return iType(0x23, Base, Rt, uint32_t(Off));
+}
+constexpr uint32_t lbu(unsigned Rt, unsigned Base, int32_t Off) {
+  return iType(0x24, Base, Rt, uint32_t(Off));
+}
+constexpr uint32_t lhu(unsigned Rt, unsigned Base, int32_t Off) {
+  return iType(0x25, Base, Rt, uint32_t(Off));
+}
+constexpr uint32_t sb(unsigned Rt, unsigned Base, int32_t Off) {
+  return iType(0x28, Base, Rt, uint32_t(Off));
+}
+constexpr uint32_t sh(unsigned Rt, unsigned Base, int32_t Off) {
+  return iType(0x29, Base, Rt, uint32_t(Off));
+}
+constexpr uint32_t sw(unsigned Rt, unsigned Base, int32_t Off) {
+  return iType(0x2b, Base, Rt, uint32_t(Off));
+}
+constexpr uint32_t lwc1(unsigned Ft, unsigned Base, int32_t Off) {
+  return iType(0x31, Base, Ft, uint32_t(Off));
+}
+constexpr uint32_t ldc1(unsigned Ft, unsigned Base, int32_t Off) {
+  return iType(0x35, Base, Ft, uint32_t(Off));
+}
+constexpr uint32_t swc1(unsigned Ft, unsigned Base, int32_t Off) {
+  return iType(0x39, Base, Ft, uint32_t(Off));
+}
+constexpr uint32_t sdc1(unsigned Ft, unsigned Base, int32_t Off) {
+  return iType(0x3d, Base, Ft, uint32_t(Off));
+}
+
+// --- Control flow ----------------------------------------------------------
+
+constexpr uint32_t beq(unsigned Rs, unsigned Rt, int32_t Disp = 0) {
+  return iType(0x04, Rs, Rt, uint32_t(Disp));
+}
+constexpr uint32_t bne(unsigned Rs, unsigned Rt, int32_t Disp = 0) {
+  return iType(0x05, Rs, Rt, uint32_t(Disp));
+}
+constexpr uint32_t blez(unsigned Rs, int32_t Disp = 0) {
+  return iType(0x06, Rs, 0, uint32_t(Disp));
+}
+constexpr uint32_t bgtz(unsigned Rs, int32_t Disp = 0) {
+  return iType(0x07, Rs, 0, uint32_t(Disp));
+}
+constexpr uint32_t bltz(unsigned Rs, int32_t Disp = 0) {
+  return iType(0x01, Rs, 0, uint32_t(Disp));
+}
+constexpr uint32_t bgez(unsigned Rs, int32_t Disp = 0) {
+  return iType(0x01, Rs, 1, uint32_t(Disp));
+}
+constexpr uint32_t j(uint64_t Target) { return jType(0x02, Target); }
+constexpr uint32_t jal(uint64_t Target) { return jType(0x03, Target); }
+constexpr uint32_t jr(unsigned Rs) { return rType(0x08, Rs, 0, 0); }
+constexpr uint32_t jalr(unsigned Rd, unsigned Rs) {
+  return rType(0x09, Rs, 0, Rd);
+}
+constexpr uint32_t nop() { return 0; }
+
+// --- FPU -------------------------------------------------------------------
+
+constexpr uint32_t fadd(unsigned Fmt, unsigned Fd, unsigned Fs, unsigned Ft) {
+  return fpRType(Fmt, Ft, Fs, Fd, 0x00);
+}
+constexpr uint32_t fsub(unsigned Fmt, unsigned Fd, unsigned Fs, unsigned Ft) {
+  return fpRType(Fmt, Ft, Fs, Fd, 0x01);
+}
+constexpr uint32_t fmul(unsigned Fmt, unsigned Fd, unsigned Fs, unsigned Ft) {
+  return fpRType(Fmt, Ft, Fs, Fd, 0x02);
+}
+constexpr uint32_t fdiv(unsigned Fmt, unsigned Fd, unsigned Fs, unsigned Ft) {
+  return fpRType(Fmt, Ft, Fs, Fd, 0x03);
+}
+constexpr uint32_t fsqrt(unsigned Fmt, unsigned Fd, unsigned Fs) {
+  return fpRType(Fmt, 0, Fs, Fd, 0x04);
+}
+constexpr uint32_t fabs_(unsigned Fmt, unsigned Fd, unsigned Fs) {
+  return fpRType(Fmt, 0, Fs, Fd, 0x05);
+}
+constexpr uint32_t fmov(unsigned Fmt, unsigned Fd, unsigned Fs) {
+  return fpRType(Fmt, 0, Fs, Fd, 0x06);
+}
+constexpr uint32_t fneg(unsigned Fmt, unsigned Fd, unsigned Fs) {
+  return fpRType(Fmt, 0, Fs, Fd, 0x07);
+}
+/// trunc.w.fmt (MIPS II): FP -> int with truncation.
+constexpr uint32_t ftruncw(unsigned Fmt, unsigned Fd, unsigned Fs) {
+  return fpRType(Fmt, 0, Fs, Fd, 0x0d);
+}
+constexpr uint32_t fcvts(unsigned FromFmt, unsigned Fd, unsigned Fs) {
+  return fpRType(FromFmt, 0, Fs, Fd, 0x20);
+}
+constexpr uint32_t fcvtd(unsigned FromFmt, unsigned Fd, unsigned Fs) {
+  return fpRType(FromFmt, 0, Fs, Fd, 0x21);
+}
+constexpr uint32_t fceq(unsigned Fmt, unsigned Fs, unsigned Ft) {
+  return fpRType(Fmt, Ft, Fs, 0, 0x32);
+}
+constexpr uint32_t fclt(unsigned Fmt, unsigned Fs, unsigned Ft) {
+  return fpRType(Fmt, Ft, Fs, 0, 0x3c);
+}
+constexpr uint32_t fcle(unsigned Fmt, unsigned Fs, unsigned Ft) {
+  return fpRType(Fmt, Ft, Fs, 0, 0x3e);
+}
+constexpr uint32_t bc1t(int32_t Disp = 0) {
+  return iType(0x11, 8, 1, uint32_t(Disp));
+}
+constexpr uint32_t bc1f(int32_t Disp = 0) {
+  return iType(0x11, 8, 0, uint32_t(Disp));
+}
+constexpr uint32_t mfc1(unsigned Rt, unsigned Fs) {
+  return (0x11u << 26) | (0u << 21) | (Rt << 16) | (Fs << 11);
+}
+constexpr uint32_t mtc1(unsigned Rt, unsigned Fs) {
+  return (0x11u << 26) | (4u << 21) | (Rt << 16) | (Fs << 11);
+}
+
+/// Thin emission wrapper over a CodeBuffer: `A.put(mips::addu(T0,T1,T2))`
+/// is the hard-coded-register fast path of paper §5.3, compiling down to a
+/// constant-or and a store.
+class Asm {
+public:
+  explicit Asm(CodeBuffer &B) : B(B) {}
+  void put(uint32_t W) { B.put(W); }
+  CodeBuffer &buffer() { return B; }
+
+private:
+  CodeBuffer &B;
+};
+
+} // namespace mips
+} // namespace vcode
+
+#endif // VCODE_MIPS_MIPSENCODING_H

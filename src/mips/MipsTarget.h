@@ -1,0 +1,86 @@
+//===- mips/MipsTarget.h - MIPS32 backend -----------------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MIPS port of VCODE (the paper's primary platform: DECstation 3100 /
+/// 5000). Transliterates the VCODE core instruction set to MIPS I/II words
+/// in place, fills branch delay slots with nops unless the client schedules
+/// them, implements an O32-flavoured calling convention, and performs the
+/// prologue/epilogue backpatching of paper §5.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_MIPS_MIPSTARGET_H
+#define VCODE_MIPS_MIPSTARGET_H
+
+#include "core/Target.h"
+#include "core/VCode.h"
+
+namespace vcode {
+namespace mips {
+
+/// Returns the shared MIPS target description.
+const TargetInfo &mipsTargetInfo();
+
+/// MIPS32 code generator backend.
+class MipsTarget final : public Target {
+public:
+  MipsTarget();
+
+  const TargetInfo &info() const override { return mipsTargetInfo(); }
+
+  void emitBinop(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
+                 Reg Rs2) override;
+  void emitBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
+                    int64_t Imm) override;
+  void emitUnop(VCode &VC, UnOp Op, Type Ty, Reg Rd, Reg Rs) override;
+  void emitSetInt(VCode &VC, Type Ty, Reg Rd, uint64_t Imm) override;
+  void emitSetFp(VCode &VC, Type Ty, Reg Rd, double Val) override;
+  void emitCvt(VCode &VC, Type From, Type To, Reg Rd, Reg Rs) override;
+  void emitLoad(VCode &VC, Type Ty, Reg Rd, Reg Base, Reg Off) override;
+  void emitLoadImm(VCode &VC, Type Ty, Reg Rd, Reg Base, int64_t Off) override;
+  void emitStore(VCode &VC, Type Ty, Reg Val, Reg Base, Reg Off) override;
+  void emitStoreImm(VCode &VC, Type Ty, Reg Val, Reg Base,
+                    int64_t Off) override;
+  void emitBranch(VCode &VC, Cond C, Type Ty, Reg Rs1, Reg Rs2,
+                  Label L) override;
+  void emitBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1, int64_t Imm,
+                     Label L) override;
+  void emitJump(VCode &VC, Label L) override;
+  void emitJumpReg(VCode &VC, Reg R) override;
+  void emitJumpAddr(VCode &VC, SimAddr A) override;
+  void emitCallAddr(VCode &VC, SimAddr A) override;
+  void emitCallLabel(VCode &VC, Label L) override;
+  void emitLinkReturn(VCode &VC) override;
+  void emitCallReg(VCode &VC, Reg R) override;
+  void emitRet(VCode &VC, Type Ty, Reg Rs) override;
+  void emitNop(VCode &VC) override;
+
+  std::string disassemble(uint32_t Word, SimAddr Pc) const override;
+
+  void beginFunction(VCode &VC) override;
+  CodePtr endFunction(VCode &VC) override;
+  void applyFixup(VCode &VC, const Fixup &F, SimAddr Target) override;
+
+private:
+  void li(VCode &VC, unsigned Rd, int64_t Imm);
+  void addrOfLabel(VCode &VC, unsigned Rd, Label L);
+  void delaySlot(VCode &VC);
+  void intCompareBranch(VCode &VC, Cond C, bool Unsigned, unsigned A,
+                        unsigned B, Label L);
+  void fpCompareBranch(VCode &VC, Cond C, unsigned Fmt, unsigned A, unsigned B,
+                       Label L);
+  void unsignedToFp(VCode &VC, bool ToDouble, Reg Rd, Reg Rs);
+  void registerMachineInstructions();
+
+  /// Words reserved for the prologue of the function being generated.
+  uint32_t ReservedWords = 0;
+};
+
+} // namespace mips
+} // namespace vcode
+
+#endif // VCODE_MIPS_MIPSTARGET_H

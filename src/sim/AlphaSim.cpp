@@ -1,0 +1,491 @@
+//===- sim/AlphaSim.cpp - Alpha (21064-class) simulator ----------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/AlphaSim.h"
+#include "alpha/AlphaEncoding.h"
+#include "alpha/AlphaTarget.h"
+#include "support/BitUtils.h"
+#include <cmath>
+#include <cstring>
+
+using namespace vcode;
+using namespace vcode::sim;
+using namespace vcode::alpha;
+
+AlphaSim::AlphaSim(Memory &M, MachineConfig C) : Mem(M), Cfg(C) {
+  ICache.configure(Cfg.ICacheBytes, Cfg.LineBytes);
+  DCache.configure(Cfg.DCacheBytes, Cfg.LineBytes);
+}
+
+const CallConv &AlphaSim::defaultConv() const {
+  return alphaTargetInfo().DefaultCC;
+}
+
+void AlphaSim::flushCaches() {
+  ICache.flush();
+  DCache.flush();
+}
+
+void AlphaSim::warmData(SimAddr A, size_t Len) { DCache.warm(A, Len); }
+
+uint32_t AlphaSim::fetch(SimAddr A) {
+  if (Cfg.ModelCaches && !ICache.access(A)) {
+    Stats.Cycles += Cfg.MissPenalty;
+    ++Stats.ICacheMisses;
+  }
+  return Mem.read<uint32_t>(A);
+}
+
+uint64_t AlphaSim::loadMem(SimAddr A, unsigned Bytes) {
+  if (Cfg.ModelCaches && !DCache.access(A)) {
+    Stats.Cycles += Cfg.MissPenalty;
+    ++Stats.DCacheMisses;
+  }
+  if (A & (Bytes - 1))
+    fatal("alpha sim: unaligned %u-byte load at 0x%llx", Bytes,
+          (unsigned long long)A);
+  if (Bytes == 4)
+    return Mem.read<uint32_t>(A);
+  return Mem.read<uint64_t>(A);
+}
+
+void AlphaSim::storeMem(SimAddr A, unsigned Bytes, uint64_t V) {
+  if (Cfg.ModelCaches && !DCache.access(A)) {
+    Stats.Cycles += Cfg.MissPenalty;
+    ++Stats.DCacheMisses;
+  }
+  if (A & (Bytes - 1))
+    fatal("alpha sim: unaligned %u-byte store at 0x%llx", Bytes,
+          (unsigned long long)A);
+  if (Bytes == 4)
+    Mem.write<uint32_t>(A, uint32_t(V));
+  else
+    Mem.write<uint64_t>(A, V);
+}
+
+double AlphaSim::getT(unsigned N) const {
+  double V;
+  std::memcpy(&V, &F[N], 8);
+  return V;
+}
+
+void AlphaSim::setT(unsigned N, double V) {
+  if (N == 31)
+    return;
+  std::memcpy(&F[N], &V, 8);
+}
+
+void AlphaSim::step() {
+  SimAddr InstrPC = PC;
+  uint32_t I = fetch(InstrPC);
+  PC += 4;
+  ++Stats.Instrs;
+  ++Stats.Cycles;
+
+  unsigned Op = I >> 26;
+  unsigned Ra = (I >> 21) & 31;
+  unsigned Rb = (I >> 16) & 31;
+  int32_t Disp16 = signExtend32<16>(I & 0xffff);
+  auto W = [this](unsigned N, uint64_t V) {
+    if (N != 31)
+      R[N] = V;
+  };
+  auto BranchTo = [&](int32_t Disp21) {
+    PC = InstrPC + 4 + (SimAddr(int64_t(Disp21)) << 2);
+  };
+  int32_t Disp21 = signExtend32<21>(I & 0x1fffff);
+
+  switch (Op) {
+  case 0x08: // lda
+    W(Ra, R[Rb] + uint64_t(int64_t(Disp16)));
+    return;
+  case 0x09: // ldah
+    W(Ra, R[Rb] + (uint64_t(int64_t(Disp16)) << 16));
+    return;
+  case 0x0b: // ldq_u
+    W(Ra, loadMem((R[Rb] + uint64_t(int64_t(Disp16))) & ~SimAddr(7), 8));
+    return;
+  case 0x0f: // stq_u
+    storeMem((R[Rb] + uint64_t(int64_t(Disp16))) & ~SimAddr(7), 8, R[Ra]);
+    return;
+  case 0x28: // ldl
+    W(Ra, uint64_t(int64_t(int32_t(
+              loadMem(R[Rb] + uint64_t(int64_t(Disp16)), 4)))));
+    return;
+  case 0x29: // ldq
+    W(Ra, loadMem(R[Rb] + uint64_t(int64_t(Disp16)), 8));
+    return;
+  case 0x2c: // stl
+    storeMem(R[Rb] + uint64_t(int64_t(Disp16)), 4, R[Ra]);
+    return;
+  case 0x2d: // stq
+    storeMem(R[Rb] + uint64_t(int64_t(Disp16)), 8, R[Ra]);
+    return;
+  case 0x22: { // lds: S-format memory -> T-format register
+    uint32_t Bits = uint32_t(loadMem(R[Rb] + uint64_t(int64_t(Disp16)), 4));
+    float Fv;
+    std::memcpy(&Fv, &Bits, 4);
+    setT(Ra, double(Fv));
+    return;
+  }
+  case 0x26: { // sts
+    float Fv = float(getT(Ra));
+    uint32_t Bits;
+    std::memcpy(&Bits, &Fv, 4);
+    storeMem(R[Rb] + uint64_t(int64_t(Disp16)), 4, Bits);
+    return;
+  }
+  case 0x23: // ldt
+    if (Ra != 31)
+      F[Ra] = loadMem(R[Rb] + uint64_t(int64_t(Disp16)), 8);
+    return;
+  case 0x27: // stt
+    storeMem(R[Rb] + uint64_t(int64_t(Disp16)), 8, F[Ra]);
+    return;
+
+  case 0x30: // br
+  case 0x34: // bsr
+    W(Ra, InstrPC + 4);
+    BranchTo(Disp21);
+    return;
+  case 0x39:
+    if (R[Ra] == 0)
+      BranchTo(Disp21);
+    return;
+  case 0x3d:
+    if (R[Ra] != 0)
+      BranchTo(Disp21);
+    return;
+  case 0x3a:
+    if (int64_t(R[Ra]) < 0)
+      BranchTo(Disp21);
+    return;
+  case 0x3b:
+    if (int64_t(R[Ra]) <= 0)
+      BranchTo(Disp21);
+    return;
+  case 0x3f:
+    if (int64_t(R[Ra]) > 0)
+      BranchTo(Disp21);
+    return;
+  case 0x3e:
+    if (int64_t(R[Ra]) >= 0)
+      BranchTo(Disp21);
+    return;
+  case 0x31: // fbeq (true for +0.0/-0.0)
+    if ((F[Ra] << 1) == 0)
+      BranchTo(Disp21);
+    return;
+  case 0x35: // fbne
+    if ((F[Ra] << 1) != 0)
+      BranchTo(Disp21);
+    return;
+
+  case 0x1a: { // jmp/jsr/ret (read the target before linking: Ra may == Rb)
+    SimAddr Target = R[Rb] & ~SimAddr(3);
+    W(Ra, InstrPC + 4);
+    PC = Target;
+    return;
+  }
+
+  case 0x10:
+  case 0x11:
+  case 0x12:
+  case 0x13: {
+    unsigned Fn = (I >> 5) & 0x7f;
+    unsigned Rc = I & 31;
+    uint64_t A = R[Ra];
+    uint64_t B = (I & (1u << 12)) ? uint64_t((I >> 13) & 0xff) : R[Rb];
+    if (Op == 0x10) {
+      switch (Fn) {
+      case 0x00:
+        W(Rc, uint64_t(int64_t(int32_t(uint32_t(A) + uint32_t(B)))));
+        return;
+      case 0x09:
+        W(Rc, uint64_t(int64_t(int32_t(uint32_t(A) - uint32_t(B)))));
+        return;
+      case 0x20:
+        W(Rc, A + B);
+        return;
+      case 0x29:
+        W(Rc, A - B);
+        return;
+      case 0x2d:
+        W(Rc, A == B ? 1 : 0);
+        return;
+      case 0x4d:
+        W(Rc, int64_t(A) < int64_t(B) ? 1 : 0);
+        return;
+      case 0x6d:
+        W(Rc, int64_t(A) <= int64_t(B) ? 1 : 0);
+        return;
+      case 0x1d:
+        W(Rc, A < B ? 1 : 0);
+        return;
+      case 0x3d:
+        W(Rc, A <= B ? 1 : 0);
+        return;
+      }
+    } else if (Op == 0x11) {
+      switch (Fn) {
+      case 0x00:
+        W(Rc, A & B);
+        return;
+      case 0x20:
+        W(Rc, A | B);
+        return;
+      case 0x40:
+        W(Rc, A ^ B);
+        return;
+      case 0x28:
+        W(Rc, A | ~B);
+        return;
+      case 0x08: // bic
+        W(Rc, A & ~B);
+        return;
+      }
+    } else if (Op == 0x12) {
+      unsigned Sh = unsigned(B & 63);
+      unsigned ByteIdx = unsigned(B & 7);
+      switch (Fn) {
+      case 0x39:
+        W(Rc, A << Sh);
+        return;
+      case 0x34:
+        W(Rc, A >> Sh);
+        return;
+      case 0x3c:
+        W(Rc, uint64_t(int64_t(A) >> Sh));
+        return;
+      case 0x06: // extbl
+        W(Rc, (A >> (8 * ByteIdx)) & 0xff);
+        return;
+      case 0x16: // extwl
+        W(Rc, (A >> (8 * ByteIdx)) & 0xffff);
+        return;
+      case 0x0b: // insbl
+        W(Rc, (A & 0xff) << (8 * ByteIdx));
+        return;
+      case 0x1b: // inswl
+        W(Rc, (A & 0xffff) << (8 * ByteIdx));
+        return;
+      case 0x02: // mskbl
+        W(Rc, A & ~(uint64_t(0xff) << (8 * ByteIdx)));
+        return;
+      case 0x12: // mskwl
+        W(Rc, A & ~(uint64_t(0xffff) << (8 * ByteIdx)));
+        return;
+      case 0x31: { // zapnot
+        uint64_t Keep = 0;
+        for (unsigned K = 0; K < 8; ++K)
+          if (B & (1u << K))
+            Keep |= uint64_t(0xff) << (8 * K);
+        W(Rc, A & Keep);
+        return;
+      }
+      case 0x30: { // zap
+        uint64_t Kill = 0;
+        for (unsigned K = 0; K < 8; ++K)
+          if (B & (1u << K))
+            Kill |= uint64_t(0xff) << (8 * K);
+        W(Rc, A & ~Kill);
+        return;
+      }
+      }
+    } else { // 0x13
+      switch (Fn) {
+      case 0x00:
+        W(Rc, uint64_t(int64_t(int32_t(uint32_t(A) * uint32_t(B)))));
+        Stats.Cycles += Cfg.MulCycles;
+        return;
+      case 0x20:
+        W(Rc, A * B);
+        Stats.Cycles += Cfg.MulCycles;
+        return;
+      case 0x30: { // umulh
+        __uint128_t P = __uint128_t(A) * __uint128_t(B);
+        W(Rc, uint64_t(P >> 64));
+        Stats.Cycles += Cfg.MulCycles;
+        return;
+      }
+      }
+    }
+    fatal("alpha sim: unknown operate op=0x%x fn=0x%x at 0x%llx", Op, Fn,
+          (unsigned long long)InstrPC);
+  }
+
+  case 0x14: { // sqrts/sqrtt
+    unsigned Fn = (I >> 5) & 0x7ff;
+    unsigned Fc = I & 31;
+    if (Fn == 0x08b) {
+      setT(Fc, double(float(std::sqrt(getT(Rb)))));
+      Stats.Cycles += Cfg.FpDivCycles - 1;
+      return;
+    }
+    if (Fn == 0x0ab) {
+      setT(Fc, std::sqrt(getT(Rb)));
+      Stats.Cycles += Cfg.FpDivCycles - 1;
+      return;
+    }
+    fatal("alpha sim: unknown 0x14 fn 0x%x", Fn);
+  }
+
+  case 0x16: { // IEEE FP operate
+    unsigned Fn = (I >> 5) & 0x7ff;
+    unsigned Fc = I & 31;
+    double A = getT(Ra), B = getT(Rb);
+    switch (Fn) {
+    case ADDS:
+      setT(Fc, double(float(A) + float(B)));
+      Stats.Cycles += Cfg.FpAddCycles - 1;
+      return;
+    case ADDT:
+      setT(Fc, A + B);
+      Stats.Cycles += Cfg.FpAddCycles - 1;
+      return;
+    case SUBS:
+      setT(Fc, double(float(A) - float(B)));
+      Stats.Cycles += Cfg.FpAddCycles - 1;
+      return;
+    case SUBT:
+      setT(Fc, A - B);
+      Stats.Cycles += Cfg.FpAddCycles - 1;
+      return;
+    case MULS:
+      setT(Fc, double(float(A) * float(B)));
+      Stats.Cycles += Cfg.FpMulCycles - 1;
+      return;
+    case MULT:
+      setT(Fc, A * B);
+      Stats.Cycles += Cfg.FpMulCycles - 1;
+      return;
+    case DIVS:
+      setT(Fc, double(float(A) / float(B)));
+      Stats.Cycles += Cfg.FpDivCycles - 1;
+      return;
+    case DIVT:
+      setT(Fc, A / B);
+      Stats.Cycles += Cfg.FpDivCycles - 1;
+      return;
+    case CMPTEQ:
+      setT(Fc, A == B ? 2.0 : 0.0);
+      return;
+    case CMPTLT:
+      setT(Fc, A < B ? 2.0 : 0.0);
+      return;
+    case CMPTLE:
+      setT(Fc, A <= B ? 2.0 : 0.0);
+      return;
+    case CVTQS:
+      setT(Fc, double(float(int64_t(F[Rb]))));
+      return;
+    case CVTQT:
+      setT(Fc, double(int64_t(F[Rb])));
+      return;
+    case CVTTQC:
+      if (Fc != 31)
+        F[Fc] = uint64_t(int64_t(B));
+      return;
+    case CVTTS:
+      setT(Fc, double(float(B)));
+      return;
+    }
+    fatal("alpha sim: unknown FP fn 0x%x at 0x%llx", Fn,
+          (unsigned long long)InstrPC);
+  }
+
+  case 0x17: { // cpys/cpysn
+    unsigned Fn = (I >> 5) & 0x7ff;
+    unsigned Fc = I & 31;
+    constexpr uint64_t SignBit = uint64_t(1) << 63;
+    uint64_t SignA = F[Ra] & SignBit;
+    if (Fn == 0x020) {
+      if (Fc != 31)
+        F[Fc] = SignA | (F[Rb] & ~SignBit);
+      return;
+    }
+    if (Fn == 0x021) {
+      if (Fc != 31)
+        F[Fc] = (SignA ^ SignBit) | (F[Rb] & ~SignBit);
+      return;
+    }
+    fatal("alpha sim: unknown 0x17 fn 0x%x", Fn);
+  }
+  }
+  fatal("alpha sim: unknown opcode 0x%x at 0x%llx", Op,
+        (unsigned long long)InstrPC);
+}
+
+TypedValue AlphaSim::callWithConv(const CallConv &CC, SimAddr Entry,
+                                  const std::vector<TypedValue> &Args,
+                                  Type RetTy) {
+  Stats = RunStats();
+  std::memset(R, 0, sizeof(R));
+  std::memset(F, 0, sizeof(F));
+
+  R[SP] = Mem.stackTop();
+  unsigned Link = CC.LinkReg.isValid() ? unsigned(CC.LinkReg.Num) : unsigned(RA);
+  R[Link] = StopAddr;
+
+  std::vector<Type> Types;
+  Types.reserve(Args.size());
+  for (const TypedValue &A : Args)
+    Types.push_back(A.Ty);
+  std::vector<ArgLoc> Locs = computeArgLocs(CC, Types, 8);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const ArgLoc &L = Locs[I];
+    const TypedValue &A = Args[I];
+    uint64_t Bits = A.Bits;
+    // Integer values travel in canonical (sign-extended) longword form.
+    if (A.Ty == Type::I || A.Ty == Type::U)
+      Bits = uint64_t(int64_t(int32_t(uint32_t(Bits))));
+    if (!L.OnStack) {
+      if (L.R.isInt()) {
+        R[L.R.Num] = Bits;
+      } else if (A.Ty == Type::F) {
+        // Register F values are held in T format.
+        float Fv = A.asFloat();
+        double Dv = double(Fv);
+        std::memcpy(&F[L.R.Num], &Dv, 8);
+      } else {
+        F[L.R.Num] = A.Bits;
+      }
+      continue;
+    }
+    SimAddr Slot = R[SP] + uint32_t(L.StackOff);
+    if (A.Ty == Type::F)
+      Mem.write<uint32_t>(Slot, uint32_t(A.Bits)); // read back with lds
+    else if (A.Ty == Type::I || A.Ty == Type::U)
+      Mem.write<uint32_t>(Slot, uint32_t(A.Bits)); // read back with ldl
+    else
+      Mem.write<uint64_t>(Slot, Bits);
+  }
+
+  PC = Entry;
+  while (PC != StopAddr) {
+    if (Stats.Instrs >= InstrLimit)
+      fatal("alpha sim: instruction limit exceeded; runaway code?");
+    step();
+  }
+
+  TypedValue Res;
+  Res.Ty = RetTy;
+  if (RetTy == Type::D) {
+    Res.Bits = F[CC.FpRet.Num];
+  } else if (RetTy == Type::F) {
+    float Fv = float(getT(CC.FpRet.Num));
+    uint32_t B;
+    std::memcpy(&B, &Fv, 4);
+    Res.Bits = B;
+  } else if (RetTy == Type::I || RetTy == Type::C || RetTy == Type::S) {
+    Res.Bits = uint64_t(int64_t(int32_t(uint32_t(R[CC.IntRet.Num]))));
+  } else if (RetTy == Type::U || RetTy == Type::UC || RetTy == Type::US) {
+    Res.Bits = uint32_t(R[CC.IntRet.Num]);
+  } else {
+    Res.Bits = R[CC.IntRet.Num];
+  }
+  return Res;
+}

@@ -1,0 +1,65 @@
+//===- sim/AlphaSim.h - Alpha (21064-class) simulator -----------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An instruction-set simulator for the Alpha subset emitted by the Alpha
+/// backend: 64-bit integer pipeline (no delay slots), ldq_u/ext/ins/msk
+/// byte machinery, IEEE FPU with register values held in T format, and
+/// split direct-mapped I/D caches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SIM_ALPHASIM_H
+#define VCODE_SIM_ALPHASIM_H
+
+#include "sim/Cache.h"
+#include "sim/Cpu.h"
+#include "sim/Memory.h"
+
+namespace vcode {
+namespace sim {
+
+/// Alpha CPU simulator over a Memory arena.
+class AlphaSim : public Cpu {
+public:
+  explicit AlphaSim(Memory &M, MachineConfig Cfg = dec5000Config());
+
+  TypedValue callWithConv(const CallConv &CC, SimAddr Entry,
+                          const std::vector<TypedValue> &Args,
+                          Type RetTy) override;
+  const CallConv &defaultConv() const override;
+  void flushCaches() override;
+  void warmData(SimAddr A, size_t Len) override;
+  const RunStats &lastStats() const override { return Stats; }
+  const MachineConfig &config() const override { return Cfg; }
+
+  void setInstrLimit(uint64_t N) override { InstrLimit = N; }
+
+private:
+  void step();
+  uint32_t fetch(SimAddr A);
+  uint64_t loadMem(SimAddr A, unsigned Bytes);
+  void storeMem(SimAddr A, unsigned Bytes, uint64_t V);
+  double getT(unsigned F) const;
+  void setT(unsigned F, double V);
+
+  Memory &Mem;
+  MachineConfig Cfg;
+  Cache ICache, DCache;
+  RunStats Stats;
+  uint64_t InstrLimit = 4'000'000'000;
+
+  uint64_t R[32] = {};
+  uint64_t F[32] = {}; // raw T-format bits
+  SimAddr PC = 0;
+
+  static constexpr SimAddr StopAddr = 0xFFFF0000;
+};
+
+} // namespace sim
+} // namespace vcode
+
+#endif // VCODE_SIM_ALPHASIM_H

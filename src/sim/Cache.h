@@ -1,0 +1,65 @@
+//===- sim/Cache.h - Direct-mapped cache model ------------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct-mapped cache model (the DECstations' R2000/R3000 had split
+/// direct-mapped I/D caches). Used by the CPU simulators to charge miss
+/// penalties, which is what makes Table 4's cached-vs-flushed rows and the
+/// "touching memory multiple times stresses the memory subsystem" effect
+/// reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SIM_CACHE_H
+#define VCODE_SIM_CACHE_H
+
+#include "core/CodeBuffer.h"
+#include "support/BitUtils.h"
+#include <vector>
+
+namespace vcode {
+namespace sim {
+
+/// Direct-mapped cache: tag array only (data lives in Memory).
+class Cache {
+public:
+  void configure(uint32_t Bytes, uint32_t LineBytes) {
+    LineShift = log2Floor(LineBytes);
+    NumLines = Bytes >> LineShift;
+    Tags.assign(NumLines, ~uint64_t(0));
+  }
+
+  /// Accesses address \p A; returns true on hit, installing the line
+  /// otherwise.
+  bool access(SimAddr A) {
+    uint64_t Line = A >> LineShift;
+    uint32_t Idx = uint32_t(Line & (NumLines - 1));
+    if (Tags[Idx] == Line)
+      return true;
+    Tags[Idx] = Line;
+    return false;
+  }
+
+  /// Invalidates every line.
+  void flush() { Tags.assign(NumLines, ~uint64_t(0)); }
+
+  /// Reads every line of [A, A+Len) so subsequent accesses hit.
+  void warm(SimAddr A, size_t Len) {
+    for (SimAddr P = A & ~SimAddr((1u << LineShift) - 1); P < A + Len;
+         P += (1u << LineShift))
+      access(P);
+  }
+
+private:
+  std::vector<uint64_t> Tags;
+  uint32_t NumLines = 0;
+  unsigned LineShift = 4;
+};
+
+} // namespace sim
+} // namespace vcode
+
+#endif // VCODE_SIM_CACHE_H

@@ -1,0 +1,156 @@
+//===- sim/Cpu.h - CPU simulator interface ----------------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface of the per-ISA simulators (MIPS, SPARC, Alpha) and
+/// the machine configurations named after the paper's evaluation hosts.
+/// Calls into generated code marshal typed arguments according to the same
+/// CallConv data the backend used, so the simulator and the generator can
+/// never disagree about the convention.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SIM_CPU_H
+#define VCODE_SIM_CPU_H
+
+#include "core/CallConv.h"
+#include "core/CodeBuffer.h"
+#include "core/Types.h"
+#include <cstring>
+#include <vector>
+
+namespace vcode {
+namespace sim {
+
+/// Cost-model and cache parameters of a simulated machine.
+struct MachineConfig {
+  const char *Name = "generic";
+  double ClockMHz = 25.0;
+  bool ModelCaches = true;
+  uint32_t ICacheBytes = 64 * 1024;
+  uint32_t DCacheBytes = 64 * 1024;
+  uint32_t LineBytes = 16;
+  uint32_t MissPenalty = 15; ///< cycles per cache miss
+  uint32_t MulCycles = 12;
+  uint32_t DivCycles = 35;
+  uint32_t FpAddCycles = 2;
+  uint32_t FpMulCycles = 5;
+  uint32_t FpDivCycles = 19;
+};
+
+/// DECstation 3100 (16.67 MHz R2000, 64K/64K direct-mapped I/D caches).
+inline MachineConfig dec3100Config() {
+  MachineConfig C;
+  C.Name = "DEC3100";
+  C.ClockMHz = 16.67;
+  C.MissPenalty = 6;
+  C.MulCycles = 12;
+  C.DivCycles = 35;
+  return C;
+}
+
+/// DECstation 5000/200 (25 MHz R3000, 64K/64K direct-mapped I/D caches).
+inline MachineConfig dec5000Config() {
+  MachineConfig C;
+  C.Name = "DEC5000";
+  C.ClockMHz = 25.0;
+  C.MissPenalty = 15;
+  C.MulCycles = 12;
+  C.DivCycles = 35;
+  return C;
+}
+
+/// A typed value crossing the call boundary.
+struct TypedValue {
+  Type Ty = Type::V;
+  uint64_t Bits = 0;
+
+  static TypedValue fromInt(int64_t V, Type Ty = Type::I) {
+    return TypedValue{Ty, uint64_t(V)};
+  }
+  static TypedValue fromUInt(uint64_t V, Type Ty = Type::U) {
+    return TypedValue{Ty, V};
+  }
+  static TypedValue fromPtr(SimAddr A) { return TypedValue{Type::P, A}; }
+  static TypedValue fromFloat(float V) {
+    uint32_t B;
+    std::memcpy(&B, &V, 4);
+    return TypedValue{Type::F, B};
+  }
+  static TypedValue fromDouble(double V) {
+    uint64_t B;
+    std::memcpy(&B, &V, 8);
+    return TypedValue{Type::D, B};
+  }
+
+  int32_t asInt32() const { return int32_t(uint32_t(Bits)); }
+  uint32_t asUInt32() const { return uint32_t(Bits); }
+  int64_t asInt64() const { return int64_t(Bits); }
+  uint64_t asUInt64() const { return Bits; }
+  float asFloat() const {
+    float V;
+    uint32_t B = uint32_t(Bits);
+    std::memcpy(&V, &B, 4);
+    return V;
+  }
+  double asDouble() const {
+    double V;
+    std::memcpy(&V, &Bits, 8);
+    return V;
+  }
+};
+
+/// Execution statistics of one call.
+struct RunStats {
+  uint64_t Instrs = 0;
+  uint64_t Cycles = 0;
+  uint64_t ICacheMisses = 0;
+  uint64_t DCacheMisses = 0;
+  uint64_t LoadStalls = 0;
+
+  /// Wall time in microseconds at a given clock rate.
+  double microseconds(double ClockMHz) const {
+    return double(Cycles) / ClockMHz;
+  }
+};
+
+/// Common interface of the ISA simulators.
+class Cpu {
+public:
+  virtual ~Cpu();
+
+  /// Calls generated code at \p Entry with \p Args under convention \p CC,
+  /// runs to completion, and returns the result interpreted as \p RetTy.
+  virtual TypedValue callWithConv(const CallConv &CC, SimAddr Entry,
+                                  const std::vector<TypedValue> &Args,
+                                  Type RetTy) = 0;
+
+  /// Calls under the target's default convention.
+  TypedValue call(SimAddr Entry, const std::vector<TypedValue> &Args,
+                  Type RetTy = Type::I) {
+    return callWithConv(defaultConv(), Entry, Args, RetTy);
+  }
+
+  /// The target's default calling convention.
+  virtual const CallConv &defaultConv() const = 0;
+
+  /// Invalidates both caches (Table 4's "uncached" rows).
+  virtual void flushCaches() = 0;
+  /// Pre-loads [A, A+Len) into the data cache.
+  virtual void warmData(SimAddr A, size_t Len) = 0;
+
+  /// Statistics of the most recent call().
+  virtual const RunStats &lastStats() const = 0;
+  /// Upper bound on executed instructions per call (runaway guard).
+  virtual void setInstrLimit(uint64_t N) = 0;
+  /// The machine configuration in effect.
+  virtual const MachineConfig &config() const = 0;
+};
+
+} // namespace sim
+} // namespace vcode
+
+#endif // VCODE_SIM_CPU_H

@@ -1,0 +1,107 @@
+//===- sim/Memory.h - Simulated flat memory arena ---------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated machine's memory: a flat, little-endian, bounds-checked
+/// arena backing a range of guest addresses. Dynamically generated code is
+/// emitted directly into this arena (the CodeMem handed to v_lambda points
+/// at arena storage), so the simulator executes exactly the bytes VCODE
+/// emitted — the closest laptop-scale equivalent of running on the paper's
+/// DECstation hardware (see DESIGN.md substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SIM_MEMORY_H
+#define VCODE_SIM_MEMORY_H
+
+#include "core/CodeBuffer.h"
+#include "support/Error.h"
+#include <cstring>
+#include <vector>
+
+namespace vcode {
+namespace sim {
+
+/// Flat guest memory with a bump allocator for code and data regions.
+class Memory {
+public:
+  /// Creates an arena of \p Size bytes based at guest address \p Base.
+  /// The top \p StackBytes are reserved for the stack.
+  explicit Memory(size_t Size = 64 * 1024 * 1024, SimAddr Base = 0x10000000,
+                  size_t StackBytes = 1024 * 1024)
+      : Store(Size), BaseAddr(Base), Brk(Base + 64),
+        StackTop(Base + Size - 64) {
+    if (Size <= StackBytes + 4096)
+      fatal("sim: arena too small");
+    StackLimit = Base + Size - StackBytes;
+  }
+
+  SimAddr base() const { return BaseAddr; }
+  size_t size() const { return Store.size(); }
+  /// Initial stack pointer for a fresh activation (16-byte aligned).
+  SimAddr stackTop() const { return StackTop & ~SimAddr(15); }
+
+  /// True if [A, A+Len) lies inside the arena.
+  bool contains(SimAddr A, size_t Len) const {
+    return A >= BaseAddr && A + Len <= BaseAddr + Store.size() && Len > 0;
+  }
+
+  /// Host pointer for guest range [A, A+Len); fatal on out-of-range.
+  uint8_t *hostPtr(SimAddr A, size_t Len) {
+    if (!contains(A, Len))
+      fatal("sim: guest access [0x%llx,+%zu) outside the arena",
+            (unsigned long long)A, Len);
+    return Store.data() + (A - BaseAddr);
+  }
+  const uint8_t *hostPtr(SimAddr A, size_t Len) const {
+    return const_cast<Memory *>(this)->hostPtr(A, Len);
+  }
+
+  // Little-endian typed accessors.
+  template <typename T> T read(SimAddr A) const {
+    T V;
+    std::memcpy(&V, hostPtr(A, sizeof(T)), sizeof(T));
+    return V;
+  }
+  template <typename T> void write(SimAddr A, T V) {
+    std::memcpy(hostPtr(A, sizeof(T)), &V, sizeof(T));
+  }
+
+  /// Allocates \p Bytes of guest memory aligned to \p Align.
+  SimAddr alloc(size_t Bytes, size_t Align = 16) {
+    SimAddr A = (Brk + Align - 1) & ~SimAddr(Align - 1);
+    if (A + Bytes > StackLimit)
+      fatal("sim: arena exhausted (%zu bytes requested)", Bytes);
+    Brk = A + Bytes;
+    return A;
+  }
+
+  /// Allocates a code region suitable for passing to v_lambda.
+  CodeMem allocCode(size_t Bytes) {
+    SimAddr A = alloc(Bytes, 8);
+    CodeMem M;
+    M.Guest = A;
+    M.Host = hostPtr(A, Bytes);
+    M.Size = Bytes;
+    return M;
+  }
+
+  /// Releases everything allocated after \p Mark (from mark()).
+  SimAddr mark() const { return Brk; }
+  void release(SimAddr Mark) { Brk = Mark; }
+
+private:
+  std::vector<uint8_t> Store;
+  SimAddr BaseAddr;
+  SimAddr Brk;
+  SimAddr StackTop;
+  SimAddr StackLimit;
+};
+
+} // namespace sim
+} // namespace vcode
+
+#endif // VCODE_SIM_MEMORY_H

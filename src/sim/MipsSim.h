@@ -1,0 +1,80 @@
+//===- sim/MipsSim.h - MIPS32 (R3000-class) simulator -----------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An instruction-set simulator for the MIPS I/II subset emitted by the
+/// MIPS backend: integer pipeline with one architectural branch delay slot,
+/// interlocked loads (one-cycle load-use stall), multiply/divide latencies,
+/// an R3010-style FPU, and split direct-mapped I/D caches. Stands in for
+/// the paper's DECstation hardware (DESIGN.md substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SIM_MIPSSIM_H
+#define VCODE_SIM_MIPSSIM_H
+
+#include "sim/Cache.h"
+#include "sim/Cpu.h"
+#include "sim/Memory.h"
+
+namespace vcode {
+namespace sim {
+
+/// MIPS32 CPU simulator over a Memory arena.
+class MipsSim : public Cpu {
+public:
+  explicit MipsSim(Memory &M, MachineConfig Cfg = dec5000Config());
+
+  TypedValue callWithConv(const CallConv &CC, SimAddr Entry,
+                          const std::vector<TypedValue> &Args,
+                          Type RetTy) override;
+  const CallConv &defaultConv() const override;
+  void flushCaches() override;
+  void warmData(SimAddr A, size_t Len) override;
+  const RunStats &lastStats() const override { return Stats; }
+  const MachineConfig &config() const override { return Cfg; }
+
+  void setInstrLimit(uint64_t N) override { InstrLimit = N; }
+
+  /// Direct register access (tests).
+  uint32_t reg(unsigned N) const { return R[N]; }
+  void setReg(unsigned N, uint32_t V) {
+    if (N)
+      R[N] = V;
+  }
+
+private:
+  void step();
+  uint32_t fetch(SimAddr A);
+  uint32_t loadMem(SimAddr A, unsigned Bytes, bool SignExtend);
+  void storeMem(SimAddr A, unsigned Bytes, uint32_t V);
+  double getD(unsigned F) const;
+  void setD(unsigned F, double V);
+  float getS(unsigned F) const;
+  void setS(unsigned F, float V);
+  void chargeLoadUse(uint32_t Instr);
+
+  Memory &Mem;
+  MachineConfig Cfg;
+  Cache ICache, DCache;
+  RunStats Stats;
+  uint64_t InstrLimit = 2'000'000'000;
+
+  uint32_t R[32] = {};
+  uint32_t FPR[32] = {};
+  uint32_t HI = 0, LO = 0;
+  bool FpCond = false;
+  SimAddr PC = 0, NPC = 0;
+  int LastLoadReg = -1; // for the load-use interlock model
+  bool Halted = false;
+
+  static constexpr SimAddr StopAddr = 0xFFFF0000;
+};
+
+} // namespace sim
+} // namespace vcode
+
+#endif // VCODE_SIM_MIPSSIM_H

@@ -1,0 +1,522 @@
+//===- sim/SparcSim.cpp - SPARC V8 simulator --------------------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SparcSim.h"
+#include "sparc/SparcEncoding.h"
+#include "sparc/SparcTarget.h"
+#include "support/BitUtils.h"
+#include <cmath>
+#include <cstring>
+
+using namespace vcode;
+using namespace vcode::sim;
+using namespace vcode::sparc;
+
+SparcSim::SparcSim(Memory &M, MachineConfig C) : Mem(M), Cfg(C) {
+  ICache.configure(Cfg.ICacheBytes, Cfg.LineBytes);
+  DCache.configure(Cfg.DCacheBytes, Cfg.LineBytes);
+}
+
+const CallConv &SparcSim::defaultConv() const {
+  return sparcTargetInfo().DefaultCC;
+}
+
+void SparcSim::flushCaches() {
+  ICache.flush();
+  DCache.flush();
+}
+
+void SparcSim::warmData(SimAddr A, size_t Len) { DCache.warm(A, Len); }
+
+uint32_t SparcSim::fetch(SimAddr A) {
+  if (Cfg.ModelCaches && !ICache.access(A)) {
+    Stats.Cycles += Cfg.MissPenalty;
+    ++Stats.ICacheMisses;
+  }
+  return Mem.read<uint32_t>(A);
+}
+
+uint32_t SparcSim::loadMem(SimAddr A, unsigned Bytes, bool SignExtend) {
+  if (Cfg.ModelCaches && !DCache.access(A)) {
+    Stats.Cycles += Cfg.MissPenalty;
+    ++Stats.DCacheMisses;
+  }
+  switch (Bytes) {
+  case 1: {
+    uint8_t V = Mem.read<uint8_t>(A);
+    return SignExtend ? uint32_t(int32_t(int8_t(V))) : V;
+  }
+  case 2: {
+    if (A & 1)
+      fatal("sparc sim: unaligned halfword access at 0x%llx",
+            (unsigned long long)A);
+    uint16_t V = Mem.read<uint16_t>(A);
+    return SignExtend ? uint32_t(int32_t(int16_t(V))) : V;
+  }
+  case 4:
+    if (A & 3)
+      fatal("sparc sim: unaligned word access at 0x%llx",
+            (unsigned long long)A);
+    return Mem.read<uint32_t>(A);
+  }
+  unreachable("bad load size");
+}
+
+void SparcSim::storeMem(SimAddr A, unsigned Bytes, uint32_t V) {
+  if (Cfg.ModelCaches && !DCache.access(A)) {
+    Stats.Cycles += Cfg.MissPenalty;
+    ++Stats.DCacheMisses;
+  }
+  switch (Bytes) {
+  case 1:
+    Mem.write<uint8_t>(A, uint8_t(V));
+    return;
+  case 2:
+    Mem.write<uint16_t>(A, uint16_t(V));
+    return;
+  case 4:
+    if (A & 3)
+      fatal("sparc sim: unaligned word store at 0x%llx",
+            (unsigned long long)A);
+    Mem.write<uint32_t>(A, V);
+    return;
+  }
+  unreachable("bad store size");
+}
+
+void SparcSim::setIccSub(uint32_t A, uint32_t B) {
+  uint32_t R32 = A - B;
+  IccN = (R32 >> 31) != 0;
+  IccZ = R32 == 0;
+  IccV = (((A ^ B) & (A ^ R32)) >> 31) != 0;
+  IccC = A < B;
+}
+
+bool SparcSim::iccHolds(unsigned Cond) const {
+  switch (Cond) {
+  case CondN:
+    return false;
+  case CondE:
+    return IccZ;
+  case CondLE:
+    return IccZ || (IccN != IccV);
+  case CondL:
+    return IccN != IccV;
+  case CondLEU:
+    return IccC || IccZ;
+  case CondCS:
+    return IccC;
+  case CondNEG:
+    return IccN;
+  case CondVS:
+    return IccV;
+  case CondA:
+    return true;
+  case CondNE:
+    return !IccZ;
+  case CondG:
+    return !(IccZ || (IccN != IccV));
+  case CondGE:
+    return IccN == IccV;
+  case CondGU:
+    return !(IccC || IccZ);
+  case CondCC:
+    return !IccC;
+  case CondPOS:
+    return !IccN;
+  case CondVC:
+    return !IccV;
+  }
+  unreachable("bad icc condition");
+}
+
+bool SparcSim::fccHolds(unsigned Cond) const {
+  bool E = Fcc == 0, L = Fcc == 1, G = Fcc == 2, U = Fcc == 3;
+  switch (Cond) {
+  case FCondN:
+    return false;
+  case FCondNE:
+    return L || G || U;
+  case FCondLG:
+    return L || G;
+  case FCondUL:
+    return U || L;
+  case FCondL:
+    return L;
+  case FCondUG:
+    return U || G;
+  case FCondG:
+    return G;
+  case FCondU:
+    return U;
+  case FCondA:
+    return true;
+  case FCondE:
+    return E;
+  case FCondUE:
+    return U || E;
+  case FCondGE:
+    return G || E;
+  case FCondUGE:
+    return U || G || E;
+  case FCondLE:
+    return L || E;
+  case FCondULE:
+    return U || L || E;
+  case FCondO:
+    return !U;
+  }
+  unreachable("bad fcc condition");
+}
+
+float SparcSim::getS(unsigned F) const {
+  float V;
+  std::memcpy(&V, &FPR[F], 4);
+  return V;
+}
+void SparcSim::setS(unsigned F, float V) { std::memcpy(&FPR[F], &V, 4); }
+
+double SparcSim::getD(unsigned F) const {
+  uint64_t Bits = uint64_t(FPR[F]) | (uint64_t(FPR[F + 1]) << 32);
+  double V;
+  std::memcpy(&V, &Bits, 8);
+  return V;
+}
+void SparcSim::setD(unsigned F, double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, 8);
+  FPR[F] = uint32_t(Bits);
+  FPR[F + 1] = uint32_t(Bits >> 32);
+}
+
+void SparcSim::step() {
+  SimAddr InstrPC = PC;
+  uint32_t I = fetch(InstrPC);
+  PC = NPC;
+  NPC += 4;
+  ++Stats.Instrs;
+  ++Stats.Cycles;
+
+  unsigned Op = I >> 30;
+  unsigned Rd = (I >> 25) & 31;
+  auto W = [this](unsigned N, uint32_t V) {
+    if (N)
+      R[N] = V;
+  };
+
+  if (Op == 1) { // call
+    int32_t Disp = signExtend32<30>(I & 0x3fffffff);
+    R[O7] = uint32_t(InstrPC);
+    NPC = InstrPC + (SimAddr(int64_t(Disp)) << 2);
+    return;
+  }
+
+  if (Op == 0) { // sethi / branches
+    unsigned Op2 = (I >> 22) & 7;
+    if (Op2 == 4) { // sethi
+      W(Rd, (I & 0x3fffff) << 10);
+      return;
+    }
+    if (Op2 == 2 || Op2 == 6) { // Bicc / FBfcc
+      if (I & (1u << 29))
+        fatal("sparc sim: annulled branches are not emitted by this port");
+      unsigned Cond = (I >> 25) & 15;
+      bool Taken = Op2 == 2 ? iccHolds(Cond) : fccHolds(Cond);
+      if (Taken) {
+        int32_t Disp = signExtend32<22>(I & 0x3fffff);
+        NPC = InstrPC + (SimAddr(int64_t(Disp)) << 2);
+      }
+      return;
+    }
+    fatal("sparc sim: unknown format-2 op2 %u at 0x%llx", Op2,
+          (unsigned long long)InstrPC);
+  }
+
+  unsigned Op3 = (I >> 19) & 63;
+  unsigned Rs1 = (I >> 14) & 31;
+  bool ImmForm = (I >> 13) & 1;
+  uint32_t Operand2 = ImmForm ? uint32_t(signExtend32<13>(I & 0x1fff))
+                              : R[I & 31];
+
+  if (Op == 2) {
+    // FP operate.
+    if (Op3 == 0x34 || Op3 == 0x35) {
+      unsigned Opf = (I >> 5) & 0x1ff;
+      unsigned Fs1 = Rs1, Fs2 = I & 31, Fd = Rd;
+      switch (Opf) {
+      case FMOVS:
+        FPR[Fd] = FPR[Fs2];
+        return;
+      case FNEGS:
+        FPR[Fd] = FPR[Fs2] ^ 0x80000000u;
+        return;
+      case FABSS:
+        FPR[Fd] = FPR[Fs2] & 0x7fffffffu;
+        return;
+      case FSQRTS:
+        setS(Fd, std::sqrt(getS(Fs2)));
+        Stats.Cycles += Cfg.FpDivCycles - 1;
+        return;
+      case FSQRTD:
+        setD(Fd, std::sqrt(getD(Fs2)));
+        Stats.Cycles += Cfg.FpDivCycles - 1;
+        return;
+      case FADDS:
+        setS(Fd, getS(Fs1) + getS(Fs2));
+        Stats.Cycles += Cfg.FpAddCycles - 1;
+        return;
+      case FADDD:
+        setD(Fd, getD(Fs1) + getD(Fs2));
+        Stats.Cycles += Cfg.FpAddCycles - 1;
+        return;
+      case FSUBS:
+        setS(Fd, getS(Fs1) - getS(Fs2));
+        Stats.Cycles += Cfg.FpAddCycles - 1;
+        return;
+      case FSUBD:
+        setD(Fd, getD(Fs1) - getD(Fs2));
+        Stats.Cycles += Cfg.FpAddCycles - 1;
+        return;
+      case FMULS:
+        setS(Fd, getS(Fs1) * getS(Fs2));
+        Stats.Cycles += Cfg.FpMulCycles - 1;
+        return;
+      case FMULD:
+        setD(Fd, getD(Fs1) * getD(Fs2));
+        Stats.Cycles += Cfg.FpMulCycles - 1;
+        return;
+      case FDIVS:
+        setS(Fd, getS(Fs1) / getS(Fs2));
+        Stats.Cycles += Cfg.FpDivCycles - 1;
+        return;
+      case FDIVD:
+        setD(Fd, getD(Fs1) / getD(Fs2));
+        Stats.Cycles += Cfg.FpDivCycles - 1;
+        return;
+      case FITOS:
+        setS(Fd, float(int32_t(FPR[Fs2])));
+        return;
+      case FITOD:
+        setD(Fd, double(int32_t(FPR[Fs2])));
+        return;
+      case FSTOD:
+        setD(Fd, double(getS(Fs2)));
+        return;
+      case FDTOS:
+        setS(Fd, float(getD(Fs2)));
+        return;
+      case FSTOI:
+        FPR[Fd] = uint32_t(int32_t(getS(Fs2)));
+        return;
+      case FDTOI:
+        FPR[Fd] = uint32_t(int32_t(getD(Fs2)));
+        return;
+      case FCMPS: {
+        float A = getS(Fs1), B = getS(Fs2);
+        Fcc = A == B ? 0 : (A < B ? 1 : (A > B ? 2 : 3));
+        return;
+      }
+      case FCMPD: {
+        double A = getD(Fs1), B = getD(Fs2);
+        Fcc = A == B ? 0 : (A < B ? 1 : (A > B ? 2 : 3));
+        return;
+      }
+      }
+      fatal("sparc sim: unknown FP opf 0x%x at 0x%llx", Opf,
+            (unsigned long long)InstrPC);
+    }
+
+    uint32_t A = R[Rs1], B = Operand2;
+    switch (Op3) {
+    case 0x00:
+      W(Rd, A + B);
+      return;
+    case 0x04:
+      W(Rd, A - B);
+      return;
+    case 0x14: // subcc
+      setIccSub(A, B);
+      W(Rd, A - B);
+      return;
+    case 0x01:
+      W(Rd, A & B);
+      return;
+    case 0x02:
+      W(Rd, A | B);
+      return;
+    case 0x03:
+      W(Rd, A ^ B);
+      return;
+    case 0x07:
+      W(Rd, ~(A ^ B));
+      return;
+    case 0x08: // addx
+      W(Rd, A + B + (IccC ? 1 : 0));
+      return;
+    case 0x0a: { // umul
+      uint64_t P = uint64_t(A) * uint64_t(B);
+      W(Rd, uint32_t(P));
+      Y = uint32_t(P >> 32);
+      Stats.Cycles += Cfg.MulCycles;
+      return;
+    }
+    case 0x0b: { // smul
+      int64_t P = int64_t(int32_t(A)) * int64_t(int32_t(B));
+      W(Rd, uint32_t(P));
+      Y = uint32_t(uint64_t(P) >> 32);
+      Stats.Cycles += Cfg.MulCycles;
+      return;
+    }
+    case 0x0e: { // udiv
+      uint64_t Dividend = (uint64_t(Y) << 32) | A;
+      uint32_t Q = B == 0 ? 0 : uint32_t(Dividend / B);
+      W(Rd, Q);
+      Stats.Cycles += Cfg.DivCycles;
+      return;
+    }
+    case 0x0f: { // sdiv
+      int64_t Dividend = int64_t((uint64_t(Y) << 32) | A);
+      int32_t Divisor = int32_t(B);
+      uint32_t Q;
+      if (Divisor == 0)
+        Q = 0;
+      else if (Dividend == INT64_MIN && Divisor == -1)
+        Q = uint32_t(Dividend);
+      else
+        Q = uint32_t(int32_t(Dividend / Divisor));
+      W(Rd, Q);
+      Stats.Cycles += Cfg.DivCycles;
+      return;
+    }
+    case 0x25:
+      W(Rd, A << (B & 31));
+      return;
+    case 0x26:
+      W(Rd, A >> (B & 31));
+      return;
+    case 0x27:
+      W(Rd, uint32_t(int32_t(A) >> (B & 31)));
+      return;
+    case 0x28:
+      W(Rd, Y);
+      return;
+    case 0x30:
+      Y = A ^ B; // wry: rs1 xor operand2 per the V8 spec
+      return;
+    case 0x38: // jmpl
+      W(Rd, uint32_t(InstrPC));
+      NPC = (A + B) & ~SimAddr(3);
+      return;
+    }
+    fatal("sparc sim: unknown op3 0x%x at 0x%llx", Op3,
+          (unsigned long long)InstrPC);
+  }
+
+  // Op == 3: memory.
+  SimAddr Addr = SimAddr(R[Rs1] + Operand2);
+  switch (Op3) {
+  case LD:
+    W(Rd, loadMem(Addr, 4, false));
+    return;
+  case LDUB:
+    W(Rd, loadMem(Addr, 1, false));
+    return;
+  case LDUH:
+    W(Rd, loadMem(Addr, 2, false));
+    return;
+  case LDSB:
+    W(Rd, loadMem(Addr, 1, true));
+    return;
+  case LDSH:
+    W(Rd, loadMem(Addr, 2, true));
+    return;
+  case ST:
+    storeMem(Addr, 4, R[Rd]);
+    return;
+  case STB:
+    storeMem(Addr, 1, R[Rd]);
+    return;
+  case STH:
+    storeMem(Addr, 2, R[Rd]);
+    return;
+  case LDF:
+    FPR[Rd] = loadMem(Addr, 4, false);
+    return;
+  case LDDF:
+    FPR[Rd] = loadMem(Addr, 4, false);
+    FPR[Rd + 1] = loadMem(Addr + 4, 4, false);
+    return;
+  case STF:
+    storeMem(Addr, 4, FPR[Rd]);
+    return;
+  case STDF:
+    storeMem(Addr, 4, FPR[Rd]);
+    storeMem(Addr + 4, 4, FPR[Rd + 1]);
+    return;
+  }
+  fatal("sparc sim: unknown memory op3 0x%x at 0x%llx", Op3,
+        (unsigned long long)InstrPC);
+}
+
+TypedValue SparcSim::callWithConv(const CallConv &CC, SimAddr Entry,
+                                  const std::vector<TypedValue> &Args,
+                                  Type RetTy) {
+  Stats = RunStats();
+  std::memset(R, 0, sizeof(R));
+  Y = 0;
+  IccN = IccZ = IccV = IccC = false;
+  Fcc = 0;
+
+  R[SP] = uint32_t(Mem.stackTop());
+  unsigned Link = CC.LinkReg.isValid() ? unsigned(CC.LinkReg.Num) : unsigned(O7);
+  R[Link] = uint32_t(StopAddr - 8); // retl jumps to link+8
+
+  std::vector<Type> Types;
+  Types.reserve(Args.size());
+  for (const TypedValue &A : Args)
+    Types.push_back(A.Ty);
+  std::vector<ArgLoc> Locs = computeArgLocs(CC, Types, 4);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const ArgLoc &L = Locs[I];
+    const TypedValue &A = Args[I];
+    if (!L.OnStack) {
+      if (L.R.isInt()) {
+        R[L.R.Num] = uint32_t(A.Bits);
+      } else if (A.Ty == Type::D) {
+        FPR[L.R.Num] = uint32_t(A.Bits);
+        FPR[L.R.Num + 1] = uint32_t(A.Bits >> 32);
+      } else {
+        FPR[L.R.Num] = uint32_t(A.Bits);
+      }
+      continue;
+    }
+    SimAddr Slot = SimAddr(R[SP]) + uint32_t(L.StackOff);
+    Mem.write<uint32_t>(Slot, uint32_t(A.Bits));
+    if (A.Ty == Type::D)
+      Mem.write<uint32_t>(Slot + 4, uint32_t(A.Bits >> 32));
+  }
+
+  PC = Entry;
+  NPC = Entry + 4;
+  while (PC != StopAddr) {
+    if (Stats.Instrs >= InstrLimit)
+      fatal("sparc sim: instruction limit exceeded; runaway code?");
+    step();
+  }
+
+  TypedValue Res;
+  Res.Ty = RetTy;
+  if (RetTy == Type::D)
+    Res.Bits =
+        uint64_t(FPR[CC.FpRet.Num]) | (uint64_t(FPR[CC.FpRet.Num + 1]) << 32);
+  else if (RetTy == Type::F)
+    Res.Bits = FPR[CC.FpRet.Num];
+  else if (isSignedType(RetTy))
+    Res.Bits = uint64_t(int64_t(int32_t(R[CC.IntRet.Num])));
+  else
+    Res.Bits = R[CC.IntRet.Num];
+  return Res;
+}

@@ -1,0 +1,279 @@
+//===- sparc/SparcDisasm.cpp - SPARC disassembler -----------------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sparc/SparcDisasm.h"
+#include "sparc/SparcEncoding.h"
+#include "support/BitUtils.h"
+#include <cstdarg>
+#include <cstdio>
+
+using namespace vcode;
+using namespace vcode::sparc;
+
+namespace {
+
+std::string fmt(const char *Format, ...) {
+  char Buf[128];
+  va_list Ap;
+  va_start(Ap, Format);
+  std::vsnprintf(Buf, sizeof(Buf), Format, Ap);
+  va_end(Ap);
+  return Buf;
+}
+
+std::string regName(unsigned R) {
+  static const char Banks[4] = {'g', 'o', 'l', 'i'};
+  if (R == 14)
+    return "%sp";
+  if (R == 30)
+    return "%fp";
+  return fmt("%%%c%u", Banks[R >> 3], R & 7);
+}
+
+std::string operand2(uint32_t I) {
+  if (I & (1u << 13))
+    return fmt("%d", signExtend32<13>(I & 0x1fff));
+  return regName(I & 31);
+}
+
+const char *IccName[16] = {"n",  "e",  "le", "l",  "leu", "cs", "neg", "vs",
+                           "a",  "ne", "g",  "ge", "gu",  "cc", "pos", "vc"};
+const char *FccName[16] = {"n",  "ne", "lg", "ul", "l",   "ug", "g",  "u",
+                           "a",  "e",  "ue", "ge", "uge", "le", "ule", "o"};
+
+} // namespace
+
+std::string vcode::sparc::disassemble(uint32_t I, SimAddr Pc) {
+  unsigned Op = I >> 30;
+  unsigned Rd = (I >> 25) & 31;
+
+  if (I == nop())
+    return "nop";
+
+  if (Op == 1) { // call
+    int32_t Disp = signExtend32<30>(I & 0x3fffffff);
+    return fmt("%-7s 0x%llx", "call",
+               (unsigned long long)(Pc + (int64_t(Disp) << 2)));
+  }
+  if (Op == 0) {
+    unsigned Op2 = (I >> 22) & 7;
+    if (Op2 == 4)
+      return fmt("%-7s %%hi(0x%x), %s", "sethi", (I & 0x3fffff) << 10,
+                 regName(Rd).c_str());
+    if (Op2 == 2 || Op2 == 6) {
+      unsigned Cond = (I >> 25) & 15;
+      int32_t Disp = signExtend32<22>(I & 0x3fffff);
+      return fmt("%s%-4s 0x%llx", Op2 == 2 ? "b" : "fb",
+                 (Op2 == 2 ? IccName : FccName)[Cond],
+                 (unsigned long long)(Pc + (int64_t(Disp) << 2)));
+    }
+    return fmt(".word   0x%08x", I);
+  }
+
+  unsigned Op3 = (I >> 19) & 63;
+  unsigned Rs1 = (I >> 14) & 31;
+
+  if (Op == 2) {
+    if (Op3 == 0x34 || Op3 == 0x35) { // FP operate
+      unsigned Opf = (I >> 5) & 0x1ff;
+      unsigned Fs2 = I & 31;
+      const char *N = nullptr;
+      bool Two = true;
+      switch (Opf) {
+      case FMOVS:
+        N = "fmovs";
+        break;
+      case FNEGS:
+        N = "fnegs";
+        break;
+      case FABSS:
+        N = "fabss";
+        break;
+      case FSQRTS:
+        N = "fsqrts";
+        break;
+      case FSQRTD:
+        N = "fsqrtd";
+        break;
+      case FITOS:
+        N = "fitos";
+        break;
+      case FITOD:
+        N = "fitod";
+        break;
+      case FSTOD:
+        N = "fstod";
+        break;
+      case FDTOS:
+        N = "fdtos";
+        break;
+      case FSTOI:
+        N = "fstoi";
+        break;
+      case FDTOI:
+        N = "fdtoi";
+        break;
+      case FADDS:
+        N = "fadds";
+        Two = false;
+        break;
+      case FADDD:
+        N = "faddd";
+        Two = false;
+        break;
+      case FSUBS:
+        N = "fsubs";
+        Two = false;
+        break;
+      case FSUBD:
+        N = "fsubd";
+        Two = false;
+        break;
+      case FMULS:
+        N = "fmuls";
+        Two = false;
+        break;
+      case FMULD:
+        N = "fmuld";
+        Two = false;
+        break;
+      case FDIVS:
+        N = "fdivs";
+        Two = false;
+        break;
+      case FDIVD:
+        N = "fdivd";
+        Two = false;
+        break;
+      case FCMPS:
+        return fmt("%-7s %%f%u, %%f%u", "fcmps", Rs1, Fs2);
+      case FCMPD:
+        return fmt("%-7s %%f%u, %%f%u", "fcmpd", Rs1, Fs2);
+      default:
+        return fmt(".word   0x%08x", I);
+      }
+      if (Two)
+        return fmt("%-7s %%f%u, %%f%u", N, Fs2, Rd);
+      return fmt("%-7s %%f%u, %%f%u, %%f%u", N, Rs1, Fs2, Rd);
+    }
+
+    const char *N = nullptr;
+    switch (Op3) {
+    case 0x00:
+      N = "add";
+      break;
+    case 0x04:
+      N = "sub";
+      break;
+    case 0x14:
+      N = "subcc";
+      break;
+    case 0x01:
+      N = "and";
+      break;
+    case 0x02:
+      N = "or";
+      break;
+    case 0x03:
+      N = "xor";
+      break;
+    case 0x07:
+      N = "xnor";
+      break;
+    case 0x08:
+      N = "addx";
+      break;
+    case 0x0a:
+      N = "umul";
+      break;
+    case 0x0b:
+      N = "smul";
+      break;
+    case 0x0e:
+      N = "udiv";
+      break;
+    case 0x0f:
+      N = "sdiv";
+      break;
+    case 0x25:
+      N = "sll";
+      break;
+    case 0x26:
+      N = "srl";
+      break;
+    case 0x27:
+      N = "sra";
+      break;
+    case 0x28:
+      return fmt("%-7s %s", "rd %y,", regName(Rd).c_str());
+    case 0x30:
+      return fmt("%-7s %s, %%y", "wr", regName(Rs1).c_str());
+    case 0x38:
+      return fmt("%-7s %s + %s, %s", "jmpl", regName(Rs1).c_str(),
+                 operand2(I).c_str(), regName(Rd).c_str());
+    default:
+      return fmt(".word   0x%08x", I);
+    }
+    return fmt("%-7s %s, %s, %s", N, regName(Rs1).c_str(),
+               operand2(I).c_str(), regName(Rd).c_str());
+  }
+
+  // Op == 3: memory.
+  const char *N = nullptr;
+  bool Fp = false;
+  switch (Op3) {
+  case LD:
+    N = "ld";
+    break;
+  case LDUB:
+    N = "ldub";
+    break;
+  case LDUH:
+    N = "lduh";
+    break;
+  case LDSB:
+    N = "ldsb";
+    break;
+  case LDSH:
+    N = "ldsh";
+    break;
+  case ST:
+    N = "st";
+    break;
+  case STB:
+    N = "stb";
+    break;
+  case STH:
+    N = "sth";
+    break;
+  case LDF:
+    N = "ldf";
+    Fp = true;
+    break;
+  case LDDF:
+    N = "lddf";
+    Fp = true;
+    break;
+  case STF:
+    N = "stf";
+    Fp = true;
+    break;
+  case STDF:
+    N = "stdf";
+    Fp = true;
+    break;
+  default:
+    return fmt(".word   0x%08x", I);
+  }
+  std::string R = Fp ? fmt("%%f%u", Rd) : regName(Rd);
+  bool IsStore = Op3 == ST || Op3 == STB || Op3 == STH || Op3 == STF ||
+                 Op3 == STDF;
+  if (IsStore)
+    return fmt("%-7s %s, [%s + %s]", N, R.c_str(), regName(Rs1).c_str(),
+               operand2(I).c_str());
+  return fmt("%-7s [%s + %s], %s", N, regName(Rs1).c_str(),
+             operand2(I).c_str(), R.c_str());
+}

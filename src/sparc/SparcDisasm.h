@@ -1,0 +1,28 @@
+//===- sparc/SparcDisasm.h - SPARC disassembler -----------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic disassembler for the SPARC V8 subset the backend emits
+/// (paper §6.2 debugger support).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SPARC_SPARCDISASM_H
+#define VCODE_SPARC_SPARCDISASM_H
+
+#include "core/CodeBuffer.h"
+#include <string>
+
+namespace vcode {
+namespace sparc {
+
+/// Disassembles one instruction word fetched from address \p Pc.
+std::string disassemble(uint32_t Word, SimAddr Pc);
+
+} // namespace sparc
+} // namespace vcode
+
+#endif // VCODE_SPARC_SPARCDISASM_H

@@ -1,0 +1,221 @@
+//===- sparc/SparcEncoding.h - SPARC V8 instruction encoders ----*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SPARC V8 instruction word encoders (format 1 call, format 2
+/// sethi/branches, format 3 arithmetic and memory). As with the MIPS
+/// encoders, these are constexpr so hard-coded register names constant-fold
+/// to a single or+store (paper §5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SPARC_SPARCENCODING_H
+#define VCODE_SPARC_SPARCENCODING_H
+
+#include <cstdint>
+
+namespace vcode {
+namespace sparc {
+
+/// Register numbering: %g0-%g7 = 0-7, %o0-%o7 = 8-15, %l0-%l7 = 16-23,
+/// %i0-%i7 = 24-31.
+enum RegNum : unsigned {
+  G0 = 0, G1 = 1, G2 = 2, G3 = 3, G4 = 4, G5 = 5, G6 = 6, G7 = 7,
+  O0 = 8, O1 = 9, O2 = 10, O3 = 11, O4 = 12, O5 = 13, SP = 14, O7 = 15,
+  L0 = 16, L1 = 17, L2 = 18, L3 = 19, L4 = 20, L5 = 21, L6 = 22, L7 = 23,
+  I0 = 24, I1 = 25, I2 = 26, I3 = 27, I4 = 28, I5 = 29, FP = 30, I7 = 31,
+};
+
+/// Integer condition codes for Bicc.
+enum ICond : unsigned {
+  CondN = 0, CondE = 1, CondLE = 2, CondL = 3, CondLEU = 4, CondCS = 5,
+  CondNEG = 6, CondVS = 7, CondA = 8, CondNE = 9, CondG = 10, CondGE = 11,
+  CondGU = 12, CondCC = 13, CondPOS = 14, CondVC = 15,
+};
+
+/// FP condition codes for FBfcc.
+enum FCond : unsigned {
+  FCondN = 0, FCondNE = 1, FCondLG = 2, FCondUL = 3, FCondL = 4,
+  FCondUG = 5, FCondG = 6, FCondU = 7, FCondA = 8, FCondE = 9,
+  FCondUE = 10, FCondGE = 11, FCondUGE = 12, FCondLE = 13, FCondULE = 14,
+  FCondO = 15,
+};
+
+// --- Format builders ---------------------------------------------------------
+
+/// Format 3, register-register.
+constexpr uint32_t fmt3r(unsigned Op, unsigned Rd, unsigned Op3, unsigned Rs1,
+                         unsigned Rs2) {
+  return (Op << 30) | (Rd << 25) | (Op3 << 19) | (Rs1 << 14) | Rs2;
+}
+/// Format 3, register-immediate (simm13).
+constexpr uint32_t fmt3i(unsigned Op, unsigned Rd, unsigned Op3, unsigned Rs1,
+                         int32_t Simm13) {
+  return (Op << 30) | (Rd << 25) | (Op3 << 19) | (Rs1 << 14) | (1u << 13) |
+         (uint32_t(Simm13) & 0x1fff);
+}
+/// Format 3 FP operate (op3 0x34/0x35): opf in bits 5-13.
+constexpr uint32_t fmt3f(unsigned Rd, unsigned Op3, unsigned Rs1, unsigned Opf,
+                         unsigned Rs2) {
+  return (2u << 30) | (Rd << 25) | (Op3 << 19) | (Rs1 << 14) | (Opf << 5) |
+         Rs2;
+}
+
+// --- Arithmetic (op=2) ---------------------------------------------------------
+
+constexpr uint32_t add(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x00, Rs1, Rs2);
+}
+constexpr uint32_t addi(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  return fmt3i(2, Rd, 0x00, Rs1, Imm);
+}
+constexpr uint32_t sub(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x04, Rs1, Rs2);
+}
+constexpr uint32_t subi(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  return fmt3i(2, Rd, 0x04, Rs1, Imm);
+}
+constexpr uint32_t subcc(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x14, Rs1, Rs2);
+}
+constexpr uint32_t subcci(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  return fmt3i(2, Rd, 0x14, Rs1, Imm);
+}
+constexpr uint32_t and_(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x01, Rs1, Rs2);
+}
+constexpr uint32_t andi(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  return fmt3i(2, Rd, 0x01, Rs1, Imm);
+}
+constexpr uint32_t or_(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x02, Rs1, Rs2);
+}
+constexpr uint32_t ori(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  return fmt3i(2, Rd, 0x02, Rs1, Imm);
+}
+constexpr uint32_t xor_(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x03, Rs1, Rs2);
+}
+constexpr uint32_t xori(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  return fmt3i(2, Rd, 0x03, Rs1, Imm);
+}
+constexpr uint32_t xnor(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x07, Rs1, Rs2);
+}
+constexpr uint32_t umul(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x0a, Rs1, Rs2);
+}
+constexpr uint32_t smul(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x0b, Rs1, Rs2);
+}
+constexpr uint32_t udiv(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x0e, Rs1, Rs2);
+}
+constexpr uint32_t sdiv(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x0f, Rs1, Rs2);
+}
+constexpr uint32_t sll(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x25, Rs1, Rs2);
+}
+constexpr uint32_t slli(unsigned Rd, unsigned Rs1, unsigned Sh) {
+  return fmt3i(2, Rd, 0x25, Rs1, int32_t(Sh));
+}
+constexpr uint32_t srl(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x26, Rs1, Rs2);
+}
+constexpr uint32_t srli(unsigned Rd, unsigned Rs1, unsigned Sh) {
+  return fmt3i(2, Rd, 0x26, Rs1, int32_t(Sh));
+}
+constexpr uint32_t sra(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x27, Rs1, Rs2);
+}
+constexpr uint32_t srai(unsigned Rd, unsigned Rs1, unsigned Sh) {
+  return fmt3i(2, Rd, 0x27, Rs1, int32_t(Sh));
+}
+constexpr uint32_t addx(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x08, Rs1, Rs2);
+}
+constexpr uint32_t addxi(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  return fmt3i(2, Rd, 0x08, Rs1, Imm);
+}
+constexpr uint32_t rdy(unsigned Rd) { return fmt3r(2, Rd, 0x28, 0, 0); }
+constexpr uint32_t wry(unsigned Rs1) { return fmt3r(2, 0, 0x30, Rs1, 0); }
+constexpr uint32_t wryi(unsigned Rs1, int32_t Imm) {
+  return fmt3i(2, 0, 0x30, Rs1, Imm);
+}
+constexpr uint32_t jmpl(unsigned Rd, unsigned Rs1, int32_t Imm) {
+  return fmt3i(2, Rd, 0x38, Rs1, Imm);
+}
+constexpr uint32_t jmplr(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return fmt3r(2, Rd, 0x38, Rs1, Rs2);
+}
+
+// --- Format 2: sethi and branches ----------------------------------------------
+
+constexpr uint32_t sethi(unsigned Rd, uint32_t Imm22) {
+  return (0u << 30) | (Rd << 25) | (4u << 22) | (Imm22 & 0x3fffff);
+}
+constexpr uint32_t nop() { return sethi(0, 0); }
+/// Bicc: integer condition-code branch, disp22 in words.
+constexpr uint32_t bicc(unsigned Cond, int32_t Disp22 = 0, bool Annul = false) {
+  return (0u << 30) | ((Annul ? 1u : 0u) << 29) | (Cond << 25) | (2u << 22) |
+         (uint32_t(Disp22) & 0x3fffff);
+}
+/// FBfcc: FP condition-code branch.
+constexpr uint32_t fbfcc(unsigned Cond, int32_t Disp22 = 0) {
+  return (0u << 30) | (Cond << 25) | (6u << 22) | (uint32_t(Disp22) & 0x3fffff);
+}
+constexpr uint32_t ba(int32_t Disp22 = 0) { return bicc(CondA, Disp22); }
+
+// --- Format 1: call --------------------------------------------------------------
+
+constexpr uint32_t call(int32_t Disp30) {
+  return (1u << 30) | (uint32_t(Disp30) & 0x3fffffff);
+}
+
+// --- Memory (op=3) ----------------------------------------------------------------
+
+constexpr uint32_t memri(unsigned Op3, unsigned Rd, unsigned Rs1,
+                         int32_t Imm) {
+  return fmt3i(3, Rd, Op3, Rs1, Imm);
+}
+constexpr uint32_t memrr(unsigned Op3, unsigned Rd, unsigned Rs1,
+                         unsigned Rs2) {
+  return fmt3r(3, Rd, Op3, Rs1, Rs2);
+}
+
+enum MemOp3 : unsigned {
+  LD = 0x00, LDUB = 0x01, LDUH = 0x02, LDD = 0x03,
+  ST = 0x04, STB = 0x05, STH = 0x06, STD = 0x07,
+  LDSB = 0x09, LDSH = 0x0a,
+  LDF = 0x20, LDDF = 0x23, STF = 0x24, STDF = 0x27,
+};
+
+// --- FP operate (op=2, op3=0x34 FPop1 / 0x35 FPop2) --------------------------------
+
+enum FpOpf : unsigned {
+  FMOVS = 0x01, FNEGS = 0x05, FABSS = 0x09,
+  FSQRTS = 0x29, FSQRTD = 0x2a,
+  FADDS = 0x41, FADDD = 0x42, FSUBS = 0x45, FSUBD = 0x46,
+  FMULS = 0x49, FMULD = 0x4a, FDIVS = 0x4d, FDIVD = 0x4e,
+  FITOS = 0xc4, FDTOS = 0xc6, FITOD = 0xc8, FSTOD = 0xc9,
+  FSTOI = 0xd1, FDTOI = 0xd2,
+  FCMPS = 0x51, FCMPD = 0x52,
+};
+
+constexpr uint32_t fpop1(unsigned Rd, unsigned Rs1, unsigned Opf,
+                         unsigned Rs2) {
+  return fmt3f(Rd, 0x34, Rs1, Opf, Rs2);
+}
+constexpr uint32_t fpop2(unsigned Rd, unsigned Rs1, unsigned Opf,
+                         unsigned Rs2) {
+  return fmt3f(Rd, 0x35, Rs1, Opf, Rs2);
+}
+
+} // namespace sparc
+} // namespace vcode
+
+#endif // VCODE_SPARC_SPARCENCODING_H

@@ -1,0 +1,82 @@
+//===- sparc/SparcTarget.h - SPARC V8 backend -------------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SPARC port of VCODE. Uses a flat (windowless) register convention:
+/// callee-saved registers are saved explicitly in the prologue rather than
+/// with save/restore, which keeps the framing machinery shared with the
+/// other ports and avoids window-overflow traps (the paper notes VCODE
+/// clients "can dynamically substitute calling conventions"; this is the
+/// convention this port substitutes — see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SPARC_SPARCTARGET_H
+#define VCODE_SPARC_SPARCTARGET_H
+
+#include "core/Target.h"
+#include "core/VCode.h"
+
+namespace vcode {
+namespace sparc {
+
+/// Returns the shared SPARC target description.
+const TargetInfo &sparcTargetInfo();
+
+/// SPARC V8 code generator backend.
+class SparcTarget final : public Target {
+public:
+  SparcTarget();
+
+  const TargetInfo &info() const override { return sparcTargetInfo(); }
+
+  void emitBinop(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
+                 Reg Rs2) override;
+  void emitBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
+                    int64_t Imm) override;
+  void emitUnop(VCode &VC, UnOp Op, Type Ty, Reg Rd, Reg Rs) override;
+  void emitSetInt(VCode &VC, Type Ty, Reg Rd, uint64_t Imm) override;
+  void emitSetFp(VCode &VC, Type Ty, Reg Rd, double Val) override;
+  void emitCvt(VCode &VC, Type From, Type To, Reg Rd, Reg Rs) override;
+  void emitLoad(VCode &VC, Type Ty, Reg Rd, Reg Base, Reg Off) override;
+  void emitLoadImm(VCode &VC, Type Ty, Reg Rd, Reg Base, int64_t Off) override;
+  void emitStore(VCode &VC, Type Ty, Reg Val, Reg Base, Reg Off) override;
+  void emitStoreImm(VCode &VC, Type Ty, Reg Val, Reg Base,
+                    int64_t Off) override;
+  void emitBranch(VCode &VC, Cond C, Type Ty, Reg Rs1, Reg Rs2,
+                  Label L) override;
+  void emitBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1, int64_t Imm,
+                     Label L) override;
+  void emitJump(VCode &VC, Label L) override;
+  void emitJumpReg(VCode &VC, Reg R) override;
+  void emitJumpAddr(VCode &VC, SimAddr A) override;
+  void emitCallAddr(VCode &VC, SimAddr A) override;
+  void emitCallLabel(VCode &VC, Label L) override;
+  void emitLinkReturn(VCode &VC) override;
+  void emitCallReg(VCode &VC, Reg R) override;
+  void emitRet(VCode &VC, Type Ty, Reg Rs) override;
+  void emitNop(VCode &VC) override;
+
+  std::string disassemble(uint32_t Word, SimAddr Pc) const override;
+
+  void beginFunction(VCode &VC) override;
+  CodePtr endFunction(VCode &VC) override;
+  void applyFixup(VCode &VC, const Fixup &F, SimAddr Target) override;
+
+private:
+  void li(VCode &VC, unsigned Rd, int64_t Imm);
+  void addrOfLabel(VCode &VC, unsigned Rd, Label L);
+  void delaySlot(VCode &VC);
+  void compareAndBranch(VCode &VC, Cond C, bool Unsigned, Label L);
+  void registerMachineInstructions();
+
+  uint32_t ReservedWords = 0;
+};
+
+} // namespace sparc
+} // namespace vcode
+
+#endif // VCODE_SPARC_SPARCTARGET_H

@@ -1,0 +1,78 @@
+//===- support/BitUtils.h - Bit manipulation helpers ------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small bit-twiddling helpers used by the instruction encoders: immediate
+/// range checks, field extraction/insertion, and sign extension. Modeled on
+/// llvm/Support/MathExtras.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SUPPORT_BITUTILS_H
+#define VCODE_SUPPORT_BITUTILS_H
+
+#include <cstdint>
+
+namespace vcode {
+
+/// Returns true if \p X fits in an \p N-bit signed immediate field.
+template <unsigned N> constexpr bool isInt(int64_t X) {
+  static_assert(N > 0 && N < 64, "width out of range");
+  return X >= -(int64_t(1) << (N - 1)) && X < (int64_t(1) << (N - 1));
+}
+
+/// Returns true if \p X fits in an \p N-bit unsigned immediate field.
+template <unsigned N> constexpr bool isUInt(uint64_t X) {
+  static_assert(N > 0 && N < 64, "width out of range");
+  return X < (uint64_t(1) << N);
+}
+
+/// Sign-extends the low \p N bits of \p X to 64 bits.
+template <unsigned N> constexpr int64_t signExtend(uint64_t X) {
+  static_assert(N > 0 && N < 64, "width out of range");
+  return int64_t(X << (64 - N)) >> (64 - N);
+}
+
+/// Sign-extends the low \p N bits of \p X to 32 bits.
+template <unsigned N> constexpr int32_t signExtend32(uint32_t X) {
+  static_assert(N > 0 && N < 32, "width out of range");
+  return int32_t(X << (32 - N)) >> (32 - N);
+}
+
+/// Extracts bits [Lo, Lo+Len) of \p X.
+constexpr uint64_t extractBits(uint64_t X, unsigned Lo, unsigned Len) {
+  return (X >> Lo) & ((uint64_t(1) << Len) - 1);
+}
+
+/// Byte-swaps a 16-bit value.
+constexpr uint16_t byteSwap16(uint16_t X) {
+  return uint16_t((X << 8) | (X >> 8));
+}
+
+/// Byte-swaps a 32-bit value.
+constexpr uint32_t byteSwap32(uint32_t X) {
+  return (X << 24) | ((X & 0xff00u) << 8) | ((X >> 8) & 0xff00u) | (X >> 24);
+}
+
+/// Rounds \p X up to the next multiple of \p Align (a power of two).
+constexpr uint64_t alignTo(uint64_t X, uint64_t Align) {
+  return (X + Align - 1) & ~(Align - 1);
+}
+
+/// Returns true if \p X is a power of two (and nonzero).
+constexpr bool isPowerOf2(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+/// Floor log2 of a nonzero value.
+constexpr unsigned log2Floor(uint64_t X) {
+  unsigned R = 0;
+  while (X >>= 1)
+    ++R;
+  return R;
+}
+
+} // namespace vcode
+
+#endif // VCODE_SUPPORT_BITUTILS_H

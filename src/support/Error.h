@@ -1,0 +1,45 @@
+//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, "VCODE: a Retargetable,
+// Extensible, Very Fast Dynamic Code Generation System" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting and unreachable markers. The library follows the
+/// original VCODE policy: programmer errors (bad operands, unsupported
+/// type/op combinations, buffer overflow of client-provided code memory)
+/// abort with a diagnostic rather than raising exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SUPPORT_ERROR_H
+#define VCODE_SUPPORT_ERROR_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vcode {
+
+/// Prints a printf-style message to stderr and aborts.
+[[noreturn]] inline void fatal(const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::fprintf(stderr, "vcode fatal error: ");
+  std::vfprintf(stderr, Fmt, Ap);
+  std::fprintf(stderr, "\n");
+  va_end(Ap);
+  std::abort();
+}
+
+/// Marks a point in code that must never be reached if library invariants
+/// hold. Mirrors llvm_unreachable.
+[[noreturn]] inline void unreachable(const char *Msg) {
+  std::fprintf(stderr, "vcode internal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace vcode
+
+#endif // VCODE_SUPPORT_ERROR_H

@@ -1,0 +1,63 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xorshift128+) used by the auto-generated
+/// regression tests (paper §3.3) and the synthetic workload generators, so
+/// every run of the test suite and benchmarks is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SUPPORT_RNG_H
+#define VCODE_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace vcode {
+
+/// Deterministic xorshift128+ pseudo-random generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding so nearby seeds give unrelated streams.
+    auto Mix = [&Seed]() {
+      Seed += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Mix();
+    S1 = Mix();
+  }
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t X = S0, Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Returns a value uniform in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Returns a value uniform in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + int64_t(below(uint64_t(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(unsigned Num, unsigned Den) { return below(Den) < Num; }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace vcode
+
+#endif // VCODE_SUPPORT_RNG_H

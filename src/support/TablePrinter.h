@@ -1,0 +1,80 @@
+//===- support/TablePrinter.h - Paper-style result tables -------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats benchmark results as fixed-width text tables in the same row /
+/// column layout the paper's tables use, so EXPERIMENTS.md can quote bench
+/// output directly next to the paper numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SUPPORT_TABLEPRINTER_H
+#define VCODE_SUPPORT_TABLEPRINTER_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vcode {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header)
+      : Columns(std::move(Header)) {}
+
+  /// Appends one row; missing trailing cells print empty.
+  void addRow(std::vector<std::string> Cells) { Rows.push_back(std::move(Cells)); }
+
+  /// Renders the table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const {
+    std::vector<size_t> Width(Columns.size(), 0);
+    auto Widen = [&Width](const std::vector<std::string> &Cells) {
+      for (size_t I = 0; I < Cells.size() && I < Width.size(); ++I)
+        if (Cells[I].size() > Width[I])
+          Width[I] = Cells[I].size();
+    };
+    Widen(Columns);
+    for (const auto &R : Rows)
+      Widen(R);
+
+    auto PrintRow = [&](const std::vector<std::string> &Cells) {
+      for (size_t I = 0; I < Width.size(); ++I) {
+        const std::string &S = I < Cells.size() ? Cells[I] : std::string();
+        std::fprintf(Out, "%s%-*s", I ? "  " : "", int(Width[I]), S.c_str());
+      }
+      std::fprintf(Out, "\n");
+    };
+    PrintRow(Columns);
+    size_t Total = 0;
+    for (size_t W : Width)
+      Total += W + 2;
+    for (size_t I = 0; I + 2 < Total; ++I)
+      std::fputc('-', Out);
+    std::fputc('\n', Out);
+    for (const auto &R : Rows)
+      PrintRow(R);
+  }
+
+private:
+  std::vector<std::string> Columns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// printf-style helper returning std::string, for building table cells.
+inline std::string strFormat(const char *Fmt, ...) {
+  char Buf[256];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  return Buf;
+}
+
+} // namespace vcode
+
+#endif // VCODE_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,83 @@
+//===- tcc/Tcc.h - tcc-lite: a compiler targeting VCODE ---------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tcc-lite: a small C-like language compiled through the VCODE API,
+/// standing in for the paper's `tcc` (§4.1), the lcc-based \`C compiler
+/// that "uses VCODE as an abstract machine to generate code dynamically".
+/// Like tcc, it demonstrates the §4.1 claims: "compiling to VCODE has been
+/// easier than compiling to more traditional RISC architectures ... due
+/// both to the regularity of the VCODE instruction set and to the fact
+/// that VCODE handles calling conventions", and the same front-end runs
+/// unchanged on every ported target.
+///
+/// The language: integer functions with parameters, `var` declarations,
+/// assignment, `if`/`else`, `while`, `return`, calls (including recursion
+/// and forward references, resolved through a function table), and the
+/// usual C operators with short-circuit && and ||.
+///
+///   gcd(a, b) { while (b != 0) { var t = b; b = a % b; a = t; } return a; }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_TCC_TCC_H
+#define VCODE_TCC_TCC_H
+
+#include "core/VCode.h"
+#include "sim/Cpu.h"
+#include "sim/Memory.h"
+#include <map>
+#include <string>
+
+namespace vcode {
+namespace tcc {
+
+/// The tcc-lite compilation context: owns the function table through which
+/// compiled functions call each other (which is how recursion and forward
+/// references work before an entry address is known).
+class Tcc {
+public:
+  Tcc(Target &T, sim::Memory &M) : Tgt(T), Mem(M) {}
+
+  /// Enables the §6.2 peephole layer for subsequently compiled functions
+  /// ("trade runtime compilation overhead for better generated code").
+  void setOptimize(bool On) { Optimize = On; }
+
+  /// Compiles one function definition, e.g. "inc(x) { return x + 1; }",
+  /// registers it under its name, and returns its code handle. Fatal
+  /// error (with line number) on syntax errors.
+  CodePtr compile(const std::string &Source);
+
+  /// Entry address of a compiled function; fatal if unknown.
+  SimAddr lookup(const std::string &Name) const;
+
+  /// Number of parameters of a compiled function.
+  unsigned arity(const std::string &Name) const;
+
+  /// Convenience: run a compiled function on \p Cpu.
+  int32_t run(sim::Cpu &Cpu, const std::string &Name,
+              const std::vector<int32_t> &Args);
+
+private:
+  /// Slot in the function table for \p Name (created on demand).
+  SimAddr slotFor(const std::string &Name);
+
+  Target &Tgt;
+  sim::Memory &Mem;
+  bool Optimize = false;
+  struct FnInfo {
+    SimAddr Slot = 0;     ///< function-table slot holding the entry
+    SimAddr Entry = 0;    ///< 0 until defined
+    unsigned Arity = 0;
+    bool Defined = false;
+  };
+  std::map<std::string, FnInfo> Functions;
+};
+
+} // namespace tcc
+} // namespace vcode
+
+#endif // VCODE_TCC_TCC_H

@@ -1,0 +1,186 @@
+//===- tests/SimTest.cpp - Simulator substrate tests ---------------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+// Unit tests for the machine substrate that stands in for the paper's
+// DECstations: memory arena bounds and allocation, the direct-mapped cache
+// model (the mechanism behind Table 4's cached/uncached rows), and the
+// cycle cost model (the mechanism behind every µs the benches report).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "sim/Cache.h"
+#include "sim/MipsSim.h"
+#include <gtest/gtest.h>
+
+using namespace vcode;
+using namespace vcode::test;
+using sim::TypedValue;
+
+namespace {
+
+TEST(MemoryArena, AllocationAndBounds) {
+  sim::Memory M(1 << 20, /*Base=*/0x40000000, /*StackBytes=*/4096);
+  EXPECT_EQ(M.base(), 0x40000000u);
+  SimAddr A = M.alloc(100, 16);
+  EXPECT_EQ(A % 16, 0u);
+  SimAddr B = M.alloc(8, 8);
+  EXPECT_GE(B, A + 100);
+  M.write<uint32_t>(A, 0xdeadbeef);
+  EXPECT_EQ(M.read<uint32_t>(A), 0xdeadbeefu);
+  EXPECT_TRUE(M.contains(A, 100));
+  EXPECT_FALSE(M.contains(M.base() - 4, 4));
+  EXPECT_FALSE(M.contains(M.base() + (1 << 20), 4));
+}
+
+TEST(MemoryArena, MarkAndRelease) {
+  sim::Memory M(1 << 20, 0x10000000, 4096);
+  SimAddr Mark = M.mark();
+  SimAddr A = M.alloc(512);
+  M.release(Mark);
+  SimAddr B = M.alloc(512);
+  EXPECT_EQ(A, B) << "release must recycle the arena";
+}
+
+TEST(MemoryArena, OutOfMemoryIsFatal) {
+  sim::Memory M(1 << 20, 0x10000000, 4096);
+  EXPECT_DEATH((void)M.alloc(2 << 20), "exhausted");
+}
+
+TEST(CacheModel, HitsAndMisses) {
+  sim::Cache C;
+  C.configure(/*Bytes=*/1024, /*LineBytes=*/16);
+  EXPECT_FALSE(C.access(0x1000)); // cold
+  EXPECT_TRUE(C.access(0x1000));  // hit
+  EXPECT_TRUE(C.access(0x100c));  // same line
+  EXPECT_FALSE(C.access(0x1010)); // next line
+  // 1024-byte direct-mapped: +1024 conflicts.
+  EXPECT_FALSE(C.access(0x1000 + 1024));
+  EXPECT_FALSE(C.access(0x1000)); // evicted
+  C.flush();
+  EXPECT_FALSE(C.access(0x1010));
+}
+
+TEST(CacheModel, WarmPreloadsRange) {
+  sim::Cache C;
+  C.configure(4096, 16);
+  C.warm(0x2000, 256);
+  for (SimAddr A = 0x2000; A < 0x2100; A += 4)
+    EXPECT_TRUE(C.access(A)) << std::hex << A;
+}
+
+class SimCostTest : public ::testing::TestWithParam<std::string> {
+protected:
+  void SetUp() override { B = makeBundle(GetParam()); }
+  TargetBundle B;
+};
+
+TEST_P(SimCostTest, CycleAccountingBasics) {
+  // n dependent adds cost ~n cycles (plus fixed call scaffolding).
+  auto Build = [&](int N) {
+    VCode V(*B.Tgt);
+    Reg Arg[1];
+    V.lambda("%i", Arg, LeafHint, B.Mem->allocCode(1 << 16));
+    for (int I = 0; I < N; ++I)
+      V.addii(Arg[0], Arg[0], 1);
+    V.reti(Arg[0]);
+    return V.end();
+  };
+  CodePtr F100 = Build(100), F1100 = Build(1100);
+  B.Cpu->call(F100.Entry, {TypedValue::fromInt(0)});
+  B.Cpu->call(F100.Entry, {TypedValue::fromInt(0)}); // warm icache
+  uint64_t C100 = B.Cpu->lastStats().Cycles;
+  B.Cpu->call(F1100.Entry, {TypedValue::fromInt(0)});
+  B.Cpu->call(F1100.Entry, {TypedValue::fromInt(0)});
+  uint64_t C1100 = B.Cpu->lastStats().Cycles;
+  // The marginal 1000 adds cost exactly 1000 cycles when warm.
+  EXPECT_EQ(C1100 - C100, 1000u);
+  EXPECT_EQ(B.Cpu->lastStats().Instrs, 1100u + 2);
+}
+
+TEST_P(SimCostTest, CacheMissesAreCharged) {
+  // Summing a 32KB array: cold run must cost substantially more than a
+  // warm run, by roughly misses * penalty.
+  const uint32_t Bytes = 32 * 1024;
+  SimAddr Buf = B.Mem->alloc(Bytes, 16);
+  VCode V(*B.Tgt);
+  Reg Arg[2];
+  V.lambda("%p%u", Arg, LeafHint, B.Mem->allocCode(8192));
+  Reg Sum = V.getreg(Type::U), T = V.getreg(Type::U), End = V.getreg(Type::P);
+  V.setu(Sum, 0);
+  V.addp(End, Arg[0], Arg[1]);
+  Label Loop = V.genLabel(), Done = V.genLabel();
+  V.label(Loop);
+  V.bgep(Arg[0], End, Done);
+  V.ldui(T, Arg[0], 0);
+  V.addu(Sum, Sum, T);
+  V.addpi(Arg[0], Arg[0], 4);
+  V.jmp(Loop);
+  V.label(Done);
+  V.retu(Sum);
+  CodePtr Fn = V.end();
+
+  auto Run = [&] {
+    B.Cpu->call(Fn.Entry,
+                {TypedValue::fromPtr(Buf), TypedValue::fromUInt(Bytes)},
+                Type::U);
+    return B.Cpu->lastStats();
+  };
+  B.Cpu->flushCaches();
+  sim::RunStats Cold = Run();
+  sim::RunStats Warm = Run(); // dcache bigger than the buffer: now warm
+  EXPECT_GT(Cold.DCacheMisses, Bytes / 16 - 10); // one miss per 16B line
+  EXPECT_LT(Warm.DCacheMisses, 32u);
+  uint64_t Penalty = B.Cpu->config().MissPenalty;
+  EXPECT_NEAR(double(Cold.Cycles - Warm.Cycles),
+              double((Cold.DCacheMisses - Warm.DCacheMisses) * Penalty),
+              double(Penalty * 300));
+}
+
+TEST_P(SimCostTest, MultiplyLatencyCharged) {
+  auto Build = [&](bool Mul) {
+    VCode V(*B.Tgt);
+    Reg Arg[1];
+    V.lambda("%i", Arg, LeafHint, B.Mem->allocCode(8192));
+    Reg T = V.getreg(Type::I);
+    V.movi(T, Arg[0]);
+    for (int I = 0; I < 10; ++I) {
+      if (Mul)
+        V.muli(T, T, Arg[0]);
+      else
+        V.addi(T, T, Arg[0]);
+    }
+    V.reti(T);
+    return V.end();
+  };
+  CodePtr FM = Build(true), FA = Build(false);
+  auto Cycles = [&](CodePtr &P) {
+    B.Cpu->call(P.Entry, {TypedValue::fromInt(3)});
+    B.Cpu->call(P.Entry, {TypedValue::fromInt(3)});
+    return B.Cpu->lastStats().Cycles;
+  };
+  uint64_t CM = Cycles(FM), CA = Cycles(FA);
+  // Ten multiplies must cost at least 10 * (MulCycles) more than adds
+  // (the alpha divides count differently; multiplies are uniform).
+  EXPECT_GE(CM - CA, uint64_t(10 * B.Cpu->config().MulCycles - 20));
+}
+
+TEST_P(SimCostTest, StatsResetPerCall) {
+  VCode V(*B.Tgt);
+  Reg Arg[1];
+  V.lambda("%i", Arg, LeafHint, B.Mem->allocCode(4096));
+  V.reti(Arg[0]);
+  CodePtr Fn = V.end();
+  B.Cpu->call(Fn.Entry, {TypedValue::fromInt(1)});
+  uint64_t First = B.Cpu->lastStats().Instrs;
+  B.Cpu->call(Fn.Entry, {TypedValue::fromInt(1)});
+  EXPECT_EQ(B.Cpu->lastStats().Instrs, First)
+      << "stats must not accumulate across calls";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, SimCostTest,
+                         ::testing::ValuesIn(allTargetNames()),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- tests/SupportTest.cpp - Support library unit tests ----------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitUtils.h"
+#include "support/Rng.h"
+#include "support/TablePrinter.h"
+#include "core/Types.h"
+#include "core/Ops.h"
+#include "core/CallConv.h"
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace vcode;
+
+namespace {
+
+TEST(BitUtils, SignedImmediateRanges) {
+  EXPECT_TRUE(isInt<16>(32767));
+  EXPECT_FALSE(isInt<16>(32768));
+  EXPECT_TRUE(isInt<16>(-32768));
+  EXPECT_FALSE(isInt<16>(-32769));
+  EXPECT_TRUE(isInt<13>(4095));
+  EXPECT_FALSE(isInt<13>(4096));
+  EXPECT_TRUE(isInt<21>(-(1 << 20)));
+  EXPECT_FALSE(isInt<21>(1 << 20));
+}
+
+TEST(BitUtils, UnsignedImmediateRanges) {
+  EXPECT_TRUE(isUInt<16>(65535));
+  EXPECT_FALSE(isUInt<16>(65536));
+  EXPECT_TRUE(isUInt<8>(255));
+  EXPECT_FALSE(isUInt<8>(256));
+}
+
+TEST(BitUtils, SignExtension) {
+  EXPECT_EQ(signExtend32<16>(0x8000), -32768);
+  EXPECT_EQ(signExtend32<16>(0x7fff), 32767);
+  EXPECT_EQ(signExtend32<21>(0x1fffff), -1);
+  EXPECT_EQ((signExtend<8>(0xff)), -1);
+  EXPECT_EQ((signExtend<8>(0x7f)), 127);
+}
+
+TEST(BitUtils, ByteSwaps) {
+  EXPECT_EQ(byteSwap16(0x1234), 0x3412);
+  EXPECT_EQ(byteSwap32(0x12345678u), 0x78563412u);
+  EXPECT_EQ(byteSwap32(byteSwap32(0xdeadbeefu)), 0xdeadbeefu);
+}
+
+TEST(BitUtils, AlignAndLog) {
+  EXPECT_EQ(alignTo(0, 8), 0u);
+  EXPECT_EQ(alignTo(1, 8), 8u);
+  EXPECT_EQ(alignTo(8, 8), 8u);
+  EXPECT_EQ(alignTo(9, 16), 16u);
+  EXPECT_TRUE(isPowerOf2(64));
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_FALSE(isPowerOf2(48));
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(64), 6u);
+  EXPECT_EQ(log2Floor(100), 6u);
+}
+
+TEST(Rng, DeterministicAndSpread) {
+  Rng A(7), B(7), C(8);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  bool Different = false;
+  Rng A2(7);
+  for (int I = 0; I < 10; ++I)
+    Different |= A2.next() != C.next();
+  EXPECT_TRUE(Different);
+
+  // below() respects bounds; range() is inclusive.
+  Rng R(1);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.below(10);
+    EXPECT_LT(V, 10u);
+    Seen.insert(R.range(-3, 3));
+  }
+  EXPECT_EQ(Seen.size(), 7u);
+  for (int64_t V : Seen) {
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+  }
+}
+
+TEST(Types, SizesAndTraits) {
+  EXPECT_EQ(typeSize(Type::C, 4), 1u);
+  EXPECT_EQ(typeSize(Type::S, 4), 2u);
+  EXPECT_EQ(typeSize(Type::I, 8), 4u);
+  EXPECT_EQ(typeSize(Type::L, 4), 4u);
+  EXPECT_EQ(typeSize(Type::L, 8), 8u);
+  EXPECT_EQ(typeSize(Type::P, 8), 8u);
+  EXPECT_EQ(typeSize(Type::D, 4), 8u);
+  EXPECT_TRUE(isSignedType(Type::C));
+  EXPECT_FALSE(isSignedType(Type::UC));
+  EXPECT_TRUE(isFpType(Type::F));
+  EXPECT_FALSE(isRegType(Type::S));
+  EXPECT_TRUE(isIntRegType(Type::P));
+  EXPECT_STREQ(typeName(Type::UL), "ul");
+}
+
+TEST(Conds, SwapAndNegate) {
+  EXPECT_EQ(swapCond(Cond::Lt), Cond::Gt);
+  EXPECT_EQ(swapCond(Cond::Le), Cond::Ge);
+  EXPECT_EQ(swapCond(Cond::Eq), Cond::Eq);
+  EXPECT_EQ(negateCond(Cond::Lt), Cond::Ge);
+  EXPECT_EQ(negateCond(Cond::Eq), Cond::Ne);
+  EXPECT_EQ(negateCond(negateCond(Cond::Gt)), Cond::Gt);
+}
+
+TEST(CallConvPlacement, RegistersThenStack) {
+  CallConv CC;
+  CC.IntArgRegs = {intReg(4), intReg(5)};
+  CC.FpArgRegs = {fpReg(12)};
+  std::vector<Type> Args = {Type::I, Type::D, Type::I, Type::I, Type::D};
+  auto Locs = computeArgLocs(CC, Args, 4);
+  ASSERT_EQ(Locs.size(), 5u);
+  EXPECT_FALSE(Locs[0].OnStack);
+  EXPECT_EQ(Locs[0].R, intReg(4));
+  EXPECT_FALSE(Locs[1].OnStack);
+  EXPECT_EQ(Locs[1].R, fpReg(12));
+  EXPECT_FALSE(Locs[2].OnStack);
+  EXPECT_EQ(Locs[2].R, intReg(5));
+  EXPECT_TRUE(Locs[3].OnStack);
+  EXPECT_EQ(Locs[3].StackOff, 0);
+  EXPECT_TRUE(Locs[4].OnStack);
+  EXPECT_EQ(Locs[4].StackOff, 8) << "doubles align to 8 on the stack";
+  EXPECT_EQ(outArgBytes(CC, Locs, 4), 16u);
+}
+
+TEST(CallConvPlacement, MinOutArgBytesFloors) {
+  CallConv CC;
+  CC.IntArgRegs = {intReg(4)};
+  CC.MinOutArgBytes = 16;
+  std::vector<Type> Args = {Type::I};
+  auto Locs = computeArgLocs(CC, Args, 4);
+  EXPECT_EQ(outArgBytes(CC, Locs, 4), 16u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T({"a", "long-header", "c"});
+  T.addRow({"xxxx", "1", "2"});
+  T.addRow({"y", "22"});
+  // Render to a memory stream.
+  char Buf[512] = {};
+  FILE *F = fmemopen(Buf, sizeof(Buf), "w");
+  ASSERT_NE(F, nullptr);
+  T.print(F);
+  std::fclose(F);
+  std::string S(Buf);
+  EXPECT_NE(S.find("long-header"), std::string::npos);
+  EXPECT_NE(S.find("xxxx"), std::string::npos);
+  // All three lines of rows + header + rule.
+  EXPECT_EQ(std::count(S.begin(), S.end(), '\n'), 4);
+}
+
+} // namespace

@@ -1,0 +1,340 @@
+//===- tests/TestUtil.cpp - Shared test fixtures and reference semantics --===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "mips/MipsTarget.h"
+#include "sim/MipsSim.h"
+#include "alpha/AlphaTarget.h"
+#include "sim/AlphaSim.h"
+#include "sim/SparcSim.h"
+#include "sparc/SparcTarget.h"
+#include "support/Error.h"
+#include "support/Rng.h"
+#include <cmath>
+#include <cstring>
+
+using namespace vcode;
+using namespace vcode::test;
+
+TargetBundle vcode::test::makeBundle(const std::string &Name) {
+  TargetBundle B;
+  B.Mem = std::make_unique<sim::Memory>();
+  if (Name == "mips") {
+    B.Tgt = std::make_unique<mips::MipsTarget>();
+    B.Cpu = std::make_unique<sim::MipsSim>(*B.Mem);
+    return B;
+  }
+  if (Name == "sparc") {
+    B.Tgt = std::make_unique<sparc::SparcTarget>();
+    B.Cpu = std::make_unique<sim::SparcSim>(*B.Mem);
+    return B;
+  }
+  if (Name == "alpha") {
+    auto Tgt = std::make_unique<alpha::AlphaTarget>();
+    Tgt->installDivHelpers(B.Mem->allocCode(16384));
+    B.Tgt = std::move(Tgt);
+    B.Cpu = std::make_unique<sim::AlphaSim>(*B.Mem);
+    return B;
+  }
+  fatal("unknown test target '%s'", Name.c_str());
+}
+
+std::vector<std::string> vcode::test::allTargetNames() {
+  return {"mips", "sparc", "alpha"};
+}
+
+uint64_t vcode::test::canonicalize(Type Ty, uint64_t V, unsigned WordBytes) {
+  if (isFpType(Ty))
+    return Ty == Type::F ? (V & 0xffffffffu) : V;
+  unsigned Bits = typeBits(Ty, WordBytes);
+  if (Bits >= 64)
+    return V;
+  uint64_t Mask = (uint64_t(1) << Bits) - 1;
+  V &= Mask;
+  if (isSignedType(Ty) && (V >> (Bits - 1)))
+    V |= ~Mask;
+  return V;
+}
+
+namespace {
+
+float asF(uint64_t V) {
+  float F;
+  uint32_t B = uint32_t(V);
+  std::memcpy(&F, &B, 4);
+  return F;
+}
+uint64_t fromF(float F) {
+  uint32_t B;
+  std::memcpy(&B, &F, 4);
+  return B;
+}
+double asD(uint64_t V) {
+  double D;
+  std::memcpy(&D, &V, 8);
+  return D;
+}
+uint64_t fromD(double D) {
+  uint64_t B;
+  std::memcpy(&B, &D, 8);
+  return B;
+}
+
+} // namespace
+
+uint64_t vcode::test::refBinop(BinOp Op, Type Ty, uint64_t A, uint64_t B,
+                               unsigned WordBytes) {
+  if (Ty == Type::F) {
+    float X = asF(A), Y = asF(B);
+    switch (Op) {
+    case BinOp::Add:
+      return fromF(X + Y);
+    case BinOp::Sub:
+      return fromF(X - Y);
+    case BinOp::Mul:
+      return fromF(X * Y);
+    case BinOp::Div:
+      return fromF(X / Y);
+    default:
+      unreachable("bad fp op");
+    }
+  }
+  if (Ty == Type::D) {
+    double X = asD(A), Y = asD(B);
+    switch (Op) {
+    case BinOp::Add:
+      return fromD(X + Y);
+    case BinOp::Sub:
+      return fromD(X - Y);
+    case BinOp::Mul:
+      return fromD(X * Y);
+    case BinOp::Div:
+      return fromD(X / Y);
+    default:
+      unreachable("bad fp op");
+    }
+  }
+
+  unsigned Bits = typeBits(Ty, WordBytes);
+  uint64_t Mask = Bits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << Bits) - 1);
+  bool Signed = isSignedType(Ty);
+  uint64_t UA = A & Mask, UB = B & Mask;
+  int64_t SA = Bits >= 64 ? int64_t(A)
+                          : (int64_t(UA << (64 - Bits)) >> (64 - Bits));
+  int64_t SB = Bits >= 64 ? int64_t(B)
+                          : (int64_t(UB << (64 - Bits)) >> (64 - Bits));
+
+  uint64_t R = 0;
+  switch (Op) {
+  case BinOp::Add:
+    R = UA + UB;
+    break;
+  case BinOp::Sub:
+    R = UA - UB;
+    break;
+  case BinOp::Mul:
+    R = UA * UB;
+    break;
+  case BinOp::Div:
+    if (Signed)
+      R = uint64_t(SA / SB);
+    else
+      R = UA / UB;
+    break;
+  case BinOp::Mod:
+    if (Signed)
+      R = uint64_t(SA % SB);
+    else
+      R = UA % UB;
+    break;
+  case BinOp::And:
+    R = UA & UB;
+    break;
+  case BinOp::Or:
+    R = UA | UB;
+    break;
+  case BinOp::Xor:
+    R = UA ^ UB;
+    break;
+  case BinOp::Lsh:
+    R = UA << (UB & (Bits - 1));
+    break;
+  case BinOp::Rsh:
+    if (Signed)
+      R = uint64_t(SA >> (UB & (Bits - 1)));
+    else
+      R = UA >> (UB & (Bits - 1));
+    break;
+  }
+  return canonicalize(Ty, R, WordBytes);
+}
+
+uint64_t vcode::test::refUnop(UnOp Op, Type Ty, uint64_t A,
+                              unsigned WordBytes) {
+  if (Ty == Type::F) {
+    switch (Op) {
+    case UnOp::Mov:
+      return A & 0xffffffffu;
+    case UnOp::Neg:
+      return fromF(-asF(A));
+    default:
+      unreachable("bad fp unop");
+    }
+  }
+  if (Ty == Type::D) {
+    switch (Op) {
+    case UnOp::Mov:
+      return A;
+    case UnOp::Neg:
+      return fromD(-asD(A));
+    default:
+      unreachable("bad fp unop");
+    }
+  }
+  switch (Op) {
+  case UnOp::Com:
+    return canonicalize(Ty, ~A, WordBytes);
+  case UnOp::Not:
+    return canonicalize(Ty, canonicalize(Ty, A, WordBytes) == 0 ? 1 : 0,
+                        WordBytes);
+  case UnOp::Mov:
+    return canonicalize(Ty, A, WordBytes);
+  case UnOp::Neg:
+    return canonicalize(Ty, uint64_t(0) - A, WordBytes);
+  }
+  unreachable("bad UnOp");
+}
+
+bool vcode::test::refCond(Cond C, Type Ty, uint64_t A, uint64_t B,
+                          unsigned WordBytes) {
+  if (Ty == Type::F || Ty == Type::D) {
+    double X = Ty == Type::F ? double(asF(A)) : asD(A);
+    double Y = Ty == Type::F ? double(asF(B)) : asD(B);
+    switch (C) {
+    case Cond::Lt:
+      return X < Y;
+    case Cond::Le:
+      return X <= Y;
+    case Cond::Gt:
+      return X > Y;
+    case Cond::Ge:
+      return X >= Y;
+    case Cond::Eq:
+      return X == Y;
+    case Cond::Ne:
+      return X != Y;
+    }
+  }
+  unsigned Bits = typeBits(Ty, WordBytes);
+  uint64_t Mask = Bits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << Bits) - 1);
+  if (isSignedType(Ty)) {
+    int64_t X = Bits >= 64 ? int64_t(A)
+                           : (int64_t((A & Mask) << (64 - Bits)) >>
+                              (64 - Bits));
+    int64_t Y = Bits >= 64 ? int64_t(B)
+                           : (int64_t((B & Mask) << (64 - Bits)) >>
+                              (64 - Bits));
+    switch (C) {
+    case Cond::Lt:
+      return X < Y;
+    case Cond::Le:
+      return X <= Y;
+    case Cond::Gt:
+      return X > Y;
+    case Cond::Ge:
+      return X >= Y;
+    case Cond::Eq:
+      return X == Y;
+    case Cond::Ne:
+      return X != Y;
+    }
+  }
+  uint64_t X = A & Mask, Y = B & Mask;
+  switch (C) {
+  case Cond::Lt:
+    return X < Y;
+  case Cond::Le:
+    return X <= Y;
+  case Cond::Gt:
+    return X > Y;
+  case Cond::Ge:
+    return X >= Y;
+  case Cond::Eq:
+    return X == Y;
+  case Cond::Ne:
+    return X != Y;
+  }
+  unreachable("bad Cond");
+}
+
+uint64_t vcode::test::refCvt(Type From, Type To, uint64_t A,
+                             unsigned WordBytes) {
+  // Source value as a double-wide intermediate.
+  if (isFpType(From)) {
+    double V = From == Type::F ? double(asF(A)) : asD(A);
+    if (To == Type::F)
+      return fromF(float(V));
+    if (To == Type::D)
+      return fromD(V);
+    // FP -> integer truncates toward zero.
+    return canonicalize(To, uint64_t(int64_t(V)), WordBytes);
+  }
+  uint64_t Canon = canonicalize(From, A, WordBytes);
+  if (To == Type::F || To == Type::D) {
+    double V;
+    if (isSignedType(From))
+      V = double(int64_t(Canon));
+    else
+      V = double(Canon);
+    return To == Type::F ? fromF(float(V)) : fromD(V);
+  }
+  return canonicalize(To, Canon, WordBytes);
+}
+
+std::vector<uint64_t> vcode::test::operandValues(Type Ty, unsigned WordBytes,
+                                                 unsigned Total,
+                                                 uint64_t Seed) {
+  std::vector<uint64_t> Out;
+  Rng R(Seed);
+  if (Ty == Type::F) {
+    const float Boundary[] = {0.0f, 1.0f, -1.0f, 0.5f, -2.25f, 1e6f, -3.5e4f};
+    for (float F : Boundary)
+      Out.push_back(fromF(F));
+    while (Out.size() < Total) {
+      float F = float(int64_t(R.range(-1000000, 1000000))) / 64.0f;
+      Out.push_back(fromF(F));
+    }
+    return Out;
+  }
+  if (Ty == Type::D) {
+    const double Boundary[] = {0.0, 1.0, -1.0, 0.5, -2.25, 1e12, -3.5e8};
+    for (double D : Boundary)
+      Out.push_back(fromD(D));
+    while (Out.size() < Total) {
+      double D = double(int64_t(R.next() % (1ull << 40))) / 128.0 - 1e9;
+      Out.push_back(fromD(D));
+    }
+    return Out;
+  }
+  unsigned Bits = typeBits(Ty, WordBytes);
+  uint64_t Mask = Bits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << Bits) - 1);
+  const uint64_t Boundary[] = {0,
+                               1,
+                               2,
+                               Mask,            // all ones / -1
+                               Mask >> 1,       // max signed
+                               (Mask >> 1) + 1, // min signed
+                               0x7f,
+                               0x80,
+                               0xff,
+                               0x8000,
+                               0x12345678 & Mask};
+  for (uint64_t V : Boundary)
+    Out.push_back(canonicalize(Ty, V, WordBytes));
+  while (Out.size() < Total)
+    Out.push_back(canonicalize(Ty, R.next(), WordBytes));
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- tests/TestUtil.h - Shared test fixtures and reference semantics ----===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Target-parameterized fixtures (one bundle = arena + backend + CPU
+/// simulator) and a host-side reference evaluator for VCODE instruction
+/// semantics. The auto-generated regression tests (paper §3.3: "a script to
+/// automatically generate regression tests for errors in instruction
+/// mappings and calling conventions") compare generated-code results on the
+/// simulator against this evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_TESTS_TESTUTIL_H
+#define VCODE_TESTS_TESTUTIL_H
+
+#include "core/VCode.h"
+#include "sim/Cpu.h"
+#include "sim/Memory.h"
+#include <memory>
+#include <string>
+
+namespace vcode {
+namespace test {
+
+/// Everything needed to generate and run code for one target.
+struct TargetBundle {
+  std::unique_ptr<sim::Memory> Mem;
+  std::unique_ptr<Target> Tgt;
+  std::unique_ptr<sim::Cpu> Cpu;
+};
+
+/// Creates a bundle by target name ("mips", "sparc", "alpha").
+TargetBundle makeBundle(const std::string &Name);
+
+/// Names of all available targets (for INSTANTIATE_TEST_SUITE_P).
+std::vector<std::string> allTargetNames();
+
+/// Register-width in bits of \p Ty values on a target with \p WordBytes
+/// words.
+inline unsigned typeBits(Type Ty, unsigned WordBytes) {
+  return typeSize(Ty, WordBytes) * 8;
+}
+
+/// Truncates \p V to the width of \p Ty, sign- or zero-extending into the
+/// canonical 64-bit container used by TypedValue.
+uint64_t canonicalize(Type Ty, uint64_t V, unsigned WordBytes);
+
+/// Host-side reference semantics for the VCODE core. All integer values are
+/// canonical 64-bit containers per canonicalize().
+uint64_t refBinop(BinOp Op, Type Ty, uint64_t A, uint64_t B,
+                  unsigned WordBytes);
+uint64_t refUnop(UnOp Op, Type Ty, uint64_t A, unsigned WordBytes);
+bool refCond(Cond C, Type Ty, uint64_t A, uint64_t B, unsigned WordBytes);
+uint64_t refCvt(Type From, Type To, uint64_t A, unsigned WordBytes);
+
+/// Interesting operand values for \p Ty (boundary cases first), followed by
+/// pseudo-random ones up to \p Total.
+std::vector<uint64_t> operandValues(Type Ty, unsigned WordBytes,
+                                    unsigned Total, uint64_t Seed);
+
+} // namespace test
+} // namespace vcode
+
+#endif // VCODE_TESTS_TESTUTIL_H

@@ -1,0 +1,58 @@
+//===- tools/vcodegen/vcodegen.cpp - The VCODE preprocessor -----------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+// The concise instruction-specification preprocessor of paper §5.4:
+// consumes specifications of the form
+//
+//   (base-insn-name (paramlist) [(type-list mach_insn [mach_imm_insn])]+)
+//
+// e.g. the paper's worked example
+//
+//   (sqrt (rd, rs) (f fsqrts) (d fsqrtd))
+//
+// and generates C++ wrapper definitions (v_sqrtf, v_sqrtd, ...) on stdout.
+// Usage: vcodegen [specfile]   (reads stdin when no file is given)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Extension.h"
+#include "support/Error.h"
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+
+using namespace vcode;
+
+int main(int argc, char **argv) {
+  std::string Text;
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [specfile]\n", argv[0]);
+    return 2;
+  }
+  if (argc == 2) {
+    std::ifstream In(argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "vcodegen: cannot open '%s'\n", argv[1]);
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Text = SS.str();
+  } else {
+    std::stringstream SS;
+    SS << std::cin.rdbuf();
+    Text = SS.str();
+  }
+
+  std::string Err;
+  std::vector<SpecInsn> Specs = parseSpecs(Text, &Err);
+  if (Specs.empty() && !Err.empty()) {
+    std::fprintf(stderr, "vcodegen: %s\n", Err.c_str());
+    return 1;
+  }
+  std::fputs(generateCppExtensionHeader(Specs).c_str(), stdout);
+  return 0;
+}
