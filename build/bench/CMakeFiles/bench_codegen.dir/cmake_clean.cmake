@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codegen.dir/bench_codegen.cpp.o"
+  "CMakeFiles/bench_codegen.dir/bench_codegen.cpp.o.d"
+  "bench_codegen"
+  "bench_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

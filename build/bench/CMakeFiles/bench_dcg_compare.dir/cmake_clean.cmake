@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dcg_compare.dir/bench_dcg_compare.cpp.o"
+  "CMakeFiles/bench_dcg_compare.dir/bench_dcg_compare.cpp.o.d"
+  "bench_dcg_compare"
+  "bench_dcg_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dcg_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

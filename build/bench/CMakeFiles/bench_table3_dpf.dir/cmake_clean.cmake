@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dpf.dir/bench_table3_dpf.cpp.o"
+  "CMakeFiles/bench_table3_dpf.dir/bench_table3_dpf.cpp.o.d"
+  "bench_table3_dpf"
+  "bench_table3_dpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

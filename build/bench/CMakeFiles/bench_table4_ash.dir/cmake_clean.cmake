@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ash.dir/bench_table4_ash.cpp.o"
+  "CMakeFiles/bench_table4_ash.dir/bench_table4_ash.cpp.o.d"
+  "bench_table4_ash"
+  "bench_table4_ash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

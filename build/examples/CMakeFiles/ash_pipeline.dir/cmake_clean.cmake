@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_pipeline.dir/ash_pipeline.cpp.o"
+  "CMakeFiles/ash_pipeline.dir/ash_pipeline.cpp.o.d"
+  "ash_pipeline"
+  "ash_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dpf_demux.cpp" "examples/CMakeFiles/dpf_demux.dir/dpf_demux.cpp.o" "gcc" "examples/CMakeFiles/dpf_demux.dir/dpf_demux.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpf/CMakeFiles/vcode_dpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mips/CMakeFiles/vcode_mips.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcode_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparc/CMakeFiles/vcode_sparc.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/vcode_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vcode_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpf_demux.dir/dpf_demux.cpp.o"
+  "CMakeFiles/dpf_demux.dir/dpf_demux.cpp.o.d"
+  "dpf_demux"
+  "dpf_demux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpf_demux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

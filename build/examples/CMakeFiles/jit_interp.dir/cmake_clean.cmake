@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_interp.dir/jit_interp.cpp.o"
+  "CMakeFiles/jit_interp.dir/jit_interp.cpp.o.d"
+  "jit_interp"
+  "jit_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marshal.dir/marshal.cpp.o"
+  "CMakeFiles/marshal.dir/marshal.cpp.o.d"
+  "marshal"
+  "marshal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

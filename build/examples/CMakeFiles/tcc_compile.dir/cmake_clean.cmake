@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_compile.dir/tcc_compile.cpp.o"
+  "CMakeFiles/tcc_compile.dir/tcc_compile.cpp.o.d"
+  "tcc_compile"
+  "tcc_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_alpha.dir/AlphaDisasm.cpp.o"
+  "CMakeFiles/vcode_alpha.dir/AlphaDisasm.cpp.o.d"
+  "CMakeFiles/vcode_alpha.dir/AlphaTarget.cpp.o"
+  "CMakeFiles/vcode_alpha.dir/AlphaTarget.cpp.o.d"
+  "libvcode_alpha.a"
+  "libvcode_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vcode_alpha.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_ash.dir/Ash.cpp.o"
+  "CMakeFiles/vcode_ash.dir/Ash.cpp.o.d"
+  "libvcode_ash.a"
+  "libvcode_ash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_ash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

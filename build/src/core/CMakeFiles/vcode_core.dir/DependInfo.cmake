@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Extension.cpp" "src/core/CMakeFiles/vcode_core.dir/Extension.cpp.o" "gcc" "src/core/CMakeFiles/vcode_core.dir/Extension.cpp.o.d"
+  "/root/repo/src/core/Peephole.cpp" "src/core/CMakeFiles/vcode_core.dir/Peephole.cpp.o" "gcc" "src/core/CMakeFiles/vcode_core.dir/Peephole.cpp.o.d"
+  "/root/repo/src/core/RegAlloc.cpp" "src/core/CMakeFiles/vcode_core.dir/RegAlloc.cpp.o" "gcc" "src/core/CMakeFiles/vcode_core.dir/RegAlloc.cpp.o.d"
+  "/root/repo/src/core/StrengthReduce.cpp" "src/core/CMakeFiles/vcode_core.dir/StrengthReduce.cpp.o" "gcc" "src/core/CMakeFiles/vcode_core.dir/StrengthReduce.cpp.o.d"
+  "/root/repo/src/core/VCode.cpp" "src/core/CMakeFiles/vcode_core.dir/VCode.cpp.o" "gcc" "src/core/CMakeFiles/vcode_core.dir/VCode.cpp.o.d"
+  "/root/repo/src/core/VRegLayer.cpp" "src/core/CMakeFiles/vcode_core.dir/VRegLayer.cpp.o" "gcc" "src/core/CMakeFiles/vcode_core.dir/VRegLayer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

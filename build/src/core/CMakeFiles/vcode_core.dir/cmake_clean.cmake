@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_core.dir/Extension.cpp.o"
+  "CMakeFiles/vcode_core.dir/Extension.cpp.o.d"
+  "CMakeFiles/vcode_core.dir/Peephole.cpp.o"
+  "CMakeFiles/vcode_core.dir/Peephole.cpp.o.d"
+  "CMakeFiles/vcode_core.dir/RegAlloc.cpp.o"
+  "CMakeFiles/vcode_core.dir/RegAlloc.cpp.o.d"
+  "CMakeFiles/vcode_core.dir/StrengthReduce.cpp.o"
+  "CMakeFiles/vcode_core.dir/StrengthReduce.cpp.o.d"
+  "CMakeFiles/vcode_core.dir/VCode.cpp.o"
+  "CMakeFiles/vcode_core.dir/VCode.cpp.o.d"
+  "CMakeFiles/vcode_core.dir/VRegLayer.cpp.o"
+  "CMakeFiles/vcode_core.dir/VRegLayer.cpp.o.d"
+  "libvcode_core.a"
+  "libvcode_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_dcg.dir/Dcg.cpp.o"
+  "CMakeFiles/vcode_dcg.dir/Dcg.cpp.o.d"
+  "libvcode_dcg.a"
+  "libvcode_dcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_dcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_dpf.dir/DpfEngine.cpp.o"
+  "CMakeFiles/vcode_dpf.dir/DpfEngine.cpp.o.d"
+  "CMakeFiles/vcode_dpf.dir/Filter.cpp.o"
+  "CMakeFiles/vcode_dpf.dir/Filter.cpp.o.d"
+  "CMakeFiles/vcode_dpf.dir/MpfEngine.cpp.o"
+  "CMakeFiles/vcode_dpf.dir/MpfEngine.cpp.o.d"
+  "CMakeFiles/vcode_dpf.dir/PathFinderEngine.cpp.o"
+  "CMakeFiles/vcode_dpf.dir/PathFinderEngine.cpp.o.d"
+  "libvcode_dpf.a"
+  "libvcode_dpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_dpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

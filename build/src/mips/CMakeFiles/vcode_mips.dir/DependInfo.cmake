@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mips/MipsDisasm.cpp" "src/mips/CMakeFiles/vcode_mips.dir/MipsDisasm.cpp.o" "gcc" "src/mips/CMakeFiles/vcode_mips.dir/MipsDisasm.cpp.o.d"
+  "/root/repo/src/mips/MipsTarget.cpp" "src/mips/CMakeFiles/vcode_mips.dir/MipsTarget.cpp.o" "gcc" "src/mips/CMakeFiles/vcode_mips.dir/MipsTarget.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vcode_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

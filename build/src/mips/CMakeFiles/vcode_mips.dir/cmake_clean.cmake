@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_mips.dir/MipsDisasm.cpp.o"
+  "CMakeFiles/vcode_mips.dir/MipsDisasm.cpp.o.d"
+  "CMakeFiles/vcode_mips.dir/MipsTarget.cpp.o"
+  "CMakeFiles/vcode_mips.dir/MipsTarget.cpp.o.d"
+  "libvcode_mips.a"
+  "libvcode_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/AlphaSim.cpp" "src/sim/CMakeFiles/vcode_sim.dir/AlphaSim.cpp.o" "gcc" "src/sim/CMakeFiles/vcode_sim.dir/AlphaSim.cpp.o.d"
+  "/root/repo/src/sim/MipsSim.cpp" "src/sim/CMakeFiles/vcode_sim.dir/MipsSim.cpp.o" "gcc" "src/sim/CMakeFiles/vcode_sim.dir/MipsSim.cpp.o.d"
+  "/root/repo/src/sim/SparcSim.cpp" "src/sim/CMakeFiles/vcode_sim.dir/SparcSim.cpp.o" "gcc" "src/sim/CMakeFiles/vcode_sim.dir/SparcSim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vcode_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mips/CMakeFiles/vcode_mips.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparc/CMakeFiles/vcode_sparc.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/vcode_alpha.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

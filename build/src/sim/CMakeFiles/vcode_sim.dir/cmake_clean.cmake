@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_sim.dir/AlphaSim.cpp.o"
+  "CMakeFiles/vcode_sim.dir/AlphaSim.cpp.o.d"
+  "CMakeFiles/vcode_sim.dir/MipsSim.cpp.o"
+  "CMakeFiles/vcode_sim.dir/MipsSim.cpp.o.d"
+  "CMakeFiles/vcode_sim.dir/SparcSim.cpp.o"
+  "CMakeFiles/vcode_sim.dir/SparcSim.cpp.o.d"
+  "libvcode_sim.a"
+  "libvcode_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

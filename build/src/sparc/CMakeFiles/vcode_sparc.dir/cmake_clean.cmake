@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_sparc.dir/SparcDisasm.cpp.o"
+  "CMakeFiles/vcode_sparc.dir/SparcDisasm.cpp.o.d"
+  "CMakeFiles/vcode_sparc.dir/SparcTarget.cpp.o"
+  "CMakeFiles/vcode_sparc.dir/SparcTarget.cpp.o.d"
+  "libvcode_sparc.a"
+  "libvcode_sparc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_sparc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

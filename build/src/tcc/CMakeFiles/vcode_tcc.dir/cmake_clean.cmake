@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_tcc.dir/Tcc.cpp.o"
+  "CMakeFiles/vcode_tcc.dir/Tcc.cpp.o.d"
+  "libvcode_tcc.a"
+  "libvcode_tcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_tcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

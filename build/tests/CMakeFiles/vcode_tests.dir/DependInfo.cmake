@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AshTest.cpp" "tests/CMakeFiles/vcode_tests.dir/AshTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/AshTest.cpp.o.d"
+  "/root/repo/tests/CoreTest.cpp" "tests/CMakeFiles/vcode_tests.dir/CoreTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/CoreTest.cpp.o.d"
+  "/root/repo/tests/DcgTest.cpp" "tests/CMakeFiles/vcode_tests.dir/DcgTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/DcgTest.cpp.o.d"
+  "/root/repo/tests/DifferentialTest.cpp" "tests/CMakeFiles/vcode_tests.dir/DifferentialTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/DifferentialTest.cpp.o.d"
+  "/root/repo/tests/DisasmTest.cpp" "tests/CMakeFiles/vcode_tests.dir/DisasmTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/DisasmTest.cpp.o.d"
+  "/root/repo/tests/DpfStressTest.cpp" "tests/CMakeFiles/vcode_tests.dir/DpfStressTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/DpfStressTest.cpp.o.d"
+  "/root/repo/tests/DpfTest.cpp" "tests/CMakeFiles/vcode_tests.dir/DpfTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/DpfTest.cpp.o.d"
+  "/root/repo/tests/ErrorTest.cpp" "tests/CMakeFiles/vcode_tests.dir/ErrorTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/ErrorTest.cpp.o.d"
+  "/root/repo/tests/ExtensionTest.cpp" "tests/CMakeFiles/vcode_tests.dir/ExtensionTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/ExtensionTest.cpp.o.d"
+  "/root/repo/tests/FeatureTest.cpp" "tests/CMakeFiles/vcode_tests.dir/FeatureTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/FeatureTest.cpp.o.d"
+  "/root/repo/tests/PeepholeTest.cpp" "tests/CMakeFiles/vcode_tests.dir/PeepholeTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/PeepholeTest.cpp.o.d"
+  "/root/repo/tests/QuirksTest.cpp" "tests/CMakeFiles/vcode_tests.dir/QuirksTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/QuirksTest.cpp.o.d"
+  "/root/repo/tests/RegressionTest.cpp" "tests/CMakeFiles/vcode_tests.dir/RegressionTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/RegressionTest.cpp.o.d"
+  "/root/repo/tests/SimTest.cpp" "tests/CMakeFiles/vcode_tests.dir/SimTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/SimTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/vcode_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TccTest.cpp" "tests/CMakeFiles/vcode_tests.dir/TccTest.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/TccTest.cpp.o.d"
+  "/root/repo/tests/TestUtil.cpp" "tests/CMakeFiles/vcode_tests.dir/TestUtil.cpp.o" "gcc" "tests/CMakeFiles/vcode_tests.dir/TestUtil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpf/CMakeFiles/vcode_dpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcg/CMakeFiles/vcode_dcg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ash/CMakeFiles/vcode_ash.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcc/CMakeFiles/vcode_tcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcode_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mips/CMakeFiles/vcode_mips.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparc/CMakeFiles/vcode_sparc.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/vcode_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vcode_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

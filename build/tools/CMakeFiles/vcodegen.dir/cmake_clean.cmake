@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcodegen.dir/vcodegen/vcodegen.cpp.o"
+  "CMakeFiles/vcodegen.dir/vcodegen/vcodegen.cpp.o.d"
+  "vcodegen"
+  "vcodegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcodegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
