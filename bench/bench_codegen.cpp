@@ -114,6 +114,47 @@ void BM_VcodePortable(benchmark::State &State) {
   State.SetLabel(TargetNames[State.range(0)]);
 }
 
+/// The same generator through VCodeT<TargetT>: every emit resolves
+/// statically and inlines into this loop, no virtual dispatch per
+/// generated instruction.
+template <class TargetT>
+void staticPortableLoop(benchmark::State &State, TargetT &Tgt, CodeMem Code,
+                        int Ops) {
+  for (auto _ : State) {
+    VCodeT<TargetT> V(Tgt);
+    Reg Arg[1];
+    V.lambda("%i", Arg, LeafHint, Code);
+    Reg R = V.getreg(Type::I);
+    V.movi(R, Arg[0]);
+    for (int I = 0; I < Ops; ++I)
+      V.addii(R, R, 1);
+    V.reti(R);
+    CodePtr P = V.end();
+    benchmark::DoNotOptimize(P.Entry);
+    V.putreg(R);
+  }
+}
+
+void BM_VcodeStaticPortable(benchmark::State &State) {
+  Targets &T = targets();
+  const int Ops = int(State.range(1));
+  switch (int(State.range(0))) {
+  case 0:
+    staticPortableLoop(State, T.Mips, T.Code, Ops);
+    break;
+  case 1:
+    staticPortableLoop(State, T.Sparc, T.Code, Ops);
+    break;
+  default:
+    staticPortableLoop(State, T.Alpha, T.Code, Ops);
+    break;
+  }
+  int64_t Gen = int64_t(State.iterations()) * Ops;
+  State.SetItemsProcessed(Gen);
+  addEstCounter(State, Gen);
+  State.SetLabel(TargetNames[State.range(0)]);
+}
+
 /// Hard-coded register names (paper §5.3): no allocator interaction.
 void BM_VcodeHardRegs(benchmark::State &State) {
   Targets &T = targets();
@@ -130,6 +171,45 @@ void BM_VcodeHardRegs(benchmark::State &State) {
     V.reti(T0);
     CodePtr P = V.end();
     benchmark::DoNotOptimize(P.Entry);
+  }
+  int64_t Gen = int64_t(State.iterations()) * Ops;
+  State.SetItemsProcessed(Gen);
+  addEstCounter(State, Gen);
+  State.SetLabel(TargetNames[State.range(0)]);
+}
+
+/// Hard-coded registers through VCodeT: the two optimizations compose, and
+/// this is the closest VCODE-API equivalent of the paper's macro interface.
+template <class TargetT>
+void staticHardRegsLoop(benchmark::State &State, TargetT &Tgt, CodeMem Code,
+                        int Ops) {
+  for (auto _ : State) {
+    VCodeT<TargetT> V(Tgt);
+    Reg Arg[1];
+    V.lambda("%i", Arg, LeafHint, Code);
+    Reg T0 = V.tmp(0);
+    V.movi(T0, Arg[0]);
+    for (int I = 0; I < Ops; ++I)
+      V.addii(T0, T0, 1);
+    V.reti(T0);
+    CodePtr P = V.end();
+    benchmark::DoNotOptimize(P.Entry);
+  }
+}
+
+void BM_VcodeStaticHardRegs(benchmark::State &State) {
+  Targets &T = targets();
+  const int Ops = int(State.range(1));
+  switch (int(State.range(0))) {
+  case 0:
+    staticHardRegsLoop(State, T.Mips, T.Code, Ops);
+    break;
+  case 1:
+    staticHardRegsLoop(State, T.Sparc, T.Code, Ops);
+    break;
+  default:
+    staticHardRegsLoop(State, T.Alpha, T.Code, Ops);
+    break;
   }
   int64_t Gen = int64_t(State.iterations()) * Ops;
   State.SetItemsProcessed(Gen);
@@ -190,7 +270,13 @@ void BM_VcodeBranchy(benchmark::State &State) {
 BENCHMARK(BM_VcodePortable)
     ->ArgsProduct({{0, 1, 2}, {32, 256, 2048}})
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VcodeStaticPortable)
+    ->ArgsProduct({{0, 1, 2}, {32, 256, 2048}})
+    ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_VcodeHardRegs)
+    ->ArgsProduct({{0, 1, 2}, {32, 256, 2048}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VcodeStaticHardRegs)
     ->ArgsProduct({{0, 1, 2}, {32, 256, 2048}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_RawEncoderMacro)->Arg(2048)->Unit(benchmark::kMicrosecond);

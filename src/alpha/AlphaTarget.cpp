@@ -2,42 +2,17 @@
 //
 // Part of the vcode reproduction of Engler, PLDI 1996.
 //
+// The hot emitters live inline in AlphaTarget.h; this file holds the cold
+// paths: target description, function framing, fixups, disassembly, the
+// division helper routines, and the machine-level extension instructions.
+//
 //===----------------------------------------------------------------------===//
 
 #include "alpha/AlphaTarget.h"
 #include "alpha/AlphaDisasm.h"
-#include "alpha/AlphaEncoding.h"
-#include "support/BitUtils.h"
-#include <cassert>
-#include <cstring>
 
 using namespace vcode;
 using namespace vcode::alpha;
-
-// Scratch registers reserved from allocation: AT (r28) plus AT2 (r25, also
-// the division helpers' second argument) and r24 (helper first argument /
-// third scratch of the byte-store synthesis).
-static constexpr unsigned AT2 = T11; // r25
-static constexpr unsigned AT3 = T10; // r24
-// FP scratch.
-static constexpr unsigned FAT0 = 27;
-static constexpr unsigned FAT1 = 28;
-// Red-zone slot for int<->fp moves (no direct move on the 21064).
-static constexpr int32_t RedZone = -8;
-
-static unsigned gpr(Reg R) {
-  assert(R.isInt() && "integer register expected");
-  return R.Num;
-}
-
-static unsigned fpr(Reg R) {
-  assert(R.isFp() && "fp register expected");
-  return R.Num;
-}
-
-/// I and U are 32-bit on Alpha; values live sign-extended in 64-bit
-/// registers (the architecture's canonical longword form).
-static bool is32(Type Ty) { return Ty == Type::I || Ty == Type::U; }
 
 const TargetInfo &vcode::alpha::alphaTargetInfo() {
   static const TargetInfo TI = [] {
@@ -78,42 +53,10 @@ const TargetInfo &vcode::alpha::alphaTargetInfo() {
 
 AlphaTarget::AlphaTarget() { registerMachineInstructions(); }
 
-// --- Helpers -----------------------------------------------------------------
+// --- Division (no hardware divide on the 21064) ------------------------------
 
-void AlphaTarget::li(VCode &VC, unsigned Rd, int64_t V) {
-  CodeBuffer &B = VC.buf();
-  if (isInt<16>(V)) {
-    B.put(lda(Rd, ZERO, int32_t(V)));
-    return;
-  }
-  int64_t Lo = int64_t(int16_t(V & 0xffff));
-  // Wrapping subtraction: V may be INT64_MAX with a negative Lo.
-  int64_t Rem = int64_t(uint64_t(V) - uint64_t(Lo));
-  if ((Rem & 0xffff) == 0 && isInt<16>(Rem >> 16)) {
-    B.put(ldah(Rd, ZERO, int32_t(Rem >> 16)));
-    if (Lo)
-      B.put(lda(Rd, Rd, int32_t(Lo)));
-    return;
-  }
-  // Wide 64-bit constant: load it from the constant pool (the same
-  // end-of-function pool used for FP immediates, paper §5.2).
-  Label Pool = VC.constPoolLabel(uint64_t(V));
-  addrOfLabel(VC, Rd, Pool);
-  B.put(ldq(Rd, Rd, 0));
-}
-
-void AlphaTarget::addrOfLabel(VCode &VC, unsigned Rd, Label L) {
-  CodeBuffer &B = VC.buf();
-  VC.addFixup(FixupKind::AddrHi, L);
-  B.put(ldah(Rd, ZERO, 0));
-  VC.addFixup(FixupKind::AddrLo, L);
-  B.put(lda(Rd, Rd, 0));
-}
-
-// --- ALU -----------------------------------------------------------------------
-
-void AlphaTarget::emitDivCall(VCode &VC, Type Ty, Reg Rd, Reg Rs1, Reg Rs2,
-                              bool Rem) {
+void AlphaTarget::divCall(VCode &VC, Type Ty, Reg Rd, Reg Rs1, Reg Rs2,
+                          bool Rem) {
   if (!divHelpersInstalled())
     fatal("alpha: integer division requires AlphaTarget::installDivHelpers() "
           "(the 21064 has no divide instruction; paper §5.2)");
@@ -137,575 +80,6 @@ void AlphaTarget::emitDivCall(VCode &VC, Type Ty, Reg Rd, Reg Rs1, Reg Rs2,
     B.put(bis(gpr(Rd), T12, T12));
 }
 
-void AlphaTarget::emitBinop(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
-                            Reg Rs2) {
-  CodeBuffer &B = VC.buf();
-  if (isFpType(Ty)) {
-    bool Dbl = Ty == Type::D;
-    unsigned D = fpr(Rd), S = fpr(Rs1), T = fpr(Rs2);
-    switch (Op) {
-    case BinOp::Add:
-      B.put(fop(Dbl ? ADDT : ADDS, D, S, T));
-      return;
-    case BinOp::Sub:
-      B.put(fop(Dbl ? SUBT : SUBS, D, S, T));
-      return;
-    case BinOp::Mul:
-      B.put(fop(Dbl ? MULT : MULS, D, S, T));
-      return;
-    case BinOp::Div:
-      B.put(fop(Dbl ? DIVT : DIVS, D, S, T));
-      return;
-    default:
-      fatal("alpha: fp binop '%s' unsupported", binOpName(Op));
-    }
-  }
-  bool W32 = is32(Ty);
-  unsigned D = gpr(Rd), S = gpr(Rs1), T = gpr(Rs2);
-  switch (Op) {
-  case BinOp::Add:
-    B.put(W32 ? addl(D, S, T) : addq(D, S, T));
-    return;
-  case BinOp::Sub:
-    B.put(W32 ? subl(D, S, T) : subq(D, S, T));
-    return;
-  case BinOp::Mul:
-    B.put(W32 ? mull(D, S, T) : mulq(D, S, T));
-    return;
-  case BinOp::Div:
-    emitDivCall(VC, Ty, Rd, Rs1, Rs2, /*Rem=*/false);
-    return;
-  case BinOp::Mod:
-    emitDivCall(VC, Ty, Rd, Rs1, Rs2, /*Rem=*/true);
-    return;
-  case BinOp::And:
-    B.put(and_(D, S, T));
-    return;
-  case BinOp::Or:
-    B.put(bis(D, S, T));
-    return;
-  case BinOp::Xor:
-    B.put(xor_(D, S, T));
-    return;
-  case BinOp::Lsh:
-    B.put(sll(D, S, T));
-    if (W32)
-      B.put(addli(D, D, 0)); // truncate + sign-extend to canonical form
-    return;
-  case BinOp::Rsh:
-    if (!W32) {
-      B.put(isSignedType(Ty) ? sra(D, S, T) : srl(D, S, T));
-      return;
-    }
-    if (Ty == Type::I) {
-      B.put(sra(D, S, T)); // canonical form is already sign-extended
-      return;
-    }
-    // 32-bit logical shift: zero-extend, shift, re-canonicalize.
-    B.put(zapnoti(AT, S, 0x0f));
-    B.put(srl(D, AT, T));
-    B.put(addli(D, D, 0));
-    return;
-  }
-  unreachable("bad BinOp");
-}
-
-void AlphaTarget::emitBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
-                               int64_t Imm) {
-  if (isFpType(Ty))
-    fatal("alpha: immediate operands are not allowed for f/d");
-  CodeBuffer &B = VC.buf();
-  bool W32 = is32(Ty);
-  unsigned D = gpr(Rd), S = gpr(Rs1);
-  bool Lit8 = Imm >= 0 && Imm <= 255;
-  switch (Op) {
-  case BinOp::Add:
-    if (Lit8) {
-      B.put(W32 ? addli(D, S, unsigned(Imm)) : addqi(D, S, unsigned(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Sub:
-    if (Lit8) {
-      B.put(W32 ? subli(D, S, unsigned(Imm)) : subqi(D, S, unsigned(Imm)));
-      return;
-    }
-    break;
-  case BinOp::And:
-    if (Lit8) {
-      B.put(andi(D, S, unsigned(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Or:
-    if (Lit8) {
-      B.put(bisi(D, S, unsigned(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Xor:
-    if (Lit8) {
-      B.put(xori(D, S, unsigned(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Lsh: {
-    unsigned Sh = unsigned(Imm) & 63;
-    B.put(slli(D, S, Sh));
-    if (W32)
-      B.put(addli(D, D, 0));
-    return;
-  }
-  case BinOp::Rsh: {
-    unsigned Sh = unsigned(Imm) & 63;
-    if (!W32) {
-      B.put(isSignedType(Ty) ? srai(D, S, Sh) : srli(D, S, Sh));
-      return;
-    }
-    if (Ty == Type::I) {
-      B.put(srai(D, S, Sh));
-      return;
-    }
-    B.put(zapnoti(AT, S, 0x0f));
-    B.put(srli(D, AT, Sh));
-    B.put(addli(D, D, 0));
-    return;
-  }
-  default:
-    break;
-  }
-  li(VC, AT, Imm);
-  emitBinop(VC, Op, Ty, Rd, Rs1, intReg(AT));
-}
-
-void AlphaTarget::emitUnop(VCode &VC, UnOp Op, Type Ty, Reg Rd, Reg Rs) {
-  CodeBuffer &B = VC.buf();
-  if (isFpType(Ty)) {
-    switch (Op) {
-    case UnOp::Mov:
-      B.put(cpys(fpr(Rd), fpr(Rs), fpr(Rs)));
-      return;
-    case UnOp::Neg:
-      B.put(cpysn(fpr(Rd), fpr(Rs), fpr(Rs)));
-      return;
-    default:
-      fatal("alpha: fp unop unsupported");
-    }
-  }
-  unsigned D = gpr(Rd), S = gpr(Rs);
-  switch (Op) {
-  case UnOp::Com:
-    B.put(ornot(D, ZERO, S));
-    return;
-  case UnOp::Not:
-    B.put(cmpeqi(D, S, 0));
-    return;
-  case UnOp::Mov:
-    B.put(bis(D, S, S));
-    return;
-  case UnOp::Neg:
-    B.put(is32(Ty) || Ty == Type::I ? subl(D, ZERO, S) : subq(D, ZERO, S));
-    return;
-  }
-  unreachable("bad UnOp");
-}
-
-void AlphaTarget::emitSetInt(VCode &VC, Type Ty, Reg Rd, uint64_t Imm) {
-  if (is32(Ty))
-    li(VC, gpr(Rd), int64_t(int32_t(uint32_t(Imm))));
-  else
-    li(VC, gpr(Rd), int64_t(Imm));
-}
-
-void AlphaTarget::emitSetFp(VCode &VC, Type Ty, Reg Rd, double Val) {
-  CodeBuffer &B = VC.buf();
-  if (Ty == Type::F) {
-    float F = float(Val);
-    uint32_t Bits;
-    std::memcpy(&Bits, &F, 4);
-    li(VC, AT, int64_t(int32_t(Bits)));
-    B.put(stl(AT, SP, RedZone));
-    B.put(lds(fpr(Rd), SP, RedZone));
-    return;
-  }
-  uint64_t Bits;
-  std::memcpy(&Bits, &Val, 8);
-  Label Pool = VC.constPoolLabel(Bits);
-  addrOfLabel(VC, AT, Pool);
-  B.put(ldt(fpr(Rd), AT, 0));
-}
-
-void AlphaTarget::emitCvt(VCode &VC, Type From, Type To, Reg Rd, Reg Rs) {
-  CodeBuffer &B = VC.buf();
-  bool FromIntReg = isIntRegType(From);
-  bool ToIntReg = isIntRegType(To);
-  if (FromIntReg && ToIntReg) {
-    unsigned D = gpr(Rd), S = gpr(Rs);
-    if (is32(To) && !is32(From)) {
-      B.put(addli(D, S, 0)); // truncate to 32 bits, canonical form
-      return;
-    }
-    if (!is32(To) && From == Type::U) {
-      B.put(zapnoti(D, S, 0x0f)); // 32-bit unsigned widens with zeroes
-      return;
-    }
-    if (Rd != Rs)
-      B.put(bis(D, S, S));
-    return;
-  }
-  if (FromIntReg && isFpType(To)) {
-    unsigned S = gpr(Rs);
-    if (From == Type::U) {
-      B.put(zapnoti(AT, S, 0x0f));
-      S = AT;
-    }
-    B.put(stq(S, SP, RedZone));
-    B.put(ldt(FAT0, SP, RedZone));
-    if (From == Type::UL || From == Type::P) {
-      // Unsigned 64-bit: convert as signed, then add 2^64 when negative.
-      uint64_t TwoTo64;
-      double Dv = 18446744073709551616.0;
-      std::memcpy(&TwoTo64, &Dv, 8);
-      Label Pool = VC.constPoolLabel(TwoTo64);
-      unsigned Acc = To == Type::D ? fpr(Rd) : FAT1;
-      B.put(fop(CVTQT, Acc, 31, FAT0));
-      B.put(bge(gpr(Rs), 4)); // skip the 4-word fix block
-      addrOfLabel(VC, AT, Pool);
-      B.put(ldt(FAT0, AT, 0));
-      B.put(fop(ADDT, Acc, Acc, FAT0));
-      if (To == Type::F)
-        B.put(fop(CVTTS, fpr(Rd), 31, Acc));
-      return;
-    }
-    B.put(fop(To == Type::F ? CVTQS : CVTQT, fpr(Rd), 31, FAT0));
-    return;
-  }
-  if (isFpType(From) && ToIntReg) {
-    B.put(fop(CVTTQC, FAT0, 31, fpr(Rs)));
-    B.put(stt(FAT0, SP, RedZone));
-    B.put(ldq(gpr(Rd), SP, RedZone));
-    if (is32(To))
-      B.put(addli(gpr(Rd), gpr(Rd), 0));
-    return;
-  }
-  if (From == Type::F && To == Type::D) {
-    // Register F values are already in T format.
-    B.put(cpys(fpr(Rd), fpr(Rs), fpr(Rs)));
-    return;
-  }
-  if (From == Type::D && To == Type::F) {
-    B.put(fop(CVTTS, fpr(Rd), 31, fpr(Rs)));
-    return;
-  }
-  fatal("alpha: unsupported conversion %s -> %s", typeName(From),
-        typeName(To));
-}
-
-// --- Memory --------------------------------------------------------------------
-
-/// Sub-word loads: the pre-BWX synthesis from ldq_u/ext (paper §6.2).
-void AlphaTarget::byteFieldLoad(VCode &VC, Type Ty, unsigned Rd, unsigned Base,
-                                int64_t Off) {
-  CodeBuffer &B = VC.buf();
-  assert(isInt<15>(Off) && "sub-word offset out of range");
-  B.put(lda(AT, Base, int32_t(Off)));
-  B.put(ldq_u(Rd, AT, 0));
-  bool IsByte = Ty == Type::C || Ty == Type::UC;
-  B.put(IsByte ? extbl(Rd, Rd, AT) : extwl(Rd, Rd, AT));
-  if (isSignedType(Ty)) {
-    unsigned Sh = IsByte ? 56 : 48;
-    B.put(slli(Rd, Rd, Sh));
-    B.put(srai(Rd, Rd, Sh));
-  }
-}
-
-void AlphaTarget::byteFieldStore(VCode &VC, Type Ty, unsigned Val,
-                                 unsigned Base, int64_t Off) {
-  CodeBuffer &B = VC.buf();
-  assert(isInt<15>(Off) && "sub-word offset out of range");
-  bool IsByte = Ty == Type::C || Ty == Type::UC;
-  B.put(lda(AT, Base, int32_t(Off)));
-  B.put(ldq_u(AT2, AT, 0));
-  B.put(IsByte ? insbl(AT3, Val, AT) : inswl(AT3, Val, AT));
-  B.put(IsByte ? mskbl(AT2, AT2, AT) : mskwl(AT2, AT2, AT));
-  B.put(bis(AT2, AT2, AT3));
-  B.put(stq_u(AT2, AT, 0));
-}
-
-void AlphaTarget::emitLoadImm(VCode &VC, Type Ty, Reg Rd, Reg Base,
-                              int64_t Off) {
-  CodeBuffer &B = VC.buf();
-  if (!isInt<15>(Off)) {
-    li(VC, AT, Off);
-    B.put(addq(AT, AT, gpr(Base)));
-    emitLoadImm(VC, Ty, Rd, intReg(AT), 0);
-    return;
-  }
-  switch (Ty) {
-  case Type::C:
-  case Type::UC:
-  case Type::S:
-  case Type::US:
-    byteFieldLoad(VC, Ty, gpr(Rd), gpr(Base), Off);
-    return;
-  case Type::I:
-  case Type::U:
-    B.put(ldl(gpr(Rd), gpr(Base), int32_t(Off)));
-    return;
-  case Type::L:
-  case Type::UL:
-  case Type::P:
-    B.put(ldq(gpr(Rd), gpr(Base), int32_t(Off)));
-    return;
-  case Type::F:
-    B.put(lds(fpr(Rd), gpr(Base), int32_t(Off)));
-    return;
-  case Type::D:
-    B.put(ldt(fpr(Rd), gpr(Base), int32_t(Off)));
-    return;
-  case Type::V:
-    break;
-  }
-  unreachable("bad load type");
-}
-
-void AlphaTarget::emitLoad(VCode &VC, Type Ty, Reg Rd, Reg Base, Reg Off) {
-  // The ldq_u synthesis needs the address in AT anyway; form it there.
-  VC.buf().put(addq(AT, gpr(Base), gpr(Off)));
-  emitLoadImm(VC, Ty, Rd, intReg(AT), 0);
-}
-
-void AlphaTarget::emitStoreImm(VCode &VC, Type Ty, Reg Val, Reg Base,
-                               int64_t Off) {
-  CodeBuffer &B = VC.buf();
-  if (!isInt<15>(Off)) {
-    li(VC, AT, Off);
-    B.put(addq(AT, AT, gpr(Base)));
-    emitStoreImm(VC, Ty, Val, intReg(AT), 0);
-    return;
-  }
-  switch (Ty) {
-  case Type::C:
-  case Type::UC:
-  case Type::S:
-  case Type::US:
-    byteFieldStore(VC, Ty, gpr(Val), gpr(Base), Off);
-    return;
-  case Type::I:
-  case Type::U:
-    B.put(stl(gpr(Val), gpr(Base), int32_t(Off)));
-    return;
-  case Type::L:
-  case Type::UL:
-  case Type::P:
-    B.put(stq(gpr(Val), gpr(Base), int32_t(Off)));
-    return;
-  case Type::F:
-    B.put(sts(fpr(Val), gpr(Base), int32_t(Off)));
-    return;
-  case Type::D:
-    B.put(stt(fpr(Val), gpr(Base), int32_t(Off)));
-    return;
-  case Type::V:
-    break;
-  }
-  unreachable("bad store type");
-}
-
-void AlphaTarget::emitStore(VCode &VC, Type Ty, Reg Val, Reg Base, Reg Off) {
-  VC.buf().put(addq(AT, gpr(Base), gpr(Off)));
-  emitStoreImm(VC, Ty, Val, intReg(AT), 0);
-}
-
-// --- Control flow -----------------------------------------------------------------
-
-void AlphaTarget::emitBranch(VCode &VC, Cond C, Type Ty, Reg Rs1, Reg Rs2,
-                             Label L) {
-  CodeBuffer &B = VC.buf();
-  if (isFpType(Ty)) {
-    unsigned A = fpr(Rs1), Bf = fpr(Rs2);
-    bool TrueBranch = true;
-    switch (C) {
-    case Cond::Lt:
-      B.put(fop(CMPTLT, FAT0, A, Bf));
-      break;
-    case Cond::Le:
-      B.put(fop(CMPTLE, FAT0, A, Bf));
-      break;
-    case Cond::Gt:
-      B.put(fop(CMPTLT, FAT0, Bf, A));
-      break;
-    case Cond::Ge:
-      B.put(fop(CMPTLE, FAT0, Bf, A));
-      break;
-    case Cond::Eq:
-      B.put(fop(CMPTEQ, FAT0, A, Bf));
-      break;
-    case Cond::Ne:
-      B.put(fop(CMPTEQ, FAT0, A, Bf));
-      TrueBranch = false;
-      break;
-    }
-    VC.addFixup(FixupKind::Branch, L);
-    B.put(TrueBranch ? fbne(FAT0) : fbeq(FAT0));
-    return;
-  }
-  // Canonical (sign-extended) forms make full-width compares correct for
-  // both the 32- and 64-bit types.
-  bool Unsigned = !isSignedType(Ty);
-  unsigned A = gpr(Rs1), Bv = gpr(Rs2);
-  bool TrueBranch = true;
-  switch (C) {
-  case Cond::Lt:
-    B.put(Unsigned ? cmpult(AT, A, Bv) : cmplt(AT, A, Bv));
-    break;
-  case Cond::Le:
-    B.put(Unsigned ? cmpule(AT, A, Bv) : cmple(AT, A, Bv));
-    break;
-  case Cond::Gt:
-    B.put(Unsigned ? cmpult(AT, Bv, A) : cmplt(AT, Bv, A));
-    break;
-  case Cond::Ge:
-    B.put(Unsigned ? cmpule(AT, Bv, A) : cmple(AT, Bv, A));
-    break;
-  case Cond::Eq:
-    B.put(cmpeq(AT, A, Bv));
-    break;
-  case Cond::Ne:
-    B.put(cmpeq(AT, A, Bv));
-    TrueBranch = false;
-    break;
-  }
-  VC.addFixup(FixupKind::Branch, L);
-  B.put(TrueBranch ? bne(AT) : beq(AT));
-}
-
-void AlphaTarget::emitBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1,
-                                int64_t Imm, Label L) {
-  if (isFpType(Ty))
-    fatal("alpha: fp branches take register operands");
-  CodeBuffer &B = VC.buf();
-  bool Unsigned = !isSignedType(Ty);
-  unsigned A = gpr(Rs1);
-  if (Imm == 0 && !Unsigned) {
-    // Compare-against-zero branches come for free.
-    VC.addFixup(FixupKind::Branch, L);
-    switch (C) {
-    case Cond::Lt:
-      B.put(blt(A));
-      return;
-    case Cond::Le:
-      B.put(ble(A));
-      return;
-    case Cond::Gt:
-      B.put(bgt(A));
-      return;
-    case Cond::Ge:
-      B.put(bge(A));
-      return;
-    case Cond::Eq:
-      B.put(beq(A));
-      return;
-    case Cond::Ne:
-      B.put(bne(A));
-      return;
-    }
-  }
-  if (Imm == 0 && (C == Cond::Eq || C == Cond::Ne)) {
-    VC.addFixup(FixupKind::Branch, L);
-    B.put(C == Cond::Eq ? beq(A) : bne(A));
-    return;
-  }
-  bool Lit8 = Imm >= 0 && Imm <= 255;
-  bool TrueBranch = true;
-  if (Lit8) {
-    unsigned LitV = unsigned(Imm);
-    switch (C) {
-    case Cond::Lt:
-      B.put(Unsigned ? cmpulti(AT, A, LitV) : cmplti(AT, A, LitV));
-      break;
-    case Cond::Le:
-      B.put(Unsigned ? cmpulei(AT, A, LitV) : cmplei(AT, A, LitV));
-      break;
-    case Cond::Eq:
-      B.put(cmpeqi(AT, A, LitV));
-      break;
-    case Cond::Ne:
-      B.put(cmpeqi(AT, A, LitV));
-      TrueBranch = false;
-      break;
-    case Cond::Gt: // a > lit  <=>  !(a <= lit)
-      B.put(Unsigned ? cmpulei(AT, A, LitV) : cmplei(AT, A, LitV));
-      TrueBranch = false;
-      break;
-    case Cond::Ge:
-      B.put(Unsigned ? cmpulti(AT, A, LitV) : cmplti(AT, A, LitV));
-      TrueBranch = false;
-      break;
-    }
-    VC.addFixup(FixupKind::Branch, L);
-    B.put(TrueBranch ? bne(AT) : beq(AT));
-    return;
-  }
-  // Wide immediate: materialize into AT (the compare reads it before
-  // overwriting it with the result).
-  li(VC, AT, is32(Ty) ? int64_t(int32_t(uint32_t(Imm))) : Imm);
-  emitBranch(VC, C, Ty, Rs1, intReg(AT), L);
-}
-
-void AlphaTarget::emitJump(VCode &VC, Label L) {
-  VC.addFixup(FixupKind::Jump, L);
-  VC.buf().put(br(ZERO));
-}
-
-void AlphaTarget::emitJumpReg(VCode &VC, Reg R) {
-  VC.buf().put(jmp(ZERO, gpr(R)));
-}
-
-void AlphaTarget::emitJumpAddr(VCode &VC, SimAddr A) {
-  li(VC, AT, int64_t(A));
-  VC.buf().put(jmp(ZERO, AT));
-}
-
-void AlphaTarget::emitCallAddr(VCode &VC, SimAddr A) {
-  li(VC, T12, int64_t(A)); // pv, by convention
-  VC.buf().put(jsr(gpr(VC.cc().LinkReg), T12));
-}
-
-void AlphaTarget::emitCallLabel(VCode &VC, Label L) {
-  VC.addFixup(FixupKind::Call, L);
-  VC.buf().put(bsr(gpr(VC.cc().LinkReg), 0));
-}
-
-void AlphaTarget::emitLinkReturn(VCode &VC) {
-  VC.buf().put(ret(ZERO, gpr(VC.cc().LinkReg)));
-}
-
-void AlphaTarget::emitCallReg(VCode &VC, Reg R) {
-  VC.buf().put(jsr(gpr(VC.cc().LinkReg), gpr(R)));
-}
-
-void AlphaTarget::emitRet(VCode &VC, Type Ty, Reg Rs) {
-  CodeBuffer &B = VC.buf();
-  // No delay slot: move the result first, then return (rewritten into a
-  // branch to the epilogue when one turns out to be needed).
-  if (Ty != Type::V) {
-    if (isFpType(Ty)) {
-      unsigned R = fpr(VC.resultReg(Ty));
-      if (fpr(Rs) != R)
-        B.put(cpys(R, fpr(Rs), fpr(Rs)));
-    } else {
-      unsigned R = gpr(VC.resultReg(Ty));
-      if (gpr(Rs) != R)
-        B.put(bis(R, gpr(Rs), gpr(Rs)));
-    }
-  }
-  VC.addFixup(FixupKind::EpilogueJump, VC.epilogueLabel());
-  B.put(ret(ZERO, gpr(VC.cc().LinkReg)));
-}
-
-void AlphaTarget::emitNop(VCode &VC) { VC.buf().put(nop()); }
-
 // --- Function framing ----------------------------------------------------------------
 
 std::string AlphaTarget::disassemble(uint32_t Word, SimAddr Pc) const {
@@ -713,7 +87,12 @@ std::string AlphaTarget::disassemble(uint32_t Word, SimAddr Pc) const {
 }
 
 void AlphaTarget::beginFunction(VCode &VC) {
+  // Reserve instruction-stream space for the worst-case prologue
+  // (paper §5.2): frame allocation, link save, every callee-saved register,
+  // and one copy per stack-passed argument. v_end writes the real prologue
+  // into the tail of this region and the entry point skips the rest.
   ReservedWords = uint32_t(2 + 32 + 32 + VC.prologueArgCopies().size());
+  VC.buf().ensureWords(ReservedWords);
   for (uint32_t I = 0; I < ReservedWords; ++I)
     VC.buf().put(nop());
 }
@@ -948,3 +327,6 @@ void AlphaTarget::registerMachineInstructions() {
                                          Ops[2].R.Num));
                     });
 }
+
+// The shared static-dispatch instantiation declared in AlphaTarget.h.
+template class vcode::VCodeT<AlphaTarget>;

@@ -74,6 +74,17 @@ public:
     *Ip++ = W;
   }
 
+  /// Checks up front that \p N words fit, so a multi-word synthesis
+  /// sequence reports overflow at instruction granularity instead of
+  /// fataling halfway through with a partial sequence in the buffer.
+  /// Backends call this once before fixed-length multi-word sequences.
+  void ensureWords(size_t N) {
+    if (remainingWords() < N)
+      fatal("code buffer overflow: instruction needs %zu words but only %zu "
+            "of %zu remain; pass a larger region to v_lambda",
+            N, remainingWords(), size_t(Limit - Base));
+  }
+
   /// Current cursor as a function-relative word index.
   uint32_t wordIndex() const { return uint32_t(Ip - Base); }
 

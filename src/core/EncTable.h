@@ -1,0 +1,102 @@
+//===- core/EncTable.h - Constexpr encoding tables --------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for per-target constexpr encoding tables. Backends map
+/// a VCODE operation (Type, BinOp, Cond) to machine opcode fields with a
+/// dense table lookup instead of a per-emission switch, so the common
+/// "one VCODE instruction -> one machine word" case is a load, an or, and a
+/// store — the paper's Fig. 2 cost model. Rows carry an explicit Valid flag
+/// because 0 is a real opcode on every target (e.g. SPARC LD op3 is 0);
+/// invalid rows route the operation to the backend's multi-word synthesis
+/// path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_ENCTABLE_H
+#define VCODE_CORE_ENCTABLE_H
+
+#include "core/Ops.h"
+#include "core/Types.h"
+#include <cstdint>
+
+namespace vcode {
+
+/// Enumerator counts for table sizing (kept next to the tables rather than
+/// the enums so the enums stay pure interface).
+inline constexpr unsigned NumBinOps = 10;
+inline constexpr unsigned NumUnOps = 4;
+inline constexpr unsigned NumConds = 6;
+
+/// Dense constexpr lookup table indexed by a scoped enum. Built at compile
+/// time with the set() builder inside an immediately-invoked constexpr
+/// lambda; unset rows default-construct (Valid == false for the row types
+/// below).
+template <typename EnumT, typename RowT, unsigned N> class EncTable {
+public:
+  constexpr EncTable() : Rows{} {}
+
+  constexpr EncTable &set(EnumT E, RowT R) {
+    Rows[unsigned(E)] = R;
+    return *this;
+  }
+
+  constexpr const RowT &operator[](EnumT E) const { return Rows[unsigned(E)]; }
+
+private:
+  RowT Rows[N];
+};
+
+template <typename RowT> using TypeEncTable = EncTable<Type, RowT, NumTypes>;
+template <typename RowT>
+using BinOpEncTable = EncTable<BinOp, RowT, NumBinOps>;
+template <typename RowT> using CondEncTable = EncTable<Cond, RowT, NumConds>;
+
+/// Row holding a single opcode field (major opcode, funct, op3, opf...).
+struct OpEnc {
+  uint16_t Op = 0;
+  bool Valid = false;
+
+  constexpr OpEnc() = default;
+  constexpr OpEnc(unsigned Op) : Op(uint16_t(Op)), Valid(true) {}
+};
+
+/// Row holding a two-way opcode variant: signed/unsigned, single/double,
+/// or 32/64-bit, selected with pick().
+struct OpPairEnc {
+  uint16_t A = 0;
+  uint16_t B = 0;
+  bool Valid = false;
+
+  constexpr OpPairEnc() = default;
+  constexpr OpPairEnc(unsigned A, unsigned B)
+      : A(uint16_t(A)), B(uint16_t(B)), Valid(true) {}
+
+  constexpr unsigned pick(bool Second) const { return Second ? B : A; }
+};
+
+/// Row describing a compare feeding a conditional branch: the compare
+/// opcode variants plus whether the operands swap (Gt/Ge as reversed
+/// Lt/Le) and whether the branch sense inverts (Ne as inverted Eq).
+struct CmpEnc {
+  uint16_t A = 0;
+  uint16_t B = 0;
+  bool Swap = false;
+  bool Invert = false;
+  bool Valid = false;
+
+  constexpr CmpEnc() = default;
+  constexpr CmpEnc(unsigned A, unsigned B, bool Swap = false,
+                   bool Invert = false)
+      : A(uint16_t(A)), B(uint16_t(B)), Swap(Swap), Invert(Invert),
+        Valid(true) {}
+
+  constexpr unsigned pick(bool Second) const { return Second ? B : A; }
+};
+
+} // namespace vcode
+
+#endif // VCODE_CORE_ENCTABLE_H

@@ -149,30 +149,33 @@ std::vector<std::string> vcode::defineFromSpec(Target &T,
         fatal("extension '%s': machine instruction '%s' is not provided by "
               "target %s",
               Insn.Name.c_str(), M.MachImmInsn.c_str(), T.info().Name);
+      // Intern the machine-instruction names once here, so the emitters
+      // dispatch on an index instead of a per-emission string lookup.
+      ExtId MachId = T.findInstruction(M.MachInsn);
+      ExtId MachImmId =
+          M.MachImmInsn.empty() ? ExtId() : T.findInstruction(M.MachImmInsn);
       for (const std::string &Ty : M.Types) {
         unsigned Arity = unsigned(Insn.Params.size());
         // Register-form instruction, e.g. v_sqrtf -> fsqrts.
         std::string VName = Insn.Name + Ty;
-        std::string Mach = M.MachInsn;
         T.defineInstruction(
-            VName, [Mach, Arity](VCode &VC, const Operand *Ops, unsigned N) {
+            VName, [MachId, Arity](VCode &VC, const Operand *Ops, unsigned N) {
               if (N != Arity)
                 fatal("extension instruction: expected %u operands, got %u",
                       Arity, N);
-              VC.target().emitExtension(VC, Mach, Ops, N);
+              VC.target().emitExtension(VC, MachId, Ops, N);
             });
         Defined.push_back(VName);
         // Immediate form, e.g. v_addfooii.
         if (!M.MachImmInsn.empty()) {
           std::string VNameImm = VName + "i";
-          std::string MachImm = M.MachImmInsn;
-          T.defineInstruction(VNameImm, [MachImm, Arity](VCode &VC,
-                                                         const Operand *Ops,
-                                                         unsigned N) {
+          T.defineInstruction(VNameImm, [MachImmId, Arity](VCode &VC,
+                                                           const Operand *Ops,
+                                                           unsigned N) {
             if (N != Arity)
               fatal("extension instruction: expected %u operands, got %u",
                     Arity, N);
-            VC.target().emitExtension(VC, MachImm, Ops, N);
+            VC.target().emitExtension(VC, MachImmId, Ops, N);
           });
           Defined.push_back(VNameImm);
         }

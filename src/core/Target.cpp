@@ -1,0 +1,55 @@
+//===- core/Target.cpp - Backend interface --------------------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Target.h"
+#include <cstdio>
+
+using namespace vcode;
+
+// Virtual method anchor.
+Target::~Target() = default;
+
+std::string Target::disassemble(uint32_t Word, SimAddr Pc) const {
+  (void)Pc;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), ".word   0x%08x", Word);
+  return Buf;
+}
+
+ExtId Target::defineInstruction(const std::string &Name, ExtensionFn Fn) {
+  auto It = ExtIndex.find(Name);
+  if (It != ExtIndex.end()) {
+    // Override: replace the body in place so ids interned before the
+    // redefinition keep resolving (and see the new body).
+    ExtFns[It->second] = std::move(Fn);
+    return ExtId{It->second};
+  }
+  uint32_t Idx = uint32_t(ExtFns.size());
+  ExtFns.push_back(std::move(Fn));
+  ExtNames.push_back(Name);
+  ExtIndex.emplace(Name, Idx);
+  return ExtId{Idx};
+}
+
+ExtId Target::findInstruction(const std::string &Name) const {
+  auto It = ExtIndex.find(Name);
+  return It == ExtIndex.end() ? ExtId{} : ExtId{It->second};
+}
+
+const char *Target::instructionName(ExtId Id) const {
+  if (!Id.isValid() || Id.Idx >= ExtNames.size())
+    return "<invalid>";
+  return ExtNames[Id.Idx].c_str();
+}
+
+void Target::emitExtension(VCode &VC, const std::string &Name,
+                           const Operand *Ops, unsigned NumOps) {
+  ExtId Id = findInstruction(Name);
+  if (!Id.isValid())
+    fatal("unknown extension instruction '%s' on target %s", Name.c_str(),
+          info().Name);
+  ExtFns[Id.Idx](VC, Ops, NumOps);
+}

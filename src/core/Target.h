@@ -126,6 +126,19 @@ inline Operand opLabel(Label L) {
 using ExtensionFn =
     std::function<void(VCode &, const Operand *Ops, unsigned NumOps)>;
 
+/// Interned identity of an extension instruction on one Target
+/// (paper §5.4). The string name is looked up once — at defineInstruction
+/// or findInstruction time — and emission indexes a flat vector, so the
+/// per-emission cost of an extension instruction is one bounds check and
+/// an indirect call. Ids are only meaningful on the Target that issued
+/// them; a redefined instruction keeps its id (the body is replaced in
+/// place), so captured ids always see the latest override.
+struct ExtId {
+  uint32_t Idx = ~0u;
+
+  constexpr bool isValid() const { return Idx != ~0u; }
+};
+
 /// Abstract backend. All emit methods write machine words into
 /// VCode::buf() immediately — there is no intermediate representation.
 class Target {
@@ -184,26 +197,39 @@ public:
   virtual std::string disassemble(uint32_t Word, SimAddr Pc) const;
 
   // --- Extensibility (paper §5.4) -----------------------------------------
-  /// Registers (or overrides) an extension instruction under \p Name.
-  void defineInstruction(const std::string &Name, ExtensionFn Fn) {
-    Extensions[Name] = std::move(Fn);
-  }
+  /// Registers an extension instruction under \p Name and returns its
+  /// interned id. Redefining an existing name replaces the body in place,
+  /// so previously interned ids observe the override.
+  ExtId defineInstruction(const std::string &Name, ExtensionFn Fn);
+  /// Interns \p Name; returns an invalid ExtId if it was never defined.
+  ExtId findInstruction(const std::string &Name) const;
   /// True if \p Name names a registered extension.
   bool hasInstruction(const std::string &Name) const {
-    return Extensions.count(Name) != 0;
+    return findInstruction(Name).isValid();
   }
-  /// Emits extension \p Name; fatal error if it was never defined.
-  void emitExtension(VCode &VC, const std::string &Name, const Operand *Ops,
+  /// Name of a registered extension (diagnostics).
+  const char *instructionName(ExtId Id) const;
+
+  /// Emits a pre-interned extension instruction: the hot path — no string
+  /// lookup, just an index into the registry.
+  void emitExtension(VCode &VC, ExtId Id, const Operand *Ops,
                      unsigned NumOps) {
-    auto It = Extensions.find(Name);
-    if (It == Extensions.end())
-      fatal("unknown extension instruction '%s' on target %s", Name.c_str(),
-            info().Name);
-    It->second(VC, Ops, NumOps);
+    if (!Id.isValid() || Id.Idx >= ExtFns.size())
+      fatal("unknown extension instruction id %u on target %s",
+            unsigned(Id.Idx), info().Name);
+    ExtFns[Id.Idx](VC, Ops, NumOps);
   }
+  /// Emits extension \p Name; fatal error if it was never defined. The
+  /// string-keyed facade over the interned registry (pays one map lookup).
+  void emitExtension(VCode &VC, const std::string &Name, const Operand *Ops,
+                     unsigned NumOps);
 
 private:
-  std::map<std::string, ExtensionFn> Extensions;
+  /// Flat interned registry: bodies and names indexed by ExtId::Idx. The
+  /// string map is consulted only at define/find time, never at emission.
+  std::vector<ExtensionFn> ExtFns;
+  std::vector<std::string> ExtNames;
+  std::map<std::string, uint32_t> ExtIndex;
 };
 
 } // namespace vcode

@@ -7,19 +7,8 @@
 #include "core/VCode.h"
 #include "support/BitUtils.h"
 #include <cassert>
-#include <cstdio>
 
 using namespace vcode;
-
-// Virtual method anchor.
-Target::~Target() = default;
-
-std::string Target::disassemble(uint32_t Word, SimAddr Pc) const {
-  (void)Pc;
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), ".word   0x%08x", Word);
-  return Buf;
-}
 
 VCode::VCode(Target &Tgt) : T(Tgt), TI(Tgt.info()) {
   CurCC = TI.DefaultCC;

@@ -239,6 +239,11 @@ public:
   void ext(const char *Name, std::initializer_list<Operand> Ops) {
     T.emitExtension(*this, Name, Ops.begin(), unsigned(Ops.size()));
   }
+  /// Emits a pre-interned extension instruction (no string lookup; intern
+  /// the name once with Target::defineInstruction or findInstruction).
+  void ext(ExtId Id, std::initializer_list<Operand> Ops) {
+    T.emitExtension(*this, Id, Ops.begin(), unsigned(Ops.size()));
+  }
 
   // --- Interface used by targets ---------------------------------------------
 

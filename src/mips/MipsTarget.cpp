@@ -2,32 +2,17 @@
 //
 // Part of the vcode reproduction of Engler, PLDI 1996.
 //
+// The hot emitters live inline in MipsTarget.h; this file holds the cold
+// paths: target description, function framing, fixups, disassembly, and the
+// machine-level extension instructions.
+//
 //===----------------------------------------------------------------------===//
 
 #include "mips/MipsTarget.h"
 #include "mips/MipsDisasm.h"
-#include "mips/MipsEncoding.h"
-#include "support/BitUtils.h"
-#include <cassert>
-#include <cstring>
 
 using namespace vcode;
 using namespace vcode::mips;
-
-// Two FPU scratch registers reserved for synthesis sequences (conversions,
-// constant materialization); excluded from the allocator's candidates.
-static constexpr unsigned FAT0 = 18;
-static constexpr unsigned FAT1 = 16;
-
-static unsigned gpr(Reg R) {
-  assert(R.isInt() && "integer register expected");
-  return R.Num;
-}
-
-static unsigned fpr(Reg R) {
-  assert(R.isFp() && "fp register expected");
-  return R.Num;
-}
 
 const TargetInfo &vcode::mips::mipsTargetInfo() {
   static const TargetInfo TI = [] {
@@ -63,234 +48,14 @@ const TargetInfo &vcode::mips::mipsTargetInfo() {
 
 MipsTarget::MipsTarget() { registerMachineInstructions(); }
 
-// --- Helpers ----------------------------------------------------------------
-
-/// Loads a 32-bit constant into \p Rd (1-2 words).
-void MipsTarget::li(VCode &VC, unsigned Rd, int64_t Imm) {
-  CodeBuffer &B = VC.buf();
-  int32_t V = int32_t(Imm);
-  if (isInt<16>(V)) {
-    B.put(addiu(Rd, ZERO, V));
-    return;
-  }
-  if (isUInt<16>(uint32_t(V))) {
-    B.put(ori(Rd, ZERO, uint32_t(V)));
-    return;
-  }
-  B.put(lui(Rd, uint32_t(V) >> 16));
-  if (uint32_t(V) & 0xffff)
-    B.put(ori(Rd, Rd, uint32_t(V) & 0xffff));
-}
-
-/// Materializes the (post-linking) absolute address of \p L into \p Rd via
-/// a fixed lui/ori pair completed when labels resolve.
-void MipsTarget::addrOfLabel(VCode &VC, unsigned Rd, Label L) {
-  CodeBuffer &B = VC.buf();
-  VC.addFixup(FixupKind::AddrHi, L);
-  B.put(lui(Rd, 0));
-  VC.addFixup(FixupKind::AddrLo, L);
-  B.put(ori(Rd, Rd, 0));
-}
-
-/// Emits the delay-slot nop after a branch/jump unless the client is
-/// scheduling the slot (paper §5.3 v_schedule_delay).
-void MipsTarget::delaySlot(VCode &VC) {
-  if (!VC.suppressDelayNop())
-    VC.buf().put(nop());
-}
-
-// --- ALU ---------------------------------------------------------------------
-
-void MipsTarget::emitBinop(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
-                           Reg Rs2) {
-  CodeBuffer &B = VC.buf();
-  if (isFpType(Ty)) {
-    unsigned Fmt = Ty == Type::F ? FMT_S : FMT_D;
-    unsigned D = fpr(Rd), S = fpr(Rs1), T = fpr(Rs2);
-    switch (Op) {
-    case BinOp::Add:
-      B.put(fadd(Fmt, D, S, T));
-      return;
-    case BinOp::Sub:
-      B.put(fsub(Fmt, D, S, T));
-      return;
-    case BinOp::Mul:
-      B.put(fmul(Fmt, D, S, T));
-      return;
-    case BinOp::Div:
-      B.put(fdiv(Fmt, D, S, T));
-      return;
-    default:
-      fatal("mips: fp binop '%s' unsupported", binOpName(Op));
-    }
-  }
-  bool Unsigned = !isSignedType(Ty);
-  unsigned D = gpr(Rd), S = gpr(Rs1), T = gpr(Rs2);
-  switch (Op) {
-  case BinOp::Add:
-    B.put(addu(D, S, T));
-    return;
-  case BinOp::Sub:
-    B.put(subu(D, S, T));
-    return;
-  case BinOp::Mul:
-    B.put(Unsigned ? multu(S, T) : mult(S, T));
-    B.put(mflo(D));
-    return;
-  case BinOp::Div:
-    B.put(Unsigned ? divu(S, T) : div_(S, T));
-    B.put(mflo(D));
-    return;
-  case BinOp::Mod:
-    B.put(Unsigned ? divu(S, T) : div_(S, T));
-    B.put(mfhi(D));
-    return;
-  case BinOp::And:
-    B.put(and_(D, S, T));
-    return;
-  case BinOp::Or:
-    B.put(or_(D, S, T));
-    return;
-  case BinOp::Xor:
-    B.put(xor_(D, S, T));
-    return;
-  case BinOp::Lsh:
-    B.put(sllv(D, S, T));
-    return;
-  case BinOp::Rsh:
-    B.put(Unsigned ? srlv(D, S, T) : srav(D, S, T));
-    return;
-  }
-  unreachable("bad BinOp");
-}
-
-void MipsTarget::emitBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
-                              int64_t Imm) {
-  if (isFpType(Ty))
-    fatal("mips: immediate operands are not allowed for f/d (paper Table 2)");
-  CodeBuffer &B = VC.buf();
-  unsigned D = gpr(Rd), S = gpr(Rs1);
-  switch (Op) {
-  case BinOp::Add:
-    if (isInt<16>(Imm)) {
-      B.put(addiu(D, S, int32_t(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Sub:
-    if (isInt<16>(-Imm)) {
-      B.put(addiu(D, S, int32_t(-Imm)));
-      return;
-    }
-    break;
-  case BinOp::And:
-    if (isUInt<16>(uint64_t(Imm))) {
-      B.put(andi(D, S, uint32_t(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Or:
-    if (isUInt<16>(uint64_t(Imm))) {
-      B.put(ori(D, S, uint32_t(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Xor:
-    if (isUInt<16>(uint64_t(Imm))) {
-      B.put(xori(D, S, uint32_t(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Lsh:
-    assert(Imm >= 0 && Imm < 32 && "shift amount out of range");
-    B.put(sll(D, S, unsigned(Imm)));
-    return;
-  case BinOp::Rsh:
-    assert(Imm >= 0 && Imm < 32 && "shift amount out of range");
-    B.put(isSignedType(Ty) ? sra(D, S, unsigned(Imm))
-                           : srl(D, S, unsigned(Imm)));
-    return;
-  default:
-    break;
-  }
-  // Boundary condition (paper §1: "constants that don't fit in immediate
-  // fields"): synthesize through the assembler temporary.
-  li(VC, AT, Imm);
-  emitBinop(VC, Op, Ty, Rd, Rs1, intReg(AT));
-}
-
-void MipsTarget::emitUnop(VCode &VC, UnOp Op, Type Ty, Reg Rd, Reg Rs) {
-  CodeBuffer &B = VC.buf();
-  if (isFpType(Ty)) {
-    unsigned Fmt = Ty == Type::F ? FMT_S : FMT_D;
-    switch (Op) {
-    case UnOp::Mov:
-      B.put(fmov(Fmt, fpr(Rd), fpr(Rs)));
-      return;
-    case UnOp::Neg:
-      B.put(fneg(Fmt, fpr(Rd), fpr(Rs)));
-      return;
-    default:
-      fatal("mips: fp unop unsupported");
-    }
-  }
-  unsigned D = gpr(Rd), S = gpr(Rs);
-  switch (Op) {
-  case UnOp::Com:
-    B.put(nor(D, S, ZERO));
-    return;
-  case UnOp::Not:
-    B.put(sltiu(D, S, 1));
-    return;
-  case UnOp::Mov:
-    B.put(addu(D, S, ZERO));
-    return;
-  case UnOp::Neg:
-    B.put(subu(D, ZERO, S));
-    return;
-  }
-  unreachable("bad UnOp");
-}
-
-void MipsTarget::emitSetInt(VCode &VC, Type Ty, Reg Rd, uint64_t Imm) {
-  (void)Ty;
-  li(VC, gpr(Rd), int64_t(int32_t(uint32_t(Imm))));
-}
-
-void MipsTarget::emitSetFp(VCode &VC, Type Ty, Reg Rd, double Val) {
-  CodeBuffer &B = VC.buf();
-  if (Ty == Type::F) {
-    // Singles fit a GPR: materialize the bit pattern and move it over.
-    float F = float(Val);
-    uint32_t Bits;
-    std::memcpy(&Bits, &F, 4);
-    if (Bits == 0) {
-      B.put(mtc1(ZERO, fpr(Rd)));
-      return;
-    }
-    li(VC, AT, int64_t(int32_t(Bits)));
-    B.put(mtc1(AT, fpr(Rd)));
-    return;
-  }
-  // Doubles come from the per-function constant pool at the end of the
-  // instruction stream (paper §5.2).
-  uint64_t Bits;
-  std::memcpy(&Bits, &Val, 8);
-  Label Pool = VC.constPoolLabel(Bits);
-  addrOfLabel(VC, AT, Pool);
-  B.put(ldc1(fpr(Rd), AT, 0));
-}
-
 void MipsTarget::unsignedToFp(VCode &VC, bool ToDouble, Reg Rd, Reg Rs) {
   CodeBuffer &B = VC.buf();
   unsigned S = gpr(Rs);
   // Convert as signed, then add 2^32 if the sign bit was set. The fix block
   // has a fixed length, so the branch displacement is known at emission.
-  uint64_t TwoTo32;
-  double D = 4294967296.0;
-  std::memcpy(&TwoTo32, &D, 8);
-  Label Pool = VC.constPoolLabel(TwoTo32);
+  Label Pool = VC.constPoolLabel(std::bit_cast<uint64_t>(4294967296.0));
   unsigned Acc = ToDouble ? fpr(Rd) : FAT1;
+  B.ensureWords(ToDouble ? 8 : 9);
   B.put(mtc1(S, FAT0));
   B.put(fcvtd(FMT_W, Acc, FAT0));
   B.put(bgez(S, 5)); // skip the 5-word fix block
@@ -302,319 +67,7 @@ void MipsTarget::unsignedToFp(VCode &VC, bool ToDouble, Reg Rd, Reg Rs) {
     B.put(fcvts(FMT_D, fpr(Rd), Acc));
 }
 
-void MipsTarget::emitCvt(VCode &VC, Type From, Type To, Reg Rd, Reg Rs) {
-  CodeBuffer &B = VC.buf();
-  // On a 32-bit machine L/UL/P collapse onto I/U (paper Table 1).
-  bool FromIntReg = isIntRegType(From);
-  bool ToIntReg = isIntRegType(To);
-  if (FromIntReg && ToIntReg) {
-    if (Rd != Rs)
-      B.put(addu(gpr(Rd), gpr(Rs), ZERO));
-    return;
-  }
-  if (FromIntReg && isFpType(To)) {
-    bool Uns = From == Type::U || From == Type::UL || From == Type::P;
-    if (Uns) {
-      unsignedToFp(VC, To == Type::D, Rd, Rs);
-      return;
-    }
-    B.put(mtc1(gpr(Rs), FAT0));
-    B.put(To == Type::F ? fcvts(FMT_W, fpr(Rd), FAT0)
-                        : fcvtd(FMT_W, fpr(Rd), FAT0));
-    return;
-  }
-  if (isFpType(From) && ToIntReg) {
-    unsigned Fmt = From == Type::F ? FMT_S : FMT_D;
-    B.put(ftruncw(Fmt, FAT0, fpr(Rs)));
-    B.put(mfc1(gpr(Rd), FAT0));
-    return;
-  }
-  if (From == Type::F && To == Type::D) {
-    B.put(fcvtd(FMT_S, fpr(Rd), fpr(Rs)));
-    return;
-  }
-  if (From == Type::D && To == Type::F) {
-    B.put(fcvts(FMT_D, fpr(Rd), fpr(Rs)));
-    return;
-  }
-  fatal("mips: unsupported conversion %s -> %s", typeName(From), typeName(To));
-}
-
-// --- Memory -------------------------------------------------------------------
-
-/// Returns the opcode-applied load word for \p Ty.
-static uint32_t loadWord(Type Ty, unsigned Rt, unsigned Base, int32_t Off) {
-  switch (Ty) {
-  case Type::C:
-    return lb(Rt, Base, Off);
-  case Type::UC:
-    return lbu(Rt, Base, Off);
-  case Type::S:
-    return lh(Rt, Base, Off);
-  case Type::US:
-    return lhu(Rt, Base, Off);
-  case Type::I:
-  case Type::U:
-  case Type::L:
-  case Type::UL:
-  case Type::P:
-    return lw(Rt, Base, Off);
-  case Type::F:
-    return lwc1(Rt, Base, Off);
-  case Type::D:
-    return ldc1(Rt, Base, Off);
-  case Type::V:
-    break;
-  }
-  unreachable("bad load type");
-}
-
-static uint32_t storeWord(Type Ty, unsigned Rt, unsigned Base, int32_t Off) {
-  switch (Ty) {
-  case Type::C:
-  case Type::UC:
-    return sb(Rt, Base, Off);
-  case Type::S:
-  case Type::US:
-    return sh(Rt, Base, Off);
-  case Type::I:
-  case Type::U:
-  case Type::L:
-  case Type::UL:
-  case Type::P:
-    return sw(Rt, Base, Off);
-  case Type::F:
-    return swc1(Rt, Base, Off);
-  case Type::D:
-    return sdc1(Rt, Base, Off);
-  case Type::V:
-    break;
-  }
-  unreachable("bad store type");
-}
-
-void MipsTarget::emitLoad(VCode &VC, Type Ty, Reg Rd, Reg Base, Reg Off) {
-  CodeBuffer &B = VC.buf();
-  B.put(addu(AT, gpr(Base), gpr(Off)));
-  unsigned Rt = isFpType(Ty) ? fpr(Rd) : gpr(Rd);
-  B.put(loadWord(Ty, Rt, AT, 0));
-}
-
-void MipsTarget::emitLoadImm(VCode &VC, Type Ty, Reg Rd, Reg Base,
-                             int64_t Off) {
-  CodeBuffer &B = VC.buf();
-  unsigned Rt = isFpType(Ty) ? fpr(Rd) : gpr(Rd);
-  if (isInt<16>(Off)) {
-    B.put(loadWord(Ty, Rt, gpr(Base), int32_t(Off)));
-    return;
-  }
-  li(VC, AT, Off);
-  B.put(addu(AT, AT, gpr(Base)));
-  B.put(loadWord(Ty, Rt, AT, 0));
-}
-
-void MipsTarget::emitStore(VCode &VC, Type Ty, Reg Val, Reg Base, Reg Off) {
-  CodeBuffer &B = VC.buf();
-  B.put(addu(AT, gpr(Base), gpr(Off)));
-  unsigned Rt = isFpType(Ty) ? fpr(Val) : gpr(Val);
-  B.put(storeWord(Ty, Rt, AT, 0));
-}
-
-void MipsTarget::emitStoreImm(VCode &VC, Type Ty, Reg Val, Reg Base,
-                              int64_t Off) {
-  CodeBuffer &B = VC.buf();
-  unsigned Rt = isFpType(Ty) ? fpr(Val) : gpr(Val);
-  if (isInt<16>(Off)) {
-    B.put(storeWord(Ty, Rt, gpr(Base), int32_t(Off)));
-    return;
-  }
-  li(VC, AT, Off);
-  B.put(addu(AT, AT, gpr(Base)));
-  B.put(storeWord(Ty, Rt, AT, 0));
-}
-
-// --- Control flow ---------------------------------------------------------------
-
-void MipsTarget::intCompareBranch(VCode &VC, Cond C, bool Unsigned, unsigned A,
-                                  unsigned B, Label L) {
-  CodeBuffer &Buf = VC.buf();
-  auto Slt = [&](unsigned D, unsigned X, unsigned Y) {
-    Buf.put(Unsigned ? sltu(D, X, Y) : slt(D, X, Y));
-  };
-  switch (C) {
-  case Cond::Eq:
-    VC.addFixup(FixupKind::Branch, L);
-    Buf.put(beq(A, B));
-    break;
-  case Cond::Ne:
-    VC.addFixup(FixupKind::Branch, L);
-    Buf.put(bne(A, B));
-    break;
-  case Cond::Lt:
-    Slt(AT, A, B);
-    VC.addFixup(FixupKind::Branch, L);
-    Buf.put(bne(AT, ZERO));
-    break;
-  case Cond::Ge:
-    Slt(AT, A, B);
-    VC.addFixup(FixupKind::Branch, L);
-    Buf.put(beq(AT, ZERO));
-    break;
-  case Cond::Gt:
-    Slt(AT, B, A);
-    VC.addFixup(FixupKind::Branch, L);
-    Buf.put(bne(AT, ZERO));
-    break;
-  case Cond::Le:
-    Slt(AT, B, A);
-    VC.addFixup(FixupKind::Branch, L);
-    Buf.put(beq(AT, ZERO));
-    break;
-  }
-  delaySlot(VC);
-}
-
-void MipsTarget::fpCompareBranch(VCode &VC, Cond C, unsigned Fmt, unsigned A,
-                                 unsigned B, Label L) {
-  CodeBuffer &Buf = VC.buf();
-  bool TrueBranch = true;
-  switch (C) {
-  case Cond::Lt:
-    Buf.put(fclt(Fmt, A, B));
-    break;
-  case Cond::Le:
-    Buf.put(fcle(Fmt, A, B));
-    break;
-  case Cond::Gt:
-    Buf.put(fclt(Fmt, B, A));
-    break;
-  case Cond::Ge:
-    Buf.put(fcle(Fmt, B, A));
-    break;
-  case Cond::Eq:
-    Buf.put(fceq(Fmt, A, B));
-    break;
-  case Cond::Ne:
-    Buf.put(fceq(Fmt, A, B));
-    TrueBranch = false;
-    break;
-  }
-  VC.addFixup(FixupKind::Branch, L);
-  Buf.put(TrueBranch ? bc1t() : bc1f());
-  delaySlot(VC);
-}
-
-void MipsTarget::emitBranch(VCode &VC, Cond C, Type Ty, Reg Rs1, Reg Rs2,
-                            Label L) {
-  if (isFpType(Ty)) {
-    fpCompareBranch(VC, C, Ty == Type::F ? FMT_S : FMT_D, fpr(Rs1), fpr(Rs2),
-                    L);
-    return;
-  }
-  intCompareBranch(VC, C, !isSignedType(Ty), gpr(Rs1), gpr(Rs2), L);
-}
-
-void MipsTarget::emitBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1,
-                               int64_t Imm, Label L) {
-  if (isFpType(Ty))
-    fatal("mips: fp branches take register operands");
-  CodeBuffer &B = VC.buf();
-  bool Unsigned = !isSignedType(Ty);
-  unsigned A = gpr(Rs1);
-  if (Imm == 0 && (C == Cond::Eq || C == Cond::Ne)) {
-    VC.addFixup(FixupKind::Branch, L);
-    B.put(C == Cond::Eq ? beq(A, ZERO) : bne(A, ZERO));
-    delaySlot(VC);
-    return;
-  }
-  if (C == Cond::Lt && !Unsigned && isInt<16>(Imm)) {
-    B.put(slti(AT, A, int32_t(Imm)));
-    VC.addFixup(FixupKind::Branch, L);
-    B.put(bne(AT, ZERO));
-    delaySlot(VC);
-    return;
-  }
-  if (C == Cond::Ge && !Unsigned && isInt<16>(Imm)) {
-    B.put(slti(AT, A, int32_t(Imm)));
-    VC.addFixup(FixupKind::Branch, L);
-    B.put(beq(AT, ZERO));
-    delaySlot(VC);
-    return;
-  }
-  // General case: materialize into AT; the compare reads AT before any
-  // slt writes it, so reuse is safe.
-  li(VC, AT, Imm);
-  intCompareBranch(VC, C, Unsigned, A, AT, L);
-}
-
-void MipsTarget::emitJump(VCode &VC, Label L) {
-  VC.addFixup(FixupKind::Jump, L);
-  VC.buf().put(j(0));
-  delaySlot(VC);
-}
-
-void MipsTarget::emitJumpReg(VCode &VC, Reg R) {
-  VC.buf().put(jr(gpr(R)));
-  delaySlot(VC);
-}
-
-void MipsTarget::emitJumpAddr(VCode &VC, SimAddr A) {
-  VC.buf().put(j(A));
-  delaySlot(VC);
-}
-
-void MipsTarget::emitCallAddr(VCode &VC, SimAddr A) {
-  VC.buf().put(jal(A));
-  delaySlot(VC);
-}
-
-void MipsTarget::emitCallLabel(VCode &VC, Label L) {
-  if (gpr(VC.cc().LinkReg) != RA)
-    fatal("mips: jal-to-label links through ra; substitute conventions "
-          "must use callReg");
-  VC.addFixup(FixupKind::Call, L);
-  VC.buf().put(jal(0));
-  delaySlot(VC);
-}
-
-void MipsTarget::emitLinkReturn(VCode &VC) {
-  VC.buf().put(jr(gpr(VC.cc().LinkReg)));
-  delaySlot(VC);
-}
-
-void MipsTarget::emitCallReg(VCode &VC, Reg R) {
-  VC.buf().put(jalr(gpr(VC.cc().LinkReg), gpr(R)));
-  delaySlot(VC);
-}
-
-void MipsTarget::emitRet(VCode &VC, Type Ty, Reg Rs) {
-  CodeBuffer &B = VC.buf();
-  // Optimistically emit a direct return with the result move in the delay
-  // slot (exactly the code of the paper's plus1 example). If v_end decides
-  // an epilogue is needed, the jr is rewritten into a jump to it; the delay
-  // slot still executes either way.
-  VC.addFixup(FixupKind::EpilogueJump, VC.epilogueLabel());
-  B.put(jr(gpr(VC.cc().LinkReg)));
-  if (Ty == Type::V) {
-    B.put(nop());
-  } else if (isFpType(Ty)) {
-    unsigned Ret = fpr(VC.resultReg(Ty));
-    if (fpr(Rs) != Ret)
-      B.put(fmov(Ty == Type::F ? FMT_S : FMT_D, Ret, fpr(Rs)));
-    else
-      B.put(nop());
-  } else {
-    unsigned Ret = gpr(VC.resultReg(Ty));
-    if (gpr(Rs) != Ret)
-      B.put(addu(Ret, gpr(Rs), ZERO));
-    else
-      B.put(nop());
-  }
-}
-
-void MipsTarget::emitNop(VCode &VC) { VC.buf().put(nop()); }
-
-// --- Function framing -------------------------------------------------------------
+// --- Function framing -------------------------------------------------------
 
 std::string MipsTarget::disassemble(uint32_t Word, SimAddr Pc) const {
   return mips::disassemble(Word, Pc);
@@ -626,6 +79,7 @@ void MipsTarget::beginFunction(VCode &VC) {
   // and one copy per stack-passed argument. v_end writes the real prologue
   // into the tail of this region and the entry point skips the rest.
   ReservedWords = uint32_t(2 + 32 + 32 + VC.prologueArgCopies().size());
+  VC.buf().ensureWords(ReservedWords);
   for (uint32_t I = 0; I < ReservedWords; ++I)
     VC.buf().put(nop());
 }
@@ -723,7 +177,7 @@ void MipsTarget::applyFixup(VCode &VC, const Fixup &F, SimAddr Target) {
   unreachable("bad FixupKind");
 }
 
-// --- Extension machine instructions (paper §5.4) ------------------------------
+// --- Extension machine instructions (paper §5.4) ----------------------------
 
 void MipsTarget::registerMachineInstructions() {
   auto Fp2 = [](unsigned Fn, unsigned Fmt) {
@@ -746,3 +200,6 @@ void MipsTarget::registerMachineInstructions() {
     VC.buf().put(nor(Ops[0].R.Num, Ops[1].R.Num, Ops[2].R.Num));
   });
 }
+
+// The shared static-dispatch instantiation declared in MipsTarget.h.
+template class vcode::VCodeT<MipsTarget>;

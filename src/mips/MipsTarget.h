@@ -11,13 +11,24 @@
 /// them, implements an O32-flavoured calling convention, and performs the
 /// prologue/epilogue backpatching of paper §5.2.
 ///
+/// The hot emitters (ins*) are non-virtual and inline in this header so
+/// that VCodeT<MipsTarget> clients get the paper's macro-expansion cost
+/// model; the Target virtuals are supplied by TargetBase<MipsTarget> as
+/// forwarders, so type-erased VCode clients emit the exact same bytes one
+/// virtual call away.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VCODE_MIPS_MIPSTARGET_H
 #define VCODE_MIPS_MIPSTARGET_H
 
-#include "core/Target.h"
-#include "core/VCode.h"
+#include "core/EncTable.h"
+#include "core/TargetBase.h"
+#include "core/VCodeT.h"
+#include "mips/MipsEncoding.h"
+#include "support/BitUtils.h"
+#include <bit>
+#include <cassert>
 
 namespace vcode {
 namespace mips {
@@ -25,39 +36,468 @@ namespace mips {
 /// Returns the shared MIPS target description.
 const TargetInfo &mipsTargetInfo();
 
+// --- Encoding tables --------------------------------------------------------
+
+/// One-word SPECIAL-group integer ALU row: functs for the signed and
+/// unsigned forms plus whether rs/rt swap (shift-by-register encodes the
+/// amount in rs). Mul/Div/Mod stay invalid: they synthesize through hi/lo.
+struct MipsAluRow {
+  uint8_t FnS = 0;
+  uint8_t FnU = 0;
+  bool Swap = false;
+  bool Valid = false;
+
+  constexpr MipsAluRow() = default;
+  constexpr MipsAluRow(unsigned FnS, unsigned FnU, bool Swap = false)
+      : FnS(uint8_t(FnS)), FnU(uint8_t(FnU)), Swap(Swap), Valid(true) {}
+};
+
+inline constexpr BinOpEncTable<MipsAluRow> MipsAluTable = [] {
+  BinOpEncTable<MipsAluRow> T;
+  T.set(BinOp::Add, {0x21, 0x21})
+      .set(BinOp::Sub, {0x23, 0x23})
+      .set(BinOp::And, {0x24, 0x24})
+      .set(BinOp::Or, {0x25, 0x25})
+      .set(BinOp::Xor, {0x26, 0x26})
+      .set(BinOp::Lsh, {0x04, 0x04, /*Swap=*/true})
+      .set(BinOp::Rsh, {0x07, 0x06, /*Swap=*/true});
+  return T;
+}();
+
+/// COP1 functs for the single-word FP arithmetic ops.
+inline constexpr BinOpEncTable<OpEnc> MipsFpAluTable = [] {
+  BinOpEncTable<OpEnc> T;
+  T.set(BinOp::Add, {0x00})
+      .set(BinOp::Sub, {0x01})
+      .set(BinOp::Mul, {0x02})
+      .set(BinOp::Div, {0x03});
+  return T;
+}();
+
+/// Major opcodes for typed loads and stores.
+inline constexpr TypeEncTable<OpEnc> MipsLoadTable = [] {
+  TypeEncTable<OpEnc> T;
+  T.set(Type::C, {0x20})
+      .set(Type::UC, {0x24})
+      .set(Type::S, {0x21})
+      .set(Type::US, {0x25})
+      .set(Type::I, {0x23})
+      .set(Type::U, {0x23})
+      .set(Type::L, {0x23})
+      .set(Type::UL, {0x23})
+      .set(Type::P, {0x23})
+      .set(Type::F, {0x31})
+      .set(Type::D, {0x35});
+  return T;
+}();
+
+inline constexpr TypeEncTable<OpEnc> MipsStoreTable = [] {
+  TypeEncTable<OpEnc> T;
+  T.set(Type::C, {0x28})
+      .set(Type::UC, {0x28})
+      .set(Type::S, {0x29})
+      .set(Type::US, {0x29})
+      .set(Type::I, {0x2b})
+      .set(Type::U, {0x2b})
+      .set(Type::L, {0x2b})
+      .set(Type::UL, {0x2b})
+      .set(Type::P, {0x2b})
+      .set(Type::F, {0x39})
+      .set(Type::D, {0x3d});
+  return T;
+}();
+
+/// How an integer compare-and-branch synthesizes: either directly as
+/// beq/bne on the operands, or as slt/sltu (operands possibly swapped for
+/// Gt/Le) feeding bne/beq on the assembler temporary.
+struct MipsCmpRow {
+  bool UseSlt = false;
+  bool Swap = false;
+  bool BrNe = false;
+  bool Valid = false;
+
+  constexpr MipsCmpRow() = default;
+  constexpr MipsCmpRow(bool UseSlt, bool Swap, bool BrNe)
+      : UseSlt(UseSlt), Swap(Swap), BrNe(BrNe), Valid(true) {}
+};
+
+inline constexpr CondEncTable<MipsCmpRow> MipsIntCmpTable = [] {
+  CondEncTable<MipsCmpRow> T;
+  T.set(Cond::Eq, {false, false, false})
+      .set(Cond::Ne, {false, false, true})
+      .set(Cond::Lt, {true, false, true})
+      .set(Cond::Ge, {true, false, false})
+      .set(Cond::Gt, {true, true, true})
+      .set(Cond::Le, {true, true, false});
+  return T;
+}();
+
+/// FP compare-and-branch: c.cond.fmt funct in A, with Gt/Ge as swapped
+/// Lt/Le and Ne as an inverted Eq taken with bc1f.
+inline constexpr CondEncTable<CmpEnc> MipsFpCmpTable = [] {
+  CondEncTable<CmpEnc> T;
+  T.set(Cond::Lt, {0x3c, 0})
+      .set(Cond::Le, {0x3e, 0})
+      .set(Cond::Gt, {0x3c, 0, /*Swap=*/true})
+      .set(Cond::Ge, {0x3e, 0, /*Swap=*/true})
+      .set(Cond::Eq, {0x32, 0})
+      .set(Cond::Ne, {0x32, 0, false, /*Invert=*/true});
+  return T;
+}();
+
 /// MIPS32 code generator backend.
-class MipsTarget final : public Target {
+class MipsTarget final : public TargetBase<MipsTarget> {
 public:
   MipsTarget();
 
   const TargetInfo &info() const override { return mipsTargetInfo(); }
 
-  void emitBinop(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
-                 Reg Rs2) override;
-  void emitBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
-                    int64_t Imm) override;
-  void emitUnop(VCode &VC, UnOp Op, Type Ty, Reg Rd, Reg Rs) override;
-  void emitSetInt(VCode &VC, Type Ty, Reg Rd, uint64_t Imm) override;
-  void emitSetFp(VCode &VC, Type Ty, Reg Rd, double Val) override;
-  void emitCvt(VCode &VC, Type From, Type To, Reg Rd, Reg Rs) override;
-  void emitLoad(VCode &VC, Type Ty, Reg Rd, Reg Base, Reg Off) override;
-  void emitLoadImm(VCode &VC, Type Ty, Reg Rd, Reg Base, int64_t Off) override;
-  void emitStore(VCode &VC, Type Ty, Reg Val, Reg Base, Reg Off) override;
-  void emitStoreImm(VCode &VC, Type Ty, Reg Val, Reg Base,
-                    int64_t Off) override;
-  void emitBranch(VCode &VC, Cond C, Type Ty, Reg Rs1, Reg Rs2,
-                  Label L) override;
-  void emitBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1, int64_t Imm,
-                     Label L) override;
-  void emitJump(VCode &VC, Label L) override;
-  void emitJumpReg(VCode &VC, Reg R) override;
-  void emitJumpAddr(VCode &VC, SimAddr A) override;
-  void emitCallAddr(VCode &VC, SimAddr A) override;
-  void emitCallLabel(VCode &VC, Label L) override;
-  void emitLinkReturn(VCode &VC) override;
-  void emitCallReg(VCode &VC, Reg R) override;
-  void emitRet(VCode &VC, Type Ty, Reg Rs) override;
-  void emitNop(VCode &VC) override;
+  // --- Statically dispatched emitters (paper Table 2) ----------------------
+
+  void insBinop(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1, Reg Rs2) {
+    CodeBuffer &B = VC.buf();
+    if (isFpType(Ty)) {
+      const OpEnc &E = MipsFpAluTable[Op];
+      if (!E.Valid)
+        fatal("mips: fp binop '%s' unsupported", binOpName(Op));
+      B.put(fpRType(Ty == Type::F ? FMT_S : FMT_D, fpr(Rs2), fpr(Rs1),
+                    fpr(Rd), E.Op));
+      return;
+    }
+    bool Unsigned = !isSignedType(Ty);
+    unsigned D = gpr(Rd), S = gpr(Rs1), T = gpr(Rs2);
+    const MipsAluRow &R = MipsAluTable[Op];
+    if (R.Valid) {
+      unsigned Fn = Unsigned ? R.FnU : R.FnS;
+      B.put(R.Swap ? rType(Fn, T, S, D) : rType(Fn, S, T, D));
+      return;
+    }
+    // Mul/Div/Mod synthesize through the hi/lo registers (two words).
+    B.ensureWords(2);
+    switch (Op) {
+    case BinOp::Mul:
+      B.put(Unsigned ? multu(S, T) : mult(S, T));
+      B.put(mflo(D));
+      return;
+    case BinOp::Div:
+      B.put(Unsigned ? divu(S, T) : div_(S, T));
+      B.put(mflo(D));
+      return;
+    case BinOp::Mod:
+      B.put(Unsigned ? divu(S, T) : div_(S, T));
+      B.put(mfhi(D));
+      return;
+    default:
+      break;
+    }
+    unreachable("bad BinOp");
+  }
+
+  void insBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
+                   int64_t Imm) {
+    if (isFpType(Ty))
+      fatal("mips: immediate operands are not allowed for f/d (paper "
+            "Table 2)");
+    CodeBuffer &B = VC.buf();
+    unsigned D = gpr(Rd), S = gpr(Rs1);
+    switch (Op) {
+    case BinOp::Add:
+      if (isInt<16>(Imm)) {
+        B.put(addiu(D, S, int32_t(Imm)));
+        return;
+      }
+      break;
+    case BinOp::Sub:
+      if (isInt<16>(-Imm)) {
+        B.put(addiu(D, S, int32_t(-Imm)));
+        return;
+      }
+      break;
+    case BinOp::And:
+      if (isUInt<16>(uint64_t(Imm))) {
+        B.put(andi(D, S, uint32_t(Imm)));
+        return;
+      }
+      break;
+    case BinOp::Or:
+      if (isUInt<16>(uint64_t(Imm))) {
+        B.put(ori(D, S, uint32_t(Imm)));
+        return;
+      }
+      break;
+    case BinOp::Xor:
+      if (isUInt<16>(uint64_t(Imm))) {
+        B.put(xori(D, S, uint32_t(Imm)));
+        return;
+      }
+      break;
+    case BinOp::Lsh:
+      assert(Imm >= 0 && Imm < 32 && "shift amount out of range");
+      B.put(sll(D, S, unsigned(Imm)));
+      return;
+    case BinOp::Rsh:
+      assert(Imm >= 0 && Imm < 32 && "shift amount out of range");
+      B.put(isSignedType(Ty) ? sra(D, S, unsigned(Imm))
+                             : srl(D, S, unsigned(Imm)));
+      return;
+    default:
+      break;
+    }
+    // Boundary condition (paper §1: "constants that don't fit in immediate
+    // fields"): synthesize through the assembler temporary.
+    li(VC, AT, Imm);
+    insBinop(VC, Op, Ty, Rd, Rs1, intReg(AT));
+  }
+
+  void insUnop(VCode &VC, UnOp Op, Type Ty, Reg Rd, Reg Rs) {
+    CodeBuffer &B = VC.buf();
+    if (isFpType(Ty)) {
+      unsigned Fmt = Ty == Type::F ? FMT_S : FMT_D;
+      switch (Op) {
+      case UnOp::Mov:
+        B.put(fmov(Fmt, fpr(Rd), fpr(Rs)));
+        return;
+      case UnOp::Neg:
+        B.put(fneg(Fmt, fpr(Rd), fpr(Rs)));
+        return;
+      default:
+        fatal("mips: fp unop unsupported");
+      }
+    }
+    unsigned D = gpr(Rd), S = gpr(Rs);
+    switch (Op) {
+    case UnOp::Com:
+      B.put(nor(D, S, ZERO));
+      return;
+    case UnOp::Not:
+      B.put(sltiu(D, S, 1));
+      return;
+    case UnOp::Mov:
+      B.put(addu(D, S, ZERO));
+      return;
+    case UnOp::Neg:
+      B.put(subu(D, ZERO, S));
+      return;
+    }
+    unreachable("bad UnOp");
+  }
+
+  void insSetInt(VCode &VC, Type Ty, Reg Rd, uint64_t Imm) {
+    (void)Ty;
+    li(VC, gpr(Rd), int64_t(int32_t(uint32_t(Imm))));
+  }
+
+  void insSetFp(VCode &VC, Type Ty, Reg Rd, double Val) {
+    CodeBuffer &B = VC.buf();
+    if (Ty == Type::F) {
+      // Singles fit a GPR: materialize the bit pattern and move it over.
+      uint32_t Bits = std::bit_cast<uint32_t>(float(Val));
+      if (Bits == 0) {
+        B.put(mtc1(ZERO, fpr(Rd)));
+        return;
+      }
+      li(VC, AT, int64_t(int32_t(Bits)));
+      B.put(mtc1(AT, fpr(Rd)));
+      return;
+    }
+    // Doubles come from the per-function constant pool at the end of the
+    // instruction stream (paper §5.2).
+    Label Pool = VC.constPoolLabel(std::bit_cast<uint64_t>(Val));
+    B.ensureWords(3);
+    addrOfLabel(VC, AT, Pool);
+    B.put(ldc1(fpr(Rd), AT, 0));
+  }
+
+  void insCvt(VCode &VC, Type From, Type To, Reg Rd, Reg Rs) {
+    CodeBuffer &B = VC.buf();
+    // On a 32-bit machine L/UL/P collapse onto I/U (paper Table 1).
+    bool FromIntReg = isIntRegType(From);
+    bool ToIntReg = isIntRegType(To);
+    if (FromIntReg && ToIntReg) {
+      if (Rd != Rs)
+        B.put(addu(gpr(Rd), gpr(Rs), ZERO));
+      return;
+    }
+    if (FromIntReg && isFpType(To)) {
+      bool Uns = From == Type::U || From == Type::UL || From == Type::P;
+      if (Uns) {
+        unsignedToFp(VC, To == Type::D, Rd, Rs);
+        return;
+      }
+      B.ensureWords(2);
+      B.put(mtc1(gpr(Rs), FAT0));
+      B.put(To == Type::F ? fcvts(FMT_W, fpr(Rd), FAT0)
+                          : fcvtd(FMT_W, fpr(Rd), FAT0));
+      return;
+    }
+    if (isFpType(From) && ToIntReg) {
+      unsigned Fmt = From == Type::F ? FMT_S : FMT_D;
+      B.ensureWords(2);
+      B.put(ftruncw(Fmt, FAT0, fpr(Rs)));
+      B.put(mfc1(gpr(Rd), FAT0));
+      return;
+    }
+    if (From == Type::F && To == Type::D) {
+      B.put(fcvtd(FMT_S, fpr(Rd), fpr(Rs)));
+      return;
+    }
+    if (From == Type::D && To == Type::F) {
+      B.put(fcvts(FMT_D, fpr(Rd), fpr(Rs)));
+      return;
+    }
+    fatal("mips: unsupported conversion %s -> %s", typeName(From),
+          typeName(To));
+  }
+
+  void insLoad(VCode &VC, Type Ty, Reg Rd, Reg Base, Reg Off) {
+    CodeBuffer &B = VC.buf();
+    B.ensureWords(2);
+    B.put(addu(AT, gpr(Base), gpr(Off)));
+    B.put(loadWord(Ty, isFpType(Ty) ? fpr(Rd) : gpr(Rd), AT, 0));
+  }
+
+  void insLoadImm(VCode &VC, Type Ty, Reg Rd, Reg Base, int64_t Off) {
+    CodeBuffer &B = VC.buf();
+    unsigned Rt = isFpType(Ty) ? fpr(Rd) : gpr(Rd);
+    if (isInt<16>(Off)) {
+      B.put(loadWord(Ty, Rt, gpr(Base), int32_t(Off)));
+      return;
+    }
+    li(VC, AT, Off);
+    B.put(addu(AT, AT, gpr(Base)));
+    B.put(loadWord(Ty, Rt, AT, 0));
+  }
+
+  void insStore(VCode &VC, Type Ty, Reg Val, Reg Base, Reg Off) {
+    CodeBuffer &B = VC.buf();
+    B.ensureWords(2);
+    B.put(addu(AT, gpr(Base), gpr(Off)));
+    B.put(storeWord(Ty, isFpType(Ty) ? fpr(Val) : gpr(Val), AT, 0));
+  }
+
+  void insStoreImm(VCode &VC, Type Ty, Reg Val, Reg Base, int64_t Off) {
+    CodeBuffer &B = VC.buf();
+    unsigned Rt = isFpType(Ty) ? fpr(Val) : gpr(Val);
+    if (isInt<16>(Off)) {
+      B.put(storeWord(Ty, Rt, gpr(Base), int32_t(Off)));
+      return;
+    }
+    li(VC, AT, Off);
+    B.put(addu(AT, AT, gpr(Base)));
+    B.put(storeWord(Ty, Rt, AT, 0));
+  }
+
+  void insBranch(VCode &VC, Cond C, Type Ty, Reg Rs1, Reg Rs2, Label L) {
+    if (isFpType(Ty)) {
+      fpCompareBranch(VC, C, Ty == Type::F ? FMT_S : FMT_D, fpr(Rs1),
+                      fpr(Rs2), L);
+      return;
+    }
+    intCompareBranch(VC, C, !isSignedType(Ty), gpr(Rs1), gpr(Rs2), L);
+  }
+
+  void insBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1, int64_t Imm,
+                    Label L) {
+    if (isFpType(Ty))
+      fatal("mips: fp branches take register operands");
+    CodeBuffer &B = VC.buf();
+    bool Unsigned = !isSignedType(Ty);
+    unsigned A = gpr(Rs1);
+    if (Imm == 0 && (C == Cond::Eq || C == Cond::Ne)) {
+      VC.addFixup(FixupKind::Branch, L);
+      B.put(C == Cond::Eq ? beq(A, ZERO) : bne(A, ZERO));
+      delaySlot(VC);
+      return;
+    }
+    if (C == Cond::Lt && !Unsigned && isInt<16>(Imm)) {
+      B.put(slti(AT, A, int32_t(Imm)));
+      VC.addFixup(FixupKind::Branch, L);
+      B.put(bne(AT, ZERO));
+      delaySlot(VC);
+      return;
+    }
+    if (C == Cond::Ge && !Unsigned && isInt<16>(Imm)) {
+      B.put(slti(AT, A, int32_t(Imm)));
+      VC.addFixup(FixupKind::Branch, L);
+      B.put(beq(AT, ZERO));
+      delaySlot(VC);
+      return;
+    }
+    // General case: materialize into AT; the compare reads AT before any
+    // slt writes it, so reuse is safe.
+    li(VC, AT, Imm);
+    intCompareBranch(VC, C, Unsigned, A, AT, L);
+  }
+
+  void insJump(VCode &VC, Label L) {
+    VC.addFixup(FixupKind::Jump, L);
+    VC.buf().put(j(0));
+    delaySlot(VC);
+  }
+
+  void insJumpReg(VCode &VC, Reg R) {
+    VC.buf().put(jr(gpr(R)));
+    delaySlot(VC);
+  }
+
+  void insJumpAddr(VCode &VC, SimAddr A) {
+    VC.buf().put(j(A));
+    delaySlot(VC);
+  }
+
+  void insCallAddr(VCode &VC, SimAddr A) {
+    VC.buf().put(jal(A));
+    delaySlot(VC);
+  }
+
+  void insCallLabel(VCode &VC, Label L) {
+    if (gpr(VC.cc().LinkReg) != RA)
+      fatal("mips: jal-to-label links through ra; substitute conventions "
+            "must use callReg");
+    VC.addFixup(FixupKind::Call, L);
+    VC.buf().put(jal(0));
+    delaySlot(VC);
+  }
+
+  void insLinkReturn(VCode &VC) {
+    VC.buf().put(jr(gpr(VC.cc().LinkReg)));
+    delaySlot(VC);
+  }
+
+  void insCallReg(VCode &VC, Reg R) {
+    VC.buf().put(jalr(gpr(VC.cc().LinkReg), gpr(R)));
+    delaySlot(VC);
+  }
+
+  void insRet(VCode &VC, Type Ty, Reg Rs) {
+    CodeBuffer &B = VC.buf();
+    // Optimistically emit a direct return with the result move in the delay
+    // slot (exactly the code of the paper's plus1 example). If v_end decides
+    // an epilogue is needed, the jr is rewritten into a jump to it; the
+    // delay slot still executes either way.
+    B.ensureWords(2);
+    VC.addFixup(FixupKind::EpilogueJump, VC.epilogueLabel());
+    B.put(jr(gpr(VC.cc().LinkReg)));
+    if (Ty == Type::V) {
+      B.put(nop());
+    } else if (isFpType(Ty)) {
+      unsigned Ret = fpr(VC.resultReg(Ty));
+      if (fpr(Rs) != Ret)
+        B.put(fmov(Ty == Type::F ? FMT_S : FMT_D, Ret, fpr(Rs)));
+      else
+        B.put(nop());
+    } else {
+      unsigned Ret = gpr(VC.resultReg(Ty));
+      if (gpr(Rs) != Ret)
+        B.put(addu(Ret, gpr(Rs), ZERO));
+      else
+        B.put(nop());
+    }
+  }
+
+  void insNop(VCode &VC) { VC.buf().put(nop()); }
+
+  // --- Cold paths (defined in MipsTarget.cpp) ------------------------------
 
   std::string disassemble(uint32_t Word, SimAddr Pc) const override;
 
@@ -66,13 +506,95 @@ public:
   void applyFixup(VCode &VC, const Fixup &F, SimAddr Target) override;
 
 private:
-  void li(VCode &VC, unsigned Rd, int64_t Imm);
-  void addrOfLabel(VCode &VC, unsigned Rd, Label L);
-  void delaySlot(VCode &VC);
+  // Two FPU scratch registers reserved for synthesis sequences (conversions,
+  // constant materialization); excluded from the allocator's candidates.
+  static constexpr unsigned FAT0 = 18;
+  static constexpr unsigned FAT1 = 16;
+
+  static unsigned gpr(Reg R) {
+    assert(R.isInt() && "integer register expected");
+    return R.Num;
+  }
+  static unsigned fpr(Reg R) {
+    assert(R.isFp() && "fp register expected");
+    return R.Num;
+  }
+
+  /// Returns the opcode-applied load/store word for \p Ty.
+  static uint32_t loadWord(Type Ty, unsigned Rt, unsigned Base, int32_t Off) {
+    const OpEnc &E = MipsLoadTable[Ty];
+    if (!E.Valid)
+      unreachable("bad load type");
+    return iType(E.Op, Base, Rt, uint32_t(Off));
+  }
+  static uint32_t storeWord(Type Ty, unsigned Rt, unsigned Base, int32_t Off) {
+    const OpEnc &E = MipsStoreTable[Ty];
+    if (!E.Valid)
+      unreachable("bad store type");
+    return iType(E.Op, Base, Rt, uint32_t(Off));
+  }
+
+  /// Loads a 32-bit constant into \p Rd (1-2 words).
+  void li(VCode &VC, unsigned Rd, int64_t Imm) {
+    CodeBuffer &B = VC.buf();
+    int32_t V = int32_t(Imm);
+    if (isInt<16>(V)) {
+      B.put(addiu(Rd, ZERO, V));
+      return;
+    }
+    if (isUInt<16>(uint32_t(V))) {
+      B.put(ori(Rd, ZERO, uint32_t(V)));
+      return;
+    }
+    B.put(lui(Rd, uint32_t(V) >> 16));
+    if (uint32_t(V) & 0xffff)
+      B.put(ori(Rd, Rd, uint32_t(V) & 0xffff));
+  }
+
+  /// Materializes the (post-linking) absolute address of \p L into \p Rd via
+  /// a fixed lui/ori pair completed when labels resolve.
+  void addrOfLabel(VCode &VC, unsigned Rd, Label L) {
+    CodeBuffer &B = VC.buf();
+    VC.addFixup(FixupKind::AddrHi, L);
+    B.put(lui(Rd, 0));
+    VC.addFixup(FixupKind::AddrLo, L);
+    B.put(ori(Rd, Rd, 0));
+  }
+
+  /// Emits the delay-slot nop after a branch/jump unless the client is
+  /// scheduling the slot (paper §5.3 v_schedule_delay).
+  void delaySlot(VCode &VC) {
+    if (!VC.suppressDelayNop())
+      VC.buf().put(nop());
+  }
+
   void intCompareBranch(VCode &VC, Cond C, bool Unsigned, unsigned A,
-                        unsigned B, Label L);
+                        unsigned B, Label L) {
+    CodeBuffer &Buf = VC.buf();
+    const MipsCmpRow &R = MipsIntCmpTable[C];
+    if (R.UseSlt) {
+      unsigned X = R.Swap ? B : A, Y = R.Swap ? A : B;
+      Buf.put(Unsigned ? sltu(AT, X, Y) : slt(AT, X, Y));
+      VC.addFixup(FixupKind::Branch, L);
+      Buf.put(R.BrNe ? bne(AT, ZERO) : beq(AT, ZERO));
+    } else {
+      VC.addFixup(FixupKind::Branch, L);
+      Buf.put(R.BrNe ? bne(A, B) : beq(A, B));
+    }
+    delaySlot(VC);
+  }
+
   void fpCompareBranch(VCode &VC, Cond C, unsigned Fmt, unsigned A, unsigned B,
-                       Label L);
+                       Label L) {
+    CodeBuffer &Buf = VC.buf();
+    const CmpEnc &R = MipsFpCmpTable[C];
+    unsigned X = R.Swap ? B : A, Y = R.Swap ? A : B;
+    Buf.put(fpRType(Fmt, Y, X, 0, R.A));
+    VC.addFixup(FixupKind::Branch, L);
+    Buf.put(R.Invert ? bc1f() : bc1t());
+    delaySlot(VC);
+  }
+
   void unsignedToFp(VCode &VC, bool ToDouble, Reg Rd, Reg Rs);
   void registerMachineInstructions();
 
@@ -81,6 +603,11 @@ private:
 };
 
 } // namespace mips
+
+// One shared instantiation of the static-dispatch emission core for this
+// backend (defined in MipsTarget.cpp).
+extern template class VCodeT<mips::MipsTarget>;
+
 } // namespace vcode
 
 #endif // VCODE_MIPS_MIPSTARGET_H

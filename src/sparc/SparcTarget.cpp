@@ -2,36 +2,17 @@
 //
 // Part of the vcode reproduction of Engler, PLDI 1996.
 //
+// The hot emitters live inline in SparcTarget.h; this file holds the cold
+// paths: target description, function framing, fixups, disassembly, and the
+// machine-level extension instructions.
+//
 //===----------------------------------------------------------------------===//
 
 #include "sparc/SparcTarget.h"
 #include "sparc/SparcDisasm.h"
-#include "sparc/SparcEncoding.h"
-#include "support/BitUtils.h"
-#include <cassert>
-#include <cstring>
 
 using namespace vcode;
 using namespace vcode::sparc;
-
-// FP scratch (register pairs f28/f29 and f30/f31), excluded from allocation.
-static constexpr unsigned FAT0 = 28;
-static constexpr unsigned FAT1 = 30;
-
-// Scratch stack slot for int<->fp register moves (SPARC V8 has no direct
-// move): an 8-byte red zone below the stack pointer. Safe in this
-// single-threaded, signal-free simulation environment.
-static constexpr int32_t RedZone = -8;
-
-static unsigned gpr(Reg R) {
-  assert(R.isInt() && "integer register expected");
-  return R.Num;
-}
-
-static unsigned fpr(Reg R) {
-  assert(R.isFp() && "fp register expected");
-  return R.Num;
-}
 
 const TargetInfo &vcode::sparc::sparcTargetInfo() {
   static const TargetInfo TI = [] {
@@ -67,566 +48,6 @@ const TargetInfo &vcode::sparc::sparcTargetInfo() {
 
 SparcTarget::SparcTarget() { registerMachineInstructions(); }
 
-// --- Helpers -------------------------------------------------------------------
-
-void SparcTarget::li(VCode &VC, unsigned Rd, int64_t Imm) {
-  CodeBuffer &B = VC.buf();
-  int32_t V = int32_t(Imm);
-  if (isInt<13>(V)) {
-    B.put(ori(Rd, G0, V));
-    return;
-  }
-  B.put(sethi(Rd, uint32_t(V) >> 10));
-  if (uint32_t(V) & 0x3ff)
-    B.put(ori(Rd, Rd, int32_t(uint32_t(V) & 0x3ff)));
-}
-
-void SparcTarget::addrOfLabel(VCode &VC, unsigned Rd, Label L) {
-  CodeBuffer &B = VC.buf();
-  VC.addFixup(FixupKind::AddrHi, L);
-  B.put(sethi(Rd, 0));
-  VC.addFixup(FixupKind::AddrLo, L);
-  B.put(ori(Rd, Rd, 0));
-}
-
-void SparcTarget::delaySlot(VCode &VC) {
-  if (!VC.suppressDelayNop())
-    VC.buf().put(nop());
-}
-
-// --- ALU -------------------------------------------------------------------------
-
-void SparcTarget::emitBinop(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
-                            Reg Rs2) {
-  CodeBuffer &B = VC.buf();
-  if (isFpType(Ty)) {
-    bool Dbl = Ty == Type::D;
-    unsigned D = fpr(Rd), S = fpr(Rs1), T = fpr(Rs2);
-    switch (Op) {
-    case BinOp::Add:
-      B.put(fpop1(D, S, Dbl ? FADDD : FADDS, T));
-      return;
-    case BinOp::Sub:
-      B.put(fpop1(D, S, Dbl ? FSUBD : FSUBS, T));
-      return;
-    case BinOp::Mul:
-      B.put(fpop1(D, S, Dbl ? FMULD : FMULS, T));
-      return;
-    case BinOp::Div:
-      B.put(fpop1(D, S, Dbl ? FDIVD : FDIVS, T));
-      return;
-    default:
-      fatal("sparc: fp binop '%s' unsupported", binOpName(Op));
-    }
-  }
-  bool Unsigned = !isSignedType(Ty);
-  unsigned D = gpr(Rd), S = gpr(Rs1), T = gpr(Rs2);
-  switch (Op) {
-  case BinOp::Add:
-    B.put(add(D, S, T));
-    return;
-  case BinOp::Sub:
-    B.put(sub(D, S, T));
-    return;
-  case BinOp::Mul:
-    B.put(Unsigned ? umul(D, S, T) : smul(D, S, T));
-    return;
-  case BinOp::Div:
-    // The 64-bit dividend lives in Y:rs1; prime Y with the sign extension
-    // (or zero) first.
-    if (Unsigned) {
-      B.put(wryi(G0, 0));
-      B.put(udiv(D, S, T));
-    } else {
-      B.put(srai(G1, S, 31));
-      B.put(wry(G1));
-      B.put(sdiv(D, S, T));
-    }
-    return;
-  case BinOp::Mod:
-    // rem = a - (a/b)*b, computed through the assembler temporary.
-    if (Unsigned) {
-      B.put(wryi(G0, 0));
-      B.put(udiv(G1, S, T));
-    } else {
-      B.put(srai(G1, S, 31));
-      B.put(wry(G1));
-      B.put(sdiv(G1, S, T));
-    }
-    B.put(smul(G1, G1, T));
-    B.put(sub(D, S, G1));
-    return;
-  case BinOp::And:
-    B.put(and_(D, S, T));
-    return;
-  case BinOp::Or:
-    B.put(or_(D, S, T));
-    return;
-  case BinOp::Xor:
-    B.put(xor_(D, S, T));
-    return;
-  case BinOp::Lsh:
-    B.put(sll(D, S, T));
-    return;
-  case BinOp::Rsh:
-    B.put(Unsigned ? srl(D, S, T) : sra(D, S, T));
-    return;
-  }
-  unreachable("bad BinOp");
-}
-
-void SparcTarget::emitBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
-                               int64_t Imm) {
-  if (isFpType(Ty))
-    fatal("sparc: immediate operands are not allowed for f/d");
-  CodeBuffer &B = VC.buf();
-  unsigned D = gpr(Rd), S = gpr(Rs1);
-  switch (Op) {
-  case BinOp::Add:
-    if (isInt<13>(Imm)) {
-      B.put(addi(D, S, int32_t(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Sub:
-    if (isInt<13>(Imm)) {
-      B.put(subi(D, S, int32_t(Imm)));
-      return;
-    }
-    break;
-  case BinOp::And:
-    if (isInt<13>(Imm)) {
-      B.put(andi(D, S, int32_t(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Or:
-    if (isInt<13>(Imm)) {
-      B.put(ori(D, S, int32_t(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Xor:
-    if (isInt<13>(Imm)) {
-      B.put(xori(D, S, int32_t(Imm)));
-      return;
-    }
-    break;
-  case BinOp::Lsh:
-    assert(Imm >= 0 && Imm < 32 && "shift amount out of range");
-    B.put(slli(D, S, unsigned(Imm)));
-    return;
-  case BinOp::Rsh:
-    assert(Imm >= 0 && Imm < 32 && "shift amount out of range");
-    B.put(isSignedType(Ty) ? srai(D, S, unsigned(Imm))
-                           : srli(D, S, unsigned(Imm)));
-    return;
-  case BinOp::Div:
-  case BinOp::Mod: {
-    // The Y-register setup needs G1, so the divisor goes into the second
-    // scratch register G5 (reserved, like G1, from allocation).
-    bool Signed = isSignedType(Ty);
-    if (Signed) {
-      B.put(srai(G1, S, 31));
-      B.put(wry(G1));
-    } else {
-      B.put(wryi(G0, 0));
-    }
-    li(VC, G5, Imm);
-    if (Op == BinOp::Div) {
-      B.put(Signed ? sdiv(D, S, G5) : udiv(D, S, G5));
-    } else {
-      B.put(Signed ? sdiv(G1, S, G5) : udiv(G1, S, G5));
-      B.put(smul(G1, G1, G5));
-      B.put(sub(D, S, G1));
-    }
-    return;
-  }
-  default:
-    break;
-  }
-  li(VC, G1, Imm);
-  emitBinop(VC, Op, Ty, Rd, Rs1, intReg(G1));
-}
-
-void SparcTarget::emitUnop(VCode &VC, UnOp Op, Type Ty, Reg Rd, Reg Rs) {
-  CodeBuffer &B = VC.buf();
-  if (isFpType(Ty)) {
-    bool Dbl = Ty == Type::D;
-    unsigned D = fpr(Rd), S = fpr(Rs);
-    switch (Op) {
-    case UnOp::Mov:
-      B.put(fpop1(D, 0, FMOVS, S));
-      if (Dbl)
-        B.put(fpop1(D + 1, 0, FMOVS, S + 1));
-      return;
-    case UnOp::Neg:
-      // fnegs negates the sign of the most significant half; with our
-      // little-endian pair layout that is the odd register.
-      if (Dbl) {
-        B.put(fpop1(D, 0, FMOVS, S));
-        B.put(fpop1(D + 1, 0, FNEGS, S + 1));
-      } else {
-        B.put(fpop1(D, 0, FNEGS, S));
-      }
-      return;
-    default:
-      fatal("sparc: fp unop unsupported");
-    }
-  }
-  unsigned D = gpr(Rd), S = gpr(Rs);
-  switch (Op) {
-  case UnOp::Com:
-    B.put(xnor(D, S, G0));
-    return;
-  case UnOp::Not:
-    // rd = (rs == 0): carry of (0 - rs) is set iff rs != 0.
-    B.put(subcc(G0, G0, S));
-    B.put(addxi(D, G0, 0));
-    B.put(xori(D, D, 1));
-    return;
-  case UnOp::Mov:
-    B.put(or_(D, S, G0));
-    return;
-  case UnOp::Neg:
-    B.put(sub(D, G0, S));
-    return;
-  }
-  unreachable("bad UnOp");
-}
-
-void SparcTarget::emitSetInt(VCode &VC, Type Ty, Reg Rd, uint64_t Imm) {
-  (void)Ty;
-  li(VC, gpr(Rd), int64_t(int32_t(uint32_t(Imm))));
-}
-
-void SparcTarget::emitSetFp(VCode &VC, Type Ty, Reg Rd, double Val) {
-  CodeBuffer &B = VC.buf();
-  if (Ty == Type::F) {
-    float F = float(Val);
-    uint32_t Bits;
-    std::memcpy(&Bits, &F, 4);
-    li(VC, G1, int64_t(int32_t(Bits)));
-    B.put(memri(ST, G1, SP, RedZone));
-    B.put(memri(LDF, fpr(Rd), SP, RedZone));
-    return;
-  }
-  uint64_t Bits;
-  std::memcpy(&Bits, &Val, 8);
-  Label Pool = VC.constPoolLabel(Bits);
-  addrOfLabel(VC, G1, Pool);
-  B.put(memri(LDDF, fpr(Rd), G1, 0));
-}
-
-void SparcTarget::emitCvt(VCode &VC, Type From, Type To, Reg Rd, Reg Rs) {
-  CodeBuffer &B = VC.buf();
-  bool FromIntReg = isIntRegType(From);
-  bool ToIntReg = isIntRegType(To);
-  if (FromIntReg && ToIntReg) {
-    if (Rd != Rs)
-      B.put(or_(gpr(Rd), gpr(Rs), G0));
-    return;
-  }
-  if (FromIntReg && isFpType(To)) {
-    bool Uns = From == Type::U || From == Type::UL || From == Type::P;
-    unsigned S = gpr(Rs);
-    if (!Uns) {
-      B.put(memri(ST, S, SP, RedZone));
-      B.put(memri(LDF, FAT0, SP, RedZone));
-      B.put(fpop1(fpr(Rd), 0, To == Type::F ? FITOS : FITOD, FAT0));
-      return;
-    }
-    // Unsigned: convert as signed to double, then add 2^32 when the sign
-    // bit was set; narrow to single at the end if needed.
-    uint64_t TwoTo32;
-    double Dv = 4294967296.0;
-    std::memcpy(&TwoTo32, &Dv, 8);
-    Label Pool = VC.constPoolLabel(TwoTo32);
-    unsigned Acc = To == Type::D ? fpr(Rd) : FAT1;
-    B.put(memri(ST, S, SP, RedZone));
-    B.put(memri(LDF, FAT0, SP, RedZone));
-    B.put(fpop1(Acc, 0, FITOD, FAT0));
-    B.put(subcci(G0, S, 0));       // sets N from rs
-    B.put(bicc(CondGE, 6));        // skip the 5-word fix block
-    B.put(nop());
-    addrOfLabel(VC, G1, Pool); // 2 words
-    B.put(memri(LDDF, FAT0, G1, 0));
-    B.put(fpop1(Acc, Acc, FADDD, FAT0));
-    if (To == Type::F)
-      B.put(fpop1(fpr(Rd), 0, FDTOS, Acc));
-    return;
-  }
-  if (isFpType(From) && ToIntReg) {
-    B.put(fpop1(FAT0, 0, From == Type::F ? FSTOI : FDTOI, fpr(Rs)));
-    B.put(memri(STF, FAT0, SP, RedZone));
-    B.put(memri(LD, gpr(Rd), SP, RedZone));
-    return;
-  }
-  if (From == Type::F && To == Type::D) {
-    B.put(fpop1(fpr(Rd), 0, FSTOD, fpr(Rs)));
-    return;
-  }
-  if (From == Type::D && To == Type::F) {
-    B.put(fpop1(fpr(Rd), 0, FDTOS, fpr(Rs)));
-    return;
-  }
-  fatal("sparc: unsupported conversion %s -> %s", typeName(From),
-        typeName(To));
-}
-
-// --- Memory -------------------------------------------------------------------------
-
-static unsigned loadOp3(Type Ty) {
-  switch (Ty) {
-  case Type::C:
-    return LDSB;
-  case Type::UC:
-    return LDUB;
-  case Type::S:
-    return LDSH;
-  case Type::US:
-    return LDUH;
-  case Type::I:
-  case Type::U:
-  case Type::L:
-  case Type::UL:
-  case Type::P:
-    return LD;
-  case Type::F:
-    return LDF;
-  case Type::D:
-    return LDDF;
-  case Type::V:
-    break;
-  }
-  unreachable("bad load type");
-}
-
-static unsigned storeOp3(Type Ty) {
-  switch (Ty) {
-  case Type::C:
-  case Type::UC:
-    return STB;
-  case Type::S:
-  case Type::US:
-    return STH;
-  case Type::I:
-  case Type::U:
-  case Type::L:
-  case Type::UL:
-  case Type::P:
-    return ST;
-  case Type::F:
-    return STF;
-  case Type::D:
-    return STDF;
-  case Type::V:
-    break;
-  }
-  unreachable("bad store type");
-}
-
-void SparcTarget::emitLoad(VCode &VC, Type Ty, Reg Rd, Reg Base, Reg Off) {
-  unsigned Rt = isFpType(Ty) ? fpr(Rd) : gpr(Rd);
-  VC.buf().put(memrr(loadOp3(Ty), Rt, gpr(Base), gpr(Off)));
-}
-
-void SparcTarget::emitLoadImm(VCode &VC, Type Ty, Reg Rd, Reg Base,
-                              int64_t Off) {
-  CodeBuffer &B = VC.buf();
-  unsigned Rt = isFpType(Ty) ? fpr(Rd) : gpr(Rd);
-  if (isInt<13>(Off)) {
-    B.put(memri(loadOp3(Ty), Rt, gpr(Base), int32_t(Off)));
-    return;
-  }
-  li(VC, G1, Off);
-  B.put(memrr(loadOp3(Ty), Rt, gpr(Base), G1));
-}
-
-void SparcTarget::emitStore(VCode &VC, Type Ty, Reg Val, Reg Base, Reg Off) {
-  unsigned Rt = isFpType(Ty) ? fpr(Val) : gpr(Val);
-  VC.buf().put(memrr(storeOp3(Ty), Rt, gpr(Base), gpr(Off)));
-}
-
-void SparcTarget::emitStoreImm(VCode &VC, Type Ty, Reg Val, Reg Base,
-                               int64_t Off) {
-  CodeBuffer &B = VC.buf();
-  unsigned Rt = isFpType(Ty) ? fpr(Val) : gpr(Val);
-  if (isInt<13>(Off)) {
-    B.put(memri(storeOp3(Ty), Rt, gpr(Base), int32_t(Off)));
-    return;
-  }
-  li(VC, G1, Off);
-  B.put(memrr(storeOp3(Ty), Rt, gpr(Base), G1));
-}
-
-// --- Control flow -------------------------------------------------------------------
-
-/// Emits the Bicc for \p C (after a subcc) with a Branch fixup to \p L.
-void SparcTarget::compareAndBranch(VCode &VC, Cond C, bool Unsigned,
-                                   Label L) {
-  unsigned BC;
-  switch (C) {
-  case Cond::Lt:
-    BC = Unsigned ? CondCS : CondL;
-    break;
-  case Cond::Le:
-    BC = Unsigned ? CondLEU : CondLE;
-    break;
-  case Cond::Gt:
-    BC = Unsigned ? CondGU : CondG;
-    break;
-  case Cond::Ge:
-    BC = Unsigned ? CondCC : CondGE;
-    break;
-  case Cond::Eq:
-    BC = CondE;
-    break;
-  case Cond::Ne:
-    BC = CondNE;
-    break;
-  default:
-    unreachable("bad Cond");
-  }
-  VC.addFixup(FixupKind::Branch, L);
-  VC.buf().put(bicc(BC));
-  delaySlot(VC);
-}
-
-void SparcTarget::emitBranch(VCode &VC, Cond C, Type Ty, Reg Rs1, Reg Rs2,
-                             Label L) {
-  CodeBuffer &B = VC.buf();
-  if (isFpType(Ty)) {
-    bool Dbl = Ty == Type::D;
-    B.put(fpop2(0, fpr(Rs1), Dbl ? FCMPD : FCMPS, fpr(Rs2)));
-    B.put(nop()); // V8 requires one instruction between fcmp and fbfcc
-    unsigned FC;
-    switch (C) {
-    case Cond::Lt:
-      FC = FCondL;
-      break;
-    case Cond::Le:
-      FC = FCondLE;
-      break;
-    case Cond::Gt:
-      FC = FCondG;
-      break;
-    case Cond::Ge:
-      FC = FCondGE;
-      break;
-    case Cond::Eq:
-      FC = FCondE;
-      break;
-    case Cond::Ne:
-      FC = FCondNE;
-      break;
-    default:
-      unreachable("bad Cond");
-    }
-    VC.addFixup(FixupKind::Branch, L);
-    B.put(fbfcc(FC));
-    delaySlot(VC);
-    return;
-  }
-  B.put(subcc(G0, gpr(Rs1), gpr(Rs2)));
-  compareAndBranch(VC, C, !isSignedType(Ty), L);
-}
-
-void SparcTarget::emitBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1,
-                                int64_t Imm, Label L) {
-  if (isFpType(Ty))
-    fatal("sparc: fp branches take register operands");
-  CodeBuffer &B = VC.buf();
-  if (isInt<13>(Imm)) {
-    B.put(subcci(G0, gpr(Rs1), int32_t(Imm)));
-  } else {
-    li(VC, G1, Imm);
-    B.put(subcc(G0, gpr(Rs1), G1));
-  }
-  compareAndBranch(VC, C, !isSignedType(Ty), L);
-}
-
-void SparcTarget::emitJump(VCode &VC, Label L) {
-  VC.addFixup(FixupKind::Jump, L);
-  VC.buf().put(ba(0));
-  delaySlot(VC);
-}
-
-void SparcTarget::emitJumpReg(VCode &VC, Reg R) {
-  VC.buf().put(jmpl(G0, gpr(R), 0));
-  delaySlot(VC);
-}
-
-void SparcTarget::emitJumpAddr(VCode &VC, SimAddr A) {
-  li(VC, G1, int64_t(A));
-  VC.buf().put(jmpl(G0, G1, 0));
-  delaySlot(VC);
-}
-
-void SparcTarget::emitCallAddr(VCode &VC, SimAddr A) {
-  CodeBuffer &B = VC.buf();
-  unsigned Link = gpr(VC.cc().LinkReg);
-  if (Link == O7) {
-    int64_t Disp = (int64_t(A) - int64_t(B.cursorAddr())) / 4;
-    B.put(call(int32_t(Disp)));
-  } else {
-    li(VC, G1, int64_t(A));
-    B.put(jmpl(Link, G1, 0));
-  }
-  delaySlot(VC);
-}
-
-void SparcTarget::emitCallLabel(VCode &VC, Label L) {
-  if (gpr(VC.cc().LinkReg) != O7)
-    fatal("sparc: call-to-label links through %%o7; substitute conventions "
-          "must use callReg");
-  VC.addFixup(FixupKind::Call, L);
-  VC.buf().put(call(0));
-  delaySlot(VC);
-}
-
-void SparcTarget::emitLinkReturn(VCode &VC) {
-  // The call wrote its own address into the link register; resume past
-  // the call and its delay slot.
-  VC.buf().put(jmpl(G0, gpr(VC.cc().LinkReg), 8));
-  delaySlot(VC);
-}
-
-void SparcTarget::emitCallReg(VCode &VC, Reg R) {
-  VC.buf().put(jmpl(gpr(VC.cc().LinkReg), gpr(R), 0));
-  delaySlot(VC);
-}
-
-void SparcTarget::emitRet(VCode &VC, Type Ty, Reg Rs) {
-  CodeBuffer &B = VC.buf();
-  unsigned Link = gpr(VC.cc().LinkReg);
-  if (Ty == Type::D) {
-    // Two fmovs do not fit the delay slot; move the result first.
-    unsigned Ret = fpr(VC.resultReg(Ty));
-    if (fpr(Rs) != Ret) {
-      B.put(fpop1(Ret, 0, FMOVS, fpr(Rs)));
-      B.put(fpop1(Ret + 1, 0, FMOVS, fpr(Rs) + 1));
-    }
-    VC.addFixup(FixupKind::EpilogueJump, VC.epilogueLabel());
-    B.put(jmpl(G0, Link, 8));
-    B.put(nop());
-    return;
-  }
-  VC.addFixup(FixupKind::EpilogueJump, VC.epilogueLabel());
-  B.put(jmpl(G0, Link, 8));
-  if (Ty == Type::V) {
-    B.put(nop());
-  } else if (Ty == Type::F) {
-    unsigned Ret = fpr(VC.resultReg(Ty));
-    B.put(fpr(Rs) != Ret ? fpop1(Ret, 0, FMOVS, fpr(Rs)) : nop());
-  } else {
-    unsigned Ret = gpr(VC.resultReg(Ty));
-    B.put(gpr(Rs) != Ret ? or_(Ret, gpr(Rs), G0) : nop());
-  }
-}
-
-void SparcTarget::emitNop(VCode &VC) { VC.buf().put(nop()); }
-
 // --- Function framing -----------------------------------------------------------------
 
 std::string SparcTarget::disassemble(uint32_t Word, SimAddr Pc) const {
@@ -634,7 +55,12 @@ std::string SparcTarget::disassemble(uint32_t Word, SimAddr Pc) const {
 }
 
 void SparcTarget::beginFunction(VCode &VC) {
+  // Reserve instruction-stream space for the worst-case prologue
+  // (paper §5.2): frame allocation, link save, every callee-saved register,
+  // and one copy per stack-passed argument. v_end writes the real prologue
+  // into the tail of this region and the entry point skips the rest.
   ReservedWords = uint32_t(2 + 32 + 32 + VC.prologueArgCopies().size());
+  VC.buf().ensureWords(ReservedWords);
   for (uint32_t I = 0; I < ReservedWords; ++I)
     VC.buf().put(nop());
 }
@@ -756,3 +182,6 @@ void SparcTarget::registerMachineInstructions() {
                           xnor(Ops[0].R.Num, Ops[1].R.Num, Ops[2].R.Num));
                     });
 }
+
+// The shared static-dispatch instantiation declared in SparcTarget.h.
+template class vcode::VCodeT<SparcTarget>;

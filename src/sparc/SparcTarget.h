@@ -12,13 +12,22 @@
 /// clients "can dynamically substitute calling conventions"; this is the
 /// convention this port substitutes — see DESIGN.md).
 ///
+/// The hot emitters (ins*) are non-virtual and inline in this header for
+/// VCodeT<SparcTarget> clients; TargetBase<SparcTarget> supplies the
+/// virtual Target facade over the same code.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VCODE_SPARC_SPARCTARGET_H
 #define VCODE_SPARC_SPARCTARGET_H
 
-#include "core/Target.h"
-#include "core/VCode.h"
+#include "core/EncTable.h"
+#include "core/TargetBase.h"
+#include "core/VCodeT.h"
+#include "sparc/SparcEncoding.h"
+#include "support/BitUtils.h"
+#include <bit>
+#include <cassert>
 
 namespace vcode {
 namespace sparc {
@@ -26,39 +35,479 @@ namespace sparc {
 /// Returns the shared SPARC target description.
 const TargetInfo &sparcTargetInfo();
 
+// --- Encoding tables --------------------------------------------------------
+
+/// Format-3 op3 codes for the single-word integer ALU ops; the signed /
+/// unsigned variant is picked with pick(Unsigned). The same op3 serves the
+/// register and simm13 forms. Div/Mod stay invalid: they need the
+/// Y-register setup sequence.
+inline constexpr BinOpEncTable<OpPairEnc> SparcAluTable = [] {
+  BinOpEncTable<OpPairEnc> T;
+  T.set(BinOp::Add, {0x00, 0x00})
+      .set(BinOp::Sub, {0x04, 0x04})
+      .set(BinOp::Mul, {0x0b, 0x0a}) // smul / umul
+      .set(BinOp::And, {0x01, 0x01})
+      .set(BinOp::Or, {0x02, 0x02})
+      .set(BinOp::Xor, {0x03, 0x03})
+      .set(BinOp::Lsh, {0x25, 0x25})
+      .set(BinOp::Rsh, {0x27, 0x26}); // sra / srl
+  return T;
+}();
+
+/// FPop1 opf codes, single/double picked with pick(Dbl).
+inline constexpr BinOpEncTable<OpPairEnc> SparcFpAluTable = [] {
+  BinOpEncTable<OpPairEnc> T;
+  T.set(BinOp::Add, {FADDS, FADDD})
+      .set(BinOp::Sub, {FSUBS, FSUBD})
+      .set(BinOp::Mul, {FMULS, FMULD})
+      .set(BinOp::Div, {FDIVS, FDIVD});
+  return T;
+}();
+
+/// Bicc condition codes after a subcc, signed/unsigned picked with
+/// pick(Unsigned).
+inline constexpr CondEncTable<OpPairEnc> SparcBiccTable = [] {
+  CondEncTable<OpPairEnc> T;
+  T.set(Cond::Lt, {CondL, CondCS})
+      .set(Cond::Le, {CondLE, CondLEU})
+      .set(Cond::Gt, {CondG, CondGU})
+      .set(Cond::Ge, {CondGE, CondCC})
+      .set(Cond::Eq, {CondE, CondE})
+      .set(Cond::Ne, {CondNE, CondNE});
+  return T;
+}();
+
+/// FBfcc condition codes after an fcmp.
+inline constexpr CondEncTable<OpEnc> SparcFCondTable = [] {
+  CondEncTable<OpEnc> T;
+  T.set(Cond::Lt, {FCondL})
+      .set(Cond::Le, {FCondLE})
+      .set(Cond::Gt, {FCondG})
+      .set(Cond::Ge, {FCondGE})
+      .set(Cond::Eq, {FCondE})
+      .set(Cond::Ne, {FCondNE});
+  return T;
+}();
+
+/// Memory op3 codes for typed loads and stores.
+inline constexpr TypeEncTable<OpEnc> SparcLoadTable = [] {
+  TypeEncTable<OpEnc> T;
+  T.set(Type::C, {LDSB})
+      .set(Type::UC, {LDUB})
+      .set(Type::S, {LDSH})
+      .set(Type::US, {LDUH})
+      .set(Type::I, {LD})
+      .set(Type::U, {LD})
+      .set(Type::L, {LD})
+      .set(Type::UL, {LD})
+      .set(Type::P, {LD})
+      .set(Type::F, {LDF})
+      .set(Type::D, {LDDF});
+  return T;
+}();
+
+inline constexpr TypeEncTable<OpEnc> SparcStoreTable = [] {
+  TypeEncTable<OpEnc> T;
+  T.set(Type::C, {STB})
+      .set(Type::UC, {STB})
+      .set(Type::S, {STH})
+      .set(Type::US, {STH})
+      .set(Type::I, {ST})
+      .set(Type::U, {ST})
+      .set(Type::L, {ST})
+      .set(Type::UL, {ST})
+      .set(Type::P, {ST})
+      .set(Type::F, {STF})
+      .set(Type::D, {STDF});
+  return T;
+}();
+
 /// SPARC V8 code generator backend.
-class SparcTarget final : public Target {
+class SparcTarget final : public TargetBase<SparcTarget> {
 public:
   SparcTarget();
 
   const TargetInfo &info() const override { return sparcTargetInfo(); }
 
-  void emitBinop(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
-                 Reg Rs2) override;
-  void emitBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
-                    int64_t Imm) override;
-  void emitUnop(VCode &VC, UnOp Op, Type Ty, Reg Rd, Reg Rs) override;
-  void emitSetInt(VCode &VC, Type Ty, Reg Rd, uint64_t Imm) override;
-  void emitSetFp(VCode &VC, Type Ty, Reg Rd, double Val) override;
-  void emitCvt(VCode &VC, Type From, Type To, Reg Rd, Reg Rs) override;
-  void emitLoad(VCode &VC, Type Ty, Reg Rd, Reg Base, Reg Off) override;
-  void emitLoadImm(VCode &VC, Type Ty, Reg Rd, Reg Base, int64_t Off) override;
-  void emitStore(VCode &VC, Type Ty, Reg Val, Reg Base, Reg Off) override;
-  void emitStoreImm(VCode &VC, Type Ty, Reg Val, Reg Base,
-                    int64_t Off) override;
-  void emitBranch(VCode &VC, Cond C, Type Ty, Reg Rs1, Reg Rs2,
-                  Label L) override;
-  void emitBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1, int64_t Imm,
-                     Label L) override;
-  void emitJump(VCode &VC, Label L) override;
-  void emitJumpReg(VCode &VC, Reg R) override;
-  void emitJumpAddr(VCode &VC, SimAddr A) override;
-  void emitCallAddr(VCode &VC, SimAddr A) override;
-  void emitCallLabel(VCode &VC, Label L) override;
-  void emitLinkReturn(VCode &VC) override;
-  void emitCallReg(VCode &VC, Reg R) override;
-  void emitRet(VCode &VC, Type Ty, Reg Rs) override;
-  void emitNop(VCode &VC) override;
+  // --- Statically dispatched emitters --------------------------------------
+
+  void insBinop(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1, Reg Rs2) {
+    CodeBuffer &B = VC.buf();
+    if (isFpType(Ty)) {
+      const OpPairEnc &E = SparcFpAluTable[Op];
+      if (!E.Valid)
+        fatal("sparc: fp binop '%s' unsupported", binOpName(Op));
+      B.put(fpop1(fpr(Rd), fpr(Rs1), E.pick(Ty == Type::D), fpr(Rs2)));
+      return;
+    }
+    bool Unsigned = !isSignedType(Ty);
+    unsigned D = gpr(Rd), S = gpr(Rs1), T = gpr(Rs2);
+    const OpPairEnc &E = SparcAluTable[Op];
+    if (E.Valid) {
+      B.put(fmt3r(2, D, E.pick(Unsigned), S, T));
+      return;
+    }
+    switch (Op) {
+    case BinOp::Div:
+      // The 64-bit dividend lives in Y:rs1; prime Y with the sign extension
+      // (or zero) first.
+      if (Unsigned) {
+        B.ensureWords(2);
+        B.put(wryi(G0, 0));
+        B.put(udiv(D, S, T));
+      } else {
+        B.ensureWords(3);
+        B.put(srai(G1, S, 31));
+        B.put(wry(G1));
+        B.put(sdiv(D, S, T));
+      }
+      return;
+    case BinOp::Mod:
+      // rem = a - (a/b)*b, computed through the assembler temporary.
+      if (Unsigned) {
+        B.ensureWords(4);
+        B.put(wryi(G0, 0));
+        B.put(udiv(G1, S, T));
+      } else {
+        B.ensureWords(5);
+        B.put(srai(G1, S, 31));
+        B.put(wry(G1));
+        B.put(sdiv(G1, S, T));
+      }
+      B.put(smul(G1, G1, T));
+      B.put(sub(D, S, G1));
+      return;
+    default:
+      break;
+    }
+    unreachable("bad BinOp");
+  }
+
+  void insBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
+                   int64_t Imm) {
+    if (isFpType(Ty))
+      fatal("sparc: immediate operands are not allowed for f/d");
+    CodeBuffer &B = VC.buf();
+    unsigned D = gpr(Rd), S = gpr(Rs1);
+    switch (Op) {
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::And:
+    case BinOp::Or:
+    case BinOp::Xor:
+      if (isInt<13>(Imm)) {
+        B.put(fmt3i(2, D, SparcAluTable[Op].pick(false), S, int32_t(Imm)));
+        return;
+      }
+      break;
+    case BinOp::Lsh:
+    case BinOp::Rsh:
+      assert(Imm >= 0 && Imm < 32 && "shift amount out of range");
+      B.put(fmt3i(2, D, SparcAluTable[Op].pick(!isSignedType(Ty)), S,
+                  int32_t(Imm)));
+      return;
+    case BinOp::Div:
+    case BinOp::Mod: {
+      // The Y-register setup needs G1, so the divisor goes into the second
+      // scratch register G5 (reserved, like G1, from allocation).
+      bool Signed = isSignedType(Ty);
+      if (Signed) {
+        B.put(srai(G1, S, 31));
+        B.put(wry(G1));
+      } else {
+        B.put(wryi(G0, 0));
+      }
+      li(VC, G5, Imm);
+      if (Op == BinOp::Div) {
+        B.put(Signed ? sdiv(D, S, G5) : udiv(D, S, G5));
+      } else {
+        B.put(Signed ? sdiv(G1, S, G5) : udiv(G1, S, G5));
+        B.put(smul(G1, G1, G5));
+        B.put(sub(D, S, G1));
+      }
+      return;
+    }
+    default:
+      break;
+    }
+    li(VC, G1, Imm);
+    insBinop(VC, Op, Ty, Rd, Rs1, intReg(G1));
+  }
+
+  void insUnop(VCode &VC, UnOp Op, Type Ty, Reg Rd, Reg Rs) {
+    CodeBuffer &B = VC.buf();
+    if (isFpType(Ty)) {
+      bool Dbl = Ty == Type::D;
+      unsigned D = fpr(Rd), S = fpr(Rs);
+      switch (Op) {
+      case UnOp::Mov:
+        if (Dbl)
+          B.ensureWords(2);
+        B.put(fpop1(D, 0, FMOVS, S));
+        if (Dbl)
+          B.put(fpop1(D + 1, 0, FMOVS, S + 1));
+        return;
+      case UnOp::Neg:
+        // fnegs negates the sign of the most significant half; with our
+        // little-endian pair layout that is the odd register.
+        if (Dbl) {
+          B.ensureWords(2);
+          B.put(fpop1(D, 0, FMOVS, S));
+          B.put(fpop1(D + 1, 0, FNEGS, S + 1));
+        } else {
+          B.put(fpop1(D, 0, FNEGS, S));
+        }
+        return;
+      default:
+        fatal("sparc: fp unop unsupported");
+      }
+    }
+    unsigned D = gpr(Rd), S = gpr(Rs);
+    switch (Op) {
+    case UnOp::Com:
+      B.put(xnor(D, S, G0));
+      return;
+    case UnOp::Not:
+      // rd = (rs == 0): carry of (0 - rs) is set iff rs != 0.
+      B.ensureWords(3);
+      B.put(subcc(G0, G0, S));
+      B.put(addxi(D, G0, 0));
+      B.put(xori(D, D, 1));
+      return;
+    case UnOp::Mov:
+      B.put(or_(D, S, G0));
+      return;
+    case UnOp::Neg:
+      B.put(sub(D, G0, S));
+      return;
+    }
+    unreachable("bad UnOp");
+  }
+
+  void insSetInt(VCode &VC, Type Ty, Reg Rd, uint64_t Imm) {
+    (void)Ty;
+    li(VC, gpr(Rd), int64_t(int32_t(uint32_t(Imm))));
+  }
+
+  void insSetFp(VCode &VC, Type Ty, Reg Rd, double Val) {
+    CodeBuffer &B = VC.buf();
+    if (Ty == Type::F) {
+      uint32_t Bits = std::bit_cast<uint32_t>(float(Val));
+      li(VC, G1, int64_t(int32_t(Bits)));
+      B.put(memri(ST, G1, SP, RedZone));
+      B.put(memri(LDF, fpr(Rd), SP, RedZone));
+      return;
+    }
+    Label Pool = VC.constPoolLabel(std::bit_cast<uint64_t>(Val));
+    B.ensureWords(3);
+    addrOfLabel(VC, G1, Pool);
+    B.put(memri(LDDF, fpr(Rd), G1, 0));
+  }
+
+  void insCvt(VCode &VC, Type From, Type To, Reg Rd, Reg Rs) {
+    CodeBuffer &B = VC.buf();
+    bool FromIntReg = isIntRegType(From);
+    bool ToIntReg = isIntRegType(To);
+    if (FromIntReg && ToIntReg) {
+      if (Rd != Rs)
+        B.put(or_(gpr(Rd), gpr(Rs), G0));
+      return;
+    }
+    if (FromIntReg && isFpType(To)) {
+      bool Uns = From == Type::U || From == Type::UL || From == Type::P;
+      unsigned S = gpr(Rs);
+      if (!Uns) {
+        B.ensureWords(3);
+        B.put(memri(ST, S, SP, RedZone));
+        B.put(memri(LDF, FAT0, SP, RedZone));
+        B.put(fpop1(fpr(Rd), 0, To == Type::F ? FITOS : FITOD, FAT0));
+        return;
+      }
+      // Unsigned: convert as signed to double, then add 2^32 when the sign
+      // bit was set; narrow to single at the end if needed.
+      Label Pool = VC.constPoolLabel(std::bit_cast<uint64_t>(4294967296.0));
+      unsigned Acc = To == Type::D ? fpr(Rd) : FAT1;
+      B.ensureWords(To == Type::D ? 10 : 11);
+      B.put(memri(ST, S, SP, RedZone));
+      B.put(memri(LDF, FAT0, SP, RedZone));
+      B.put(fpop1(Acc, 0, FITOD, FAT0));
+      B.put(subcci(G0, S, 0)); // sets N from rs
+      B.put(bicc(CondGE, 6));  // skip the 5-word fix block
+      B.put(nop());
+      addrOfLabel(VC, G1, Pool); // 2 words
+      B.put(memri(LDDF, FAT0, G1, 0));
+      B.put(fpop1(Acc, Acc, FADDD, FAT0));
+      if (To == Type::F)
+        B.put(fpop1(fpr(Rd), 0, FDTOS, Acc));
+      return;
+    }
+    if (isFpType(From) && ToIntReg) {
+      B.ensureWords(3);
+      B.put(fpop1(FAT0, 0, From == Type::F ? FSTOI : FDTOI, fpr(Rs)));
+      B.put(memri(STF, FAT0, SP, RedZone));
+      B.put(memri(LD, gpr(Rd), SP, RedZone));
+      return;
+    }
+    if (From == Type::F && To == Type::D) {
+      B.put(fpop1(fpr(Rd), 0, FSTOD, fpr(Rs)));
+      return;
+    }
+    if (From == Type::D && To == Type::F) {
+      B.put(fpop1(fpr(Rd), 0, FDTOS, fpr(Rs)));
+      return;
+    }
+    fatal("sparc: unsupported conversion %s -> %s", typeName(From),
+          typeName(To));
+  }
+
+  void insLoad(VCode &VC, Type Ty, Reg Rd, Reg Base, Reg Off) {
+    VC.buf().put(memrr(loadOp3(Ty), isFpType(Ty) ? fpr(Rd) : gpr(Rd),
+                       gpr(Base), gpr(Off)));
+  }
+
+  void insLoadImm(VCode &VC, Type Ty, Reg Rd, Reg Base, int64_t Off) {
+    CodeBuffer &B = VC.buf();
+    unsigned Rt = isFpType(Ty) ? fpr(Rd) : gpr(Rd);
+    if (isInt<13>(Off)) {
+      B.put(memri(loadOp3(Ty), Rt, gpr(Base), int32_t(Off)));
+      return;
+    }
+    li(VC, G1, Off);
+    B.put(memrr(loadOp3(Ty), Rt, gpr(Base), G1));
+  }
+
+  void insStore(VCode &VC, Type Ty, Reg Val, Reg Base, Reg Off) {
+    VC.buf().put(memrr(storeOp3(Ty), isFpType(Ty) ? fpr(Val) : gpr(Val),
+                       gpr(Base), gpr(Off)));
+  }
+
+  void insStoreImm(VCode &VC, Type Ty, Reg Val, Reg Base, int64_t Off) {
+    CodeBuffer &B = VC.buf();
+    unsigned Rt = isFpType(Ty) ? fpr(Val) : gpr(Val);
+    if (isInt<13>(Off)) {
+      B.put(memri(storeOp3(Ty), Rt, gpr(Base), int32_t(Off)));
+      return;
+    }
+    li(VC, G1, Off);
+    B.put(memrr(storeOp3(Ty), Rt, gpr(Base), G1));
+  }
+
+  void insBranch(VCode &VC, Cond C, Type Ty, Reg Rs1, Reg Rs2, Label L) {
+    CodeBuffer &B = VC.buf();
+    if (isFpType(Ty)) {
+      const OpEnc &E = SparcFCondTable[C];
+      if (!E.Valid)
+        unreachable("bad Cond");
+      B.ensureWords(3);
+      B.put(fpop2(0, fpr(Rs1), Ty == Type::D ? FCMPD : FCMPS, fpr(Rs2)));
+      B.put(nop()); // V8 requires one instruction between fcmp and fbfcc
+      VC.addFixup(FixupKind::Branch, L);
+      B.put(fbfcc(E.Op));
+      delaySlot(VC);
+      return;
+    }
+    B.put(subcc(G0, gpr(Rs1), gpr(Rs2)));
+    compareAndBranch(VC, C, !isSignedType(Ty), L);
+  }
+
+  void insBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1, int64_t Imm,
+                    Label L) {
+    if (isFpType(Ty))
+      fatal("sparc: fp branches take register operands");
+    CodeBuffer &B = VC.buf();
+    if (isInt<13>(Imm)) {
+      B.put(subcci(G0, gpr(Rs1), int32_t(Imm)));
+    } else {
+      li(VC, G1, Imm);
+      B.put(subcc(G0, gpr(Rs1), G1));
+    }
+    compareAndBranch(VC, C, !isSignedType(Ty), L);
+  }
+
+  void insJump(VCode &VC, Label L) {
+    VC.addFixup(FixupKind::Jump, L);
+    VC.buf().put(ba(0));
+    delaySlot(VC);
+  }
+
+  void insJumpReg(VCode &VC, Reg R) {
+    VC.buf().put(jmpl(G0, gpr(R), 0));
+    delaySlot(VC);
+  }
+
+  void insJumpAddr(VCode &VC, SimAddr A) {
+    li(VC, G1, int64_t(A));
+    VC.buf().put(jmpl(G0, G1, 0));
+    delaySlot(VC);
+  }
+
+  void insCallAddr(VCode &VC, SimAddr A) {
+    CodeBuffer &B = VC.buf();
+    unsigned Link = gpr(VC.cc().LinkReg);
+    if (Link == O7) {
+      int64_t Disp = (int64_t(A) - int64_t(B.cursorAddr())) / 4;
+      B.put(call(int32_t(Disp)));
+    } else {
+      li(VC, G1, int64_t(A));
+      B.put(jmpl(Link, G1, 0));
+    }
+    delaySlot(VC);
+  }
+
+  void insCallLabel(VCode &VC, Label L) {
+    if (gpr(VC.cc().LinkReg) != O7)
+      fatal("sparc: call-to-label links through %%o7; substitute conventions "
+            "must use callReg");
+    VC.addFixup(FixupKind::Call, L);
+    VC.buf().put(call(0));
+    delaySlot(VC);
+  }
+
+  void insLinkReturn(VCode &VC) {
+    // The call wrote its own address into the link register; resume past
+    // the call and its delay slot.
+    VC.buf().put(jmpl(G0, gpr(VC.cc().LinkReg), 8));
+    delaySlot(VC);
+  }
+
+  void insCallReg(VCode &VC, Reg R) {
+    VC.buf().put(jmpl(gpr(VC.cc().LinkReg), gpr(R), 0));
+    delaySlot(VC);
+  }
+
+  void insRet(VCode &VC, Type Ty, Reg Rs) {
+    CodeBuffer &B = VC.buf();
+    unsigned Link = gpr(VC.cc().LinkReg);
+    if (Ty == Type::D) {
+      // Two fmovs do not fit the delay slot; move the result first.
+      unsigned Ret = fpr(VC.resultReg(Ty));
+      B.ensureWords(fpr(Rs) != Ret ? 4 : 2);
+      if (fpr(Rs) != Ret) {
+        B.put(fpop1(Ret, 0, FMOVS, fpr(Rs)));
+        B.put(fpop1(Ret + 1, 0, FMOVS, fpr(Rs) + 1));
+      }
+      VC.addFixup(FixupKind::EpilogueJump, VC.epilogueLabel());
+      B.put(jmpl(G0, Link, 8));
+      B.put(nop());
+      return;
+    }
+    B.ensureWords(2);
+    VC.addFixup(FixupKind::EpilogueJump, VC.epilogueLabel());
+    B.put(jmpl(G0, Link, 8));
+    if (Ty == Type::V) {
+      B.put(nop());
+    } else if (Ty == Type::F) {
+      unsigned Ret = fpr(VC.resultReg(Ty));
+      B.put(fpr(Rs) != Ret ? fpop1(Ret, 0, FMOVS, fpr(Rs)) : nop());
+    } else {
+      unsigned Ret = gpr(VC.resultReg(Ty));
+      B.put(gpr(Rs) != Ret ? or_(Ret, gpr(Rs), G0) : nop());
+    }
+  }
+
+  void insNop(VCode &VC) { VC.buf().put(nop()); }
+
+  // --- Cold paths (defined in SparcTarget.cpp) ------------------------------
 
   std::string disassemble(uint32_t Word, SimAddr Pc) const override;
 
@@ -67,16 +516,84 @@ public:
   void applyFixup(VCode &VC, const Fixup &F, SimAddr Target) override;
 
 private:
-  void li(VCode &VC, unsigned Rd, int64_t Imm);
-  void addrOfLabel(VCode &VC, unsigned Rd, Label L);
-  void delaySlot(VCode &VC);
-  void compareAndBranch(VCode &VC, Cond C, bool Unsigned, Label L);
+  // FP scratch (register pairs f28/f29 and f30/f31), excluded from
+  // allocation.
+  static constexpr unsigned FAT0 = 28;
+  static constexpr unsigned FAT1 = 30;
+
+  // Scratch stack slot for int<->fp register moves (SPARC V8 has no direct
+  // move): an 8-byte red zone below the stack pointer. Safe in this
+  // single-threaded, signal-free simulation environment.
+  static constexpr int32_t RedZone = -8;
+
+  static unsigned gpr(Reg R) {
+    assert(R.isInt() && "integer register expected");
+    return R.Num;
+  }
+  static unsigned fpr(Reg R) {
+    assert(R.isFp() && "fp register expected");
+    return R.Num;
+  }
+
+  static unsigned loadOp3(Type Ty) {
+    const OpEnc &E = SparcLoadTable[Ty];
+    if (!E.Valid)
+      unreachable("bad load type");
+    return E.Op;
+  }
+  static unsigned storeOp3(Type Ty) {
+    const OpEnc &E = SparcStoreTable[Ty];
+    if (!E.Valid)
+      unreachable("bad store type");
+    return E.Op;
+  }
+
+  void li(VCode &VC, unsigned Rd, int64_t Imm) {
+    CodeBuffer &B = VC.buf();
+    int32_t V = int32_t(Imm);
+    if (isInt<13>(V)) {
+      B.put(ori(Rd, G0, V));
+      return;
+    }
+    B.put(sethi(Rd, uint32_t(V) >> 10));
+    if (uint32_t(V) & 0x3ff)
+      B.put(ori(Rd, Rd, int32_t(uint32_t(V) & 0x3ff)));
+  }
+
+  void addrOfLabel(VCode &VC, unsigned Rd, Label L) {
+    CodeBuffer &B = VC.buf();
+    VC.addFixup(FixupKind::AddrHi, L);
+    B.put(sethi(Rd, 0));
+    VC.addFixup(FixupKind::AddrLo, L);
+    B.put(ori(Rd, Rd, 0));
+  }
+
+  void delaySlot(VCode &VC) {
+    if (!VC.suppressDelayNop())
+      VC.buf().put(nop());
+  }
+
+  /// Emits the Bicc for \p C (after a subcc) with a Branch fixup to \p L.
+  void compareAndBranch(VCode &VC, Cond C, bool Unsigned, Label L) {
+    const OpPairEnc &E = SparcBiccTable[C];
+    if (!E.Valid)
+      unreachable("bad Cond");
+    VC.addFixup(FixupKind::Branch, L);
+    VC.buf().put(bicc(E.pick(Unsigned)));
+    delaySlot(VC);
+  }
+
   void registerMachineInstructions();
 
   uint32_t ReservedWords = 0;
 };
 
 } // namespace sparc
+
+// One shared instantiation of the static-dispatch emission core for this
+// backend (defined in SparcTarget.cpp).
+extern template class VCodeT<sparc::SparcTarget>;
+
 } // namespace vcode
 
 #endif // VCODE_SPARC_SPARCTARGET_H

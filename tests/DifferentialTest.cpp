@@ -17,6 +17,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
+#include "alpha/AlphaTarget.h"
+#include "core/VCodeT.h"
+#include "mips/MipsTarget.h"
+#include "sparc/SparcTarget.h"
 #include "support/Rng.h"
 #include <gtest/gtest.h>
 
@@ -219,5 +223,130 @@ TEST_P(DifferentialTest, RandomStraightLinePrograms) {
 INSTANTIATE_TEST_SUITE_P(AllTargets, DifferentialTest,
                          ::testing::ValuesIn(allTargetNames()),
                          [](const auto &Info) { return Info.param; });
+
+// --- Static vs. virtual dispatch: byte identity -----------------------------
+//
+// The static-dispatch front end (VCodeT<TargetT>) must be an observationally
+// pure optimization: the same generator source driven through the type-erased
+// VCode facade and through VCodeT<TargetT> has to produce byte-identical
+// machine code. The emitter below is templated over the generator type so
+// both runs execute the exact same calls; each run uses a fresh deterministic
+// sim::Memory arena with an identical allocation sequence, so guest code
+// addresses (and therefore absolute-address fixups) match by construction.
+
+/// A representative instruction mix: table-driven ALU ops, immediate forms
+/// inside and outside the target's encodable range, unops, wide constant
+/// materialization, fp arithmetic and the constant pool, conversions
+/// (including unsigned-to-fp), sub-word and wide-offset memory traffic,
+/// locals, compare-and-branch in register and immediate form, fp branches,
+/// jumps, and a string-registered extension instruction.
+template <class VC> CodePtr emitDispatchMix(VC &V, CodeMem Code) {
+  Reg Arg[2];
+  V.lambda("%i%p", Arg, NonLeafHint, Code);
+  Reg A = Arg[0], P = Arg[1];
+  Reg B = V.getreg(Type::I);
+  Reg C = V.getreg(Type::I);
+  Reg F = V.getreg(Type::D);
+  Reg G = V.getreg(Type::D);
+
+  V.setInt(Type::I, B, 123);
+  V.setInt(Type::I, C, 0x12345678);
+  V.binop(BinOp::Add, Type::I, B, B, A);
+  V.binop(BinOp::Xor, Type::I, C, C, B);
+  V.binop(BinOp::Mul, Type::I, C, C, B);
+  V.binop(BinOp::Rsh, Type::U, C, C, B);
+  V.binopImm(BinOp::Add, Type::I, B, B, 7);
+  V.binopImm(BinOp::And, Type::I, C, C, 0xff);
+  V.binopImm(BinOp::Xor, Type::I, C, C, 0x71234); // exceeds simm13/lit8
+  V.binopImm(BinOp::Lsh, Type::I, C, C, 3);
+  V.binopImm(BinOp::Rsh, Type::I, C, C, 2);
+  V.unop(UnOp::Com, Type::I, C, C);
+  V.unop(UnOp::Neg, Type::I, B, B);
+  V.unop(UnOp::Not, Type::I, C, C);
+
+  V.setFp(Type::D, F, 3.25);
+  V.setFp(Type::D, G, -1.5);
+  V.binop(BinOp::Mul, Type::D, F, F, G);
+  V.binop(BinOp::Add, Type::D, F, F, G);
+  V.binop(BinOp::Div, Type::D, F, F, G);
+  V.unop(UnOp::Neg, Type::D, G, G);
+  V.cvt(Type::I, Type::D, G, B);
+  V.cvt(Type::U, Type::D, G, B);
+  V.cvt(Type::D, Type::I, C, F);
+
+  V.storeImm(Type::I, B, P, 0);
+  V.storeImm(Type::S, B, P, 8);
+  V.loadImm(Type::S, C, P, 8);
+  V.loadImm(Type::UC, C, P, 1);
+  V.loadImm(Type::I, C, P, 40000); // exceeds simm13/simm16
+  V.load(Type::I, C, P, B);
+  V.store(Type::I, C, P, B);
+
+  Local Lo = V.localVar(Type::I);
+  V.storeLocal(Type::I, B, Lo);
+  V.loadLocal(Type::I, C, Lo);
+  Reg Q = V.getreg(Type::P);
+  V.localAddr(Q, Lo);
+  V.loadImm(Type::I, C, Q, 0);
+  V.putreg(Q);
+
+  Label L1 = V.genLabel(), L2 = V.genLabel(), L3 = V.genLabel();
+  V.branch(Cond::Lt, Type::I, B, C, L1);
+  V.binopImm(BinOp::Add, Type::I, B, B, 1);
+  V.jmp(L2);
+  V.label(L1);
+  V.branchImm(Cond::Ne, Type::I, B, 0, L2);
+  V.unop(UnOp::Mov, Type::I, B, C);
+  V.label(L2);
+  V.branch(Cond::Le, Type::D, F, G, L3);
+  V.nop();
+  V.label(L3);
+
+  V.ext("fsqrtd", {opReg(F), opReg(G)});
+
+  V.ret(Type::I, B);
+  return V.end();
+}
+
+template <class TargetT> void checkStaticVirtualByteIdentity() {
+  // Virtual dispatch through the type-erased facade.
+  sim::Memory MemV;
+  TargetT TgtV;
+  CodeMem CodeV = MemV.allocCode(1 << 16);
+  VCode VV(TgtV);
+  CodePtr PV = emitDispatchMix(VV, CodeV);
+
+  // The same generator, statically dispatched. A fresh arena with the same
+  // allocation sequence yields the same guest addresses.
+  sim::Memory MemS;
+  TargetT TgtS;
+  CodeMem CodeS = MemS.allocCode(1 << 16);
+  VCodeT<TargetT> VS(TgtS);
+  CodePtr PS = emitDispatchMix(VS, CodeS);
+
+  ASSERT_EQ(CodeV.Guest, CodeS.Guest);
+  ASSERT_EQ(PV.Entry, PS.Entry);
+  ASSERT_EQ(PV.SizeBytes, PS.SizeBytes);
+  for (size_t I = 0; I < PV.SizeBytes; I += 4) {
+    uint32_t WV = MemV.read<uint32_t>(CodeV.Guest + I);
+    uint32_t WS = MemS.read<uint32_t>(CodeS.Guest + I);
+    ASSERT_EQ(WV, WS) << "word " << (I / 4) << ": virtual '"
+                      << TgtV.disassemble(WV, CodeV.Guest + I)
+                      << "' vs static '"
+                      << TgtS.disassemble(WS, CodeS.Guest + I) << "'";
+  }
+}
+
+TEST(StaticDispatchTest, MipsByteIdentical) {
+  checkStaticVirtualByteIdentity<mips::MipsTarget>();
+}
+
+TEST(StaticDispatchTest, SparcByteIdentical) {
+  checkStaticVirtualByteIdentity<sparc::SparcTarget>();
+}
+
+TEST(StaticDispatchTest, AlphaByteIdentical) {
+  checkStaticVirtualByteIdentity<alpha::AlphaTarget>();
+}
 
 } // namespace

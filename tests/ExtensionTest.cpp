@@ -177,6 +177,66 @@ TEST_P(ExtensionTest, ExtensionOverride) {
   EXPECT_EQ(B.Cpu->call(Fn.Entry, {}).asInt32(), 42);
 }
 
+// --- Interned extension ids (the no-string-lookup hot path) -----------------
+
+TEST_P(ExtensionTest, InternedIdEmission) {
+  // defineInstruction returns the interned id; emission through it needs no
+  // string lookup and computes the same thing as the string facade.
+  ExtId Id = B.Tgt->defineInstruction(
+      "triplei", [](VCode &VC, const Operand *Ops, unsigned N) {
+        if (N != 2)
+          fatal("triplei expects (rd, rs)");
+        VC.binop(BinOp::Add, Type::I, Ops[0].R, Ops[1].R, Ops[1].R);
+        VC.binop(BinOp::Add, Type::I, Ops[0].R, Ops[0].R, Ops[1].R);
+      });
+  ASSERT_TRUE(Id.isValid());
+  EXPECT_EQ(B.Tgt->findInstruction("triplei").Idx, Id.Idx);
+  EXPECT_STREQ(B.Tgt->instructionName(Id), "triplei");
+  EXPECT_FALSE(B.Tgt->findInstruction("no.such.insn").isValid());
+
+  VCode V(*B.Tgt);
+  Reg Arg[1];
+  V.lambda("%i", Arg, LeafHint, code());
+  Reg Rd = V.getreg(Type::I);
+  V.ext(Id, {opReg(Rd), opReg(Arg[0])});
+  V.reti(Rd);
+  CodePtr Fn = V.end();
+  EXPECT_EQ(B.Cpu->call(Fn.Entry, {TypedValue::fromInt(14)}).asInt32(), 42);
+}
+
+TEST_P(ExtensionTest, InternedIdObservesOverride) {
+  // Redefinition replaces the body in place and keeps the id, so ids
+  // captured before an override emit the overridden instruction.
+  ExtId Id = B.Tgt->defineInstruction(
+      "answer", [](VCode &VC, const Operand *Ops, unsigned N) {
+        if (N != 1)
+          fatal("answer expects (rd)");
+        VC.setInt(Type::I, Ops[0].R, 41); // "default"
+      });
+  ExtId Id2 = B.Tgt->defineInstruction(
+      "answer", [](VCode &VC, const Operand *Ops, unsigned N) {
+        if (N != 1)
+          fatal("answer expects (rd)");
+        VC.setInt(Type::I, Ops[0].R, 42); // "override"
+      });
+  EXPECT_EQ(Id2.Idx, Id.Idx);
+
+  VCode V(*B.Tgt);
+  V.lambda("%v", nullptr, LeafHint, code());
+  Reg Rd = V.getreg(Type::I);
+  V.ext(Id, {opReg(Rd)}); // id captured before the override
+  V.reti(Rd);
+  CodePtr Fn = V.end();
+  EXPECT_EQ(B.Cpu->call(Fn.Entry, {}).asInt32(), 42);
+}
+
+TEST_P(ExtensionTest, UnknownInternedIdIsFatal) {
+  VCode V(*B.Tgt);
+  V.lambda("%v", nullptr, LeafHint, code());
+  EXPECT_DEATH(V.ext(ExtId(), {}), "unknown extension instruction id");
+  EXPECT_DEATH(V.ext(ExtId{0x12345}, {}), "unknown extension instruction id");
+}
+
 // --- Strength reducer ----------------------------------------------------------
 
 TEST_P(ExtensionTest, StrengthReducedMultiplyMatchesHardware) {
