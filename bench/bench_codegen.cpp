@@ -236,6 +236,35 @@ void BM_RawEncoderMacro(benchmark::State &State) {
   State.SetLabel("mips");
 }
 
+/// The portable path with error recovery enabled (E10): measures what the
+/// opt-in recovery policy costs on the success path — a handler install
+/// per function plus end()'s try frame, nothing per generated instruction.
+/// Compare against BM_VcodePortable: the delta is the price of never
+/// aborting; the default-policy numbers must be unchanged from E9.
+void BM_VcodeRecovery(benchmark::State &State) {
+  Targets &T = targets();
+  Target &Tgt = T.byIndex(int(State.range(0)));
+  const int Ops = int(State.range(1));
+  for (auto _ : State) {
+    VCode V(Tgt);
+    V.setErrorRecovery(true);
+    Reg Arg[1];
+    V.lambda("%i", Arg, LeafHint, T.Code);
+    Reg R = V.getreg(Type::I);
+    V.movi(R, Arg[0]);
+    for (int I = 0; I < Ops; ++I)
+      V.addii(R, R, 1);
+    V.reti(R);
+    CodePtr P = V.end();
+    benchmark::DoNotOptimize(P.Entry);
+    V.putreg(R);
+  }
+  int64_t Gen = int64_t(State.iterations()) * Ops;
+  State.SetItemsProcessed(Gen);
+  addEstCounter(State, Gen);
+  State.SetLabel(TargetNames[State.range(0)]);
+}
+
 /// Generation throughput of a control-flow-heavy function: compare-branch
 /// pairs with labels and backpatching (exercises the fixup machinery).
 void BM_VcodeBranchy(benchmark::State &State) {
@@ -277,6 +306,9 @@ BENCHMARK(BM_VcodeHardRegs)
     ->ArgsProduct({{0, 1, 2}, {32, 256, 2048}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_VcodeStaticHardRegs)
+    ->ArgsProduct({{0, 1, 2}, {32, 256, 2048}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VcodeRecovery)
     ->ArgsProduct({{0, 1, 2}, {32, 256, 2048}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_RawEncoderMacro)->Arg(2048)->Unit(benchmark::kMicrosecond);

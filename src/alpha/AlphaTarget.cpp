@@ -102,7 +102,8 @@ CodePtr AlphaTarget::endFunction(VCode &VC) {
   CodeBuffer &B = VC.buf();
   uint32_t F = VC.frameBytes();
   if (!isInt<15>(int64_t(F)))
-    fatal("alpha: frame of %u bytes exceeds the displacement range", F);
+    fatalKind(CgErrKind::OutOfRange,
+        "alpha: frame of %u bytes exceeds the displacement range", F);
 
   uint32_t IntMask = VC.regAlloc().usedCalleeSavedMask(Reg::Int);
   uint32_t FpMask = VC.regAlloc().usedCalleeSavedMask(Reg::Fp);
@@ -123,7 +124,8 @@ CodePtr AlphaTarget::endFunction(VCode &VC) {
   for (const PrologueArgCopy &Copy : VC.prologueArgCopies()) {
     int64_t Off = int64_t(F) + Copy.IncomingOff;
     if (!isInt<15>(Off))
-      fatal("alpha: incoming stack argument offset out of range");
+      fatalKind(CgErrKind::OutOfRange,
+          "alpha: incoming stack argument offset out of range");
     switch (Copy.Ty) {
     case Type::F:
       Pro.push_back(lds(fpr(Copy.Dst), SP, int32_t(Off)));
@@ -142,7 +144,8 @@ CodePtr AlphaTarget::endFunction(VCode &VC) {
   }
 
   if (Pro.size() > ReservedWords)
-    fatal("alpha: prologue of %zu words exceeds the %u reserved", Pro.size(),
+    fatalKind(CgErrKind::Internal,
+        "alpha: prologue of %zu words exceeds the %u reserved", Pro.size(),
           ReservedWords);
   uint32_t Start = ReservedWords - uint32_t(Pro.size());
   for (size_t I = 0; I < Pro.size(); ++I)
@@ -178,7 +181,8 @@ void AlphaTarget::applyFixup(VCode &VC, const Fixup &F, SimAddr Target) {
   case FixupKind::Jump: {
     int64_t D = Disp();
     if (!isInt<21>(D))
-      fatal("alpha: branch displacement %lld out of range", (long long)D);
+      fatalKind(CgErrKind::OutOfRange,
+          "alpha: branch displacement %lld out of range", (long long)D);
     B.patchOr(F.WordIdx, uint32_t(D) & 0x1fffff);
     return;
   }
@@ -186,7 +190,8 @@ void AlphaTarget::applyFixup(VCode &VC, const Fixup &F, SimAddr Target) {
     if (Target != 0) {
       int64_t D = Disp();
       if (!isInt<21>(D))
-        fatal("alpha: epilogue displacement out of range");
+        fatalKind(CgErrKind::OutOfRange,
+            "alpha: epilogue displacement out of range");
       B.patch(F.WordIdx, br(ZERO, int32_t(D)));
     }
     return;
@@ -312,7 +317,8 @@ void AlphaTarget::registerMachineInstructions() {
     return [Dbl](VCode &VC, const Operand *Ops, unsigned N) {
       if (N != 2 || Ops[0].Kind != Operand::RegOp ||
           Ops[1].Kind != Operand::RegOp)
-        fatal("alpha fp machine instruction expects (rd, rs)");
+        fatalKind(CgErrKind::BadOperand,
+            "alpha fp machine instruction expects (rd, rs)");
       VC.buf().put(Dbl ? sqrtt(Ops[0].R.Num, Ops[1].R.Num)
                        : sqrts(Ops[0].R.Num, Ops[1].R.Num));
     };
@@ -322,7 +328,8 @@ void AlphaTarget::registerMachineInstructions() {
   defineInstruction("alpha.ornot",
                     [](VCode &VC, const Operand *Ops, unsigned N) {
                       if (N != 3)
-                        fatal("alpha.ornot expects (rd, rs1, rs2)");
+                        fatalKind(CgErrKind::BadOperand,
+                            "alpha.ornot expects (rd, rs1, rs2)");
                       VC.buf().put(ornot(Ops[0].R.Num, Ops[1].R.Num,
                                          Ops[2].R.Num));
                     });

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ash/Ash.h"
+#include "core/Generate.h"
 #include "support/BitUtils.h"
 #include <algorithm>
 
@@ -73,15 +74,15 @@ void emitBody(VCode &V, LoopRegs &R, const std::vector<Step> &Steps,
   }
 }
 
-/// Generates `u32 f(char *dst, const char *src, u32 nbytes)` applying
-/// \p Steps to every word, unrolled \p Unroll times. \p ScheduleSlots
-/// selects ASH-style delay-slot scheduling for the loop-back jumps.
-CodePtr genLoop(Target &Tgt, sim::Memory &Mem, const std::vector<Step> &Steps,
-                unsigned Unroll, bool ScheduleSlots,
-                uint32_t XorKey = DefaultXorKey) {
-  VCode V(Tgt);
+} // namespace
+
+/// See Ash.h: one emission attempt of the loop generator into \p CM.
+CodePtr vcode::ash::emitLoopInto(VCode &V, CodeMem CM,
+                                 const std::vector<Step> &Steps,
+                                 unsigned Unroll, bool ScheduleSlots,
+                                 uint32_t XorKey) {
   Reg Arg[3];
-  V.lambda("%p%p%u", Arg, LeafHint, Mem.allocCode(16384));
+  V.lambda("%p%p%u", Arg, LeafHint, CM);
   LoopRegs R;
   R.Dst = Arg[0];
   R.Src = Arg[1];
@@ -93,7 +94,7 @@ CodePtr genLoop(Target &Tgt, sim::Memory &Mem, const std::vector<Step> &Steps,
   R.T2 = V.getreg(Type::U);
   R.Acc = V.getreg(Type::U);
   if (!R.Acc.isValid())
-    fatal("ash: out of registers");
+    fatalKind(CgErrKind::RegisterPressure, "ash: out of registers");
 
   bool HasCksum =
       std::find(Steps.begin(), Steps.end(), Step::Checksum) != Steps.end();
@@ -143,6 +144,32 @@ CodePtr genLoop(Target &Tgt, sim::Memory &Mem, const std::vector<Step> &Steps,
     V.setu(R.Acc, 0);
   V.retu(R.Acc);
   return V.end();
+}
+
+namespace {
+
+/// Generates the loop with generateWithRetry: on buffer overflow the
+/// failed region is released and the attempt re-run into a grown one.
+CodePtr genLoop(Target &Tgt, sim::Memory &Mem, const std::vector<Step> &Steps,
+                unsigned Unroll, bool ScheduleSlots,
+                uint32_t XorKey = DefaultXorKey) {
+  VCode V(Tgt);
+  GenerateOptions Opts;
+  Opts.InitialBytes = 16384;
+  SimAddr Mark = Mem.mark();
+  GenerateResult R = generateWithRetry(
+      V,
+      [&](size_t N) {
+        Mem.release(Mark);
+        return Mem.allocCode(N);
+      },
+      [&](CodeMem CM) {
+        return emitLoopInto(V, CM, Steps, Unroll, ScheduleSlots, XorKey);
+      },
+      Opts);
+  if (!R.ok())
+    fatalKind(R.Err.Kind, "ash: loop generation failed: %s", R.Err.Detail);
+  return R.Code;
 }
 
 } // namespace

@@ -57,6 +57,16 @@ inline constexpr uint32_t DefaultXorKey = 0x5aa51c3bu;
 uint32_t refRun(const std::vector<Step> &Steps, sim::Memory &M, SimAddr Dst,
                 SimAddr Src, uint32_t Bytes, uint32_t XorKey = DefaultXorKey);
 
+/// One emission attempt of the §4.3 loop generator into caller-provided
+/// code memory: `u32 f(char *dst, const char *src, u32 nbytes)` applying
+/// \p Steps to every word, unrolled \p Unroll times, with optional
+/// delay-slot scheduling. Re-runnable with a fresh region, so retry
+/// drivers and fault-injection tests can call it directly; the pipeline
+/// classes below wrap it in generateWithRetry.
+CodePtr emitLoopInto(VCode &V, CodeMem CM, const std::vector<Step> &Steps,
+                     unsigned Unroll, bool ScheduleSlots,
+                     uint32_t XorKey = DefaultXorKey);
+
 /// Common harness for generated message-data routines:
 /// u32 f(char *dst, const char *src, u32 nbytes), nbytes % 4 == 0.
 class Routine {

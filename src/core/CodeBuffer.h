@@ -68,9 +68,10 @@ public:
   /// Emits one instruction word; the paper's "*v_ip++ = w".
   void put(uint32_t W) {
     if (Ip == Limit)
-      fatal("code buffer overflow (%zu words); pass a larger region to "
-            "v_lambda",
-            size_t(Limit - Base));
+      fatalAt(CgErrKind::BufferOverflow, wordIndex(),
+              "code buffer overflow (%zu words); pass a larger region to "
+              "v_lambda",
+              size_t(Limit - Base));
     *Ip++ = W;
   }
 
@@ -80,9 +81,10 @@ public:
   /// Backends call this once before fixed-length multi-word sequences.
   void ensureWords(size_t N) {
     if (remainingWords() < N)
-      fatal("code buffer overflow: instruction needs %zu words but only %zu "
-            "of %zu remain; pass a larger region to v_lambda",
-            N, remainingWords(), size_t(Limit - Base));
+      fatalAt(CgErrKind::BufferOverflow, wordIndex(),
+              "code buffer overflow: instruction needs %zu words but only "
+              "%zu of %zu remain; pass a larger region to v_lambda",
+              N, remainingWords(), size_t(Limit - Base));
   }
 
   /// Current cursor as a function-relative word index.
@@ -94,15 +96,24 @@ public:
   /// Simulated address of word \p Idx.
   SimAddr addrOfWord(uint32_t Idx) const { return GuestBase + 4 * SimAddr(Idx); }
 
-  /// Reads back an already-emitted word (for backpatching).
+  /// Reads back an already-emitted word (for backpatching). The bound is
+  /// checked unconditionally: patch indices come from client-supplied
+  /// fixups, so a bad one must be a reportable error, not release-mode UB.
   uint32_t read(uint32_t Idx) const {
-    assert(Idx < wordIndex() && "patch index out of range");
+    if (Idx >= wordIndex())
+      fatalAt(CgErrKind::BadPatch, wordIndex(),
+              "patch index %u out of range (only %u words emitted)", Idx,
+              wordIndex());
     return Base[Idx];
   }
 
-  /// Overwrites word \p Idx (backpatching).
+  /// Overwrites word \p Idx (backpatching). Bound checked unconditionally;
+  /// see read().
   void patch(uint32_t Idx, uint32_t W) {
-    assert(Idx < wordIndex() && "patch index out of range");
+    if (Idx >= wordIndex())
+      fatalAt(CgErrKind::BadPatch, wordIndex(),
+              "patch index %u out of range (only %u words emitted)", Idx,
+              wordIndex());
     Base[Idx] = W;
   }
 

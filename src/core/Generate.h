@@ -1,0 +1,113 @@
+//===- core/Generate.h - Recoverable generation driver ----------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// generateWithRetry: the recovery-mode idiom for clients whose code size
+/// is data-dependent (a DPF filter or tcc program of unknown size decides
+/// how many words v_lambda needs). The paper's answer is "pass a larger
+/// region"; a long-running service cannot abort to deliver that advice.
+/// This driver runs the client's emission callback with error recovery
+/// enabled and, when the only failure is a code-buffer overflow, re-runs
+/// it into a geometrically grown region until it fits (bounded attempts).
+/// Any other error kind — and any overflow that persists at the size cap —
+/// is returned to the caller as a structured CgError instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_GENERATE_H
+#define VCODE_CORE_GENERATE_H
+
+#include "core/VCode.h"
+#include "support/Error.h"
+#include <algorithm>
+#include <cstddef>
+
+namespace vcode {
+
+/// Region-growth policy for generateWithRetry.
+struct GenerateOptions {
+  size_t InitialBytes = 4096;        ///< first attempt's region size
+  size_t MaxBytes = size_t(1) << 24; ///< growth cap (16 MiB)
+  unsigned MaxAttempts = 16;         ///< attempt bound
+};
+
+/// Outcome of generateWithRetry: either a valid CodePtr, or the error
+/// that stopped the driver.
+struct GenerateResult {
+  CodePtr Code;          ///< invalid unless ok()
+  CgError Err;           ///< the terminating error when !ok()
+  unsigned Attempts = 0; ///< emission attempts made (>= 1)
+  size_t RegionBytes = 0; ///< region size of the last attempt
+  bool ok() const { return Code.isValid(); }
+};
+
+/// RAII enablement of recovery mode on a VCode; restores the previous
+/// policy on scope exit (no-op when recovery was already on).
+class RecoveryScope {
+public:
+  explicit RecoveryScope(VCode &V) : V(V), WasOn(V.errorRecovery()) {
+    if (!WasOn)
+      V.setErrorRecovery(true);
+  }
+  ~RecoveryScope() {
+    if (!WasOn)
+      V.setErrorRecovery(false);
+  }
+  RecoveryScope(const RecoveryScope &) = delete;
+  RecoveryScope &operator=(const RecoveryScope &) = delete;
+
+private:
+  VCode &V;
+  bool WasOn;
+};
+
+/// Runs \p Emit(\p Alloc(bytes)) under error recovery, growing the region
+/// geometrically while the failure is CgErrKind::BufferOverflow.
+///
+/// \p Alloc: size_t -> CodeMem. Called once per attempt; typically
+///   [&](size_t N) { return Mem.allocCode(N); }. If earlier attempts'
+///   regions should be reclaimed, take a sim::Memory::mark() before the
+///   call and release it inside Alloc — but only when nothing allocated
+///   during emission must survive the retry.
+/// \p Emit: CodeMem -> CodePtr. Must be re-runnable from scratch: it
+///   receives a fresh region and performs the whole lambda()..end()
+///   sequence. Errors unwind out of it via CgAbort; the driver catches
+///   them, abandons the poisoned function, and decides whether to retry.
+///
+/// Non-overflow errors (arena exhaustion, API misuse, ...) are returned
+/// immediately — a larger code region cannot cure them.
+template <typename AllocFn, typename EmitFn>
+GenerateResult generateWithRetry(VCode &V, AllocFn Alloc, EmitFn Emit,
+                                 GenerateOptions Opts = {}) {
+  GenerateResult R;
+  RecoveryScope Scope(V);
+  size_t Bytes = std::max<size_t>(Opts.InitialBytes, 16);
+  for (unsigned A = 0; A < std::max(Opts.MaxAttempts, 1u); ++A) {
+    ++R.Attempts;
+    R.RegionBytes = Bytes;
+    V.clearError();
+    try {
+      CodePtr P = Emit(Alloc(Bytes));
+      if (P.isValid()) {
+        R.Code = P;
+        R.Err = CgError{};
+        return R;
+      }
+      R.Err = V.lastError(); // poisoned end() returned the invalid CodePtr
+    } catch (const CgAbort &E) {
+      V.abandon();
+      R.Err = E.error();
+    }
+    if (R.Err.Kind != CgErrKind::BufferOverflow || Bytes >= Opts.MaxBytes)
+      return R;
+    Bytes = std::min(Bytes * 2, Opts.MaxBytes);
+  }
+  return R;
+}
+
+} // namespace vcode
+
+#endif // VCODE_CORE_GENERATE_H

@@ -44,7 +44,13 @@ public:
   /// clients can keep one code path and toggle optimization.
   explicit Peephole(VCode &V, bool Enabled = true)
       : V(V), Enabled(Enabled) {}
-  ~Peephole() { flush(); }
+  ~Peephole() {
+    // Flush only into a live function: when an emission attempt was
+    // abandoned after an error, the window's target buffer is gone and
+    // emitting into it would raise again (possibly during unwinding).
+    if (V.inFunction())
+      flush();
+  }
 
   // --- Mirrored surface (the subset the optimizer understands) ----------
   void binop(BinOp Op, Type Ty, Reg Rd, Reg Rs1, Reg Rs2);
@@ -78,6 +84,10 @@ public:
 
   /// Emits any buffered instruction.
   void flush();
+
+  /// Drops any buffered instruction without emitting it. Call before
+  /// re-running an emission sequence whose previous attempt was abandoned.
+  void discard() { Pend = PendingInsn(); }
 
   /// Number of VCODE instructions the rewrites eliminated or simplified.
   unsigned saved() const { return Saved; }

@@ -44,13 +44,19 @@ void RegAlloc::init(const TargetInfo &TI) {
 void RegAlloc::setPriorityOrder(Reg::KindType Kind,
                                 const std::vector<Reg> &Order) {
   std::vector<Reg> &Dst = Kind == Reg::Int ? IntOrder : FpOrder;
+  // Reordering must not change which registers are currently allocated:
+  // a register handed out before the reorder stays allocated, and one
+  // free before it stays free. Snapshot liveness before rewriting.
+  bool Live[MaxRegs] = {};
+  for (Reg R : Dst)
+    Live[R.Num] = !entry(R).Free;
   // Registers dropped from the ordering stop being candidates; their class
   // is retained so hard-coded uses still save correctly.
   for (Reg R : Dst)
     entry(R).Free = false;
   Dst = Order;
   for (Reg R : Dst)
-    entry(R).Free = true;
+    entry(R).Free = !Live[R.Num];
 }
 
 void RegAlloc::setKind(Reg R, RegKind K) {
@@ -125,7 +131,13 @@ bool RegAlloc::take(Reg R) {
 bool RegAlloc::isFree(Reg R) const { return entry(R).Free; }
 
 void RegAlloc::noteCalleeSavedUse(Reg R) {
-  assert(R.Num < 32 && "save mask only covers 32 registers per kind");
+  // Unconditional: R can come straight from client code, and an out-of-range
+  // shift would be UB in release builds rather than a diagnosable error.
+  if (R.Num >= 32)
+    fatalKind(CgErrKind::BadOperand,
+              "register %u out of range: the save mask only covers 32 "
+              "registers per kind",
+              unsigned(R.Num));
   if (R.isInt())
     UsedCalleeInt |= 1u << R.Num;
   else

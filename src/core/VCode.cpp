@@ -15,6 +15,40 @@ VCode::VCode(Target &Tgt) : T(Tgt), TI(Tgt.info()) {
   RA.init(TI);
 }
 
+VCode::~VCode() {
+  // Never leave a dangling handler pointing at a destroyed object.
+  if (RecoverMode)
+    setErrorRecovery(false);
+}
+
+void VCode::setErrorRecovery(bool Enable) {
+  if (Enable == RecoverMode)
+    return;
+  if (Enable)
+    PrevHandler = setErrorHandler(&Recover);
+  else {
+    setErrorHandler(PrevHandler);
+    PrevHandler = nullptr;
+  }
+  RecoverMode = Enable;
+}
+
+void VCode::RecoveryHandler::handle(const CgError &E) {
+  CgError Rec = E;
+  if (Rec.WordIndex == CgError::NoWordIndex && V.InFunction && V.Buf.isBound())
+    Rec.WordIndex = V.Buf.wordIndex();
+  if (!V.Err) // keep the first (root-cause) error
+    V.Err = Rec;
+  throw CgAbort(Rec);
+}
+
+void VCode::abandon() {
+  InFunction = false;
+  CallLocs.clear();
+  CallNextArg = 0;
+  SuppressDelayNop = false;
+}
+
 std::vector<Type> VCode::parseTypeString(const char *Str) const {
   std::vector<Type> Out;
   for (const char *P = Str; *P;) {
@@ -77,6 +111,7 @@ void VCode::lambda(const char *ArgTypeStr, Reg *ArgRegs, bool IsLeaf,
                    CodeMem Mem) {
   if (InFunction)
     fatal("v_lambda: previous function not finished with v_end");
+  Err = CgError{};
   resetFunctionState();
   InFunction = true;
   LeafFlag = IsLeaf;
@@ -99,7 +134,8 @@ void VCode::lambda(const char *ArgTypeStr, Reg *ArgRegs, bool IsLeaf,
     } else {
       R = RA.get(L.Ty, RegClass::Temp, LeafFlag);
       if (!R.isValid())
-        fatal("v_lambda: out of registers for parameter %zu", I);
+        fatalKind(CgErrKind::RegisterPressure,
+                  "v_lambda: out of registers for parameter %zu", I);
       ArgCopies.push_back(PrologueArgCopy{L.Ty, R, L.StackOff});
     }
     if (ArgRegs)
@@ -109,6 +145,22 @@ void VCode::lambda(const char *ArgTypeStr, Reg *ArgRegs, bool IsLeaf,
 }
 
 CodePtr VCode::end() {
+  if (!RecoverMode)
+    return endImpl();
+  if (Err) {
+    // Poisoned mid-emission: never hand out partially-emitted code.
+    abandon();
+    return CodePtr{};
+  }
+  try {
+    return endImpl();
+  } catch (const CgAbort &) {
+    abandon();
+    return CodePtr{};
+  }
+}
+
+CodePtr VCode::endImpl() {
   if (!InFunction)
     fatal("v_end without v_lambda");
 
@@ -164,17 +216,20 @@ void VCode::putreg(Reg R) { RA.put(R); }
 Reg VCode::tmp(unsigned I, Type Ty) const {
   const std::vector<Reg> &L = isFpType(Ty) ? TI.FpTemps : TI.IntTemps;
   if (I >= L.size())
-    fatal("register assertion: %s has only %zu %s temporaries, T%u requested",
-          TI.Name, L.size(), isFpType(Ty) ? "fp" : "integer", I);
+    fatalKind(CgErrKind::RegisterPressure,
+              "register assertion: %s has only %zu %s temporaries, T%u "
+              "requested",
+              TI.Name, L.size(), isFpType(Ty) ? "fp" : "integer", I);
   return L[I];
 }
 
 Reg VCode::sav(unsigned I, Type Ty) {
   const std::vector<Reg> &L = isFpType(Ty) ? TI.FpSaves : TI.IntSaves;
   if (I >= L.size())
-    fatal("register assertion: %s has only %zu %s callee-saved registers, "
-          "S%u requested",
-          TI.Name, L.size(), isFpType(Ty) ? "fp" : "integer", I);
+    fatalKind(CgErrKind::RegisterPressure,
+              "register assertion: %s has only %zu %s callee-saved "
+              "registers, S%u requested",
+              TI.Name, L.size(), isFpType(Ty) ? "fp" : "integer", I);
   RA.noteCalleeSavedUse(L[I]);
   return L[I];
 }
@@ -194,7 +249,8 @@ void VCode::label(Label L) {
 SimAddr VCode::labelAddr(Label L) const {
   assert(L.isValid() && size_t(L.Id) < LabelPos.size() && "bad label");
   if (LabelPos[L.Id] < 0)
-    fatal("v_end: label %d is referenced but never bound", L.Id);
+    fatalKind(CgErrKind::UnboundLabel,
+              "v_end: label %d is referenced but never bound", L.Id);
   return Buf.addrOfWord(uint32_t(LabelPos[L.Id]));
 }
 

@@ -26,6 +26,7 @@
 #include "core/RegAlloc.h"
 #include "core/Target.h"
 #include "core/Types.h"
+#include "support/Error.h"
 #include <cstdint>
 #include <initializer_list>
 #include <map>
@@ -57,9 +58,33 @@ struct PrologueArgCopy {
 class VCode {
 public:
   explicit VCode(Target &Tgt);
+  ~VCode();
+  VCode(const VCode &) = delete;
+  VCode &operator=(const VCode &) = delete;
 
   Target &target() { return T; }
   const TargetInfo &info() const { return TI; }
+
+  // --- Error policy ---------------------------------------------------------
+
+  /// Selects the error policy. Off (the default) is the paper's policy:
+  /// any error aborts the process with a diagnostic. On, errors raised
+  /// while this VCode emits are recorded into lastError(), the in-progress
+  /// function is poisoned (end() returns an invalid CodePtr; partially
+  /// emitted code is never executable), and control unwinds out of the
+  /// failing emitter via a CgAbort exception. Handlers nest per thread:
+  /// enable/disable in LIFO order when using several VCode objects.
+  void setErrorRecovery(bool Enable);
+  /// True when recovery mode is active.
+  bool errorRecovery() const { return RecoverMode; }
+  /// The first error recorded since the last lambda()/clearError();
+  /// CgErrKind::None if generation has succeeded so far.
+  const CgError &lastError() const { return Err; }
+  /// Clears the recorded error.
+  void clearError() { Err = CgError{}; }
+  /// Discards an in-progress (poisoned) function so lambda() can be
+  /// called again, e.g. with a larger code region. See generateWithRetry.
+  void abandon();
 
   // --- Function lifecycle (paper §3.2) ------------------------------------
 
@@ -292,14 +317,31 @@ public:
   bool labelBound(Label L) const;
 
 private:
+  /// Recovery-mode ErrorHandler: records the error (adding the emission
+  /// cursor's word index when a function is in progress) and throws CgAbort.
+  class RecoveryHandler : public ErrorHandler {
+  public:
+    explicit RecoveryHandler(VCode &V) : V(V) {}
+    [[noreturn]] void handle(const CgError &E) override;
+
+  private:
+    VCode &V;
+  };
+
   std::vector<Type> parseTypeString(const char *Str) const;
   void resetFunctionState();
+  CodePtr endImpl();
 
   Target &T;
   const TargetInfo &TI;
   CodeBuffer Buf;
   RegAlloc RA;
   CallConv CurCC;
+
+  RecoveryHandler Recover{*this};
+  ErrorHandler *PrevHandler = nullptr;
+  bool RecoverMode = false;
+  CgError Err;
 
   bool InFunction = false;
   bool LeafFlag = false;

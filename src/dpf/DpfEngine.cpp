@@ -140,7 +140,8 @@ void DpfEngine::emitDispatch(VCode &V, std::vector<EdgeCase> &Cases, Reg V0,
 
     Reg TPReg = V.getreg(Type::P);
     if (!TPReg.isValid())
-      fatal("dpf: out of registers for table dispatch");
+      fatalKind(CgErrKind::RegisterPressure,
+                "dpf: out of registers for table dispatch");
     V.subui(T0, V0, int64_t(LoV));
     V.bgtui(T0, int64_t(Range - 1), Reject);
     V.lshii(T0, T0, int64_t(log2Floor(WB)));
@@ -185,7 +186,8 @@ void DpfEngine::emitDispatch(VCode &V, std::vector<EdgeCase> &Cases, Reg V0,
 
     Reg TPReg = V.getreg(Type::P);
     if (!TPReg.isValid())
-      fatal("dpf: out of registers for hash dispatch");
+      fatalKind(CgErrKind::RegisterPressure,
+                "dpf: out of registers for hash dispatch");
     // The chosen hash function is encoded directly in the instruction
     // stream (paper §4.2).
     V.mului(T0, V0, int64_t(Mult));
@@ -260,14 +262,12 @@ void DpfEngine::emitNode(VCode &V, const Trie &T, int NodeIdx, Reg Msg,
   }
 }
 
-void DpfEngine::install(const std::vector<Filter> &Filters) {
-  Trie T = Trie::build(Filters);
+CodePtr DpfEngine::emitInto(VCode &V, const Trie &T, CodeMem CM) {
   Tables.clear();
   Used = "none";
 
-  VCode V(Tgt);
   Reg Arg[1];
-  V.lambda("%p", Arg, LeafHint, Mem.allocCode(32768));
+  V.lambda("%p", Arg, LeafHint, CM);
   Reg Msg = Arg[0];
   Reg V0 = V.getreg(Type::U);
   Reg T0 = V.getreg(Type::U);
@@ -277,7 +277,9 @@ void DpfEngine::install(const std::vector<Filter> &Filters) {
   V.label(Reject);
   V.seti(V0, -1);
   V.reti(V0);
-  Code = V.end();
+  CodePtr P = V.end();
+  if (!P.isValid()) // recovery mode: poisoned attempt, tables untouched
+    return P;
 
   // Fill the dispatch tables with the now-resolved code addresses.
   unsigned WB = Tgt.info().WordBytes;
@@ -292,4 +294,11 @@ void DpfEngine::install(const std::vector<Filter> &Filters) {
         Mem.write<uint32_t>(TP.TableAddr + I * 4, uint32_t(A));
     }
   }
+  return P;
+}
+
+void DpfEngine::install(const std::vector<Filter> &Filters) {
+  Trie T = Trie::build(Filters);
+  VCode V(Tgt);
+  installWithRetry(V, [&](CodeMem CM) { return emitInto(V, T, CM); });
 }

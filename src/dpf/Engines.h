@@ -30,9 +30,11 @@
 #ifndef VCODE_DPF_ENGINES_H
 #define VCODE_DPF_ENGINES_H
 
+#include "core/Generate.h"
 #include "core/VCode.h"
 #include "dpf/Filter.h"
 #include "sim/Cpu.h"
+#include "sim/Memory.h"
 
 namespace vcode {
 namespace dpf {
@@ -50,6 +52,15 @@ public:
   /// Size of the generated classifier, in bytes.
   size_t codeBytes() const { return Code.SizeBytes; }
 
+  /// Sets the code-region size for the next install's first attempt; on
+  /// overflow the install retries into a geometrically grown region.
+  void setInitialCodeBytes(size_t N) { InitialCodeBytes = N; }
+  /// Emission attempts the last install needed (1 when the initial
+  /// region sufficed).
+  unsigned installAttempts() const { return Attempts; }
+  /// Code-region size of the last install's successful attempt.
+  size_t regionBytes() const { return RegionBytes; }
+
   /// Runs the classifier for the message at \p Msg.
   int classify(sim::Cpu &Cpu, SimAddr Msg) {
     return Cpu.call(Code.Entry, {sim::TypedValue::fromPtr(Msg)}, Type::I)
@@ -57,24 +68,54 @@ public:
   }
 
 protected:
-  Engine(Target &T, sim::Memory &M) : Tgt(T), Mem(M) {}
+  Engine(Target &T, sim::Memory &M, size_t CodeBytes)
+      : Tgt(T), Mem(M), InitialCodeBytes(CodeBytes) {}
+
+  /// Shared install driver: runs \p Emit under generateWithRetry, growing
+  /// the code region on overflow. Failed attempts' allocations (the code
+  /// region and anything \p Emit allocated mid-emission, e.g. DPF jump
+  /// tables) are released back to the arena before the next attempt, so
+  /// persistent data structures must be written *before* calling this.
+  /// Aborts (or raises through an outer recovery handler) if generation
+  /// still fails at the growth cap.
+  template <typename EmitFn> void installWithRetry(VCode &V, EmitFn Emit) {
+    GenerateOptions Opts;
+    Opts.InitialBytes = InitialCodeBytes;
+    SimAddr Mark = Mem.mark();
+    GenerateResult R = generateWithRetry(
+        V,
+        [&](size_t N) {
+          Mem.release(Mark);
+          return Mem.allocCode(N);
+        },
+        Emit, Opts);
+    if (!R.ok())
+      fatalKind(R.Err.Kind, "dpf: install failed after %u attempt(s): %s",
+                R.Attempts, R.Err.Detail);
+    Code = R.Code;
+    Attempts = R.Attempts;
+    RegionBytes = R.RegionBytes;
+  }
 
   Target &Tgt;
   sim::Memory &Mem;
   CodePtr Code;
+  size_t InitialCodeBytes;
+  unsigned Attempts = 0;
+  size_t RegionBytes = 0;
 };
 
 /// MPF-style linear interpreter.
 class MpfEngine : public Engine {
 public:
-  MpfEngine(Target &T, sim::Memory &M) : Engine(T, M) {}
+  MpfEngine(Target &T, sim::Memory &M) : Engine(T, M, 4096) {}
   void install(const std::vector<Filter> &Filters) override;
 };
 
 /// PATHFINDER-style pattern (cell-graph) interpreter.
 class PathFinderEngine : public Engine {
 public:
-  PathFinderEngine(Target &T, sim::Memory &M) : Engine(T, M) {}
+  PathFinderEngine(Target &T, sim::Memory &M) : Engine(T, M, 4096) {}
   void install(const std::vector<Filter> &Filters) override;
 };
 
@@ -87,12 +128,20 @@ public:
   enum class Dispatch { Auto, Chain, Binary, Hash, Table };
 
   DpfEngine(Target &T, sim::Memory &M, Dispatch D = Dispatch::Auto)
-      : Engine(T, M), Strategy(D) {}
+      : Engine(T, M, 32768), Strategy(D) {}
   void install(const std::vector<Filter> &Filters) override;
 
   /// Name of the dispatch strategy the last install actually used for the
   /// widest node (for reporting).
   const char *dispatchUsed() const { return Used; }
+
+  /// One emission attempt of the classifier for \p T into \p CM: the
+  /// single-shot body install() retries with grown regions. Exposed so
+  /// fault-injection tests can drive it with an undersized region under a
+  /// caller-controlled error policy. On success the dispatch tables are
+  /// filled with resolved code addresses; on a poisoned recovery-mode
+  /// attempt it returns an invalid CodePtr and touches no table memory.
+  CodePtr emitInto(VCode &V, const Trie &T, CodeMem CM);
 
 private:
   struct EdgeCase {

@@ -55,77 +55,80 @@ void MpfEngine::install(const std::vector<Filter> &Filters) {
   for (size_t I = 0; I < Filters.size(); ++I)
     Mem.write<int32_t>(Ids + I * 4, Filters[I].Id);
 
-  // Generate the interpreter.
+  // Generate the interpreter (retrying with a grown region on overflow;
+  // the filter structures above persist across attempts).
   VCode V(Tgt);
-  Reg Arg[1];
-  V.lambda("%p", Arg, LeafHint, Mem.allocCode(4096));
-  Reg Msg = Arg[0];
-  Reg Idx = V.getreg(Type::I);
-  Reg Pp = V.getreg(Type::P);
-  Reg N = V.getreg(Type::I);
-  Reg Vv = V.getreg(Type::U);
-  Reg T = V.getreg(Type::P);
-  Reg Fld = V.getreg(Type::U);
-  Reg BaseProg = V.getreg(Type::P);
-  Reg BaseIds = V.getreg(Type::P);
+  installWithRetry(V, [&](CodeMem CM) {
+    Reg Arg[1];
+    V.lambda("%p", Arg, LeafHint, CM);
+    Reg Msg = Arg[0];
+    Reg Idx = V.getreg(Type::I);
+    Reg Pp = V.getreg(Type::P);
+    Reg N = V.getreg(Type::I);
+    Reg Vv = V.getreg(Type::U);
+    Reg T = V.getreg(Type::P);
+    Reg Fld = V.getreg(Type::U);
+    Reg BaseProg = V.getreg(Type::P);
+    Reg BaseIds = V.getreg(Type::P);
 
-  Label LFilter = V.genLabel(), LAtom = V.genLabel(), LNext = V.genLabel();
-  Label LAccept = V.genLabel(), LFail = V.genLabel();
-  Label LByte = V.genLabel(), LHalf = V.genLabel(), LHave = V.genLabel();
+    Label LFilter = V.genLabel(), LAtom = V.genLabel(), LNext = V.genLabel();
+    Label LAccept = V.genLabel(), LFail = V.genLabel();
+    Label LByte = V.genLabel(), LHalf = V.genLabel(), LHave = V.genLabel();
 
-  V.setp(BaseProg, ProgTable);
-  V.setp(BaseIds, Ids);
-  V.seti(Idx, 0);
+    V.setp(BaseProg, ProgTable);
+    V.setp(BaseIds, Ids);
+    V.seti(Idx, 0);
 
-  V.label(LFilter);
-  V.bgeii(Idx, int64_t(Filters.size()), LFail);
-  // pp = progTable[idx]
-  V.lshii(T, Idx, int64_t(log2Floor(WB)));
-  V.addp(T, BaseProg, T);
-  V.ldpi(Pp, T, 0);
-  V.ldui(N, Pp, 0);
-  V.addpi(Pp, Pp, 4);
+    V.label(LFilter);
+    V.bgeii(Idx, int64_t(Filters.size()), LFail);
+    // pp = progTable[idx]
+    V.lshii(T, Idx, int64_t(log2Floor(WB)));
+    V.addp(T, BaseProg, T);
+    V.ldpi(Pp, T, 0);
+    V.ldui(N, Pp, 0);
+    V.addpi(Pp, Pp, 4);
 
-  V.label(LAtom);
-  V.beqii(N, 0, LAccept);
-  // t = msg + off
-  V.ldui(Fld, Pp, 0);
-  V.addp(T, Msg, Fld);
-  // size dispatch
-  V.ldui(Fld, Pp, 4);
-  V.beqii(Fld, 1, LByte);
-  V.beqii(Fld, 2, LHalf);
-  V.ldui(Vv, T, 0);
-  V.jmp(LHave);
-  V.label(LByte);
-  V.lduci(Vv, T, 0);
-  V.jmp(LHave);
-  V.label(LHalf);
-  V.ldusi(Vv, T, 0);
-  V.label(LHave);
-  // mask & compare
-  V.ldui(Fld, Pp, 8);
-  V.andu(Vv, Vv, Fld);
-  V.ldui(Fld, Pp, 12);
-  V.bneu(Vv, Fld, LNext);
-  // next atom
-  V.addpi(Pp, Pp, 16);
-  V.subii(N, N, 1);
-  V.jmp(LAtom);
+    V.label(LAtom);
+    V.beqii(N, 0, LAccept);
+    // t = msg + off
+    V.ldui(Fld, Pp, 0);
+    V.addp(T, Msg, Fld);
+    // size dispatch
+    V.ldui(Fld, Pp, 4);
+    V.beqii(Fld, 1, LByte);
+    V.beqii(Fld, 2, LHalf);
+    V.ldui(Vv, T, 0);
+    V.jmp(LHave);
+    V.label(LByte);
+    V.lduci(Vv, T, 0);
+    V.jmp(LHave);
+    V.label(LHalf);
+    V.ldusi(Vv, T, 0);
+    V.label(LHave);
+    // mask & compare
+    V.ldui(Fld, Pp, 8);
+    V.andu(Vv, Vv, Fld);
+    V.ldui(Fld, Pp, 12);
+    V.bneu(Vv, Fld, LNext);
+    // next atom
+    V.addpi(Pp, Pp, 16);
+    V.subii(N, N, 1);
+    V.jmp(LAtom);
 
-  V.label(LNext);
-  V.addii(Idx, Idx, 1);
-  V.jmp(LFilter);
+    V.label(LNext);
+    V.addii(Idx, Idx, 1);
+    V.jmp(LFilter);
 
-  V.label(LAccept);
-  V.lshii(T, Idx, 2);
-  V.addp(T, BaseIds, T);
-  V.ldii(Vv, T, 0);
-  V.reti(Vv);
+    V.label(LAccept);
+    V.lshii(T, Idx, 2);
+    V.addp(T, BaseIds, T);
+    V.ldii(Vv, T, 0);
+    V.reti(Vv);
 
-  V.label(LFail);
-  V.seti(Vv, -1);
-  V.reti(Vv);
+    V.label(LFail);
+    V.seti(Vv, -1);
+    V.reti(Vv);
 
-  Code = V.end();
+    return V.end();
+  });
 }

@@ -87,67 +87,70 @@ void PathFinderEngine::install(const std::vector<Filter> &Filters) {
     Mem.write<uint32_t>(A + 28, 0);
   }
 
-  // Generate the cell-walking interpreter.
+  // Generate the cell-walking interpreter (retrying with a grown region
+  // on overflow; the cells written above persist across attempts).
   VCode V(Tgt);
-  Reg Arg[1];
-  V.lambda("%p", Arg, LeafHint, Mem.allocCode(4096));
-  Reg Msg = Arg[0];
-  Reg Cur = V.getreg(Type::I);  // current cell index
-  Reg CA = V.getreg(Type::P);   // current cell address
-  Reg Vv = V.getreg(Type::U);   // message field value
-  Reg Fld = V.getreg(Type::U);  // cell field scratch
-  Reg T0 = V.getreg(Type::P);
-  Reg BaseR = V.getreg(Type::P);
+  installWithRetry(V, [&](CodeMem CM) {
+    Reg Arg[1];
+    V.lambda("%p", Arg, LeafHint, CM);
+    Reg Msg = Arg[0];
+    Reg Cur = V.getreg(Type::I);  // current cell index
+    Reg CA = V.getreg(Type::P);   // current cell address
+    Reg Vv = V.getreg(Type::U);   // message field value
+    Reg Fld = V.getreg(Type::U);  // cell field scratch
+    Reg T0 = V.getreg(Type::P);
+    Reg BaseR = V.getreg(Type::P);
 
-  Label LStep = V.genLabel(), LMatch = V.genLabel(), LFailEdge = V.genLabel();
-  Label LByte = V.genLabel(), LHalf = V.genLabel(), LHave = V.genLabel();
-  Label LReject = V.genLabel();
+    Label LStep = V.genLabel(), LMatch = V.genLabel(), LFailEdge = V.genLabel();
+    Label LByte = V.genLabel(), LHalf = V.genLabel(), LHave = V.genLabel();
+    Label LReject = V.genLabel();
 
-  V.setp(BaseR, Base);
-  V.seti(Cur, Root);
+    V.setp(BaseR, Base);
+    V.seti(Cur, Root);
 
-  V.label(LStep);
-  // ca = base + cur*32
-  V.lshii(CA, Cur, 5);
-  V.addp(CA, BaseR, CA);
-  // v = load(msg + offset, size)
-  V.ldui(Fld, CA, 0);
-  V.addp(T0, Msg, Fld);
-  V.ldui(Fld, CA, 4);
-  V.beqii(Fld, 1, LByte);
-  V.beqii(Fld, 2, LHalf);
-  V.ldui(Vv, T0, 0);
-  V.jmp(LHave);
-  V.label(LByte);
-  V.lduci(Vv, T0, 0);
-  V.jmp(LHave);
-  V.label(LHalf);
-  V.ldusi(Vv, T0, 0);
-  V.label(LHave);
-  V.ldui(Fld, CA, 8);
-  V.andu(Vv, Vv, Fld);
-  V.ldui(Fld, CA, 12);
-  V.bequ(Vv, Fld, LMatch);
+    V.label(LStep);
+    // ca = base + cur*32
+    V.lshii(CA, Cur, 5);
+    V.addp(CA, BaseR, CA);
+    // v = load(msg + offset, size)
+    V.ldui(Fld, CA, 0);
+    V.addp(T0, Msg, Fld);
+    V.ldui(Fld, CA, 4);
+    V.beqii(Fld, 1, LByte);
+    V.beqii(Fld, 2, LHalf);
+    V.ldui(Vv, T0, 0);
+    V.jmp(LHave);
+    V.label(LByte);
+    V.lduci(Vv, T0, 0);
+    V.jmp(LHave);
+    V.label(LHalf);
+    V.ldusi(Vv, T0, 0);
+    V.label(LHave);
+    V.ldui(Fld, CA, 8);
+    V.andu(Vv, Vv, Fld);
+    V.ldui(Fld, CA, 12);
+    V.bequ(Vv, Fld, LMatch);
 
-  // fail edge: cur = cell.failNext; reject if negative
-  V.label(LFailEdge);
-  V.ldii(Cur, CA, 20);
-  V.bltii(Cur, 0, LReject);
-  V.jmp(LStep);
+    // fail edge: cur = cell.failNext; reject if negative
+    V.label(LFailEdge);
+    V.ldii(Cur, CA, 20);
+    V.bltii(Cur, 0, LReject);
+    V.jmp(LStep);
 
-  // match: accept if the cell carries an id, else descend.
-  Label LDescend = V.genLabel();
-  V.label(LMatch);
-  V.ldii(Fld, CA, 24); // acceptId
-  V.bltii(Fld, 0, LDescend);
-  V.reti(Fld);
-  V.label(LDescend);
-  V.ldii(Cur, CA, 16); // matchNext
-  V.jmp(LStep);
+    // match: accept if the cell carries an id, else descend.
+    Label LDescend = V.genLabel();
+    V.label(LMatch);
+    V.ldii(Fld, CA, 24); // acceptId
+    V.bltii(Fld, 0, LDescend);
+    V.reti(Fld);
+    V.label(LDescend);
+    V.ldii(Cur, CA, 16); // matchNext
+    V.jmp(LStep);
 
-  V.label(LReject);
-  V.seti(Fld, -1);
-  V.reti(Fld);
+    V.label(LReject);
+    V.seti(Fld, -1);
+    V.reti(Fld);
 
-  Code = V.end();
+    return V.end();
+  });
 }

@@ -89,7 +89,8 @@ CodePtr MipsTarget::endFunction(VCode &VC) {
   CodeBuffer &B = VC.buf();
   uint32_t F = VC.frameBytes();
   if (!isInt<16>(int64_t(F)))
-    fatal("mips: frame of %u bytes exceeds the 32KB immediate range", F);
+    fatalKind(CgErrKind::OutOfRange,
+        "mips: frame of %u bytes exceeds the 32KB immediate range", F);
 
   uint32_t IntMask = VC.regAlloc().usedCalleeSavedMask(Reg::Int);
   uint32_t FpMask = VC.regAlloc().usedCalleeSavedMask(Reg::Fp);
@@ -110,14 +111,16 @@ CodePtr MipsTarget::endFunction(VCode &VC) {
   for (const PrologueArgCopy &Copy : VC.prologueArgCopies()) {
     int64_t Off = int64_t(F) + Copy.IncomingOff;
     if (!isInt<16>(Off))
-      fatal("mips: incoming stack argument offset %lld out of range",
+      fatalKind(CgErrKind::OutOfRange,
+          "mips: incoming stack argument offset %lld out of range",
             (long long)Off);
     unsigned Rt = isFpType(Copy.Ty) ? fpr(Copy.Dst) : gpr(Copy.Dst);
     Pro.push_back(loadWord(Copy.Ty, Rt, SP, int32_t(Off)));
   }
 
   if (Pro.size() > ReservedWords)
-    fatal("mips: prologue of %zu words exceeds the %u reserved", Pro.size(),
+    fatalKind(CgErrKind::Internal,
+        "mips: prologue of %zu words exceeds the %u reserved", Pro.size(),
           ReservedWords);
   uint32_t Start = ReservedWords - uint32_t(Pro.size());
   for (size_t I = 0; I < Pro.size(); ++I)
@@ -151,7 +154,8 @@ void MipsTarget::applyFixup(VCode &VC, const Fixup &F, SimAddr Target) {
     int64_t Disp =
         (int64_t(Target) - int64_t(B.addrOfWord(F.WordIdx) + 4)) / 4;
     if (!isInt<16>(Disp))
-      fatal("mips: branch displacement %lld out of range", (long long)Disp);
+      fatalKind(CgErrKind::OutOfRange,
+          "mips: branch displacement %lld out of range", (long long)Disp);
     B.patchOr(F.WordIdx, uint32_t(Disp) & 0xffff);
     return;
   }
@@ -184,7 +188,8 @@ void MipsTarget::registerMachineInstructions() {
     return [Fn, Fmt](VCode &VC, const Operand *Ops, unsigned N) {
       if (N != 2 || Ops[0].Kind != Operand::RegOp ||
           Ops[1].Kind != Operand::RegOp)
-        fatal("mips fp machine instruction expects (rd, rs)");
+        fatalKind(CgErrKind::BadOperand,
+            "mips fp machine instruction expects (rd, rs)");
       VC.buf().put(fpRType(Fmt, 0, Ops[1].R.Num, Ops[0].R.Num, Fn));
     };
   };
@@ -196,7 +201,8 @@ void MipsTarget::registerMachineInstructions() {
   // An integer example for the spec tests: nor.
   defineInstruction("mips.nor", [](VCode &VC, const Operand *Ops, unsigned N) {
     if (N != 3)
-      fatal("mips.nor expects (rd, rs1, rs2)");
+      fatalKind(CgErrKind::BadOperand,
+          "mips.nor expects (rd, rs1, rs2)");
     VC.buf().put(nor(Ops[0].R.Num, Ops[1].R.Num, Ops[2].R.Num));
   });
 }

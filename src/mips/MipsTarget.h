@@ -159,7 +159,8 @@ public:
     if (isFpType(Ty)) {
       const OpEnc &E = MipsFpAluTable[Op];
       if (!E.Valid)
-        fatal("mips: fp binop '%s' unsupported", binOpName(Op));
+        fatalKind(CgErrKind::BadOperand,
+            "mips: fp binop '%s' unsupported", binOpName(Op));
       B.put(fpRType(Ty == Type::F ? FMT_S : FMT_D, fpr(Rs2), fpr(Rs1),
                     fpr(Rd), E.Op));
       return;
@@ -196,7 +197,8 @@ public:
   void insBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
                    int64_t Imm) {
     if (isFpType(Ty))
-      fatal("mips: immediate operands are not allowed for f/d (paper "
+      fatalKind(CgErrKind::BadOperand,
+          "mips: immediate operands are not allowed for f/d (paper "
             "Table 2)");
     CodeBuffer &B = VC.buf();
     unsigned D = gpr(Rd), S = gpr(Rs1);
@@ -261,7 +263,8 @@ public:
         B.put(fneg(Fmt, fpr(Rd), fpr(Rs)));
         return;
       default:
-        fatal("mips: fp unop unsupported");
+        fatalKind(CgErrKind::BadOperand,
+            "mips: fp unop unsupported");
       }
     }
     unsigned D = gpr(Rd), S = gpr(Rs);
@@ -345,7 +348,8 @@ public:
       B.put(fcvts(FMT_D, fpr(Rd), fpr(Rs)));
       return;
     }
-    fatal("mips: unsupported conversion %s -> %s", typeName(From),
+    fatalKind(CgErrKind::BadOperand,
+        "mips: unsupported conversion %s -> %s", typeName(From),
           typeName(To));
   }
 
@@ -399,7 +403,8 @@ public:
   void insBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1, int64_t Imm,
                     Label L) {
     if (isFpType(Ty))
-      fatal("mips: fp branches take register operands");
+      fatalKind(CgErrKind::BadOperand,
+          "mips: fp branches take register operands");
     CodeBuffer &B = VC.buf();
     bool Unsigned = !isSignedType(Ty);
     unsigned A = gpr(Rs1);

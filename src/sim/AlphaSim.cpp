@@ -45,7 +45,8 @@ uint64_t AlphaSim::loadMem(SimAddr A, unsigned Bytes) {
     ++Stats.DCacheMisses;
   }
   if (A & (Bytes - 1))
-    fatal("alpha sim: unaligned %u-byte load at 0x%llx", Bytes,
+    fatalKind(CgErrKind::SimFault,
+        "alpha sim: unaligned %u-byte load at 0x%llx", Bytes,
           (unsigned long long)A);
   if (Bytes == 4)
     return Mem.read<uint32_t>(A);
@@ -58,7 +59,8 @@ void AlphaSim::storeMem(SimAddr A, unsigned Bytes, uint64_t V) {
     ++Stats.DCacheMisses;
   }
   if (A & (Bytes - 1))
-    fatal("alpha sim: unaligned %u-byte store at 0x%llx", Bytes,
+    fatalKind(CgErrKind::SimFault,
+        "alpha sim: unaligned %u-byte store at 0x%llx", Bytes,
           (unsigned long long)A);
   if (Bytes == 4)
     Mem.write<uint32_t>(A, uint32_t(V));
@@ -313,7 +315,8 @@ void AlphaSim::step() {
       }
       }
     }
-    fatal("alpha sim: unknown operate op=0x%x fn=0x%x at 0x%llx", Op, Fn,
+    fatalKind(CgErrKind::SimFault,
+        "alpha sim: unknown operate op=0x%x fn=0x%x at 0x%llx", Op, Fn,
           (unsigned long long)InstrPC);
   }
 
@@ -330,7 +333,8 @@ void AlphaSim::step() {
       Stats.Cycles += Cfg.FpDivCycles - 1;
       return;
     }
-    fatal("alpha sim: unknown 0x14 fn 0x%x", Fn);
+    fatalKind(CgErrKind::SimFault,
+        "alpha sim: unknown 0x14 fn 0x%x", Fn);
   }
 
   case 0x16: { // IEEE FP operate
@@ -393,7 +397,8 @@ void AlphaSim::step() {
       setT(Fc, double(float(B)));
       return;
     }
-    fatal("alpha sim: unknown FP fn 0x%x at 0x%llx", Fn,
+    fatalKind(CgErrKind::SimFault,
+        "alpha sim: unknown FP fn 0x%x at 0x%llx", Fn,
           (unsigned long long)InstrPC);
   }
 
@@ -412,10 +417,12 @@ void AlphaSim::step() {
         F[Fc] = (SignA ^ SignBit) | (F[Rb] & ~SignBit);
       return;
     }
-    fatal("alpha sim: unknown 0x17 fn 0x%x", Fn);
+    fatalKind(CgErrKind::SimFault,
+        "alpha sim: unknown 0x17 fn 0x%x", Fn);
   }
   }
-  fatal("alpha sim: unknown opcode 0x%x at 0x%llx", Op,
+  fatalKind(CgErrKind::SimFault,
+      "alpha sim: unknown opcode 0x%x at 0x%llx", Op,
         (unsigned long long)InstrPC);
 }
 
@@ -467,7 +474,8 @@ TypedValue AlphaSim::callWithConv(const CallConv &CC, SimAddr Entry,
   PC = Entry;
   while (PC != StopAddr) {
     if (Stats.Instrs >= InstrLimit)
-      fatal("alpha sim: instruction limit exceeded; runaway code?");
+      fatalKind(CgErrKind::SimFault,
+          "alpha sim: instruction limit exceeded; runaway code?");
     step();
   }
 

@@ -24,17 +24,34 @@ namespace vcode {
 namespace sim {
 
 /// Direct-mapped cache: tag array only (data lives in Memory).
+///
+/// The index computation masks with NumLines - 1, so the line count is
+/// rounded *down* to a power of two in configure() (a direct-mapped index
+/// must be a bit-field of the address; a 48KB request models a 32KB
+/// cache). An unconfigured cache (NumLines == 0) models no cache at all:
+/// every access hits, so cycle charging degrades gracefully instead of
+/// masking an empty tag vector with 0xFFFFFFFF.
 class Cache {
 public:
   void configure(uint32_t Bytes, uint32_t LineBytes) {
+    if (LineBytes == 0 || Bytes < LineBytes) {
+      Tags.clear();
+      NumLines = 0;
+      return;
+    }
     LineShift = log2Floor(LineBytes);
-    NumLines = Bytes >> LineShift;
+    NumLines = uint32_t(1) << log2Floor(Bytes >> LineShift);
     Tags.assign(NumLines, ~uint64_t(0));
   }
 
+  /// True once configure() has given the cache at least one line.
+  bool configured() const { return NumLines != 0; }
+
   /// Accesses address \p A; returns true on hit, installing the line
-  /// otherwise.
+  /// otherwise. An unconfigured cache always hits (no model).
   bool access(SimAddr A) {
+    if (NumLines == 0)
+      return true;
     uint64_t Line = A >> LineShift;
     uint32_t Idx = uint32_t(Line & (NumLines - 1));
     if (Tags[Idx] == Line)
@@ -48,6 +65,8 @@ public:
 
   /// Reads every line of [A, A+Len) so subsequent accesses hit.
   void warm(SimAddr A, size_t Len) {
+    if (NumLines == 0)
+      return;
     for (SimAddr P = A & ~SimAddr((1u << LineShift) - 1); P < A + Len;
          P += (1u << LineShift))
       access(P);

@@ -44,16 +44,22 @@ public:
   /// Initial stack pointer for a fresh activation (16-byte aligned).
   SimAddr stackTop() const { return StackTop & ~SimAddr(15); }
 
-  /// True if [A, A+Len) lies inside the arena.
+  /// True if [A, A+Len) lies inside the arena. Written overflow-safe: a
+  /// wild guest address near the top of the address space must not wrap
+  /// A + Len around and pass the check.
   bool contains(SimAddr A, size_t Len) const {
-    return A >= BaseAddr && A + Len <= BaseAddr + Store.size() && Len > 0;
+    if (Len == 0 || A < BaseAddr)
+      return false;
+    SimAddr Off = A - BaseAddr;
+    return Off < Store.size() && Len <= Store.size() - Off;
   }
 
   /// Host pointer for guest range [A, A+Len); fatal on out-of-range.
   uint8_t *hostPtr(SimAddr A, size_t Len) {
     if (!contains(A, Len))
-      fatal("sim: guest access [0x%llx,+%zu) outside the arena",
-            (unsigned long long)A, Len);
+      fatalKind(CgErrKind::SimFault,
+                "sim: guest access [0x%llx,+%zu) outside the arena",
+                (unsigned long long)A, Len);
     return Store.data() + (A - BaseAddr);
   }
   const uint8_t *hostPtr(SimAddr A, size_t Len) const {
@@ -73,8 +79,9 @@ public:
   /// Allocates \p Bytes of guest memory aligned to \p Align.
   SimAddr alloc(size_t Bytes, size_t Align = 16) {
     SimAddr A = (Brk + Align - 1) & ~SimAddr(Align - 1);
-    if (A + Bytes > StackLimit)
-      fatal("sim: arena exhausted (%zu bytes requested)", Bytes);
+    if (A < Brk || A > StackLimit || Bytes > StackLimit - A)
+      fatalKind(CgErrKind::ArenaExhausted,
+                "sim: arena exhausted (%zu bytes requested)", Bytes);
     Brk = A + Bytes;
     return A;
   }

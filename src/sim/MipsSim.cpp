@@ -52,14 +52,16 @@ uint32_t MipsSim::loadMem(SimAddr A, unsigned Bytes, bool SignExtend) {
   }
   case 2: {
     if (A & 1)
-      fatal("mips sim: unaligned halfword load at 0x%llx",
+      fatalKind(CgErrKind::SimFault,
+          "mips sim: unaligned halfword load at 0x%llx",
             (unsigned long long)A);
     uint16_t V = Mem.read<uint16_t>(A);
     return SignExtend ? uint32_t(int32_t(int16_t(V))) : V;
   }
   case 4:
     if (A & 3)
-      fatal("mips sim: unaligned word load at 0x%llx", (unsigned long long)A);
+      fatalKind(CgErrKind::SimFault,
+          "mips sim: unaligned word load at 0x%llx", (unsigned long long)A);
     return Mem.read<uint32_t>(A);
   }
   unreachable("bad load size");
@@ -76,13 +78,15 @@ void MipsSim::storeMem(SimAddr A, unsigned Bytes, uint32_t V) {
     return;
   case 2:
     if (A & 1)
-      fatal("mips sim: unaligned halfword store at 0x%llx",
+      fatalKind(CgErrKind::SimFault,
+          "mips sim: unaligned halfword store at 0x%llx",
             (unsigned long long)A);
     Mem.write<uint16_t>(A, uint16_t(V));
     return;
   case 4:
     if (A & 3)
-      fatal("mips sim: unaligned word store at 0x%llx", (unsigned long long)A);
+      fatalKind(CgErrKind::SimFault,
+          "mips sim: unaligned word store at 0x%llx", (unsigned long long)A);
     Mem.write<uint32_t>(A, V);
     return;
   }
@@ -262,7 +266,8 @@ void MipsSim::step() {
       W(Rd, R[Rs] < R[Rt] ? 1 : 0);
       return;
     }
-    fatal("mips sim: unknown SPECIAL funct 0x%x at 0x%llx", Fn,
+    fatalKind(CgErrKind::SimFault,
+        "mips sim: unknown SPECIAL funct 0x%x at 0x%llx", Fn,
           (unsigned long long)InstrPC);
   case 0x01: // REGIMM: bltz/bgez
     if (Rt == 0 ? int32_t(R[Rs]) < 0 : int32_t(R[Rs]) >= 0)
@@ -373,7 +378,8 @@ void MipsSim::step() {
       else if (Fmt == 20)
         setS(Fd, float(int32_t(FPR[Fs])));
       else
-        fatal("mips sim: cvt.s from fmt %u", Fmt);
+        fatalKind(CgErrKind::SimFault,
+            "mips sim: cvt.s from fmt %u", Fmt);
       return;
     case 0x21: // cvt.d.fmt
       if (Fmt == 16)
@@ -381,7 +387,8 @@ void MipsSim::step() {
       else if (Fmt == 20)
         setD(Fd, double(int32_t(FPR[Fs])));
       else
-        fatal("mips sim: cvt.d from fmt %u", Fmt);
+        fatalKind(CgErrKind::SimFault,
+            "mips sim: cvt.d from fmt %u", Fmt);
       return;
     case 0x24: // cvt.w.fmt (round-to-nearest not modeled; truncates)
       FPR[Fd] = uint32_t(int32_t(Dbl ? getD(Fs) : double(getS(Fs))));
@@ -396,7 +403,8 @@ void MipsSim::step() {
       FpCond = Dbl ? getD(Fs) <= getD(Ft) : getS(Fs) <= getS(Ft);
       return;
     }
-    fatal("mips sim: unknown COP1 funct 0x%x at 0x%llx", Fn,
+    fatalKind(CgErrKind::SimFault,
+        "mips sim: unknown COP1 funct 0x%x at 0x%llx", Fn,
           (unsigned long long)InstrPC);
   }
 
@@ -448,7 +456,8 @@ void MipsSim::step() {
     return;
   }
   }
-  fatal("mips sim: unknown opcode 0x%x at 0x%llx", Op,
+  fatalKind(CgErrKind::SimFault,
+      "mips sim: unknown opcode 0x%x at 0x%llx", Op,
         (unsigned long long)InstrPC);
 }
 
@@ -498,7 +507,8 @@ TypedValue MipsSim::callWithConv(const CallConv &CC, SimAddr Entry,
   uint64_t Limit = InstrLimit;
   while (PC != StopAddr) {
     if (Stats.Instrs >= Limit)
-      fatal("mips sim: instruction limit (%llu) exceeded; runaway code?",
+      fatalKind(CgErrKind::SimFault,
+          "mips sim: instruction limit (%llu) exceeded; runaway code?",
             (unsigned long long)Limit);
     step();
   }

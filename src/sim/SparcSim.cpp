@@ -51,14 +51,16 @@ uint32_t SparcSim::loadMem(SimAddr A, unsigned Bytes, bool SignExtend) {
   }
   case 2: {
     if (A & 1)
-      fatal("sparc sim: unaligned halfword access at 0x%llx",
+      fatalKind(CgErrKind::SimFault,
+          "sparc sim: unaligned halfword access at 0x%llx",
             (unsigned long long)A);
     uint16_t V = Mem.read<uint16_t>(A);
     return SignExtend ? uint32_t(int32_t(int16_t(V))) : V;
   }
   case 4:
     if (A & 3)
-      fatal("sparc sim: unaligned word access at 0x%llx",
+      fatalKind(CgErrKind::SimFault,
+          "sparc sim: unaligned word access at 0x%llx",
             (unsigned long long)A);
     return Mem.read<uint32_t>(A);
   }
@@ -79,7 +81,8 @@ void SparcSim::storeMem(SimAddr A, unsigned Bytes, uint32_t V) {
     return;
   case 4:
     if (A & 3)
-      fatal("sparc sim: unaligned word store at 0x%llx",
+      fatalKind(CgErrKind::SimFault,
+          "sparc sim: unaligned word store at 0x%llx",
             (unsigned long long)A);
     Mem.write<uint32_t>(A, V);
     return;
@@ -222,7 +225,8 @@ void SparcSim::step() {
     }
     if (Op2 == 2 || Op2 == 6) { // Bicc / FBfcc
       if (I & (1u << 29))
-        fatal("sparc sim: annulled branches are not emitted by this port");
+        fatalKind(CgErrKind::SimFault,
+            "sparc sim: annulled branches are not emitted by this port");
       unsigned Cond = (I >> 25) & 15;
       bool Taken = Op2 == 2 ? iccHolds(Cond) : fccHolds(Cond);
       if (Taken) {
@@ -231,7 +235,8 @@ void SparcSim::step() {
       }
       return;
     }
-    fatal("sparc sim: unknown format-2 op2 %u at 0x%llx", Op2,
+    fatalKind(CgErrKind::SimFault,
+        "sparc sim: unknown format-2 op2 %u at 0x%llx", Op2,
           (unsigned long long)InstrPC);
   }
 
@@ -325,7 +330,8 @@ void SparcSim::step() {
         return;
       }
       }
-      fatal("sparc sim: unknown FP opf 0x%x at 0x%llx", Opf,
+      fatalKind(CgErrKind::SimFault,
+          "sparc sim: unknown FP opf 0x%x at 0x%llx", Opf,
             (unsigned long long)InstrPC);
     }
 
@@ -411,7 +417,8 @@ void SparcSim::step() {
       NPC = (A + B) & ~SimAddr(3);
       return;
     }
-    fatal("sparc sim: unknown op3 0x%x at 0x%llx", Op3,
+    fatalKind(CgErrKind::SimFault,
+        "sparc sim: unknown op3 0x%x at 0x%llx", Op3,
           (unsigned long long)InstrPC);
   }
 
@@ -457,7 +464,8 @@ void SparcSim::step() {
     storeMem(Addr + 4, 4, FPR[Rd + 1]);
     return;
   }
-  fatal("sparc sim: unknown memory op3 0x%x at 0x%llx", Op3,
+  fatalKind(CgErrKind::SimFault,
+      "sparc sim: unknown memory op3 0x%x at 0x%llx", Op3,
         (unsigned long long)InstrPC);
 }
 
@@ -503,7 +511,8 @@ TypedValue SparcSim::callWithConv(const CallConv &CC, SimAddr Entry,
   NPC = Entry + 4;
   while (PC != StopAddr) {
     if (Stats.Instrs >= InstrLimit)
-      fatal("sparc sim: instruction limit exceeded; runaway code?");
+      fatalKind(CgErrKind::SimFault,
+          "sparc sim: instruction limit exceeded; runaway code?");
     step();
   }
 

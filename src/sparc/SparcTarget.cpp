@@ -70,7 +70,8 @@ CodePtr SparcTarget::endFunction(VCode &VC) {
   CodeBuffer &B = VC.buf();
   uint32_t F = VC.frameBytes();
   if (!isInt<13>(int64_t(F)))
-    fatal("sparc: frame of %u bytes exceeds the simm13 range", F);
+    fatalKind(CgErrKind::OutOfRange,
+        "sparc: frame of %u bytes exceeds the simm13 range", F);
 
   uint32_t IntMask = VC.regAlloc().usedCalleeSavedMask(Reg::Int);
   uint32_t FpMask = VC.regAlloc().usedCalleeSavedMask(Reg::Fp);
@@ -91,14 +92,16 @@ CodePtr SparcTarget::endFunction(VCode &VC) {
   for (const PrologueArgCopy &Copy : VC.prologueArgCopies()) {
     int64_t Off = int64_t(F) + Copy.IncomingOff;
     if (!isInt<13>(Off))
-      fatal("sparc: incoming stack argument offset %lld out of range",
+      fatalKind(CgErrKind::OutOfRange,
+          "sparc: incoming stack argument offset %lld out of range",
             (long long)Off);
     unsigned Rt = isFpType(Copy.Ty) ? fpr(Copy.Dst) : gpr(Copy.Dst);
     Pro.push_back(memri(loadOp3(Copy.Ty), Rt, SP, int32_t(Off)));
   }
 
   if (Pro.size() > ReservedWords)
-    fatal("sparc: prologue of %zu words exceeds the %u reserved", Pro.size(),
+    fatalKind(CgErrKind::Internal,
+        "sparc: prologue of %zu words exceeds the %u reserved", Pro.size(),
           ReservedWords);
   uint32_t Start = ReservedWords - uint32_t(Pro.size());
   for (size_t I = 0; I < Pro.size(); ++I)
@@ -139,7 +142,8 @@ void SparcTarget::applyFixup(VCode &VC, const Fixup &F, SimAddr Target) {
   case FixupKind::Jump: {
     int64_t D = Disp();
     if (!isInt<22>(D))
-      fatal("sparc: branch displacement %lld out of range", (long long)D);
+      fatalKind(CgErrKind::OutOfRange,
+          "sparc: branch displacement %lld out of range", (long long)D);
     B.patchOr(F.WordIdx, uint32_t(D) & 0x3fffff);
     return;
   }
@@ -147,7 +151,8 @@ void SparcTarget::applyFixup(VCode &VC, const Fixup &F, SimAddr Target) {
     if (Target != 0) {
       int64_t D = Disp();
       if (!isInt<22>(D))
-        fatal("sparc: epilogue displacement out of range");
+        fatalKind(CgErrKind::OutOfRange,
+            "sparc: epilogue displacement out of range");
       B.patch(F.WordIdx, ba(int32_t(D)));
     }
     return;
@@ -168,7 +173,8 @@ void SparcTarget::registerMachineInstructions() {
     return [Opf](VCode &VC, const Operand *Ops, unsigned N) {
       if (N != 2 || Ops[0].Kind != Operand::RegOp ||
           Ops[1].Kind != Operand::RegOp)
-        fatal("sparc fp machine instruction expects (rd, rs)");
+        fatalKind(CgErrKind::BadOperand,
+            "sparc fp machine instruction expects (rd, rs)");
       VC.buf().put(fpop1(Ops[0].R.Num, 0, Opf, Ops[1].R.Num));
     };
   };
@@ -177,7 +183,8 @@ void SparcTarget::registerMachineInstructions() {
   defineInstruction("sparc.xnor",
                     [](VCode &VC, const Operand *Ops, unsigned N) {
                       if (N != 3)
-                        fatal("sparc.xnor expects (rd, rs1, rs2)");
+                        fatalKind(CgErrKind::BadOperand,
+                            "sparc.xnor expects (rd, rs1, rs2)");
                       VC.buf().put(
                           xnor(Ops[0].R.Num, Ops[1].R.Num, Ops[2].R.Num));
                     });

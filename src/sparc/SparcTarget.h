@@ -136,7 +136,8 @@ public:
     if (isFpType(Ty)) {
       const OpPairEnc &E = SparcFpAluTable[Op];
       if (!E.Valid)
-        fatal("sparc: fp binop '%s' unsupported", binOpName(Op));
+        fatalKind(CgErrKind::BadOperand,
+            "sparc: fp binop '%s' unsupported", binOpName(Op));
       B.put(fpop1(fpr(Rd), fpr(Rs1), E.pick(Ty == Type::D), fpr(Rs2)));
       return;
     }
@@ -186,7 +187,8 @@ public:
   void insBinopImm(VCode &VC, BinOp Op, Type Ty, Reg Rd, Reg Rs1,
                    int64_t Imm) {
     if (isFpType(Ty))
-      fatal("sparc: immediate operands are not allowed for f/d");
+      fatalKind(CgErrKind::BadOperand,
+          "sparc: immediate operands are not allowed for f/d");
     CodeBuffer &B = VC.buf();
     unsigned D = gpr(Rd), S = gpr(Rs1);
     switch (Op) {
@@ -259,7 +261,8 @@ public:
         }
         return;
       default:
-        fatal("sparc: fp unop unsupported");
+        fatalKind(CgErrKind::BadOperand,
+            "sparc: fp unop unsupported");
       }
     }
     unsigned D = gpr(Rd), S = gpr(Rs);
@@ -356,7 +359,8 @@ public:
       B.put(fpop1(fpr(Rd), 0, FDTOS, fpr(Rs)));
       return;
     }
-    fatal("sparc: unsupported conversion %s -> %s", typeName(From),
+    fatalKind(CgErrKind::BadOperand,
+        "sparc: unsupported conversion %s -> %s", typeName(From),
           typeName(To));
   }
 
@@ -413,7 +417,8 @@ public:
   void insBranchImm(VCode &VC, Cond C, Type Ty, Reg Rs1, int64_t Imm,
                     Label L) {
     if (isFpType(Ty))
-      fatal("sparc: fp branches take register operands");
+      fatalKind(CgErrKind::BadOperand,
+          "sparc: fp branches take register operands");
     CodeBuffer &B = VC.buf();
     if (isInt<13>(Imm)) {
       B.put(subcci(G0, gpr(Rs1), int32_t(Imm)));

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "tcc/Tcc.h"
+#include "core/Generate.h"
 #include "core/Peephole.h"
 #include "support/Error.h"
 #include <cctype>
@@ -379,7 +380,14 @@ public:
           std::function<SimAddr(const std::string &)> Resolve)
       : V(Tgt), PH(V, Optimize), Mem(Mem), Resolve(std::move(Resolve)) {}
 
-  CodePtr generate(const FunctionAst &F) {
+  VCode &vcode() { return V; }
+
+  /// One emission attempt into \p CM. Re-runnable: per-attempt state (the
+  /// symbol table and the peephole window) is reset up front, so compile()
+  /// can call it again with a larger region after an overflow.
+  CodePtr generateInto(const FunctionAst &F, CodeMem CM) {
+    Vars.clear();
+    PH.discard();
     std::string Sig;
     for (size_t I = 0; I < F.Params.size(); ++I)
       Sig += "%i";
@@ -387,7 +395,7 @@ public:
       Sig = "%v";
     NonLeaf = F.HasCalls;
     std::vector<Reg> ArgRegs(F.Params.size() + 1);
-    V.lambda(Sig.c_str(), ArgRegs.data(), !F.HasCalls, Mem.allocCode(32768));
+    V.lambda(Sig.c_str(), ArgRegs.data(), !F.HasCalls, CM);
 
     // Parameters become locals: simple and safe for a front-end this
     // small — VCODE's low-level interface would let a smarter compiler
@@ -416,7 +424,8 @@ private:
     // Var registers); VCODE saves exactly the ones used.
     Reg R = V.getreg(Type::I, NonLeaf ? RegClass::Var : RegClass::Temp);
     if (!R.isValid())
-      fatal("tcc: expression too complex (out of registers)");
+      fatalKind(CgErrKind::RegisterPressure,
+                "tcc: expression too complex (out of registers)");
     return R;
   }
 
@@ -633,7 +642,7 @@ private:
     SimAddr Slot = Resolve(E.Name);
     Reg Fn = V.getreg(Type::P);
     if (!Fn.isValid())
-      fatal("tcc: out of registers in call");
+      fatalKind(CgErrKind::RegisterPressure, "tcc: out of registers in call");
     V.setp(Fn, Slot);
     V.ldpi(Fn, Fn, 0);
     V.callReg(Fn);
@@ -664,24 +673,68 @@ SimAddr Tcc::slotFor(const std::string &Name) {
   return F.Slot;
 }
 
-CodePtr Tcc::compile(const std::string &Source) {
-  Parser P(Source);
-  FunctionAst F = P.parseFunction();
-
-  CodeGen CG(Tgt, Mem, Optimize,
-             [this](const std::string &Name) { return slotFor(Name); });
-  CodePtr Code = CG.generate(F);
-
-  slotFor(F.Name);
-  FnInfo &Info = Functions[F.Name];
+void Tcc::registerFn(const std::string &Name, unsigned Arity, CodePtr Code) {
+  slotFor(Name);
+  FnInfo &Info = Functions[Name];
   Info.Entry = Code.Entry;
-  Info.Arity = unsigned(F.Params.size());
+  Info.Arity = Arity;
   Info.Defined = true;
   // Patch the function table (word-sized pointer).
   if (Tgt.info().WordBytes == 8)
     Mem.write<uint64_t>(Info.Slot, Code.Entry);
   else
     Mem.write<uint32_t>(Info.Slot, uint32_t(Code.Entry));
+}
+
+CodePtr Tcc::compile(const std::string &Source) {
+  Parser P(Source);
+  FunctionAst F = P.parseFunction();
+
+  CodeGen CG(Tgt, Mem, Optimize,
+             [this](const std::string &Name) { return slotFor(Name); });
+  // The function-table slots slotFor() lazily creates during emission must
+  // survive across attempts, so failed regions are NOT released back to
+  // the arena (the leak is bounded by the geometric growth: less than the
+  // final region size in total).
+  GenerateOptions Opts;
+  Opts.InitialBytes = InitialCodeBytes;
+  GenerateResult R = generateWithRetry(
+      CG.vcode(), [&](size_t N) { return Mem.allocCode(N); },
+      [&](CodeMem CM) { return CG.generateInto(F, CM); }, Opts);
+  if (!R.ok())
+    fatalKind(R.Err.Kind, "tcc: compiling '%s': %s", F.Name.c_str(),
+              R.Err.Detail);
+  Attempts = R.Attempts;
+  RegionBytes = R.RegionBytes;
+  registerFn(F.Name, unsigned(F.Params.size()), R.Code);
+  return R.Code;
+}
+
+CodePtr Tcc::compileInto(const std::string &Source, CodeMem CM, CgError *Err) {
+  Parser P(Source);
+  FunctionAst F = P.parseFunction();
+
+  CodeGen CG(Tgt, Mem, Optimize,
+             [this](const std::string &Name) { return slotFor(Name); });
+  CodePtr Code;
+  if (Err) {
+    *Err = CgError{};
+    RecoveryScope Scope(CG.vcode());
+    try {
+      Code = CG.generateInto(F, CM);
+    } catch (const CgAbort &) {
+      CG.vcode().abandon();
+    }
+    if (!Code.isValid()) {
+      *Err = CG.vcode().lastError();
+      return CodePtr{};
+    }
+  } else {
+    Code = CG.generateInto(F, CM);
+  }
+  Attempts = 1;
+  RegionBytes = CM.Size;
+  registerFn(F.Name, unsigned(F.Params.size()), Code);
   return Code;
 }
 

@@ -46,10 +46,30 @@ public:
   /// ("trade runtime compilation overhead for better generated code").
   void setOptimize(bool On) { Optimize = On; }
 
+  /// Sets the code-region size for the next compile's first attempt; on
+  /// overflow compile() retries into a geometrically grown region.
+  void setInitialCodeBytes(size_t N) { InitialCodeBytes = N; }
+  /// Emission attempts the last compile needed (1 when the initial
+  /// region sufficed).
+  unsigned compileAttempts() const { return Attempts; }
+  /// Code-region size of the last compile's successful attempt.
+  size_t regionBytes() const { return RegionBytes; }
+
   /// Compiles one function definition, e.g. "inc(x) { return x + 1; }",
   /// registers it under its name, and returns its code handle. Fatal
-  /// error (with line number) on syntax errors.
+  /// error (with line number) on syntax errors; code regions too small
+  /// for the program are grown and retried (the function-table slots
+  /// created during failed attempts persist, so those regions are leaked
+  /// rather than released — bounded by the geometric growth).
   CodePtr compile(const std::string &Source);
+
+  /// One emission attempt into caller-provided code memory. With \p Err
+  /// null this is compile() without the retry loop (errors are fatal
+  /// under the default policy). With \p Err non-null the attempt runs in
+  /// recovery mode: on failure the error is stored there, an invalid
+  /// CodePtr returns, and the function is not registered.
+  CodePtr compileInto(const std::string &Source, CodeMem CM,
+                      CgError *Err = nullptr);
 
   /// Entry address of a compiled function; fatal if unknown.
   SimAddr lookup(const std::string &Name) const;
@@ -64,10 +84,15 @@ public:
 private:
   /// Slot in the function table for \p Name (created on demand).
   SimAddr slotFor(const std::string &Name);
+  /// Registers a successfully generated function under \p Name.
+  void registerFn(const std::string &Name, unsigned Arity, CodePtr Code);
 
   Target &Tgt;
   sim::Memory &Mem;
   bool Optimize = false;
+  size_t InitialCodeBytes = 32768;
+  unsigned Attempts = 0;
+  size_t RegionBytes = 0;
   struct FnInfo {
     SimAddr Slot = 0;     ///< function-table slot holding the entry
     SimAddr Entry = 0;    ///< 0 until defined

@@ -48,6 +48,51 @@ TEST(MemoryArena, OutOfMemoryIsFatal) {
   EXPECT_DEATH((void)M.alloc(2 << 20), "exhausted");
 }
 
+TEST(MemoryArena, ContainsIsOverflowSafe) {
+  // A wild guest address near the top of the address space must not wrap
+  // A + Len around zero and pass the bounds check.
+  sim::Memory M(1 << 20, 0x10000000, 4096);
+  EXPECT_FALSE(M.contains(~SimAddr(0) - 8, 0x100));
+  EXPECT_FALSE(M.contains(0xFFFFFFFFFFFFFFF0ull, 0x100));
+  EXPECT_FALSE(M.contains(0x10000000, ~size_t(0)));
+  EXPECT_FALSE(M.contains(0x10000000 + (1 << 20) - 4, 8));
+  EXPECT_TRUE(M.contains(0x10000000, 1 << 20));
+  EXPECT_TRUE(M.contains(0x10000000 + (1 << 20) - 4, 4));
+}
+
+TEST(CacheModel, NonPowerOfTwoSizeRoundsDown) {
+  // The index mask requires a power-of-two line count: a 48KB request
+  // models a 32KB cache rather than indexing out of the tag array.
+  sim::Cache C;
+  C.configure(48 * 1024, 16);
+  EXPECT_TRUE(C.configured());
+  EXPECT_FALSE(C.access(0x1000)); // cold
+  EXPECT_TRUE(C.access(0x1000));  // hit
+  // Direct-mapped 32KB: +32KB conflicts and evicts...
+  EXPECT_FALSE(C.access(0x1000 + 32 * 1024));
+  EXPECT_FALSE(C.access(0x1000));
+  // ...and every line index stays in range (would be OOB with 3072 lines).
+  for (SimAddr A = 0; A < 64 * 1024; A += 16)
+    C.access(A);
+}
+
+TEST(CacheModel, UnconfiguredCacheIsInert) {
+  // No model: every access hits, warm/flush are no-ops. (Previously this
+  // masked an empty tag vector with 0xFFFFFFFF and read out of bounds.)
+  sim::Cache C;
+  EXPECT_FALSE(C.configured());
+  EXPECT_TRUE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0));
+  C.warm(0x2000, 256);
+  C.flush();
+  EXPECT_TRUE(C.access(0x1000));
+  // A request smaller than one line is also degenerate: no cache.
+  sim::Cache D;
+  D.configure(/*Bytes=*/8, /*LineBytes=*/16);
+  EXPECT_FALSE(D.configured());
+  EXPECT_TRUE(D.access(0x1000));
+}
+
 TEST(CacheModel, HitsAndMisses) {
   sim::Cache C;
   C.configure(/*Bytes=*/1024, /*LineBytes=*/16);
