@@ -1,0 +1,367 @@
+//===- core/CodeCache.h - Sharded compiled-code cache -----------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concurrent cache of compiled code, keyed by a canonical description of
+/// what was compiled (a filter set, a tcc program, ...). This is the piece
+/// that turns VCODE from a per-caller code generator into a shared service
+/// (Kistler & Franz's "code optimization as a central system service"):
+/// when compilation sits on the request path, identical requests must not
+/// regenerate identical classifiers, and distinct requests must be able to
+/// generate in parallel.
+///
+/// Guarantees:
+///
+///  - Exactly-once generation. The first thread to ask for a key runs the
+///    generator; concurrent threads asking for the *same* key block and
+///    reuse its result; threads asking for *different* keys generate in
+///    parallel (the shard lock is dropped during generation).
+///  - Safe reclamation. Entries hand out refcounted Handles. Evicting an
+///    entry only removes it from the table; its code region returns to the
+///    cache's free pool when the last Handle drops, so a classifier still
+///    executing on some simulator thread is never freed under it.
+///  - Counters. Hits / misses / generations / evictions / reclaimed
+///    regions are exact (relaxed atomics), so tests can assert "one
+///    generation per distinct key" instead of eyeballing timings.
+///
+/// The cache allocates code regions from one sim::Memory arena (which must
+/// be the arena the consuming engines execute from). The arena is a bump
+/// allocator with no general free; the cache layers a size-bucketed free
+/// pool on top, so evicted regions are recycled into later generations
+/// rather than leaked. Side allocations a generator makes during emission
+/// (e.g. DPF jump tables) stay in the arena for the lifetime of the arena —
+/// bounded, but not recycled; see the threading-model notes in README.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_CODECACHE_H
+#define VCODE_CORE_CODECACHE_H
+
+#include "core/Generate.h"
+#include "sim/Memory.h"
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vcode {
+
+/// Sharded (per-shard mutex) cache: canonical key -> generated CodePtr.
+class CodeCache {
+public:
+  struct Options {
+    unsigned Shards;          ///< lock shards (>=1; rounded up to 1)
+    size_t MaxEntriesPerShard; ///< LRU-evict beyond this
+    Options(unsigned Shards = 8, size_t MaxEntriesPerShard = 64)
+        : Shards(Shards), MaxEntriesPerShard(MaxEntriesPerShard) {}
+  };
+
+  /// Counter snapshot. Hits counts lookups satisfied by an existing entry
+  /// (including block-and-reuse waiters); Misses counts lookups that had
+  /// to create an entry; Generations counts generator runs that succeeded
+  /// (Failures those that did not) — so Misses == Generations + Failures
+  /// once the cache is quiescent, and "no redundant regeneration" is the
+  /// assertion Generations == number of distinct keys.
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Generations = 0;
+    uint64_t Failures = 0;
+    uint64_t Evictions = 0;
+    uint64_t RegionsReused = 0; ///< regions served from the free pool
+    uint64_t PooledBytes = 0;   ///< bytes currently sitting in the pool
+  };
+
+private:
+  enum class State : uint8_t { Generating, Ready, Failed };
+
+  struct Entry {
+    explicit Entry(CodeCache &C, std::string K)
+        : Owner(C), Key(std::move(K)) {}
+    ~Entry() {
+      if (RegionBytes)
+        Owner.reclaimRegion(RegionAddr, RegionBytes);
+    }
+    Entry(const Entry &) = delete;
+    Entry &operator=(const Entry &) = delete;
+
+    CodeCache &Owner;
+    const std::string Key;
+
+    std::mutex M;              ///< guards St/Err + CV below
+    std::condition_variable CV;
+    State St = State::Generating;
+    CgError Err;
+
+    CodePtr Code;           ///< valid once St == Ready
+    SimAddr RegionAddr = 0; ///< code region backing Code
+    size_t RegionBytes = 0; ///< 0 until the generator hands it over
+    std::atomic<uint64_t> LastUse{0};
+  };
+
+public:
+  /// A refcounted view of one cache entry. As long as any Handle (or the
+  /// cache's own table slot) references the entry, its code region stays
+  /// allocated; engines keep the Handle of their installed classifier for
+  /// as long as they may execute it. Handles must not outlive the cache.
+  class Handle {
+  public:
+    Handle() = default;
+
+    /// True when the entry holds generated code.
+    bool valid() const { return E && E->St == State::Ready; }
+    explicit operator bool() const { return valid(); }
+    /// The generated code (invalid CodePtr unless valid()).
+    CodePtr code() const { return E ? E->Code : CodePtr{}; }
+    /// The generation error when !valid() (None for an empty Handle).
+    const CgError &error() const {
+      static const CgError NoErr{};
+      return E ? E->Err : NoErr;
+    }
+    /// Size of the cached code region in bytes (diagnostics).
+    size_t regionBytes() const { return E ? E->RegionBytes : 0; }
+
+  private:
+    friend class CodeCache;
+    explicit Handle(std::shared_ptr<Entry> E) : E(std::move(E)) {}
+    std::shared_ptr<Entry> E;
+  };
+
+  /// Per-generation region allocator handed to the generator callback:
+  /// plugs into generateWithRetry's Alloc slot. Each call reclaims the
+  /// previous (failed) attempt's region into the cache pool and serves a
+  /// fresh one, pool-first. The final region is handed over to the cache
+  /// entry on success (or reclaimed on failure) by lookupOrGenerate.
+  class RegionAlloc {
+  public:
+    CodeMem operator()(size_t Bytes) {
+      if (CurBytes)
+        C.reclaimRegion(CurAddr, CurBytes);
+      CodeMem M = C.allocRegion(Bytes);
+      CurAddr = M.Guest;
+      CurBytes = M.Size;
+      return M;
+    }
+
+  private:
+    friend class CodeCache;
+    explicit RegionAlloc(CodeCache &C) : C(C) {}
+    CodeCache &C;
+    SimAddr CurAddr = 0;
+    size_t CurBytes = 0;
+  };
+
+  explicit CodeCache(sim::Memory &M, Options O = Options())
+      : Mem(M), Opts(O), ShardVec(std::max(O.Shards, 1u)) {}
+
+  CodeCache(const CodeCache &) = delete;
+  CodeCache &operator=(const CodeCache &) = delete;
+
+  /// Looks up \p Key; on a miss, runs \p Gen — a callable
+  /// `GenerateResult Gen(CodeCache::RegionAlloc &)` that typically wraps
+  /// generateWithRetry with the RegionAlloc as its allocator — exactly
+  /// once per key, while concurrent same-key callers block until the
+  /// result is published. A failed generation is reported through the
+  /// returned Handle (to the generator *and* to every waiter) and the key
+  /// is removed, so a later caller may retry.
+  template <typename GenFn>
+  Handle lookupOrGenerate(const std::string &Key, GenFn Gen) {
+    Shard &S = shardFor(Key);
+    std::shared_ptr<Entry> E;
+    bool Creator = false;
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(Key);
+      if (It != S.Map.end()) {
+        E = It->second;
+      } else {
+        E = std::make_shared<Entry>(*this, Key);
+        S.Map.emplace(Key, E);
+        Creator = true;
+      }
+    }
+    E->LastUse.store(Tick.fetch_add(1, std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+
+    if (!Creator) {
+      // Hit, possibly on an entry still generating: block-and-reuse.
+      CtHits.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> Lock(E->M);
+      E->CV.wait(Lock, [&] { return E->St != State::Generating; });
+      return Handle(std::move(E));
+    }
+
+    CtMisses.fetch_add(1, std::memory_order_relaxed);
+    RegionAlloc RA(*this);
+    GenerateResult R = Gen(RA);
+    if (R.ok()) {
+      {
+        std::lock_guard<std::mutex> Lock(E->M);
+        E->Code = R.Code;
+        E->RegionAddr = RA.CurAddr;
+        E->RegionBytes = RA.CurBytes;
+        E->St = State::Ready;
+      }
+      E->CV.notify_all();
+      CtGenerations.fetch_add(1, std::memory_order_relaxed);
+      evictIfNeeded(S);
+      return Handle(std::move(E));
+    }
+
+    // Failure: the last attempt's region is unused — recycle it, publish
+    // the error to waiters, and drop the key so a retry can regenerate.
+    if (RA.CurBytes)
+      reclaimRegion(RA.CurAddr, RA.CurBytes);
+    {
+      std::lock_guard<std::mutex> Lock(E->M);
+      E->Err = R.Err;
+      E->St = State::Failed;
+    }
+    E->CV.notify_all();
+    CtFailures.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(Key);
+      if (It != S.Map.end() && It->second == E)
+        S.Map.erase(It);
+    }
+    return Handle(std::move(E));
+  }
+
+  /// Probes for \p Key without generating. The returned Handle is empty
+  /// on a miss and also while the key is still generating (a probe never
+  /// blocks). Does not count as a hit or miss.
+  Handle lookup(const std::string &Key) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(Key);
+    if (It == S.Map.end())
+      return Handle();
+    std::lock_guard<std::mutex> ELock(It->second->M);
+    if (It->second->St != State::Ready)
+      return Handle();
+    return Handle(It->second);
+  }
+
+  /// Current counter values (exact once concurrent calls have returned).
+  Stats stats() const {
+    Stats S;
+    S.Hits = CtHits.load(std::memory_order_relaxed);
+    S.Misses = CtMisses.load(std::memory_order_relaxed);
+    S.Generations = CtGenerations.load(std::memory_order_relaxed);
+    S.Failures = CtFailures.load(std::memory_order_relaxed);
+    S.Evictions = CtEvictions.load(std::memory_order_relaxed);
+    S.RegionsReused = CtRegionsReused.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    for (const auto &[Bytes, Addr] : FreePool) {
+      (void)Addr;
+      S.PooledBytes += Bytes;
+    }
+    return S;
+  }
+
+  /// Number of entries currently cached (sums shard sizes; approximate
+  /// while lookups run concurrently).
+  size_t size() const {
+    size_t N = 0;
+    for (const Shard &S : ShardVec) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      N += S.Map.size();
+    }
+    return N;
+  }
+
+  /// The arena the cached code lives in.
+  sim::Memory &memory() { return Mem; }
+
+private:
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> Map;
+  };
+
+  Shard &shardFor(const std::string &Key) {
+    size_t H = std::hash<std::string>{}(Key);
+    return ShardVec[H % ShardVec.size()];
+  }
+
+  /// Serves a code region, preferring the smallest pooled region that
+  /// fits; falls back to the (thread-safe) arena bump allocator.
+  CodeMem allocRegion(size_t Bytes) {
+    {
+      std::lock_guard<std::mutex> Lock(PoolMutex);
+      auto It = FreePool.lower_bound(Bytes);
+      if (It != FreePool.end()) {
+        CodeMem M;
+        M.Guest = It->second;
+        M.Size = It->first;
+        FreePool.erase(It);
+        M.Host = Mem.hostPtr(M.Guest, M.Size);
+        CtRegionsReused.fetch_add(1, std::memory_order_relaxed);
+        return M;
+      }
+    }
+    return Mem.allocCode(Bytes);
+  }
+
+  /// Returns a region to the free pool (called by Entry destruction and
+  /// by RegionAlloc when an attempt's region is abandoned).
+  void reclaimRegion(SimAddr Addr, size_t Bytes) {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    FreePool.emplace(Bytes, Addr);
+  }
+
+  /// Evicts least-recently-used Ready entries from \p S until it is back
+  /// under capacity. Entries still generating are never evicted; evicted
+  /// entries live on through any outstanding Handles.
+  void evictIfNeeded(Shard &S) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    while (S.Map.size() > Opts.MaxEntriesPerShard) {
+      auto Victim = S.Map.end();
+      uint64_t Oldest = ~uint64_t(0);
+      for (auto It = S.Map.begin(); It != S.Map.end(); ++It) {
+        std::lock_guard<std::mutex> ELock(It->second->M);
+        if (It->second->St != State::Ready)
+          continue;
+        uint64_t Use = It->second->LastUse.load(std::memory_order_relaxed);
+        if (Use < Oldest) {
+          Oldest = Use;
+          Victim = It;
+        }
+      }
+      if (Victim == S.Map.end())
+        return; // everything is mid-generation; nothing evictable
+      S.Map.erase(Victim);
+      CtEvictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  sim::Memory &Mem;
+  Options Opts;
+
+  // Declared before the shards so entry destructors running during shard
+  // teardown can still reclaim into a live pool.
+  mutable std::mutex PoolMutex;
+  std::multimap<size_t, SimAddr> FreePool; ///< size -> region base
+
+  std::vector<Shard> ShardVec;
+
+  std::atomic<uint64_t> Tick{0};
+  std::atomic<uint64_t> CtHits{0};
+  std::atomic<uint64_t> CtMisses{0};
+  std::atomic<uint64_t> CtGenerations{0};
+  std::atomic<uint64_t> CtFailures{0};
+  std::atomic<uint64_t> CtEvictions{0};
+  std::atomic<uint64_t> CtRegionsReused{0};
+};
+
+} // namespace vcode
+
+#endif // VCODE_CORE_CODECACHE_H

@@ -22,6 +22,19 @@
 ///    registered. Extensions couched in terms of the VCODE core — or other
 ///    extensions — are therefore automatically present on every machine.
 ///
+/// Thread safety. The extension registry each Target carries is interning
+/// storage shared by every VCode/VCodeT bound to that Target, so it is
+/// guarded: defineFromSpec / Target::defineInstruction / findInstruction
+/// may run concurrently from any number of threads, and emission through
+/// an interned ExtId is lock-free and may overlap registration of *other*
+/// instructions (the id count is published with release/acquire ordering
+/// and registry storage never moves). The ordering guarantee clients rely
+/// on: an ExtId returned by a registration call is valid on every thread
+/// that receives it, with no further synchronization. The only operation
+/// needing external ordering is redefining an existing instruction while
+/// some thread concurrently emits that same id — redefine during setup,
+/// or make the redefinition happen-before the next emission yourself.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VCODE_CORE_EXTENSION_H

@@ -22,8 +22,11 @@
 #include "core/Ops.h"
 #include "core/Reg.h"
 #include "core/Types.h"
+#include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -197,11 +200,26 @@ public:
   virtual std::string disassemble(uint32_t Word, SimAddr Pc) const;
 
   // --- Extensibility (paper §5.4) -----------------------------------------
+  //
+  // Thread-safety / ordering guarantee of the registry: registration and
+  // lookup (defineInstruction / findInstruction / hasInstruction) may be
+  // called concurrently from any number of threads; each call is atomic.
+  // Emission through a valid ExtId (emitExtension) takes no lock and may
+  // run concurrently with registration of *other* instructions: the id
+  // count is published with release/acquire ordering and the registry's
+  // storage never reallocates, so an ExtId obtained from any thread is
+  // immediately usable on every thread. The one operation requiring
+  // external ordering is *redefinition*: replacing the body of a name
+  // while another thread is emitting that same id is a race — redefine
+  // only during setup, or synchronize with the emitting threads.
+
   /// Registers an extension instruction under \p Name and returns its
   /// interned id. Redefining an existing name replaces the body in place,
-  /// so previously interned ids observe the override.
+  /// so previously interned ids observe the override. Thread-safe against
+  /// concurrent registration, lookup, and emission of other ids.
   ExtId defineInstruction(const std::string &Name, ExtensionFn Fn);
   /// Interns \p Name; returns an invalid ExtId if it was never defined.
+  /// Thread-safe.
   ExtId findInstruction(const std::string &Name) const;
   /// True if \p Name names a registered extension.
   bool hasInstruction(const std::string &Name) const {
@@ -211,24 +229,40 @@ public:
   const char *instructionName(ExtId Id) const;
 
   /// Emits a pre-interned extension instruction: the hot path — no string
-  /// lookup, just an index into the registry.
+  /// lookup and no lock, just an acquire-load of the published id count
+  /// and an index into the (reallocation-free) registry.
   void emitExtension(VCode &VC, ExtId Id, const Operand *Ops,
                      unsigned NumOps) {
-    if (!Id.isValid() || Id.Idx >= ExtFns.size())
+    if (!Id.isValid() || Id.Idx >= ExtCount.load(std::memory_order_acquire))
       fatal("unknown extension instruction id %u on target %s",
             unsigned(Id.Idx), info().Name);
     ExtFns[Id.Idx](VC, Ops, NumOps);
   }
   /// Emits extension \p Name; fatal error if it was never defined. The
-  /// string-keyed facade over the interned registry (pays one map lookup).
+  /// string-keyed facade over the interned registry (pays one map lookup
+  /// under the registry lock).
   void emitExtension(VCode &VC, const std::string &Name, const Operand *Ops,
                      unsigned NumOps);
+
+  /// Capacity bound of the extension registry. Fixed so the flat body
+  /// vector never reallocates, which is what lets emitExtension index it
+  /// without taking ExtMutex while another thread registers.
+  static constexpr uint32_t MaxExtensions = 4096;
+
+protected:
+  Target() { ExtFns.reserve(MaxExtensions); }
 
 private:
   /// Flat interned registry: bodies and names indexed by ExtId::Idx. The
   /// string map is consulted only at define/find time, never at emission.
+  /// ExtMutex guards all mutation plus the string map; readers of ExtFns
+  /// synchronize through the release-store of ExtCount in
+  /// defineInstruction (the vector's capacity is reserved up front, so
+  /// elements below ExtCount are never moved).
+  mutable std::mutex ExtMutex;
   std::vector<ExtensionFn> ExtFns;
-  std::vector<std::string> ExtNames;
+  std::atomic<uint32_t> ExtCount{0};
+  std::deque<std::string> ExtNames; // deque: names stay pinned for c_str()
   std::map<std::string, uint32_t> ExtIndex;
 };
 

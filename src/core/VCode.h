@@ -287,6 +287,11 @@ public:
   }
   /// Frame size in bytes, valid during Target::endFunction.
   uint32_t frameBytes() const { return FrameBytes; }
+  /// Prologue reservation, recorded by Target::beginFunction and read
+  /// back by Target::endFunction. Per-function state lives here, not on
+  /// the Target: one backend instance serves concurrent VCode emitters.
+  void setReservedPrologueWords(uint32_t N) { ReservedPrologueWords = N; }
+  uint32_t reservedPrologueWords() const { return ReservedPrologueWords; }
   /// True if the function needs a stack frame / prologue / epilogue.
   bool frameNeeded() const;
 
@@ -354,6 +359,7 @@ private:
 
   uint32_t LocalBytes = 0;
   uint32_t FrameBytes = 0;
+  uint32_t ReservedPrologueWords = 0;
 
   std::vector<ArgLoc> ArgLocations;
   std::vector<PrologueArgCopy> ArgCopies;

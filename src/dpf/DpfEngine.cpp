@@ -298,7 +298,46 @@ CodePtr DpfEngine::emitInto(VCode &V, const Trie &T, CodeMem CM) {
 }
 
 void DpfEngine::install(const std::vector<Filter> &Filters) {
+  CacheHandle = CodeCache::Handle(); // private install: unpin shared code
   Trie T = Trie::build(Filters);
   VCode V(Tgt);
   installWithRetry(V, [&](CodeMem CM) { return emitInto(V, T, CM); });
+}
+
+bool DpfEngine::installShared(CodeCache &Cache,
+                              const std::vector<Filter> &Filters) {
+  static const char *const DispatchNames[] = {"auto", "chain", "binary",
+                                              "hash", "table"};
+  std::string Key = "dpf|";
+  Key += Tgt.info().Name;
+  Key += '|';
+  Key += DispatchNames[size_t(Strategy)];
+  Key += '|';
+  Key += filterSetKey(Filters);
+
+  unsigned MyAttempts = 0;
+  size_t MyRegionBytes = 0;
+  bool Generated = false;
+  CodeCache::Handle H = Cache.lookupOrGenerate(
+      Key, [&](CodeCache::RegionAlloc &Alloc) {
+        Generated = true;
+        Trie T = Trie::build(Filters);
+        VCode V(Tgt);
+        GenerateOptions Opts;
+        Opts.InitialBytes = InitialCodeBytes;
+        GenerateResult R = generateWithRetry(
+            V, [&](size_t N) { return Alloc(N); },
+            [&](CodeMem CM) { return emitInto(V, T, CM); }, Opts);
+        MyAttempts = R.Attempts;
+        MyRegionBytes = R.RegionBytes;
+        return R;
+      });
+  if (!H.valid())
+    fatalKind(H.error().Kind, "dpf: shared install failed: %s",
+              H.error().Detail);
+  CacheHandle = H;
+  Code = H.code();
+  Attempts = Generated ? MyAttempts : 0;
+  RegionBytes = Generated ? MyRegionBytes : H.regionBytes();
+  return !Generated;
 }

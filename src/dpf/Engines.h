@@ -30,6 +30,7 @@
 #ifndef VCODE_DPF_ENGINES_H
 #define VCODE_DPF_ENGINES_H
 
+#include "core/CodeCache.h"
 #include "core/Generate.h"
 #include "core/VCode.h"
 #include "dpf/Filter.h"
@@ -131,6 +132,20 @@ public:
       : Engine(T, M, 32768), Strategy(D) {}
   void install(const std::vector<Filter> &Filters) override;
 
+  /// Cache-backed install. The canonical key of \p Filters (plus target
+  /// and dispatch strategy) is looked up in \p Cache: the first caller
+  /// generates the classifier under generateWithRetry, concurrent callers
+  /// for the same filter set block until it is published and reuse it,
+  /// and distinct sets generate in parallel. The engine pins the cached
+  /// code through a refcounted Handle, so a later eviction never frees a
+  /// classifier this engine can still execute. \p Cache must be built
+  /// over the same sim::Memory this engine executes from. Returns true
+  /// when the install was served from the cache (no generation by this
+  /// caller). Unlike install(), failed generations raise through
+  /// fatalKind under the caller's error policy without retrying callers
+  /// piling up behind a poisoned entry.
+  bool installShared(CodeCache &Cache, const std::vector<Filter> &Filters);
+
   /// Name of the dispatch strategy the last install actually used for the
   /// widest node (for reporting).
   const char *dispatchUsed() const { return Used; }
@@ -157,6 +172,8 @@ private:
 
   Dispatch Strategy;
   const char *Used = "none";
+  /// Pin on the shared classifier when installShared() is in use.
+  CodeCache::Handle CacheHandle;
   /// Post-generation patches: jump tables filled with label addresses.
   struct TablePatch {
     SimAddr TableAddr;

@@ -30,6 +30,23 @@ std::vector<Filter> vcode::dpf::makeTcpIpFilters(unsigned N,
   return Filters;
 }
 
+std::string vcode::dpf::filterSetKey(const std::vector<Filter> &Filters) {
+  std::string Key;
+  Key.reserve(Filters.size() * 48);
+  char Buf[80];
+  for (const Filter &F : Filters) {
+    std::snprintf(Buf, sizeof(Buf), "f%d:", F.Id);
+    Key += Buf;
+    for (const Atom &A : F.Atoms) {
+      std::snprintf(Buf, sizeof(Buf), "(%u,%u,%08x,%08x)", A.Offset,
+                    unsigned(A.Size), A.Mask, A.Value);
+      Key += Buf;
+    }
+    Key += ';';
+  }
+  return Key;
+}
+
 void vcode::dpf::writeTcpPacket(sim::Memory &M, SimAddr At, uint16_t DstPort,
                                 uint32_t DstIp, uint16_t SrcPort) {
   for (uint32_t I = 0; I < pkt::HeaderBytes; ++I)

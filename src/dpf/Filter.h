@@ -21,6 +21,7 @@
 #include "sim/Memory.h"
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 namespace vcode {
@@ -44,6 +45,12 @@ struct Filter {
   std::vector<Atom> Atoms;
   int Id = -1;
 };
+
+/// Canonical textual key of a filter set, for compiled-filter caching:
+/// two installs get the same key iff they would compile to the same
+/// classifier from the same trie (filters listed in order with every
+/// atom's offset/size/mask/value and the accepting id).
+std::string filterSetKey(const std::vector<Filter> &Filters);
 
 /// Header layout of the simplified IP/TCP packets used by the workload
 /// (fields stored little-endian in simulator memory; see DESIGN.md).

@@ -603,8 +603,6 @@ private:
   void unsignedToFp(VCode &VC, bool ToDouble, Reg Rd, Reg Rs);
   void registerMachineInstructions();
 
-  /// Words reserved for the prologue of the function being generated.
-  uint32_t ReservedWords = 0;
 };
 
 } // namespace mips

@@ -433,7 +433,7 @@ TypedValue AlphaSim::callWithConv(const CallConv &CC, SimAddr Entry,
   std::memset(R, 0, sizeof(R));
   std::memset(F, 0, sizeof(F));
 
-  R[SP] = Mem.stackTop();
+  R[SP] = initialSp(Mem);
   unsigned Link = CC.LinkReg.isValid() ? unsigned(CC.LinkReg.Num) : unsigned(RA);
   R[Link] = StopAddr;
 

@@ -19,6 +19,7 @@
 #include "core/CallConv.h"
 #include "core/CodeBuffer.h"
 #include "core/Types.h"
+#include "sim/Memory.h"
 #include <cstring>
 #include <vector>
 
@@ -148,6 +149,23 @@ public:
   virtual void setInstrLimit(uint64_t N) = 0;
   /// The machine configuration in effect.
   virtual const MachineConfig &config() const = 0;
+
+  /// Gives this Cpu a private stack: subsequent calls start with SP = \p A
+  /// (16-byte aligned down) instead of the arena's shared default stack.
+  /// Required when several Cpus execute concurrently over one Memory —
+  /// pair with Memory::allocStack(). Pass 0 to restore the default.
+  void setStackTop(SimAddr A) { StackTopOverride = A; }
+
+protected:
+  /// Initial SP for a fresh activation: the per-Cpu override when set,
+  /// else the arena's shared stack region.
+  SimAddr initialSp(const Memory &M) const {
+    return StackTopOverride ? (StackTopOverride & ~SimAddr(15))
+                            : M.stackTop();
+  }
+
+private:
+  SimAddr StackTopOverride = 0;
 };
 
 } // namespace sim

@@ -20,6 +20,7 @@
 #include "core/CodeBuffer.h"
 #include "support/Error.h"
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 namespace vcode {
@@ -76,8 +77,11 @@ public:
     std::memcpy(hostPtr(A, sizeof(T)), &V, sizeof(T));
   }
 
-  /// Allocates \p Bytes of guest memory aligned to \p Align.
+  /// Allocates \p Bytes of guest memory aligned to \p Align. Thread-safe:
+  /// the bump pointer is guarded, so independent threads may carve
+  /// regions out of one arena concurrently (parallel code generation).
   SimAddr alloc(size_t Bytes, size_t Align = 16) {
+    std::lock_guard<std::mutex> Lock(BrkMutex);
     SimAddr A = (Brk + Align - 1) & ~SimAddr(Align - 1);
     if (A < Brk || A > StackLimit || Bytes > StackLimit - A)
       fatalKind(CgErrKind::ArenaExhausted,
@@ -96,13 +100,33 @@ public:
     return M;
   }
 
-  /// Releases everything allocated after \p Mark (from mark()).
-  SimAddr mark() const { return Brk; }
-  void release(SimAddr Mark) { Brk = Mark; }
+  /// Carves out a private stack and returns its (16-byte aligned) top.
+  /// Each Cpu executing concurrently over this arena needs its own stack
+  /// (Cpu::setStackTop); the arena's built-in stack region is a single
+  /// shared default suitable only for one executing Cpu at a time.
+  SimAddr allocStack(size_t Bytes = 64 * 1024) {
+    SimAddr Base = alloc(Bytes, 16);
+    return (Base + Bytes) & ~SimAddr(15);
+  }
+
+  /// Releases everything allocated after \p Mark (from mark()). The
+  /// mark/release pair snapshots and rewinds the bump pointer, which only
+  /// makes sense while this thread is the arena's sole allocator — do not
+  /// interleave with alloc() from other threads (CodeCache's pooled
+  /// regions are the concurrent-install alternative).
+  SimAddr mark() const {
+    std::lock_guard<std::mutex> Lock(BrkMutex);
+    return Brk;
+  }
+  void release(SimAddr Mark) {
+    std::lock_guard<std::mutex> Lock(BrkMutex);
+    Brk = Mark;
+  }
 
 private:
   std::vector<uint8_t> Store;
   SimAddr BaseAddr;
+  mutable std::mutex BrkMutex; ///< guards Brk (the only mutable word)
   SimAddr Brk;
   SimAddr StackTop;
   SimAddr StackLimit;

@@ -470,7 +470,7 @@ TypedValue MipsSim::callWithConv(const CallConv &CC, SimAddr Entry,
   FpCond = false;
   LastLoadReg = -1;
 
-  R[29] = uint32_t(Mem.stackTop()); // sp
+  R[29] = uint32_t(initialSp(Mem)); // sp
   unsigned Link = CC.LinkReg.isValid() ? CC.LinkReg.Num : 31;
   R[Link] = uint32_t(StopAddr);
 

@@ -478,7 +478,7 @@ TypedValue SparcSim::callWithConv(const CallConv &CC, SimAddr Entry,
   IccN = IccZ = IccV = IccC = false;
   Fcc = 0;
 
-  R[SP] = uint32_t(Mem.stackTop());
+  R[SP] = uint32_t(initialSp(Mem));
   unsigned Link = CC.LinkReg.isValid() ? unsigned(CC.LinkReg.Num) : unsigned(O7);
   R[Link] = uint32_t(StopAddr - 8); // retl jumps to link+8
 

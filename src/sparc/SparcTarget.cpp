@@ -59,7 +59,8 @@ void SparcTarget::beginFunction(VCode &VC) {
   // (paper §5.2): frame allocation, link save, every callee-saved register,
   // and one copy per stack-passed argument. v_end writes the real prologue
   // into the tail of this region and the entry point skips the rest.
-  ReservedWords = uint32_t(2 + 32 + 32 + VC.prologueArgCopies().size());
+  uint32_t ReservedWords = uint32_t(2 + 32 + 32 + VC.prologueArgCopies().size());
+  VC.setReservedPrologueWords(ReservedWords);
   VC.buf().ensureWords(ReservedWords);
   for (uint32_t I = 0; I < ReservedWords; ++I)
     VC.buf().put(nop());
@@ -99,6 +100,7 @@ CodePtr SparcTarget::endFunction(VCode &VC) {
     Pro.push_back(memri(loadOp3(Copy.Ty), Rt, SP, int32_t(Off)));
   }
 
+  uint32_t ReservedWords = VC.reservedPrologueWords();
   if (Pro.size() > ReservedWords)
     fatalKind(CgErrKind::Internal,
         "sparc: prologue of %zu words exceeds the %u reserved", Pro.size(),

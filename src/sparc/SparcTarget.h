@@ -590,7 +590,6 @@ private:
 
   void registerMachineInstructions();
 
-  uint32_t ReservedWords = 0;
 };
 
 } // namespace sparc

@@ -710,6 +710,44 @@ CodePtr Tcc::compile(const std::string &Source) {
   return R.Code;
 }
 
+CodePtr Tcc::compileShared(CodeCache &Cache, const std::string &Source) {
+  // Parse unconditionally: cheap next to code generation, and a cache hit
+  // still needs the name/arity to register the function locally.
+  Parser P(Source);
+  FunctionAst F = P.parseFunction();
+
+  std::string Key = "tcc|";
+  Key += Tgt.info().Name;
+  Key += Optimize ? "|opt|" : "|raw|";
+  Key += Source;
+
+  unsigned MyAttempts = 0;
+  size_t MyRegionBytes = 0;
+  bool Generated = false;
+  CodeCache::Handle H = Cache.lookupOrGenerate(
+      Key, [&](CodeCache::RegionAlloc &Alloc) {
+        Generated = true;
+        CodeGen CG(Tgt, Mem, Optimize,
+                   [this](const std::string &Name) { return slotFor(Name); });
+        GenerateOptions Opts;
+        Opts.InitialBytes = InitialCodeBytes;
+        GenerateResult R = generateWithRetry(
+            CG.vcode(), [&](size_t N) { return Alloc(N); },
+            [&](CodeMem CM) { return CG.generateInto(F, CM); }, Opts);
+        MyAttempts = R.Attempts;
+        MyRegionBytes = R.RegionBytes;
+        return R;
+      });
+  if (!H.valid())
+    fatalKind(H.error().Kind, "tcc: shared compile of '%s' failed: %s",
+              F.Name.c_str(), H.error().Detail);
+  SharedPins.push_back(H);
+  Attempts = Generated ? MyAttempts : 0;
+  RegionBytes = Generated ? MyRegionBytes : H.regionBytes();
+  registerFn(F.Name, unsigned(F.Params.size()), H.code());
+  return H.code();
+}
+
 CodePtr Tcc::compileInto(const std::string &Source, CodeMem CM, CgError *Err) {
   Parser P(Source);
   FunctionAst F = P.parseFunction();

@@ -26,11 +26,13 @@
 #ifndef VCODE_TCC_TCC_H
 #define VCODE_TCC_TCC_H
 
+#include "core/CodeCache.h"
 #include "core/VCode.h"
 #include "sim/Cpu.h"
 #include "sim/Memory.h"
 #include <map>
 #include <string>
+#include <vector>
 
 namespace vcode {
 namespace tcc {
@@ -71,6 +73,19 @@ public:
   CodePtr compileInto(const std::string &Source, CodeMem CM,
                       CgError *Err = nullptr);
 
+  /// Cache-backed compile: identical (target, optimize, source) requests
+  /// from any Tcc instance over the same arena share one generation; the
+  /// first caller compiles, concurrent same-source callers block and
+  /// reuse, distinct sources compile in parallel. The function is
+  /// registered in *this* instance's table either way, and the cached
+  /// code is pinned for the lifetime of this Tcc. Cached code freezes
+  /// the callee bindings (function-table slots) of the instance that
+  /// generated it, so share only self-contained functions: leaf code or
+  /// self-recursion is always safe; calls into other functions resolve
+  /// through the generator's table. \p Cache must be built over this
+  /// Tcc's sim::Memory. Returns the code handle.
+  CodePtr compileShared(CodeCache &Cache, const std::string &Source);
+
   /// Entry address of a compiled function; fatal if unknown.
   SimAddr lookup(const std::string &Name) const;
 
@@ -100,6 +115,9 @@ private:
     bool Defined = false;
   };
   std::map<std::string, FnInfo> Functions;
+  /// Pins on shared compiled functions (compileShared), so cache
+  /// eviction cannot free code this instance's table still points at.
+  std::vector<CodeCache::Handle> SharedPins;
 };
 
 } // namespace tcc

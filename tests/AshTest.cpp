@@ -51,7 +51,8 @@ const std::vector<Step> FourLayer = {Step::ByteSwap, Step::Xor, Step::Copy,
 TEST_P(AshTest, AllVariantsMatchReference) {
   for (const auto &Steps : {CopyCksum, CopyCksumSwap, FourLayer}) {
     for (uint32_t Bytes : {4u, 16u, 64u, 1000u, 4096u}) {
-      SimAddr Src = makeBuffer(Bytes, Bytes * 7 + Steps.size());
+      VCODE_SEEDED(Bytes * 7 + Steps.size());
+      SimAddr Src = makeBuffer(Bytes, TestSeed);
       SimAddr RefDst = B.Mem->alloc(Bytes, 8);
       uint32_t WantSum = refRun(Steps, *B.Mem, RefDst, Src, Bytes);
 
@@ -94,7 +95,8 @@ TEST_P(AshTest, ChecksumMatchesKnownValue) {
 TEST_P(AshTest, IntegrationWins) {
   // Table 4's shape: separate > C integrated > ASH in cycles.
   const uint32_t Bytes = 16 * 1024;
-  SimAddr Src = makeBuffer(Bytes, 99);
+  VCODE_SEEDED(99);
+  SimAddr Src = makeBuffer(Bytes, TestSeed);
   SimAddr Dst = B.Mem->alloc(Bytes, 8);
 
   SeparateLoops Sep(*B.Tgt, *B.Mem, CopyCksumSwap);
@@ -123,7 +125,8 @@ TEST_P(AshTest, XorKeyIsSpecializedIntoTheCode) {
   // matches the reference for its own key (the key lives in the
   // instruction stream, not in a parameter register).
   const uint32_t Bytes = 256;
-  SimAddr Src = makeBuffer(Bytes, 3);
+  VCODE_SEEDED(3);
+  SimAddr Src = makeBuffer(Bytes, TestSeed);
   std::vector<Step> Steps = {Step::Xor, Step::Copy, Step::Checksum};
 
   for (uint32_t Key : {0x00000000u, 0xffffffffu, 0x12345678u}) {

@@ -140,8 +140,9 @@ TEST_P(DifferentialTest, RandomStraightLinePrograms) {
   const Type ProgTypes[] = {Type::I, Type::U, Type::L, Type::UL};
 
   for (unsigned Seed = 0; Seed < Programs; ++Seed) {
+    VCODE_SEEDED(Seed * 977 + 13);
     Type Ty = ProgTypes[Seed % 4];
-    Rng R(Seed * 977 + 13);
+    Rng R(TestSeed);
     unsigned Bits = typeBits(Ty, WB);
     std::vector<RandInsn> Prog = makeProgram(R, Slots, Len, Bits);
 

@@ -86,6 +86,7 @@ std::string typeStr(Type Ty) { return std::string("%") + typeName(Ty); }
 // --- Binary operations -------------------------------------------------------
 
 TEST_P(RegressionTest, BinopRegisterForms) {
+  VCODE_SEED_TRACE();
   for (Type Ty : AllRegTypes) {
     for (BinOp Op : AllBinOps) {
       if (!binOpValidFor(Op, Ty))
@@ -100,8 +101,8 @@ TEST_P(RegressionTest, BinopRegisterForms) {
       V.ret(Ty, Rd);
       CodePtr Fn = V.end();
 
-      std::vector<uint64_t> As = operandValues(Ty, WB, 10, 1);
-      std::vector<uint64_t> Bs = operandValues(Ty, WB, 10, 2);
+      std::vector<uint64_t> As = operandValues(Ty, WB, 10, testSeed(1));
+      std::vector<uint64_t> Bs = operandValues(Ty, WB, 10, testSeed(2));
       // Keep shift amounts in range.
       if (Op == BinOp::Lsh || Op == BinOp::Rsh)
         for (uint64_t &X : Bs)
@@ -122,9 +123,10 @@ TEST_P(RegressionTest, BinopRegisterForms) {
 }
 
 TEST_P(RegressionTest, BinopImmediateForms) {
+  VCODE_SEED_TRACE();
   for (Type Ty : IntRegTypes) {
     for (BinOp Op : AllBinOps) {
-      std::vector<uint64_t> Imms = operandValues(Ty, WB, 8, 3);
+      std::vector<uint64_t> Imms = operandValues(Ty, WB, 8, testSeed(3));
       if (Op == BinOp::Lsh || Op == BinOp::Rsh)
         for (uint64_t &X : Imms)
           X &= typeBits(Ty, WB) - 1;
@@ -139,7 +141,7 @@ TEST_P(RegressionTest, BinopImmediateForms) {
         V.ret(Ty, Rd);
         CodePtr Fn = V.end();
 
-        for (uint64_t A : operandValues(Ty, WB, 6, 4)) {
+        for (uint64_t A : operandValues(Ty, WB, 6, testSeed(4))) {
           if (!operandsDefined(Op, Ty, A, Imm, WB))
             continue;
           uint64_t Want = refBinop(Op, Ty, A, Imm, WB);
@@ -156,6 +158,7 @@ TEST_P(RegressionTest, BinopImmediateForms) {
 // --- Unary operations --------------------------------------------------------
 
 TEST_P(RegressionTest, UnaryOps) {
+  VCODE_SEED_TRACE();
   const UnOp Ops[] = {UnOp::Com, UnOp::Not, UnOp::Mov, UnOp::Neg};
   for (Type Ty : AllRegTypes) {
     for (UnOp Op : Ops) {
@@ -169,7 +172,7 @@ TEST_P(RegressionTest, UnaryOps) {
       V.ret(Ty, Rd);
       CodePtr Fn = V.end();
 
-      for (uint64_t A : operandValues(Ty, WB, 12, 5)) {
+      for (uint64_t A : operandValues(Ty, WB, 12, testSeed(5))) {
         uint64_t Want = refUnop(Op, Ty, A, WB);
         TypedValue Got = B.Cpu->call(Fn.Entry, {TypedValue{Ty, A}}, Ty);
         ASSERT_EQ(canonicalize(Ty, Got.Bits, WB), Want)
@@ -183,8 +186,9 @@ TEST_P(RegressionTest, UnaryOps) {
 // --- set (load constant) -----------------------------------------------------
 
 TEST_P(RegressionTest, SetConstants) {
+  VCODE_SEED_TRACE();
   for (Type Ty : IntRegTypes) {
-    for (uint64_t C : operandValues(Ty, WB, 12, 6)) {
+    for (uint64_t C : operandValues(Ty, WB, 12, testSeed(6))) {
       VCode V(*B.Tgt);
       V.lambda("%v", nullptr, LeafHint, code());
       Reg Rd = V.getreg(Ty);
@@ -220,6 +224,7 @@ TEST_P(RegressionTest, SetConstants) {
 // --- Conversions -------------------------------------------------------------
 
 TEST_P(RegressionTest, Conversions) {
+  VCODE_SEED_TRACE();
   struct Pair {
     Type From, To;
   };
@@ -240,7 +245,7 @@ TEST_P(RegressionTest, Conversions) {
     V.ret(P.To, Rd);
     CodePtr Fn = V.end();
 
-    for (uint64_t A : operandValues(P.From, WB, 12, 7)) {
+    for (uint64_t A : operandValues(P.From, WB, 12, testSeed(7))) {
       if (isFpType(P.From) && !isFpType(P.To)) {
         // FP -> int is defined only when the truncated value fits.
         double D = P.From == Type::F
@@ -261,6 +266,7 @@ TEST_P(RegressionTest, Conversions) {
 // --- Branches ----------------------------------------------------------------
 
 TEST_P(RegressionTest, BranchRegisterForms) {
+  VCODE_SEED_TRACE();
   for (Type Ty : AllRegTypes) {
     for (Cond C : AllConds) {
       VCode V(*B.Tgt);
@@ -277,8 +283,8 @@ TEST_P(RegressionTest, BranchRegisterForms) {
       V.reti(Rd);
       CodePtr Fn = V.end();
 
-      for (uint64_t A : operandValues(Ty, WB, 8, 8))
-        for (uint64_t Bv : operandValues(Ty, WB, 8, 9)) {
+      for (uint64_t A : operandValues(Ty, WB, 8, testSeed(8)))
+        for (uint64_t Bv : operandValues(Ty, WB, 8, testSeed(9))) {
           bool Want = refCond(C, Ty, A, Bv, WB);
           int32_t Got =
               B.Cpu->call(Fn.Entry, {TypedValue{Ty, A}, TypedValue{Ty, Bv}},
@@ -293,9 +299,10 @@ TEST_P(RegressionTest, BranchRegisterForms) {
 }
 
 TEST_P(RegressionTest, BranchImmediateForms) {
+  VCODE_SEED_TRACE();
   for (Type Ty : IntRegTypes) {
     for (Cond C : AllConds) {
-      for (uint64_t Imm : operandValues(Ty, WB, 6, 10)) {
+      for (uint64_t Imm : operandValues(Ty, WB, 6, testSeed(10))) {
         VCode V(*B.Tgt);
         Reg Arg[1];
         V.lambda(typeStr(Ty).c_str(), Arg, LeafHint, code());
@@ -309,7 +316,7 @@ TEST_P(RegressionTest, BranchImmediateForms) {
         V.reti(Rd);
         CodePtr Fn = V.end();
 
-        for (uint64_t A : operandValues(Ty, WB, 6, 11)) {
+        for (uint64_t A : operandValues(Ty, WB, 6, testSeed(11))) {
           bool Want = refCond(C, Ty, A, Imm, WB);
           int32_t Got =
               B.Cpu->call(Fn.Entry, {TypedValue{Ty, A}}, Type::I).asInt32();
@@ -325,6 +332,7 @@ TEST_P(RegressionTest, BranchImmediateForms) {
 // --- Memory operations ---------------------------------------------------------
 
 TEST_P(RegressionTest, LoadsAllTypes) {
+  VCODE_SEED_TRACE();
   const Type MemTypes[] = {Type::C, Type::UC, Type::S, Type::US, Type::I,
                            Type::U, Type::L,  Type::UL, Type::P, Type::F,
                            Type::D};
@@ -348,7 +356,7 @@ TEST_P(RegressionTest, LoadsAllTypes) {
       CodePtr Fn = V.end();
 
       SimAddr Buf = B.Mem->alloc(64);
-      for (uint64_t Raw : operandValues(RegTy, WB, 8, 12)) {
+      for (uint64_t Raw : operandValues(RegTy, WB, 8, testSeed(12))) {
         unsigned Size = typeSize(Ty, WB);
         for (unsigned I = 0; I < Size; ++I)
           B.Mem->write<uint8_t>(Buf + 8 + I, uint8_t(Raw >> (8 * I)));
@@ -371,6 +379,7 @@ TEST_P(RegressionTest, LoadsAllTypes) {
 }
 
 TEST_P(RegressionTest, StoresAllTypes) {
+  VCODE_SEED_TRACE();
   const Type MemTypes[] = {Type::C, Type::UC, Type::S, Type::US, Type::I,
                            Type::U, Type::L,  Type::UL, Type::P, Type::F,
                            Type::D};
@@ -394,7 +403,7 @@ TEST_P(RegressionTest, StoresAllTypes) {
       CodePtr Fn = V.end();
 
       SimAddr Buf = B.Mem->alloc(64);
-      for (uint64_t Raw : operandValues(RegTy, WB, 6, 13)) {
+      for (uint64_t Raw : operandValues(RegTy, WB, 6, testSeed(13))) {
         unsigned Size = typeSize(Ty, WB);
         for (unsigned I = 0; I < 32; ++I)
           B.Mem->write<uint8_t>(Buf + I, 0xcc);

@@ -19,6 +19,61 @@
 using namespace vcode;
 using namespace vcode::test;
 
+namespace {
+
+/// Parses VCODE_TEST_SEED once. Returns whether it is set and its value.
+bool readEnvSeed(uint64_t &Out) {
+  const char *Env = std::getenv("VCODE_TEST_SEED");
+  if (!Env || !*Env)
+    return false;
+  Out = std::strtoull(Env, nullptr, 0); // accepts decimal and 0x-hex
+  return true;
+}
+
+uint64_t envSeedValue() {
+  static uint64_t V = [] {
+    uint64_t S = 0;
+    readEnvSeed(S);
+    return S;
+  }();
+  return V;
+}
+
+} // namespace
+
+uint64_t vcode::test::testBaseSeed() {
+  return testSeedOverridden() ? envSeedValue() : 0;
+}
+
+bool vcode::test::testSeedOverridden() {
+  static bool Set = [] {
+    uint64_t Ignored;
+    return readEnvSeed(Ignored);
+  }();
+  return Set;
+}
+
+uint64_t vcode::test::testSeed(uint64_t Salt) {
+  // SplitMix64 finalizer over base^salt: with the default base this is a
+  // stable function of the salt; any env base re-keys every case.
+  uint64_t Z = (testBaseSeed() + 0x9e3779b97f4a7c15ull) ^
+               (Salt * 0xbf58476d1ce4e5b9ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+std::string vcode::test::seedInfo(uint64_t Seed) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "rng seed 0x%016llx (base %s; rerun with VCODE_TEST_SEED=%llu "
+                "to hold the corpus fixed)",
+                (unsigned long long)Seed,
+                testSeedOverridden() ? "from VCODE_TEST_SEED" : "default",
+                (unsigned long long)testBaseSeed());
+  return Buf;
+}
+
 TargetBundle vcode::test::makeBundle(const std::string &Name) {
   TargetBundle B;
   B.Mem = std::make_unique<sim::Memory>();

@@ -20,11 +20,47 @@
 #include "core/VCode.h"
 #include "sim/Cpu.h"
 #include "sim/Memory.h"
+#include <gtest/gtest.h>
 #include <memory>
 #include <string>
 
 namespace vcode {
 namespace test {
+
+// --- Randomized-test seed plumbing ------------------------------------------
+//
+// Every randomized test derives its Rng seed through testSeed(salt), where
+// the salt is the test's stable per-case discriminator. By default the base
+// seed is fixed, so CI runs a reproducible corpus; setting VCODE_TEST_SEED
+// (decimal or 0x-hex) in the environment re-seeds the whole suite for
+// exploratory fuzzing. The VCODE_SEEDED macro below both derives the seed
+// and pushes a gtest ScopedTrace, so any failure inside the scope prints
+// the seed and the exact environment setting that reproduces it.
+
+/// Base seed: $VCODE_TEST_SEED when set, else a fixed default (0).
+uint64_t testBaseSeed();
+/// True when VCODE_TEST_SEED overrides the default corpus.
+bool testSeedOverridden();
+/// Seed for one randomized case: the base seed mixed (splitmix-style) with
+/// a stable per-case \p Salt. With the default base seed this is a pure
+/// function of the salt, so the checked-in corpus is stable.
+uint64_t testSeed(uint64_t Salt);
+/// Failure-message annotation: "seed 0x... (rerun: VCODE_TEST_SEED=...)".
+std::string seedInfo(uint64_t Seed);
+
+/// Declares `const uint64_t TestSeed` derived from \p SaltExpr and makes
+/// every assertion failure in the enclosing scope print the seed.
+#define VCODE_SEEDED(SaltExpr)                                                \
+  const uint64_t TestSeed = ::vcode::test::testSeed(SaltExpr);                \
+  ::testing::ScopedTrace VcodeSeedTrace(                                      \
+      __FILE__, __LINE__, ::vcode::test::seedInfo(TestSeed))
+
+/// For tests that derive several seeds via testSeed(salt) internally:
+/// makes failures in the enclosing scope print the base seed / rerun hint.
+#define VCODE_SEED_TRACE()                                                    \
+  ::testing::ScopedTrace VcodeSeedTrace(                                      \
+      __FILE__, __LINE__,                                                     \
+      ::vcode::test::seedInfo(::vcode::test::testBaseSeed()))
 
 /// Everything needed to generate and run code for one target.
 struct TargetBundle {
