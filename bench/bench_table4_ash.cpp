@@ -43,6 +43,9 @@ struct Workload {
   std::vector<Step> Steps;
 };
 
+// Stats mode: each table cell is one simulated run, so this benchmark
+// bills single calls via sim::Cpu::lastStats(); Table 3 (bench_table3_dpf)
+// batches many classifications and uses cumulativeStats() instead.
 double toUs(uint64_t Cycles, const sim::MachineConfig &C) {
   return double(Cycles) / C.ClockMHz;
 }

@@ -14,11 +14,16 @@
 #include "sim/MipsSim.h"
 #include "support/Rng.h"
 #include <cstdio>
+#include "support/Telemetry.h"
 
 using namespace vcode;
 using namespace vcode::ash;
 
-int main() {
+int main(int argc, char **argv) {
+  // --telemetry-report / --trace-json=<file> (see README Observability).
+  argc = telemetry::handleArgs(argc, argv);
+  (void)argc;
+  (void)argv;
   sim::Memory Mem;
   mips::MipsTarget Target;
   sim::MipsSim Cpu(Mem, sim::dec5000Config());

@@ -24,10 +24,15 @@
 #include <cstdio>
 #include <thread>
 #include <vector>
+#include "support/Telemetry.h"
 
 using namespace vcode;
 
-int main() {
+int main(int argc, char **argv) {
+  // --telemetry-report / --trace-json=<file> (see README Observability).
+  argc = telemetry::handleArgs(argc, argv);
+  (void)argc;
+  (void)argv;
   // One arena + one backend + one cache, shared by every thread.
   sim::Memory Mem;
   mips::MipsTarget Tgt;

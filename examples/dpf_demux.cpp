@@ -15,11 +15,16 @@
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
 #include <cstdio>
+#include "support/Telemetry.h"
 
 using namespace vcode;
 using namespace vcode::dpf;
 
-int main() {
+int main(int argc, char **argv) {
+  // --telemetry-report / --trace-json=<file> (see README Observability).
+  argc = telemetry::handleArgs(argc, argv);
+  (void)argc;
+  (void)argv;
   sim::Memory Mem;
   mips::MipsTarget Target;
   sim::MipsSim Cpu(Mem, sim::dec5000Config());

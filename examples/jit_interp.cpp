@@ -21,6 +21,7 @@
 #include "sim/MipsSim.h"
 #include <cstdio>
 #include <vector>
+#include "support/Telemetry.h"
 
 using namespace vcode;
 using sim::TypedValue;
@@ -313,7 +314,11 @@ CodePtr jitCompile(Target &Tgt, sim::Memory &Mem,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // --telemetry-report / --trace-json=<file> (see README Observability).
+  argc = telemetry::handleArgs(argc, argv);
+  (void)argc;
+  (void)argv;
   sim::Memory Mem;
   mips::MipsTarget Tgt;
   sim::MipsSim Cpu(Mem, sim::dec5000Config());

@@ -23,6 +23,7 @@
 #include <cstring>
 #include <string>
 #include <vector>
+#include "support/Telemetry.h"
 
 using namespace vcode;
 using sim::TypedValue;
@@ -100,7 +101,11 @@ CodePtr genUnmarshaler(Target &Tgt, sim::Memory &Mem, const std::string &Sig,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // --telemetry-report / --trace-json=<file> (see README Observability).
+  argc = telemetry::handleArgs(argc, argv);
+  (void)argc;
+  (void)argv;
   sim::Memory Mem;
   mips::MipsTarget Tgt;
   sim::MipsSim Cpu(Mem);

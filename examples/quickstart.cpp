@@ -16,10 +16,15 @@
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
 #include <cstdio>
+#include "support/Telemetry.h"
 
 using namespace vcode;
 
-int main() {
+int main(int argc, char **argv) {
+  // --telemetry-report / --trace-json=<file> (see README Observability).
+  argc = telemetry::handleArgs(argc, argv);
+  (void)argc;
+  (void)argv;
   // The simulated machine's memory and CPU stand in for the paper's
   // DECstation (see DESIGN.md).
   sim::Memory Mem;

@@ -19,6 +19,7 @@
 #include "tcc/Tcc.h"
 #include <cstdio>
 #include <memory>
+#include "support/Telemetry.h"
 
 using namespace vcode;
 
@@ -45,7 +46,11 @@ void runOn(const char *Name, Target &Tgt, sim::Cpu &Cpu, sim::Memory &Mem) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // --telemetry-report / --trace-json=<file> (see README Observability).
+  argc = telemetry::handleArgs(argc, argv);
+  (void)argc;
+  (void)argv;
   std::printf("tcc-lite: one front-end, three target machines "
               "(paper §4.1)\n\n");
   {

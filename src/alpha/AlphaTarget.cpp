@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "alpha/AlphaTarget.h"
+#include "support/Telemetry.h"
 #include "alpha/AlphaDisasm.h"
 
 using namespace vcode;
@@ -99,6 +100,7 @@ void AlphaTarget::beginFunction(VCode &VC) {
 }
 
 CodePtr AlphaTarget::endFunction(VCode &VC) {
+  VCODE_TM_COUNT("alpha.functions", 1);
   const TargetInfo &TI = info();
   CodeBuffer &B = VC.buf();
   uint32_t F = VC.frameBytes();

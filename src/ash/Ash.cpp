@@ -153,6 +153,7 @@ namespace {
 CodePtr genLoop(Target &Tgt, sim::Memory &Mem, const std::vector<Step> &Steps,
                 unsigned Unroll, bool ScheduleSlots,
                 uint32_t XorKey = DefaultXorKey) {
+  VCODE_TM_TICK(TmLoop);
   VCode V(Tgt);
   GenerateOptions Opts;
   Opts.InitialBytes = 16384;
@@ -169,6 +170,8 @@ CodePtr genLoop(Target &Tgt, sim::Memory &Mem, const std::vector<Step> &Steps,
       Opts);
   if (!R.ok())
     fatalKind(R.Err.Kind, "ash: loop generation failed: %s", R.Err.Detail);
+  VCODE_TM_SPAN("ash.genloop", TmLoop);
+  VCODE_TM_COUNT("ash.loops", 1);
   return R.Code;
 }
 

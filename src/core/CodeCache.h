@@ -24,8 +24,12 @@
 ///    cache's free pool when the last Handle drops, so a classifier still
 ///    executing on some simulator thread is never freed under it.
 ///  - Counters. Hits / misses / generations / evictions / reclaimed
-///    regions are exact (relaxed atomics), so tests can assert "one
-///    generation per distinct key" instead of eyeballing timings.
+///    regions are exact (sharded relaxed atomics, summed by stats()), so
+///    tests can assert "one generation per distinct key" instead of
+///    eyeballing timings. The counters are instance-owned
+///    telemetry::Counter objects: stats() stays per-cache exact, and the
+///    same numbers appear in the process-wide telemetry report under
+///    "cache.*" (summed across caches, including destroyed ones).
 ///
 /// The cache allocates code regions from one sim::Memory arena (which must
 /// be the arena the consuming engines execute from). The arena is a bump
@@ -42,6 +46,7 @@
 
 #include "core/Generate.h"
 #include "sim/Memory.h"
+#include "support/Telemetry.h"
 #include <atomic>
 #include <condition_variable>
 #include <map>
@@ -192,15 +197,17 @@ public:
 
     if (!Creator) {
       // Hit, possibly on an entry still generating: block-and-reuse.
-      CtHits.fetch_add(1, std::memory_order_relaxed);
+      CtHits.inc();
       std::unique_lock<std::mutex> Lock(E->M);
       E->CV.wait(Lock, [&] { return E->St != State::Generating; });
       return Handle(std::move(E));
     }
 
-    CtMisses.fetch_add(1, std::memory_order_relaxed);
+    CtMisses.inc();
     RegionAlloc RA(*this);
+    VCODE_TM_TICK(TmGenStart);
     GenerateResult R = Gen(RA);
+    VCODE_TM_SPAN("cache.generate", TmGenStart);
     if (R.ok()) {
       {
         std::lock_guard<std::mutex> Lock(E->M);
@@ -210,7 +217,7 @@ public:
         E->St = State::Ready;
       }
       E->CV.notify_all();
-      CtGenerations.fetch_add(1, std::memory_order_relaxed);
+      CtGenerations.inc();
       evictIfNeeded(S);
       return Handle(std::move(E));
     }
@@ -225,7 +232,7 @@ public:
       E->St = State::Failed;
     }
     E->CV.notify_all();
-    CtFailures.fetch_add(1, std::memory_order_relaxed);
+    CtFailures.inc();
     {
       std::lock_guard<std::mutex> Lock(S.M);
       auto It = S.Map.find(Key);
@@ -253,12 +260,12 @@ public:
   /// Current counter values (exact once concurrent calls have returned).
   Stats stats() const {
     Stats S;
-    S.Hits = CtHits.load(std::memory_order_relaxed);
-    S.Misses = CtMisses.load(std::memory_order_relaxed);
-    S.Generations = CtGenerations.load(std::memory_order_relaxed);
-    S.Failures = CtFailures.load(std::memory_order_relaxed);
-    S.Evictions = CtEvictions.load(std::memory_order_relaxed);
-    S.RegionsReused = CtRegionsReused.load(std::memory_order_relaxed);
+    S.Hits = CtHits.value();
+    S.Misses = CtMisses.value();
+    S.Generations = CtGenerations.value();
+    S.Failures = CtFailures.value();
+    S.Evictions = CtEvictions.value();
+    S.RegionsReused = CtRegionsReused.value();
     std::lock_guard<std::mutex> Lock(PoolMutex);
     for (const auto &[Bytes, Addr] : FreePool) {
       (void)Addr;
@@ -304,7 +311,7 @@ private:
         M.Size = It->first;
         FreePool.erase(It);
         M.Host = Mem.hostPtr(M.Guest, M.Size);
-        CtRegionsReused.fetch_add(1, std::memory_order_relaxed);
+        CtRegionsReused.inc();
         return M;
       }
     }
@@ -339,7 +346,7 @@ private:
       if (Victim == S.Map.end())
         return; // everything is mid-generation; nothing evictable
       S.Map.erase(Victim);
-      CtEvictions.fetch_add(1, std::memory_order_relaxed);
+      CtEvictions.inc();
     }
   }
 
@@ -354,12 +361,18 @@ private:
   std::vector<Shard> ShardVec;
 
   std::atomic<uint64_t> Tick{0};
-  std::atomic<uint64_t> CtHits{0};
-  std::atomic<uint64_t> CtMisses{0};
-  std::atomic<uint64_t> CtGenerations{0};
-  std::atomic<uint64_t> CtFailures{0};
-  std::atomic<uint64_t> CtEvictions{0};
-  std::atomic<uint64_t> CtRegionsReused{0};
+
+  // Instance-owned telemetry counters: lock-free sharded increments, exact
+  // per-cache values via value()/stats(), and automatic aggregation into
+  // the global registry report (folded into retired totals when the cache
+  // is destroyed). Names are process-wide; multiple caches sum in the
+  // report but never cross-contaminate each other's stats().
+  telemetry::Counter CtHits{"cache.hits"};
+  telemetry::Counter CtMisses{"cache.misses"};
+  telemetry::Counter CtGenerations{"cache.generations"};
+  telemetry::Counter CtFailures{"cache.failures"};
+  telemetry::Counter CtEvictions{"cache.evictions"};
+  telemetry::Counter CtRegionsReused{"cache.regions_reused"};
 };
 
 } // namespace vcode

@@ -22,6 +22,7 @@
 
 #include "core/VCode.h"
 #include "support/Error.h"
+#include "support/Telemetry.h"
 #include <algorithm>
 #include <cstddef>
 
@@ -87,6 +88,7 @@ GenerateResult generateWithRetry(VCode &V, AllocFn Alloc, EmitFn Emit,
   size_t Bytes = std::max<size_t>(Opts.InitialBytes, 16);
   for (unsigned A = 0; A < std::max(Opts.MaxAttempts, 1u); ++A) {
     ++R.Attempts;
+    VCODE_TM_COUNT("core.gen.attempts", 1);
     R.RegionBytes = Bytes;
     V.clearError();
     try {
@@ -103,6 +105,7 @@ GenerateResult generateWithRetry(VCode &V, AllocFn Alloc, EmitFn Emit,
     }
     if (R.Err.Kind != CgErrKind::BufferOverflow || Bytes >= Opts.MaxBytes)
       return R;
+    VCODE_TM_COUNT("core.gen.overflow_retries", 1);
     Bytes = std::min(Bytes * 2, Opts.MaxBytes);
   }
   return R;

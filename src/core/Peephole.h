@@ -34,6 +34,7 @@
 #define VCODE_CORE_PEEPHOLE_H
 
 #include "core/VCode.h"
+#include "support/Telemetry.h"
 
 namespace vcode {
 
@@ -50,6 +51,8 @@ public:
     // emitting into it would raise again (possibly during unwinding).
     if (V.inFunction())
       flush();
+    if (Saved)
+      VCODE_TM_COUNT("core.peephole.saved", Saved);
   }
 
   // --- Mirrored surface (the subset the optimizer understands) ----------

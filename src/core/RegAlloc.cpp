@@ -6,6 +6,7 @@
 
 #include "core/RegAlloc.h"
 #include "support/Error.h"
+#include "support/Telemetry.h"
 #include <cassert>
 
 using namespace vcode;
@@ -99,7 +100,10 @@ Reg RegAlloc::get(Type Ty, RegClass C, bool IsLeaf) {
     // caller-saved ones").
     if (Reg R = scan(Kind, RegKind::CallerSaved); R.isValid())
       return R;
-    return scan(Kind, RegKind::CalleeSaved);
+    Reg R = scan(Kind, RegKind::CalleeSaved);
+    if (!R.isValid())
+      VCODE_TM_COUNT("core.regalloc.exhausted", 1);
+    return R;
   }
 
   // RegClass::Var: persistent across calls. In a leaf procedure nothing
@@ -108,7 +112,10 @@ Reg RegAlloc::get(Type Ty, RegClass C, bool IsLeaf) {
   if (IsLeaf)
     if (Reg R = scan(Kind, RegKind::CallerSaved); R.isValid())
       return R;
-  return scan(Kind, RegKind::CalleeSaved);
+  Reg R = scan(Kind, RegKind::CalleeSaved);
+  if (!R.isValid())
+    VCODE_TM_COUNT("core.regalloc.exhausted", 1);
+  return R;
 }
 
 void RegAlloc::put(Reg R) {
@@ -138,8 +145,12 @@ void RegAlloc::noteCalleeSavedUse(Reg R) {
               "register %u out of range: the save mask only covers 32 "
               "registers per kind",
               unsigned(R.Num));
-  if (R.isInt())
-    UsedCalleeInt |= 1u << R.Num;
-  else
-    UsedCalleeFp |= 1u << R.Num;
+  uint32_t Bit = 1u << R.Num;
+  uint32_t &Mask = R.isInt() ? UsedCalleeInt : UsedCalleeFp;
+  if (!(Mask & Bit)) {
+    // First use of this callee-saved register in the current function:
+    // the prologue gains one save (and the epilogue one restore).
+    VCODE_TM_COUNT("core.regalloc.callee_spills", 1);
+    Mask |= Bit;
+  }
 }

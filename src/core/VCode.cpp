@@ -6,6 +6,7 @@
 
 #include "core/VCode.h"
 #include "support/BitUtils.h"
+#include "support/Telemetry.h"
 #include <cassert>
 
 using namespace vcode;
@@ -142,6 +143,7 @@ void VCode::lambda(const char *ArgTypeStr, Reg *ArgRegs, bool IsLeaf,
       ArgRegs[I] = R;
   }
   T.beginFunction(*this);
+  VCODE_TM_STMT(TmEmitStart = telemetry::tick());
 }
 
 CodePtr VCode::end() {
@@ -163,6 +165,14 @@ CodePtr VCode::end() {
 CodePtr VCode::endImpl() {
   if (!InFunction)
     fatal("v_end without v_lambda");
+
+  // Phase boundary: everything from v_lambda to here was client-driven
+  // emission; everything below is finishing (prologue/epilogue patching,
+  // constant pool, label resolution and backpatch). One tick serves as
+  // both the emit end and the backpatch start — aggregated per function,
+  // never per instruction, so the hot put() path stays untouched.
+  VCODE_TM_TICK(TmFinishStart);
+  VCODE_TM_SPAN_AT("core.emit", TmEmitStart, TmFinishStart);
 
   // Fix the activation record size now that all locals are allocated
   // (paper §5.2): fixed outgoing-argument reserve, worst-case register save
@@ -200,6 +210,13 @@ CodePtr VCode::endImpl() {
 
   InFunction = false;
   Entry.SizeBytes = size_t(Buf.wordIndex()) * 4;
+
+  VCODE_TM_SPAN("core.backpatch", TmFinishStart);
+  VCODE_TM_COUNT("core.functions", 1);
+  // Emitted words: body instructions plus constant-pool words.
+  VCODE_TM_COUNT("core.instrs_emitted", Buf.wordIndex());
+  VCODE_TM_COUNT("core.bytes_emitted", Entry.SizeBytes);
+  VCODE_TM_COUNT("core.fixups", Fixups.size());
   return Entry;
 }
 

@@ -361,6 +361,11 @@ private:
   uint32_t FrameBytes = 0;
   uint32_t ReservedPrologueWords = 0;
 
+  // Tick at which v_lambda handed control to the client (start of the
+  // "core.emit" telemetry phase). Unconditional so the layout is identical
+  // in VCODE_TELEMETRY=ON and OFF builds; only written when ON.
+  uint64_t TmEmitStart = 0;
+
   std::vector<ArgLoc> ArgLocations;
   std::vector<PrologueArgCopy> ArgCopies;
 

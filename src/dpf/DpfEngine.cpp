@@ -339,5 +339,6 @@ bool DpfEngine::installShared(CodeCache &Cache,
   Code = H.code();
   Attempts = Generated ? MyAttempts : 0;
   RegionBytes = Generated ? MyRegionBytes : H.regionBytes();
+  VCODE_TM_COUNT("dpf.installs_shared", 1);
   return !Generated;
 }

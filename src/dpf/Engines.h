@@ -64,6 +64,7 @@ public:
 
   /// Runs the classifier for the message at \p Msg.
   int classify(sim::Cpu &Cpu, SimAddr Msg) {
+    VCODE_TM_COUNT("dpf.dispatches", 1);
     return Cpu.call(Code.Entry, {sim::TypedValue::fromPtr(Msg)}, Type::I)
         .asInt32();
   }
@@ -82,6 +83,7 @@ protected:
   template <typename EmitFn> void installWithRetry(VCode &V, EmitFn Emit) {
     GenerateOptions Opts;
     Opts.InitialBytes = InitialCodeBytes;
+    VCODE_TM_TICK(TmInstall);
     SimAddr Mark = Mem.mark();
     GenerateResult R = generateWithRetry(
         V,
@@ -96,6 +98,8 @@ protected:
     Code = R.Code;
     Attempts = R.Attempts;
     RegionBytes = R.RegionBytes;
+    VCODE_TM_SPAN("dpf.install", TmInstall);
+    VCODE_TM_COUNT("dpf.installs", 1);
   }
 
   Target &Tgt;

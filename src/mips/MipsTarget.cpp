@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "mips/MipsTarget.h"
+#include "support/Telemetry.h"
 #include "mips/MipsDisasm.h"
 
 using namespace vcode;
@@ -86,6 +87,7 @@ void MipsTarget::beginFunction(VCode &VC) {
 }
 
 CodePtr MipsTarget::endFunction(VCode &VC) {
+  VCODE_TM_COUNT("mips.functions", 1);
   const TargetInfo &TI = info();
   CodeBuffer &B = VC.buf();
   uint32_t F = VC.frameBytes();

@@ -495,5 +495,6 @@ TypedValue AlphaSim::callWithConv(const CallConv &CC, SimAddr Entry,
   } else {
     Res.Bits = R[CC.IntRet.Num];
   }
+  finishRun(Stats);
   return Res;
 }

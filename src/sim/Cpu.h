@@ -104,7 +104,8 @@ struct TypedValue {
   }
 };
 
-/// Execution statistics of one call.
+/// Execution statistics of one call (or, via Cpu::cumulativeStats, of
+/// every call since the last reset).
 struct RunStats {
   uint64_t Instrs = 0;
   uint64_t Cycles = 0;
@@ -115,6 +116,15 @@ struct RunStats {
   /// Wall time in microseconds at a given clock rate.
   double microseconds(double ClockMHz) const {
     return double(Cycles) / ClockMHz;
+  }
+
+  /// Adds another run's numbers into this one.
+  void accumulate(const RunStats &S) {
+    Instrs += S.Instrs;
+    Cycles += S.Cycles;
+    ICacheMisses += S.ICacheMisses;
+    DCacheMisses += S.DCacheMisses;
+    LoadStalls += S.LoadStalls;
   }
 };
 
@@ -143,8 +153,19 @@ public:
   /// Pre-loads [A, A+Len) into the data cache.
   virtual void warmData(SimAddr A, size_t Len) = 0;
 
-  /// Statistics of the most recent call().
+  /// Statistics of the most recent call(). Overwritten by every call;
+  /// dispatch loops that want a total over many calls (e.g. classifying a
+  /// packet stream) read cumulativeStats() instead of summing snapshots.
+  /// The Table 3 DPF bench bills whole dispatch loops and sums per-call
+  /// values explicitly; the Table 4 ASH bench bills single handler runs
+  /// and uses lastStats() directly.
   virtual const RunStats &lastStats() const = 0;
+
+  /// Aggregate statistics over every call() since construction (or the
+  /// last resetCumulativeStats()): repeated runs accumulate instead of
+  /// overwriting.
+  const RunStats &cumulativeStats() const { return CumStats; }
+  void resetCumulativeStats() { CumStats = RunStats(); }
   /// Upper bound on executed instructions per call (runaway guard).
   virtual void setInstrLimit(uint64_t N) = 0;
   /// The machine configuration in effect.
@@ -164,7 +185,14 @@ protected:
                             : M.stackTop();
   }
 
+  /// Called by each simulator at the end of callWithConv with that run's
+  /// stats: folds them into the cumulative totals and surfaces them in
+  /// the process-wide telemetry registry, so generated-code cost (cycles,
+  /// stalls, cache misses) and generation cost read off one report.
+  void finishRun(const RunStats &S);
+
 private:
+  RunStats CumStats;
   SimAddr StackTopOverride = 0;
 };
 

@@ -7,6 +7,7 @@
 #include "sim/MipsSim.h"
 #include "mips/MipsTarget.h"
 #include "support/BitUtils.h"
+#include "support/Telemetry.h"
 #include <cmath>
 #include <cstring>
 
@@ -15,6 +16,16 @@ using namespace vcode::sim;
 
 // Virtual method anchor.
 Cpu::~Cpu() = default;
+
+void Cpu::finishRun(const RunStats &S) {
+  CumStats.accumulate(S);
+  VCODE_TM_COUNT("sim.calls", 1);
+  VCODE_TM_COUNT("sim.instrs", S.Instrs);
+  VCODE_TM_COUNT("sim.cycles", S.Cycles);
+  VCODE_TM_COUNT("sim.icache_misses", S.ICacheMisses);
+  VCODE_TM_COUNT("sim.dcache_misses", S.DCacheMisses);
+  VCODE_TM_COUNT("sim.load_stalls", S.LoadStalls);
+}
 
 MipsSim::MipsSim(Memory &M, MachineConfig C) : Mem(M), Cfg(C) {
   ICache.configure(Cfg.ICacheBytes, Cfg.LineBytes);
@@ -523,5 +534,6 @@ TypedValue MipsSim::callWithConv(const CallConv &CC, SimAddr Entry,
     Res.Bits = uint64_t(int64_t(int32_t(R[CC.IntRet.Num])));
   else
     Res.Bits = R[CC.IntRet.Num];
+  finishRun(Stats);
   return Res;
 }

@@ -527,5 +527,6 @@ TypedValue SparcSim::callWithConv(const CallConv &CC, SimAddr Entry,
     Res.Bits = uint64_t(int64_t(int32_t(R[CC.IntRet.Num])));
   else
     Res.Bits = R[CC.IntRet.Num];
+  finishRun(Stats);
   return Res;
 }

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sparc/SparcTarget.h"
+#include "support/Telemetry.h"
 #include "sparc/SparcDisasm.h"
 
 using namespace vcode;
@@ -67,6 +68,7 @@ void SparcTarget::beginFunction(VCode &VC) {
 }
 
 CodePtr SparcTarget::endFunction(VCode &VC) {
+  VCODE_TM_COUNT("sparc.functions", 1);
   const TargetInfo &TI = info();
   CodeBuffer &B = VC.buf();
   uint32_t F = VC.frameBytes();

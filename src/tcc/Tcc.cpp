@@ -687,6 +687,7 @@ void Tcc::registerFn(const std::string &Name, unsigned Arity, CodePtr Code) {
 }
 
 CodePtr Tcc::compile(const std::string &Source) {
+  VCODE_TM_TICK(TmCompile);
   Parser P(Source);
   FunctionAst F = P.parseFunction();
 
@@ -707,6 +708,8 @@ CodePtr Tcc::compile(const std::string &Source) {
   Attempts = R.Attempts;
   RegionBytes = R.RegionBytes;
   registerFn(F.Name, unsigned(F.Params.size()), R.Code);
+  VCODE_TM_SPAN("tcc.compile", TmCompile);
+  VCODE_TM_COUNT("tcc.compiles", 1);
   return R.Code;
 }
 
@@ -745,6 +748,7 @@ CodePtr Tcc::compileShared(CodeCache &Cache, const std::string &Source) {
   Attempts = Generated ? MyAttempts : 0;
   RegionBytes = Generated ? MyRegionBytes : H.regionBytes();
   registerFn(F.Name, unsigned(F.Params.size()), H.code());
+  VCODE_TM_COUNT("tcc.compiles_shared", 1);
   return H.code();
 }
 

@@ -224,6 +224,35 @@ TEST_P(SimCostTest, StatsResetPerCall) {
       << "stats must not accumulate across calls";
 }
 
+TEST_P(SimCostTest, CumulativeStatsAggregateAcrossCalls) {
+  VCode V(*B.Tgt);
+  Reg Arg[1];
+  V.lambda("%i", Arg, LeafHint, B.Mem->allocCode(4096));
+  V.addii(Arg[0], Arg[0], 1);
+  V.reti(Arg[0]);
+  CodePtr Fn = V.end();
+
+  B.Cpu->resetCumulativeStats();
+  sim::RunStats Sum;
+  for (int I = 0; I < 3; ++I) {
+    B.Cpu->call(Fn.Entry, {TypedValue::fromInt(I)});
+    Sum.accumulate(B.Cpu->lastStats());
+  }
+  const sim::RunStats &Cum = B.Cpu->cumulativeStats();
+  EXPECT_EQ(Cum.Instrs, Sum.Instrs);
+  EXPECT_EQ(Cum.Cycles, Sum.Cycles);
+  EXPECT_EQ(Cum.ICacheMisses, Sum.ICacheMisses);
+  EXPECT_EQ(Cum.DCacheMisses, Sum.DCacheMisses);
+  EXPECT_EQ(Cum.LoadStalls, Sum.LoadStalls);
+  EXPECT_GT(Cum.Instrs, B.Cpu->lastStats().Instrs)
+      << "three calls must sum to more than one";
+
+  B.Cpu->resetCumulativeStats();
+  EXPECT_EQ(B.Cpu->cumulativeStats().Instrs, 0u)
+      << "reset must not disturb lastStats but must zero the cumulative view";
+  EXPECT_EQ(B.Cpu->lastStats().Instrs, Sum.Instrs / 3);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllTargets, SimCostTest,
                          ::testing::ValuesIn(allTargetNames()),
                          [](const auto &Info) { return Info.param; });

@@ -1,0 +1,290 @@
+//===- tests/TelemetryTest.cpp - Telemetry layer tests ---------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+// Covers the support/Telemetry.h contract: counter and timer registration
+// and aggregation across threads, instance-counter attach/retire folding,
+// Chrome trace-JSON well-formedness (parseable structure, monotonically
+// ordered ts per tid), and — in VCODE_TELEMETRY=OFF builds — that the
+// hot-path macros compile to constexpr-empty statements and the emission
+// core registers nothing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "core/VCode.h"
+#include "mips/MipsTarget.h"
+#include "sim/Memory.h"
+
+#include <gtest/gtest.h>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace vcode;
+namespace vt = vcode::telemetry;
+
+namespace {
+
+/// Generates one trivial mips function (exercises the instrumented
+/// v_lambda .. v_end path).
+CodePtr genOne(mips::MipsTarget &Tgt, sim::Memory &Mem, int Ops) {
+  VCode V(Tgt);
+  Reg Arg[1];
+  V.lambda("%i", Arg, true, Mem.allocCode(1 << 14));
+  Reg T = V.getreg(Type::I);
+  V.movi(T, Arg[0]);
+  for (int I = 0; I < Ops; ++I)
+    V.addii(T, T, 1);
+  V.reti(T);
+  return V.end();
+}
+
+TEST(Telemetry, CounterNameIdentity) {
+  vt::Counter &A = vt::registry().counter("test.identity.a");
+  vt::Counter &B = vt::registry().counter("test.identity.b");
+  EXPECT_NE(&A, &B);
+  EXPECT_EQ(&A, &vt::registry().counter("test.identity.a"));
+}
+
+TEST(Telemetry, CounterAggregatesAcrossThreads) {
+  vt::Counter &C = vt::registry().counter("test.mt.counter");
+  C.reset();
+  constexpr int kThreads = 8, kIters = 20000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < kThreads; ++T)
+    Ts.emplace_back([&C] {
+      for (int I = 0; I < kIters; ++I)
+        C.inc();
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(C.value(), uint64_t(kThreads) * kIters);
+}
+
+TEST(Telemetry, TimerAggregatesAcrossThreads) {
+  vt::Timer &T = vt::registry().timer("test.mt.timer");
+  T.reset();
+  constexpr int kThreads = 4, kIters = 1000;
+  std::vector<std::thread> Ts;
+  for (int W = 0; W < kThreads; ++W)
+    Ts.emplace_back([&T, W] {
+      for (int I = 0; I < kIters; ++I)
+        T.record(uint64_t(W) + 1); // durations 1..4 ticks
+    });
+  for (std::thread &W : Ts)
+    W.join();
+  vt::Timer::Snapshot S = T.snapshot();
+  EXPECT_EQ(S.Count, uint64_t(kThreads) * kIters);
+  EXPECT_EQ(S.TotalTicks, uint64_t(kIters) * (1 + 2 + 3 + 4));
+  EXPECT_EQ(S.MinTicks, 1u);
+  EXPECT_EQ(S.MaxTicks, 4u);
+}
+
+TEST(Telemetry, TimerNamePointsAtRegistryKey) {
+  vt::Timer &T = vt::registry().timer("test.timer.name");
+  EXPECT_STREQ(T.name(), "test.timer.name");
+  // Stable across re-lookup (trace events keep the pointer).
+  EXPECT_EQ(T.name(), vt::registry().timer("test.timer.name").name());
+}
+
+TEST(Telemetry, InstanceCounterAttachAndRetire) {
+  const char *Name = "test.instance.counter";
+  uint64_t Before = vt::registry().counterValue(Name);
+  {
+    vt::Counter C1(Name);
+    C1.add(41);
+    EXPECT_EQ(C1.value(), 41u); // per-instance exact
+    {
+      vt::Counter C2(Name);
+      C2.inc();
+      EXPECT_EQ(C2.value(), 1u); // instances never cross-contaminate
+      EXPECT_EQ(vt::registry().counterValue(Name), Before + 42);
+    }
+    // C2 destroyed: its total folds into the registry's retired totals.
+    EXPECT_EQ(vt::registry().counterValue(Name), Before + 42);
+  }
+  EXPECT_EQ(vt::registry().counterValue(Name), Before + 42);
+}
+
+TEST(Telemetry, ScopedTimerHonorsRuntimeGate) {
+  vt::Timer &T = vt::registry().timer("test.scoped.timer");
+  T.reset();
+  bool WasOn = vt::timingEnabled();
+  vt::setTiming(false);
+  { vt::ScopedTimer S(T); }
+  EXPECT_EQ(T.snapshot().Count, 0u) << "timing off: no record";
+  vt::setTiming(true);
+  { vt::ScopedTimer S(T); }
+  EXPECT_EQ(T.snapshot().Count, 1u);
+  vt::setTiming(WasOn);
+}
+
+TEST(Telemetry, ReportListsCountersAndTimers) {
+  vt::registry().counter("test.report.counter").add(7);
+  vt::registry().timer("test.report.timer").record(10);
+  std::ostringstream OS;
+  vt::report(OS);
+  std::string R = OS.str();
+  EXPECT_NE(R.find("vcode telemetry report"), std::string::npos);
+  EXPECT_NE(R.find("test.report.counter"), std::string::npos);
+  EXPECT_NE(R.find("test.report.timer"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace export
+//===----------------------------------------------------------------------===//
+
+// Minimal structural checks without a JSON library: balanced braces,
+// expected fields, and per-tid monotone "ts" values extracted textually.
+TEST(Telemetry, TraceJsonWellFormed) {
+  vt::resetAll();
+  bool WasTracing = vt::tracingEnabled(), WasTiming = vt::timingEnabled();
+  vt::setTracing(true);
+
+  constexpr int kThreads = 4, kSpans = 50;
+  std::vector<std::thread> Ts;
+  for (int W = 0; W < kThreads; ++W)
+    Ts.emplace_back([] {
+      vt::Timer &T = vt::registry().timer("test.trace.phase");
+      for (int I = 0; I < kSpans; ++I) {
+        uint64_t T0 = vt::now();
+        vt::span(T, T0, vt::now());
+      }
+    });
+  for (std::thread &W : Ts)
+    W.join();
+  vt::setTracing(false);
+
+  EXPECT_EQ(vt::registry().eventsRecorded(), uint64_t(kThreads) * kSpans);
+
+  std::ostringstream OS;
+  vt::writeChromeTrace(OS);
+  std::string J = OS.str();
+
+  // Envelope.
+  EXPECT_EQ(J.rfind("{\"traceEvents\":[", 0), 0u);
+  ASSERT_GE(J.size(), 4u);
+  EXPECT_EQ(J.substr(J.size() - 4), "\n]}\n") << "tail";
+  size_t Opens = 0, Closes = 0;
+  for (char C : J) {
+    Opens += C == '{';
+    Closes += C == '}';
+  }
+  EXPECT_EQ(Opens, Closes);
+  EXPECT_EQ(Opens, 1u + uint64_t(kThreads) * kSpans); // envelope + events
+
+  // Per-event structure and per-tid ts monotonicity.
+  std::map<long, double> LastTs;
+  size_t Events = 0, Pos = 0;
+  while ((Pos = J.find("{\"name\":\"", Pos)) != std::string::npos &&
+         Pos != 0) {
+    ++Events;
+    size_t TidPos = J.find("\"tid\":", Pos);
+    size_t TsPos = J.find("\"ts\":", Pos);
+    size_t DurPos = J.find("\"dur\":", Pos);
+    ASSERT_NE(TidPos, std::string::npos);
+    ASSERT_NE(TsPos, std::string::npos);
+    ASSERT_NE(DurPos, std::string::npos);
+    long Tid = std::strtol(J.c_str() + TidPos + 6, nullptr, 10);
+    double Ts = std::strtod(J.c_str() + TsPos + 5, nullptr);
+    double Dur = std::strtod(J.c_str() + DurPos + 6, nullptr);
+    EXPECT_GE(Dur, 0.0);
+    EXPECT_GE(Ts, 0.0);
+    auto It = LastTs.find(Tid);
+    if (It != LastTs.end()) {
+      EXPECT_GE(Ts, It->second) << "ts must be monotone within tid " << Tid;
+    }
+    LastTs[Tid] = Ts;
+    ++Pos;
+  }
+  EXPECT_EQ(Events, uint64_t(kThreads) * kSpans);
+  EXPECT_EQ(LastTs.size(), size_t(kThreads));
+
+  vt::setTracing(WasTracing);
+  vt::setTiming(WasTiming);
+  vt::resetAll();
+}
+
+TEST(Telemetry, TraceEmptyWithoutTracing) {
+  vt::resetAll();
+  std::ostringstream OS;
+  vt::writeChromeTrace(OS);
+  EXPECT_EQ(OS.str(), "{\"traceEvents\":[\n]}\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Build-config-specific behavior
+//===----------------------------------------------------------------------===//
+
+#if VCODE_TELEMETRY_ENABLED
+
+TEST(Telemetry, EmissionCoreCounters) {
+  vt::resetAll();
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  const int Ops = 64;
+  CodePtr P = genOne(Tgt, Mem, Ops);
+  ASSERT_TRUE(P.isValid());
+  EXPECT_EQ(vt::registry().counterValue("core.functions"), 1u);
+  EXPECT_EQ(vt::registry().counterValue("mips.functions"), 1u);
+  EXPECT_EQ(vt::registry().counterValue("core.bytes_emitted"), P.SizeBytes);
+  EXPECT_EQ(vt::registry().counterValue("core.instrs_emitted"),
+            P.SizeBytes / 4);
+  vt::resetAll();
+}
+
+TEST(Telemetry, EmissionPhaseTimersWhenTimingOn) {
+  vt::resetAll();
+  bool WasTiming = vt::timingEnabled();
+  vt::setTiming(true);
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  ASSERT_TRUE(genOne(Tgt, Mem, 16).isValid());
+  EXPECT_EQ(vt::registry().timer("core.emit").snapshot().Count, 1u);
+  EXPECT_EQ(vt::registry().timer("core.backpatch").snapshot().Count, 1u);
+  vt::setTiming(WasTiming);
+  vt::resetAll();
+}
+
+#else // !VCODE_TELEMETRY_ENABLED
+
+// The compile-out proof: in an OFF build every hot-path macro must expand
+// to a constexpr-empty statement — if any of them still touched the
+// registry (a runtime construct), this function could not be constexpr
+// and the static_assert below would fail to compile.
+constexpr int compiledOutProbe() {
+  VCODE_TM_COUNT("off.counter", 1);
+  VCODE_TM_TICK(T0);
+  VCODE_TM_SPAN("off.span", T0);
+  VCODE_TM_SPAN_AT("off.span2", T0, T0);
+  VCODE_TM_SCOPE("off.scope");
+  VCODE_TM_STMT(vt::registry().counter("off.stmt").inc());
+  return 7;
+}
+static_assert(compiledOutProbe() == 7,
+              "VCODE_TM_* macros must compile to nothing when telemetry "
+              "is off");
+
+TEST(Telemetry, HotPathCompiledOut) {
+  vt::resetAll();
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  ASSERT_TRUE(genOne(Tgt, Mem, 64).isValid());
+  // The emission core registered nothing: no counters, no phase timers.
+  EXPECT_EQ(vt::registry().counterValue("core.functions"), 0u);
+  EXPECT_EQ(vt::registry().counterValue("core.instrs_emitted"), 0u);
+  EXPECT_EQ(vt::registry().timer("core.emit").snapshot().Count, 0u);
+  std::ostringstream OS;
+  vt::report(OS);
+  EXPECT_NE(OS.str().find("compiled out"), std::string::npos);
+  vt::resetAll();
+}
+
+#endif // VCODE_TELEMETRY_ENABLED
+
+} // namespace

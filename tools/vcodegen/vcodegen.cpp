@@ -13,11 +13,13 @@
 //
 // and generates C++ wrapper definitions (v_sqrtf, v_sqrtd, ...) on stdout.
 // Usage: vcodegen [specfile]   (reads stdin when no file is given)
+// Telemetry flags (all vcode tools): --telemetry-report, --trace-json=<f>
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Extension.h"
 #include "support/Error.h"
+#include "support/Telemetry.h"
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -27,9 +29,13 @@
 using namespace vcode;
 
 int main(int argc, char **argv) {
+  argc = telemetry::handleArgs(argc, argv);
   std::string Text;
   if (argc > 2) {
-    std::fprintf(stderr, "usage: %s [specfile]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [specfile] [--telemetry-report] "
+                 "[--trace-json=<file>]\n",
+                 argv[0]);
     return 2;
   }
   if (argc == 2) {
