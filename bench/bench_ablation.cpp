@@ -71,7 +71,7 @@ void BM_DirectRegs(benchmark::State &State) {
   State.SetItemsProcessed(int64_t(State.iterations()) * Ops);
 }
 
-void BM_VRegLayer(benchmark::State &State) {
+void vregLayerBody(benchmark::State &State, Tier T) {
   Env &E = env();
   const int Ops = int(State.range(0));
   size_t CodeWords = 0, DirectWords = 1;
@@ -79,13 +79,14 @@ void BM_VRegLayer(benchmark::State &State) {
     VCode V(E.Mips);
     Reg Arg[1];
     V.lambda("%i", Arg, LeafHint, E.Code);
-    VRegLayer VL(V);
+    VRegLayer VL(V, T);
     VReg A = VL.alloc(Type::I), B = VL.alloc(Type::I);
     VL.fromPhys(A, Arg[0]);
     VL.fromPhys(B, Arg[0]);
     for (int I = 0; I < Ops; ++I)
       VL.binop(BinOp::Add, Type::I, A, A, B);
     VL.ret(Type::I, A);
+    VL.finish();
     CodePtr P = V.end();
     benchmark::DoNotOptimize(P.Entry);
     CodeWords = P.SizeBytes / 4;
@@ -95,6 +96,18 @@ void BM_VRegLayer(benchmark::State &State) {
   State.SetItemsProcessed(int64_t(State.iterations()) * Ops);
   State.counters["vreg_code_growth"] =
       double(CodeWords) / double(DirectWords);
+}
+
+/// Tier-0: every layered op stages through locals (the §6.2 naive cost
+/// model — generation stays one-pass, code grows ~4x).
+void BM_VRegLayerTier0Staging(benchmark::State &State) {
+  vregLayerBody(State, Tier::Tier0);
+}
+
+/// Tier-1: ops are recorded, then linear-scan allocated and replayed
+/// through the optimizing emitters (second pass; near-direct code).
+void BM_VRegLayerTier1Recording(benchmark::State &State) {
+  vregLayerBody(State, Tier::Tier1);
 }
 
 // --- E7: delay-slot scheduling and leaf optimization -----------------------------
@@ -258,7 +271,8 @@ void BM_MulConstant(benchmark::State &State) {
 } // namespace
 
 BENCHMARK(BM_DirectRegs)->Arg(512)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_VRegLayer)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VRegLayerTier0Staging)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VRegLayerTier1Recording)->Arg(512)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_DelaySlots)->Arg(0)->Arg(1);
 BENCHMARK(BM_LeafOptimization)->Arg(1)->Arg(0);
 BENCHMARK(BM_Peephole)->Arg(0)->Arg(1);

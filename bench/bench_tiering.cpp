@@ -1,0 +1,132 @@
+//===- bench/bench_tiering.cpp - E13: two-tier generation and promotion ----===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+// The tiered-codegen trade (paper §6.2: a second pass buys code quality
+// for "roughly a factor of two" generation cost), measured end to end on
+// the DPF scenario:
+//
+//  - generation cost: host time to install ten TCP/IP filters at Tier-0
+//    (one-pass in-place) vs Tier-1 (record, linear-scan, optimizing
+//    replay), plus the generated-code size at each tier;
+//
+//  - code quality: simulated cycles and dynamic instructions per
+//    classification at each tier, on accept and reject paths;
+//
+//  - promotion: a cache-shared Tier-0 install with a hotness threshold —
+//    the classification that crosses the threshold regenerates at Tier-1
+//    and swaps the cached version in place; the dispatch cost before,
+//    during (the promoting call pays the recompile), and after.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpf/Engines.h"
+#include "mips/MipsTarget.h"
+#include "sim/MipsSim.h"
+#include "support/TablePrinter.h"
+#include <chrono>
+#include <cstdio>
+
+using namespace vcode;
+using namespace vcode::dpf;
+
+namespace {
+
+double hostUs(std::chrono::steady_clock::time_point A,
+              std::chrono::steady_clock::time_point B) {
+  return std::chrono::duration<double, std::micro>(B - A).count();
+}
+
+} // namespace
+
+int main() {
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  sim::MipsSim Cpu(Mem, sim::dec5000Config());
+
+  const unsigned NumFilters = 10;
+  const uint16_t BasePort = 1024;
+  std::vector<Filter> Filters = makeTcpIpFilters(NumFilters, BasePort);
+
+  SimAddr Hit = Mem.alloc(pkt::HeaderBytes, 8);
+  SimAddr Miss = Mem.alloc(pkt::HeaderBytes, 8);
+  writeTcpPacket(Mem, Hit, BasePort);    // filter 0 accepts
+  writeTcpPacket(Mem, Miss, 80);         // no filter matches
+
+  // --- Generation cost and code quality per tier ---------------------------
+  std::printf("Two-tier generation on the DPF scenario (ten TCP/IP "
+              "filters, simulated DEC5000/200):\n\n");
+  TablePrinter T({"Tier", "install us (host)", "code bytes", "accept cyc",
+                  "accept instrs", "reject cyc", "reject instrs"});
+  const int GenReps = 50;
+  for (Tier Tr : {Tier::Tier0, Tier::Tier1}) {
+    DpfEngine E(Tgt, Mem);
+    E.setTier(Tr);
+    auto A = std::chrono::steady_clock::now();
+    for (int I = 0; I < GenReps; ++I)
+      E.install(Filters);
+    auto B = std::chrono::steady_clock::now();
+    int Ok = E.classify(Cpu, Hit); // warm caches
+    Ok += E.classify(Cpu, Miss);
+    E.classify(Cpu, Hit);
+    uint64_t AccCyc = Cpu.lastStats().Cycles;
+    uint64_t AccIns = Cpu.lastStats().Instrs;
+    E.classify(Cpu, Miss);
+    uint64_t RejCyc = Cpu.lastStats().Cycles;
+    uint64_t RejIns = Cpu.lastStats().Instrs;
+    T.addRow({tierName(Tr), strFormat("%.1f", hostUs(A, B) / GenReps),
+              strFormat("%zu", E.codeBytes()), strFormat("%llu",
+              (unsigned long long)AccCyc),
+              strFormat("%llu", (unsigned long long)AccIns),
+              strFormat("%llu", (unsigned long long)RejCyc),
+              strFormat("%llu", (unsigned long long)RejIns)});
+    (void)Ok;
+  }
+  T.print();
+
+  // --- Hot-function promotion ----------------------------------------------
+  const uint64_t Threshold = 1000;
+  CodeCache Cache(Mem);
+  DpfEngine E(Tgt, Mem);
+  E.setTier(Tier::Tier0);
+  E.setHotThreshold(Threshold);
+  E.installShared(Cache, Filters);
+
+  E.classify(Cpu, Hit); // warm
+  E.classify(Cpu, Hit);
+  uint64_t ColdCyc = Cpu.lastStats().Cycles;
+
+  // Burn executions up to one short of the threshold (two already spent).
+  auto A = std::chrono::steady_clock::now();
+  for (uint64_t I = 2; I + 1 < Threshold; ++I)
+    E.classify(Cpu, Hit);
+  auto B = std::chrono::steady_clock::now();
+  double SteadyUs = hostUs(A, B) / double(Threshold - 3);
+
+  // This call crosses the threshold: it pays the Tier-1 recompile and
+  // swaps the cached version under any concurrent dispatchers.
+  A = std::chrono::steady_clock::now();
+  E.classify(Cpu, Hit);
+  B = std::chrono::steady_clock::now();
+  double PromoteUs = hostUs(A, B);
+
+  E.classify(Cpu, Hit);
+  uint64_t HotCyc = Cpu.lastStats().Cycles;
+
+  CodeCache::Stats S = Cache.stats();
+  std::printf("\nPromotion at %llu executions (cache-shared install):\n\n",
+              (unsigned long long)Threshold);
+  TablePrinter P({"Phase", "value"});
+  P.addRow({"tier0 cycles/classify (pre-promotion)",
+            strFormat("%llu", (unsigned long long)ColdCyc)});
+  P.addRow({"steady dispatch us/classify (host)", strFormat("%.2f", SteadyUs)});
+  P.addRow({"promoting call us (host, pays recompile)",
+            strFormat("%.1f", PromoteUs)});
+  P.addRow({"tier1 cycles/classify (post-promotion)",
+            strFormat("%llu", (unsigned long long)HotCyc)});
+  P.addRow({"cache promotions", strFormat("%llu",
+            (unsigned long long)S.Promotions)});
+  P.print();
+
+  return HotCyc <= ColdCyc ? 0 : 1;
+}

@@ -14,14 +14,16 @@
 #include "sim/MipsSim.h"
 #include "support/Rng.h"
 #include <cstdio>
-#include "support/Telemetry.h"
+#include "support/ToolFlags.h"
 
 using namespace vcode;
 using namespace vcode::ash;
 
 int main(int argc, char **argv) {
-  // --telemetry-report / --trace-json=<file> (see README Observability).
-  argc = telemetry::handleArgs(argc, argv);
+  // Shared tool flags: --tier=<0|1> picks the ASH pipeline's generation
+  // tier, --telemetry-report / --trace-json=<file> as everywhere.
+  tool::ToolOptions Opts;
+  argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
   sim::Memory Mem;
@@ -40,6 +42,7 @@ int main(int argc, char **argv) {
   std::vector<Step> Steps = {Step::ByteSwap, Step::Xor, Step::Copy,
                              Step::Checksum};
   Pipeline Ash(Target, Mem);
+  Ash.setTier(Opts.GenTier);
   for (Step S : Steps)
     Ash.addStep(S);
   Ash.compile(/*Unroll=*/4);

@@ -24,13 +24,16 @@
 #include <cstdio>
 #include <thread>
 #include <vector>
-#include "support/Telemetry.h"
+#include "support/ToolFlags.h"
 
 using namespace vcode;
 
 int main(int argc, char **argv) {
-  // --telemetry-report / --trace-json=<file> (see README Observability).
-  argc = telemetry::handleArgs(argc, argv);
+  // Shared tool flags: --tier=<0|1> picks the engines' generation tier,
+  // --hot-threshold=<N> enables hot-function promotion of cache-shared
+  // code, --telemetry-report / --trace-json=<file> as everywhere.
+  tool::ToolOptions Opts;
+  argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
   // One arena + one backend + one cache, shared by every thread.
@@ -50,6 +53,8 @@ int main(int argc, char **argv) {
       // Per-thread engine and simulator; the Cpu gets a private stack so
       // concurrent classifiers don't share the arena's default one.
       dpf::DpfEngine Engine(Tgt, Mem);
+      Engine.setTier(Opts.GenTier);
+      Engine.setHotThreshold(Opts.HotThreshold);
       sim::MipsSim Cpu(Mem);
       Cpu.setStackTop(Mem.allocStack());
       // Even threads serve SetA, odd ones SetB: within each group only
@@ -69,6 +74,9 @@ int main(int argc, char **argv) {
 
   std::printf("\n-- tcc: same source compiled by two compiler instances --\n");
   tcc::Tcc C1(Tgt, Mem), C2(Tgt, Mem);
+  C1.setTier(Opts.GenTier);
+  C1.setHotThreshold(Opts.HotThreshold);
+  C2.setTier(Opts.GenTier);
   const char *Src = "triple(x) { return 3 * x; }";
   CodePtr P1 = C1.compileShared(Cache, Src);
   CodePtr P2 = C2.compileShared(Cache, Src); // cache hit: same entry point

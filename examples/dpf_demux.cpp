@@ -15,14 +15,16 @@
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
 #include <cstdio>
-#include "support/Telemetry.h"
+#include "support/ToolFlags.h"
 
 using namespace vcode;
 using namespace vcode::dpf;
 
 int main(int argc, char **argv) {
-  // --telemetry-report / --trace-json=<file> (see README Observability).
-  argc = telemetry::handleArgs(argc, argv);
+  // Shared tool flags: --tier=<0|1> picks DPF's generation tier,
+  // --telemetry-report / --trace-json=<file> as everywhere.
+  tool::ToolOptions Opts;
+  argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
   sim::Memory Mem;
@@ -35,6 +37,7 @@ int main(int argc, char **argv) {
   MpfEngine Mpf(Target, Mem);
   PathFinderEngine Pf(Target, Mem);
   DpfEngine Dpf(Target, Mem);
+  Dpf.setTier(Opts.GenTier);
   Mpf.install(Filters);
   Pf.install(Filters);
   Dpf.install(Filters);

@@ -21,7 +21,7 @@
 #include "sim/MipsSim.h"
 #include <cstdio>
 #include <vector>
-#include "support/Telemetry.h"
+#include "support/ToolFlags.h"
 
 using namespace vcode;
 using sim::TypedValue;
@@ -315,8 +315,10 @@ CodePtr jitCompile(Target &Tgt, sim::Memory &Mem,
 } // namespace
 
 int main(int argc, char **argv) {
-  // --telemetry-report / --trace-json=<file> (see README Observability).
-  argc = telemetry::handleArgs(argc, argv);
+  // Shared tool flags (see support/ToolFlags.h). This example drives
+  // raw VCode streams (tier-independent by design); the telemetry flags still apply.
+  tool::ToolOptions Opts;
+  argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
   sim::Memory Mem;

@@ -23,7 +23,7 @@
 #include <cstring>
 #include <string>
 #include <vector>
-#include "support/Telemetry.h"
+#include "support/ToolFlags.h"
 
 using namespace vcode;
 using sim::TypedValue;
@@ -102,8 +102,10 @@ CodePtr genUnmarshaler(Target &Tgt, sim::Memory &Mem, const std::string &Sig,
 } // namespace
 
 int main(int argc, char **argv) {
-  // --telemetry-report / --trace-json=<file> (see README Observability).
-  argc = telemetry::handleArgs(argc, argv);
+  // Shared tool flags (see support/ToolFlags.h). This example drives
+  // raw VCode streams (tier-independent by design); the telemetry flags still apply.
+  tool::ToolOptions Opts;
+  argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
   sim::Memory Mem;

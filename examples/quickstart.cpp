@@ -16,13 +16,16 @@
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
 #include <cstdio>
-#include "support/Telemetry.h"
+#include "support/ToolFlags.h"
 
 using namespace vcode;
 
 int main(int argc, char **argv) {
-  // --telemetry-report / --trace-json=<file> (see README Observability).
-  argc = telemetry::handleArgs(argc, argv);
+  // Shared tool flags (see support/ToolFlags.h). This example drives a
+  // raw VCode stream, which is tier-independent by design; the telemetry
+  // flags still apply.
+  tool::ToolOptions Opts;
+  argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
   // The simulated machine's memory and CPU stand in for the paper's

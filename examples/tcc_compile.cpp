@@ -19,7 +19,7 @@
 #include "tcc/Tcc.h"
 #include <cstdio>
 #include <memory>
-#include "support/Telemetry.h"
+#include "support/ToolFlags.h"
 
 using namespace vcode;
 
@@ -34,8 +34,10 @@ const char *Programs[] = {
     R"(hyp2(a, b) { return gcd(a, b) + fact(5); })",
 };
 
-void runOn(const char *Name, Target &Tgt, sim::Cpu &Cpu, sim::Memory &Mem) {
+void runOn(const char *Name, Target &Tgt, sim::Cpu &Cpu, sim::Memory &Mem,
+           Tier GenTier) {
   tcc::Tcc T(Tgt, Mem);
+  T.setTier(GenTier);
   for (const char *Src : Programs)
     T.compile(Src);
 
@@ -47,8 +49,10 @@ void runOn(const char *Name, Target &Tgt, sim::Cpu &Cpu, sim::Memory &Mem) {
 } // namespace
 
 int main(int argc, char **argv) {
-  // --telemetry-report / --trace-json=<file> (see README Observability).
-  argc = telemetry::handleArgs(argc, argv);
+  // Shared tool flags: --tier=<0|1> picks tcc-lite's generation tier,
+  // --telemetry-report / --trace-json=<file> as everywhere.
+  tool::ToolOptions Opts;
+  argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
   std::printf("tcc-lite: one front-end, three target machines "
@@ -57,20 +61,20 @@ int main(int argc, char **argv) {
     sim::Memory Mem;
     mips::MipsTarget Tgt;
     sim::MipsSim Cpu(Mem);
-    runOn("mips", Tgt, Cpu, Mem);
+    runOn("mips", Tgt, Cpu, Mem, Opts.GenTier);
   }
   {
     sim::Memory Mem;
     sparc::SparcTarget Tgt;
     sim::SparcSim Cpu(Mem);
-    runOn("sparc", Tgt, Cpu, Mem);
+    runOn("sparc", Tgt, Cpu, Mem, Opts.GenTier);
   }
   {
     sim::Memory Mem;
     alpha::AlphaTarget Tgt;
     Tgt.installDivHelpers(Mem.allocCode(16384));
     sim::AlphaSim Cpu(Mem);
-    runOn("alpha", Tgt, Cpu, Mem);
+    runOn("alpha", Tgt, Cpu, Mem, Opts.GenTier);
   }
   return 0;
 }

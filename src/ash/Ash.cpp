@@ -6,6 +6,8 @@
 
 #include "ash/Ash.h"
 #include "core/Generate.h"
+#include "core/TierStream.h"
+#include "core/VRegLayer.h"
 #include "support/BitUtils.h"
 #include <algorithm>
 
@@ -14,64 +16,134 @@ using namespace vcode::ash;
 
 namespace {
 
-struct LoopRegs {
-  Reg Dst, Src, N, EndMain, EndAll, V, T1, T2, Acc;
+template <typename R> struct LoopRegs {
+  R Dst, Src, N, EndMain, EndAll, V, T1, T2, Acc;
 };
 
 /// Reverses the bytes of R.V (network byte-order conversion). All masks
 /// fit 16-bit immediate fields.
-void emitSwap(VCode &V, LoopRegs &R) {
-  V.rshui(R.T1, R.V, 24);
-  V.rshui(R.T2, R.V, 8);
-  V.andui(R.T2, R.T2, 0xff00);
-  V.oru(R.T1, R.T1, R.T2);
-  V.andui(R.T2, R.V, 0xff00);
-  V.lshui(R.T2, R.T2, 8);
-  V.oru(R.T1, R.T1, R.T2);
-  V.lshui(R.T2, R.V, 24);
-  V.oru(R.V, R.T1, R.T2);
+template <typename S> void emitSwap(S &St, LoopRegs<typename S::RegT> &R) {
+  St.rshui(R.T1, R.V, 24);
+  St.rshui(R.T2, R.V, 8);
+  St.andui(R.T2, R.T2, 0xff00);
+  St.oru(R.T1, R.T1, R.T2);
+  St.andui(R.T2, R.V, 0xff00);
+  St.lshui(R.T2, R.T2, 8);
+  St.oru(R.T1, R.T1, R.T2);
+  St.lshui(R.T2, R.V, 24);
+  St.oru(R.V, R.T1, R.T2);
 }
 
 /// Accumulates both 16-bit halves of R.V into R.Acc (deferred-fold
 /// Internet checksum; safe for buffers up to tens of MB).
-void emitCksumStep(VCode &V, LoopRegs &R) {
-  V.andui(R.T1, R.V, 0xffff);
-  V.addu(R.Acc, R.Acc, R.T1);
-  V.rshui(R.T1, R.V, 16);
-  V.addu(R.Acc, R.Acc, R.T1);
+template <typename S>
+void emitCksumStep(S &St, LoopRegs<typename S::RegT> &R) {
+  St.andui(R.T1, R.V, 0xffff);
+  St.addu(R.Acc, R.Acc, R.T1);
+  St.rshui(R.T1, R.V, 16);
+  St.addu(R.Acc, R.Acc, R.T1);
 }
 
 /// Folds the deferred sum into 16 bits.
-void emitCksumFold(VCode &V, LoopRegs &R) {
+template <typename S>
+void emitCksumFold(S &St, LoopRegs<typename S::RegT> &R) {
   for (int I = 0; I < 2; ++I) {
-    V.andui(R.T1, R.Acc, 0xffff);
-    V.rshui(R.Acc, R.Acc, 16);
-    V.addu(R.Acc, R.Acc, R.T1);
+    St.andui(R.T1, R.Acc, 0xffff);
+    St.rshui(R.Acc, R.Acc, 16);
+    St.addu(R.Acc, R.Acc, R.T1);
   }
 }
 
 /// Emits the per-word body at byte offset \p K.
-void emitBody(VCode &V, LoopRegs &R, const std::vector<Step> &Steps,
-              unsigned K, uint32_t XorKey) {
-  V.ldui(R.V, R.Src, int64_t(K));
-  for (Step S : Steps) {
-    switch (S) {
+template <typename S>
+void emitBody(S &St, LoopRegs<typename S::RegT> &R,
+              const std::vector<Step> &Steps, unsigned K, uint32_t XorKey) {
+  St.ldui(R.V, R.Src, int64_t(K));
+  for (Step S2 : Steps) {
+    switch (S2) {
     case Step::Copy:
-      V.stui(R.V, R.Dst, int64_t(K));
+      St.stui(R.V, R.Dst, int64_t(K));
       break;
     case Step::ByteSwap:
-      emitSwap(V, R);
+      emitSwap(St, R);
       break;
     case Step::Checksum:
-      emitCksumStep(V, R);
+      emitCksumStep(St, R);
       break;
     case Step::Xor:
       // The key is a code-generation-time constant, baked into the
       // instruction stream like DPF's filter constants.
-      V.xorui(R.V, R.V, int64_t(XorKey));
+      St.xorui(R.V, R.V, int64_t(XorKey));
       break;
     }
   }
+}
+
+/// The whole loop over either tier's stream (see core/TierStream.h).
+template <typename S>
+void emitLoop(S &St, Reg Arg[3], const std::vector<Step> &Steps,
+              unsigned Unroll, bool ScheduleSlots, uint32_t XorKey) {
+  LoopRegs<typename S::RegT> R;
+  R.Dst = St.fromArg(Type::P, Arg[0]);
+  R.Src = St.fromArg(Type::P, Arg[1]);
+  R.N = St.fromArg(Type::U, Arg[2]);
+  R.EndMain = St.temp(Type::P);
+  R.EndAll = St.temp(Type::P);
+  R.V = St.temp(Type::U);
+  R.T1 = St.temp(Type::U);
+  R.T2 = St.temp(Type::U);
+  R.Acc = St.temp(Type::U);
+  if (!R.Acc.isValid())
+    fatalKind(CgErrKind::RegisterPressure, "ash: out of registers");
+
+  bool HasCksum =
+      std::find(Steps.begin(), Steps.end(), Step::Checksum) != Steps.end();
+  uint32_t IterBytes = 4 * Unroll;
+
+  St.setu(R.Acc, 0);
+  St.addp(R.EndAll, R.Src, R.N);
+  if (Unroll > 1) {
+    St.andui(R.T1, R.N, int64_t(uint32_t(~(IterBytes - 1))));
+    St.addp(R.EndMain, R.Src, R.T1);
+  } else {
+    St.movp(R.EndMain, R.EndAll);
+  }
+
+  Label LMain = St.genLabel(), LTail = St.genLabel(), LDone = St.genLabel();
+
+  St.label(LMain);
+  St.bgep(R.Src, R.EndMain, LTail);
+  for (unsigned K = 0; K < Unroll; ++K)
+    emitBody(St, R, Steps, 4 * K, XorKey);
+  St.addpi(R.Dst, R.Dst, IterBytes);
+  if (ScheduleSlots) {
+    St.scheduleDelay([&] { St.jmp(LMain); },
+                     [&] { St.addpi(R.Src, R.Src, IterBytes); });
+  } else {
+    St.addpi(R.Src, R.Src, IterBytes);
+    St.jmp(LMain);
+  }
+
+  St.label(LTail);
+  if (Unroll > 1) {
+    St.bgep(R.Src, R.EndAll, LDone);
+    emitBody(St, R, Steps, 0, XorKey);
+    St.addpi(R.Dst, R.Dst, 4);
+    if (ScheduleSlots) {
+      St.scheduleDelay([&] { St.jmp(LTail); },
+                       [&] { St.addpi(R.Src, R.Src, 4); });
+    } else {
+      St.addpi(R.Src, R.Src, 4);
+      St.jmp(LTail);
+    }
+  }
+  St.label(LDone);
+  if (HasCksum)
+    emitCksumFold(St, R);
+  else
+    St.setu(R.Acc, 0);
+  St.retu(R.Acc);
+  St.finish();
 }
 
 } // namespace
@@ -80,69 +152,17 @@ void emitBody(VCode &V, LoopRegs &R, const std::vector<Step> &Steps,
 CodePtr vcode::ash::emitLoopInto(VCode &V, CodeMem CM,
                                  const std::vector<Step> &Steps,
                                  unsigned Unroll, bool ScheduleSlots,
-                                 uint32_t XorKey) {
+                                 uint32_t XorKey, Tier Tr) {
   Reg Arg[3];
   V.lambda("%p%p%u", Arg, LeafHint, CM);
-  LoopRegs R;
-  R.Dst = Arg[0];
-  R.Src = Arg[1];
-  R.N = Arg[2];
-  R.EndMain = V.getreg(Type::P);
-  R.EndAll = V.getreg(Type::P);
-  R.V = V.getreg(Type::U);
-  R.T1 = V.getreg(Type::U);
-  R.T2 = V.getreg(Type::U);
-  R.Acc = V.getreg(Type::U);
-  if (!R.Acc.isValid())
-    fatalKind(CgErrKind::RegisterPressure, "ash: out of registers");
-
-  bool HasCksum =
-      std::find(Steps.begin(), Steps.end(), Step::Checksum) != Steps.end();
-  uint32_t IterBytes = 4 * Unroll;
-
-  V.setu(R.Acc, 0);
-  V.addp(R.EndAll, R.Src, R.N);
-  if (Unroll > 1) {
-    V.andui(R.T1, R.N, int64_t(uint32_t(~(IterBytes - 1))));
-    V.addp(R.EndMain, R.Src, R.T1);
+  if (Tr == Tier::Tier1) {
+    VRegLayer L(V, Tier::Tier1);
+    RecStream St(V, L);
+    emitLoop(St, Arg, Steps, Unroll, ScheduleSlots, XorKey);
   } else {
-    V.movp(R.EndMain, R.EndAll);
+    DirectStream St(V);
+    emitLoop(St, Arg, Steps, Unroll, ScheduleSlots, XorKey);
   }
-
-  Label LMain = V.genLabel(), LTail = V.genLabel(), LDone = V.genLabel();
-
-  V.label(LMain);
-  V.bgep(R.Src, R.EndMain, LTail);
-  for (unsigned K = 0; K < Unroll; ++K)
-    emitBody(V, R, Steps, 4 * K, XorKey);
-  V.addpi(R.Dst, R.Dst, IterBytes);
-  if (ScheduleSlots) {
-    V.scheduleDelay([&] { V.jmp(LMain); },
-                    [&] { V.addpi(R.Src, R.Src, IterBytes); });
-  } else {
-    V.addpi(R.Src, R.Src, IterBytes);
-    V.jmp(LMain);
-  }
-
-  V.label(LTail);
-  if (Unroll > 1) {
-    V.bgep(R.Src, R.EndAll, LDone);
-    emitBody(V, R, Steps, 0, XorKey);
-    V.addpi(R.Dst, R.Dst, 4);
-    if (ScheduleSlots) {
-      V.scheduleDelay([&] { V.jmp(LTail); },
-                      [&] { V.addpi(R.Src, R.Src, 4); });
-    } else {
-      V.addpi(R.Src, R.Src, 4);
-      V.jmp(LTail);
-    }
-  }
-  V.label(LDone);
-  if (HasCksum)
-    emitCksumFold(V, R);
-  else
-    V.setu(R.Acc, 0);
-  V.retu(R.Acc);
   return V.end();
 }
 
@@ -152,11 +172,12 @@ namespace {
 /// failed region is released and the attempt re-run into a grown one.
 CodePtr genLoop(Target &Tgt, sim::Memory &Mem, const std::vector<Step> &Steps,
                 unsigned Unroll, bool ScheduleSlots,
-                uint32_t XorKey = DefaultXorKey) {
+                uint32_t XorKey = DefaultXorKey, Tier Tr = Tier::Tier0) {
   VCODE_TM_TICK(TmLoop);
   VCode V(Tgt);
   GenerateOptions Opts;
   Opts.InitialBytes = 16384;
+  Opts.GenTier = Tr;
   SimAddr Mark = Mem.mark();
   GenerateResult R = generateWithRetry(
       V,
@@ -164,8 +185,8 @@ CodePtr genLoop(Target &Tgt, sim::Memory &Mem, const std::vector<Step> &Steps,
         Mem.release(Mark);
         return Mem.allocCode(N);
       },
-      [&](CodeMem CM) {
-        return emitLoopInto(V, CM, Steps, Unroll, ScheduleSlots, XorKey);
+      [&](CodeMem CM, Tier T2) {
+        return emitLoopInto(V, CM, Steps, Unroll, ScheduleSlots, XorKey, T2);
       },
       Opts);
   if (!R.ok())
@@ -274,5 +295,6 @@ IntegratedLoop::IntegratedLoop(Target &T, sim::Memory &M,
 void Pipeline::compile(unsigned Unroll) {
   if (Steps.empty())
     fatal("ash: empty pipeline");
-  Code = genLoop(Tgt, Mem, Steps, Unroll, /*ScheduleSlots=*/true, XorKey);
+  Code = genLoop(Tgt, Mem, Steps, Unroll, /*ScheduleSlots=*/true, XorKey,
+                 GenTier);
 }

@@ -32,6 +32,7 @@
 #ifndef VCODE_ASH_ASH_H
 #define VCODE_ASH_ASH_H
 
+#include "core/Tier.h"
 #include "core/VCode.h"
 #include "sim/Cpu.h"
 #include "sim/Memory.h"
@@ -62,10 +63,20 @@ uint32_t refRun(const std::vector<Step> &Steps, sim::Memory &M, SimAddr Dst,
 /// \p Steps to every word, unrolled \p Unroll times, with optional
 /// delay-slot scheduling. Re-runnable with a fresh region, so retry
 /// drivers and fault-injection tests can call it directly; the pipeline
-/// classes below wrap it in generateWithRetry.
+/// classes below wrap it in generateWithRetry. At Tier-1 the body is
+/// recorded as vreg IR and replayed through linear-scan allocation with
+/// the optimizing emitters (core/Tier.h); Tier-0 emits in place,
+/// byte-identical to the historical generator.
 CodePtr emitLoopInto(VCode &V, CodeMem CM, const std::vector<Step> &Steps,
-                     unsigned Unroll, bool ScheduleSlots,
-                     uint32_t XorKey = DefaultXorKey);
+                     unsigned Unroll, bool ScheduleSlots, uint32_t XorKey,
+                     Tier Tr);
+inline CodePtr emitLoopInto(VCode &V, CodeMem CM,
+                            const std::vector<Step> &Steps, unsigned Unroll,
+                            bool ScheduleSlots,
+                            uint32_t XorKey = DefaultXorKey) {
+  return emitLoopInto(V, CM, Steps, Unroll, ScheduleSlots, XorKey,
+                      Tier::Tier0);
+}
 
 /// Common harness for generated message-data routines:
 /// u32 f(char *dst, const char *src, u32 nbytes), nbytes % 4 == 0.
@@ -123,6 +134,11 @@ public:
   /// Key for any Step::Xor in the pipeline (compiled into the code).
   void setXorKey(uint32_t K) { XorKey = K; }
 
+  /// Generation tier for compile(). Defaults to defaultTier()
+  /// (VCODE_TIER env); the interpreter baselines stay Tier-0.
+  void setTier(Tier T) { GenTier = T; }
+  Tier tier() const { return GenTier; }
+
   /// Compiles the composed pipeline, unrolled \p Unroll times.
   void compile(unsigned Unroll = 4);
 
@@ -131,6 +147,7 @@ private:
   sim::Memory &Mem;
   std::vector<Step> Steps;
   uint32_t XorKey = DefaultXorKey;
+  Tier GenTier = defaultTier();
 };
 
 } // namespace ash

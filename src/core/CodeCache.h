@@ -23,6 +23,12 @@
 ///    entry only removes it from the table; its code region returns to the
 ///    cache's free pool when the last Handle drops, so a classifier still
 ///    executing on some simulator thread is never freed under it.
+///  - Tiered promotion. Entries carry per-execution counters
+///    (Handle::noteExecution) and promote(key) regenerates an entry —
+///    typically at Tier-1 — and atomically swaps the refcounted code
+///    version under concurrent dispatchers: exactly one promoter runs,
+///    pinned dispatchers finish on the old version, and the old region
+///    is recycled only when its last pin drops.
 ///  - Counters. Hits / misses / generations / evictions / reclaimed
 ///    regions are exact (sharded relaxed atomics, summed by stats()), so
 ///    tests can assert "one generation per distinct key" instead of
@@ -82,6 +88,29 @@ public:
     uint64_t Evictions = 0;
     uint64_t RegionsReused = 0; ///< regions served from the free pool
     uint64_t PooledBytes = 0;   ///< bytes currently sitting in the pool
+    uint64_t Promotions = 0;        ///< promote() swaps that succeeded
+    uint64_t PromoteFailures = 0;   ///< promote() regenerations that failed
+  };
+
+  /// One immutable generation of an entry's code. Promotion installs a
+  /// new Version and drops the entry's reference to the old one; the old
+  /// code region returns to the pool only when the last pin (a dispatcher
+  /// mid-call) releases it — so code is never freed under a running
+  /// simulator thread.
+  struct Version {
+    explicit Version(CodeCache &C) : Owner(C) {}
+    ~Version() {
+      if (RegionBytes)
+        Owner.reclaimRegion(RegionAddr, RegionBytes);
+    }
+    Version(const Version &) = delete;
+    Version &operator=(const Version &) = delete;
+
+    CodeCache &Owner;
+    CodePtr Code;
+    SimAddr RegionAddr = 0;
+    size_t RegionBytes = 0;
+    Tier GenTier = Tier::Tier0; ///< tier this version was generated at
   };
 
 private:
@@ -90,25 +119,23 @@ private:
   struct Entry {
     explicit Entry(CodeCache &C, std::string K)
         : Owner(C), Key(std::move(K)) {}
-    ~Entry() {
-      if (RegionBytes)
-        Owner.reclaimRegion(RegionAddr, RegionBytes);
-    }
     Entry(const Entry &) = delete;
     Entry &operator=(const Entry &) = delete;
 
     CodeCache &Owner;
     const std::string Key;
 
-    std::mutex M;              ///< guards St/Err + CV below
+    std::mutex M;              ///< guards St/Err/Cur + CV below
     std::condition_variable CV;
     State St = State::Generating;
     CgError Err;
 
-    CodePtr Code;           ///< valid once St == Ready
-    SimAddr RegionAddr = 0; ///< code region backing Code
-    size_t RegionBytes = 0; ///< 0 until the generator hands it over
+    /// Current code version; set once when St becomes Ready, then only
+    /// replaced (never cleared) by promote() under M.
+    std::shared_ptr<const Version> Cur;
     std::atomic<uint64_t> LastUse{0};
+    std::atomic<uint64_t> ExecCount{0}; ///< dispatches via Handle
+    std::atomic<bool> Promoting{false}; ///< exactly-once promote gate
   };
 
 public:
@@ -123,15 +150,48 @@ public:
     /// True when the entry holds generated code.
     bool valid() const { return E && E->St == State::Ready; }
     explicit operator bool() const { return valid(); }
-    /// The generated code (invalid CodePtr unless valid()).
-    CodePtr code() const { return E ? E->Code : CodePtr{}; }
+    /// The generated code (invalid CodePtr unless valid()). With
+    /// promotion in play, prefer pin(): code() samples the current
+    /// version, which may be swapped before the caller dispatches.
+    CodePtr code() const {
+      auto V = pin();
+      return V ? V->Code : CodePtr{};
+    }
+    /// Pins the entry's current code version: as long as the returned
+    /// reference lives, the version's region cannot be reclaimed even if
+    /// promote() swaps in a replacement. Null for an invalid Handle.
+    std::shared_ptr<const Version> pin() const {
+      if (!E)
+        return nullptr;
+      std::lock_guard<std::mutex> Lock(E->M);
+      return E->Cur;
+    }
+    /// Counts one execution of this entry's code; returns the new total.
+    /// Engines call this per dispatch so the cache owner can promote hot
+    /// entries (the unique threshold-crossing value picks one promoter).
+    uint64_t noteExecution() {
+      return E ? E->ExecCount.fetch_add(1, std::memory_order_relaxed) + 1
+               : 0;
+    }
+    /// Executions recorded so far.
+    uint64_t execCount() const {
+      return E ? E->ExecCount.load(std::memory_order_relaxed) : 0;
+    }
+    /// Tier of the current code version.
+    Tier tier() const {
+      auto V = pin();
+      return V ? V->GenTier : Tier::Tier0;
+    }
     /// The generation error when !valid() (None for an empty Handle).
     const CgError &error() const {
       static const CgError NoErr{};
       return E ? E->Err : NoErr;
     }
     /// Size of the cached code region in bytes (diagnostics).
-    size_t regionBytes() const { return E ? E->RegionBytes : 0; }
+    size_t regionBytes() const {
+      auto V = pin();
+      return V ? V->RegionBytes : 0;
+    }
 
   private:
     friend class CodeCache;
@@ -211,9 +271,7 @@ public:
     if (R.ok()) {
       {
         std::lock_guard<std::mutex> Lock(E->M);
-        E->Code = R.Code;
-        E->RegionAddr = RA.CurAddr;
-        E->RegionBytes = RA.CurBytes;
+        E->Cur = makeVersion(R, RA);
         E->St = State::Ready;
       }
       E->CV.notify_all();
@@ -242,6 +300,56 @@ public:
     return Handle(std::move(E));
   }
 
+  /// Promotes \p Key's entry: regenerates through \p Gen (same callable
+  /// shape as lookupOrGenerate's — typically generateWithRetry at
+  /// Tier-1) and atomically swaps the entry's code version while
+  /// concurrent dispatchers keep executing the old one through their
+  /// pins. Exactly one caller per entry ever runs the generator (an
+  /// atomic gate that stays closed after success and reopens on
+  /// failure); everyone else returns false immediately. Returns true
+  /// when this call performed the swap.
+  template <typename GenFn>
+  bool promote(const std::string &Key, GenFn Gen) {
+    Shard &S = shardFor(Key);
+    std::shared_ptr<Entry> E;
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(Key);
+      if (It == S.Map.end())
+        return false;
+      E = It->second;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(E->M);
+      if (E->St != State::Ready)
+        return false;
+    }
+    if (E->Promoting.exchange(true, std::memory_order_acq_rel))
+      return false; // someone else is (or already has) promoted
+    RegionAlloc RA(*this);
+    VCODE_TM_TICK(TmPromoteStart);
+    GenerateResult R = Gen(RA);
+    VCODE_TM_SPAN("cache.promote", TmPromoteStart);
+    if (!R.ok()) {
+      if (RA.CurBytes)
+        reclaimRegion(RA.CurAddr, RA.CurBytes);
+      CtPromoteFailures.inc();
+      E->Promoting.store(false, std::memory_order_release);
+      return false;
+    }
+    std::shared_ptr<const Version> Old;
+    {
+      std::lock_guard<std::mutex> Lock(E->M);
+      Old = std::move(E->Cur);
+      E->Cur = makeVersion(R, RA);
+    }
+    // Old's region is reclaimed when the last pinned dispatcher drops it
+    // (possibly right here, when nobody was mid-call).
+    Old.reset();
+    CtPromotions.inc();
+    return true;
+  }
+
   /// Probes for \p Key without generating. The returned Handle is empty
   /// on a miss and also while the key is still generating (a probe never
   /// blocks). Does not count as a hit or miss.
@@ -266,6 +374,8 @@ public:
     S.Failures = CtFailures.value();
     S.Evictions = CtEvictions.value();
     S.RegionsReused = CtRegionsReused.value();
+    S.Promotions = CtPromotions.value();
+    S.PromoteFailures = CtPromoteFailures.value();
     std::lock_guard<std::mutex> Lock(PoolMutex);
     for (const auto &[Bytes, Addr] : FreePool) {
       (void)Addr;
@@ -297,6 +407,18 @@ private:
   Shard &shardFor(const std::string &Key) {
     size_t H = std::hash<std::string>{}(Key);
     return ShardVec[H % ShardVec.size()];
+  }
+
+  /// Wraps a successful generation's region into a refcounted Version,
+  /// taking ownership from the RegionAlloc.
+  std::shared_ptr<const Version> makeVersion(const GenerateResult &R,
+                                             RegionAlloc &RA) {
+    auto V = std::make_shared<Version>(*this);
+    V->Code = R.Code;
+    V->RegionAddr = RA.CurAddr;
+    V->RegionBytes = RA.CurBytes;
+    V->GenTier = R.GenTier;
+    return V;
   }
 
   /// Serves a code region, preferring the smallest pooled region that
@@ -373,6 +495,8 @@ private:
   telemetry::Counter CtFailures{"cache.failures"};
   telemetry::Counter CtEvictions{"cache.evictions"};
   telemetry::Counter CtRegionsReused{"cache.regions_reused"};
+  telemetry::Counter CtPromotions{"cache.promotions"};
+  telemetry::Counter CtPromoteFailures{"cache.promote_failures"};
 };
 
 } // namespace vcode

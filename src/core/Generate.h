@@ -20,19 +20,24 @@
 #ifndef VCODE_CORE_GENERATE_H
 #define VCODE_CORE_GENERATE_H
 
+#include "core/Tier.h"
 #include "core/VCode.h"
 #include "support/Error.h"
 #include "support/Telemetry.h"
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
 
 namespace vcode {
 
-/// Region-growth policy for generateWithRetry.
+/// Region-growth policy (and generation tier) for generateWithRetry.
 struct GenerateOptions {
   size_t InitialBytes = 4096;        ///< first attempt's region size
   size_t MaxBytes = size_t(1) << 24; ///< growth cap (16 MiB)
   unsigned MaxAttempts = 16;         ///< attempt bound
+  Tier GenTier = Tier::Tier0;        ///< pipeline for tier-aware emitters
 };
 
 /// Outcome of generateWithRetry: either a valid CodePtr, or the error
@@ -42,6 +47,7 @@ struct GenerateResult {
   CgError Err;           ///< the terminating error when !ok()
   unsigned Attempts = 0; ///< emission attempts made (>= 1)
   size_t RegionBytes = 0; ///< region size of the last attempt
+  Tier GenTier = Tier::Tier0; ///< tier the driver ran the emitter at
   bool ok() const { return Code.isValid(); }
 };
 
@@ -80,19 +86,37 @@ private:
 ///
 /// Non-overflow errors (arena exhaustion, API misuse, ...) are returned
 /// immediately — a larger code region cannot cure them.
+///
+/// \p Emit may optionally take the generation tier as a second parameter
+/// (CodeMem, Tier); tier-aware emitters receive Opts.GenTier, emitters
+/// with the classic single-parameter shape run unchanged.
 template <typename AllocFn, typename EmitFn>
 GenerateResult generateWithRetry(VCode &V, AllocFn Alloc, EmitFn Emit,
                                  GenerateOptions Opts = {}) {
   GenerateResult R;
+  R.GenTier = Opts.GenTier;
   RecoveryScope Scope(V);
   size_t Bytes = std::max<size_t>(Opts.InitialBytes, 16);
+  // Callers that ignore Attempts still need a diagnosable failure: stamp
+  // the retry history into the error text the moment the driver gives up.
+  auto GiveUp = [&]() -> GenerateResult & {
+    size_t Len = std::strlen(R.Err.Detail);
+    std::snprintf(R.Err.Detail + Len, sizeof(R.Err.Detail) - Len,
+                  " [gave up after %u attempt(s), last region %zu bytes]",
+                  R.Attempts, R.RegionBytes);
+    return R;
+  };
   for (unsigned A = 0; A < std::max(Opts.MaxAttempts, 1u); ++A) {
     ++R.Attempts;
     VCODE_TM_COUNT("core.gen.attempts", 1);
     R.RegionBytes = Bytes;
     V.clearError();
     try {
-      CodePtr P = Emit(Alloc(Bytes));
+      CodePtr P;
+      if constexpr (std::is_invocable_v<EmitFn, CodeMem, Tier>)
+        P = Emit(Alloc(Bytes), Opts.GenTier);
+      else
+        P = Emit(Alloc(Bytes));
       if (P.isValid()) {
         R.Code = P;
         R.Err = CgError{};
@@ -104,11 +128,12 @@ GenerateResult generateWithRetry(VCode &V, AllocFn Alloc, EmitFn Emit,
       R.Err = E.error();
     }
     if (R.Err.Kind != CgErrKind::BufferOverflow || Bytes >= Opts.MaxBytes)
-      return R;
+      return GiveUp();
+    VCODE_TM_COUNT("core.gen.retry", 1);
     VCODE_TM_COUNT("core.gen.overflow_retries", 1);
     Bytes = std::min(Bytes * 2, Opts.MaxBytes);
   }
-  return R;
+  return GiveUp();
 }
 
 } // namespace vcode

@@ -1,0 +1,76 @@
+//===- core/LinearScan.h - Linear-scan register allocation ------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear-scan register allocation over the Tier-1 vreg recording
+/// (Poletto/Engler/Kaashoek's tcc lineage: one pass over live intervals,
+/// no graph coloring). Intervals span [first reference, last reference];
+/// a backward branch extends every interval live at its target to cover
+/// the branch, iterated to a fixpoint so values stay in registers across
+/// loop backedges. On pressure the interval with the furthest end is
+/// spilled (whole-interval spilling — the replay stages spilled accesses
+/// through reserved scratch registers and v_local homes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_LINEARSCAN_H
+#define VCODE_CORE_LINEARSCAN_H
+
+#include "core/Reg.h"
+#include "core/Types.h"
+#include <cstdint>
+#include <vector>
+
+namespace vcode {
+
+/// One virtual register, as seen by the allocator.
+struct LsVRegInfo {
+  Type Ty = Type::I; ///< decides int vs fp pool
+  Reg Pre;           ///< valid = pre-colored (e.g. an argument register);
+                     ///< excluded from allocation, never spilled
+};
+
+/// Def/use references of one recorded operation (indices into the vreg
+/// vector, -1 when absent). Positions are the operation's index.
+struct LsOpRefs {
+  int32_t Use0 = -1;
+  int32_t Use1 = -1;
+  int32_t Def = -1;
+};
+
+/// A resolved backward control-flow edge: the operation at \p Pos
+/// branches (or may branch) to the operation at \p Target <= Pos.
+struct LsEdge {
+  uint32_t Pos = 0;
+  uint32_t Target = 0;
+};
+
+/// Per-vreg allocation outcome.
+struct LsAssignment {
+  Reg Phys;            ///< valid unless Spilled (or vreg never referenced)
+  bool Spilled = false;
+};
+
+struct LsResult {
+  std::vector<LsAssignment> Assign; ///< indexed by vreg
+  unsigned Spills = 0;              ///< number of spilled vregs
+  unsigned IntRegsUsed = 0;         ///< distinct int pool regs assigned
+  unsigned FpRegsUsed = 0;          ///< distinct fp pool regs assigned
+};
+
+/// Allocates \p VRegs over the operations \p Ops using the given physical
+/// register pools (in preference order). \p BackEdges lists backward
+/// branches for loop-liveness extension. Pre-colored vregs keep their
+/// register; unreferenced vregs get no assignment.
+LsResult linearScan(const std::vector<LsVRegInfo> &VRegs,
+                    const std::vector<LsOpRefs> &Ops,
+                    const std::vector<LsEdge> &BackEdges,
+                    const std::vector<Reg> &IntPool,
+                    const std::vector<Reg> &FpPool);
+
+} // namespace vcode
+
+#endif // VCODE_CORE_LINEARSCAN_H

@@ -60,6 +60,9 @@ public:
   /// True if \p R is currently available for allocation.
   bool isFree(Reg R) const;
 
+  /// Current classification of \p R (tracks setKind/allCalleeSaved).
+  RegKind kindOf(Reg R) const { return entry(R).Kind; }
+
   /// Bitmask of callee-saved registers of kind \p K that were handed out at
   /// any point (sticky); these must be saved in the prologue.
   uint32_t usedCalleeSavedMask(Reg::KindType K) const {

@@ -180,6 +180,11 @@ public:
   virtual void emitLinkReturn(VCode &VC) = 0;
   virtual void emitCallReg(VCode &VC, Reg R) = 0;
   virtual void emitRet(VCode &VC, Type Ty, Reg Rs) = 0;
+  /// Return an integer constant: materialize \p Imm into the result
+  /// register and return, as one fused sequence. On delay-slot machines a
+  /// small constant rides the return's slot (one instruction shorter than
+  /// setInt + ret); machines without a slot skip the result move.
+  virtual void emitRetImm(VCode &VC, Type Ty, int64_t Imm) = 0;
   virtual void emitNop(VCode &VC) = 0;
 
   // --- Function framing ---------------------------------------------------

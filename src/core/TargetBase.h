@@ -88,6 +88,9 @@ public:
   void emitRet(VCode &VC, Type Ty, Reg Rs) final {
     derived().insRet(VC, Ty, Rs);
   }
+  void emitRetImm(VCode &VC, Type Ty, int64_t Imm) final {
+    derived().insRetImm(VC, Ty, Imm);
+  }
   void emitNop(VCode &VC) final { derived().insNop(VC); }
 
 private:

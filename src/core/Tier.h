@@ -1,0 +1,68 @@
+//===- core/Tier.h - Generation tiers ---------------------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two generation tiers of the emission stack. Tier-0 is the paper's
+/// one-pass in-place fast path ("an average overhead of approximately 10
+/// instructions per generated instruction"); Tier-1 buys code quality with
+/// a second pass: the VRegLayer records a compact buffered IR, LinearScan
+/// assigns physical registers, and the replay runs Peephole/StrengthReduce
+/// unconditionally and fills branch delay slots on MIPS/SPARC — the §6.2
+/// "roughly a factor of two" generation-cost trade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_TIER_H
+#define VCODE_CORE_TIER_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace vcode {
+
+/// Which emission pipeline a generation request uses.
+enum class Tier : uint8_t {
+  Tier0 = 0, ///< one-pass in-place emission (fast generation)
+  Tier1 = 1, ///< record + linear-scan + optimizing replay (fast code)
+};
+
+inline const char *tierName(Tier T) {
+  return T == Tier::Tier1 ? "tier1" : "tier0";
+}
+
+/// Parses "0"/"tier0" or "1"/"tier1". Returns false (leaving \p Out
+/// untouched) on anything else.
+inline bool parseTier(const char *S, Tier &Out) {
+  if (!S)
+    return false;
+  if (!std::strcmp(S, "0") || !std::strcmp(S, "tier0")) {
+    Out = Tier::Tier0;
+    return true;
+  }
+  if (!std::strcmp(S, "1") || !std::strcmp(S, "tier1")) {
+    Out = Tier::Tier1;
+    return true;
+  }
+  return false;
+}
+
+/// Process-wide default tier for tier-aware clients (DpfEngine, ash
+/// Pipeline, Tcc): $VCODE_TIER when set and valid, else Tier0. Read once;
+/// raw VCode/VRegLayer use stays explicit and is not affected by the
+/// environment.
+inline Tier defaultTier() {
+  static const Tier T = [] {
+    Tier R = Tier::Tier0;
+    parseTier(std::getenv("VCODE_TIER"), R);
+    return R;
+  }();
+  return T;
+}
+
+} // namespace vcode
+
+#endif // VCODE_CORE_TIER_H

@@ -1,0 +1,197 @@
+//===- core/TierStream.h - Tier-polymorphic emission streams ----*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapters that let one templated emitter body drive either generation
+/// tier (core/Tier.h):
+///
+///  - DirectStream (RegT = Reg): inline-forwards every operation to the
+///    VCode in-place emitters — Tier-0, byte-identical to calling VCode
+///    directly.
+///  - RecStream (RegT = VReg): forwards to a VRegLayer in recording mode —
+///    Tier-1; finish() runs linear scan and the optimizing replay.
+///
+/// Clients write `template <typename S> void emitBody(S &St)` using
+/// `typename S::RegT` for registers and the shared surface below; the
+/// tier choice reduces to which adapter is constructed. TierNamedOps
+/// mirrors the paper-named instruction families (Instructions.inc) the
+/// clients use, defined once over the generic surface so the two
+/// adapters cannot drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_CORE_TIERSTREAM_H
+#define VCODE_CORE_TIERSTREAM_H
+
+#include "core/Tier.h"
+#include "core/VCode.h"
+#include "core/VRegLayer.h"
+
+namespace vcode {
+
+/// Paper-named instruction helpers over a stream's generic surface
+/// (CRTP: \p Derived provides binop/binopImm/unop/setInt/loadImm/
+/// storeImm/branch/branchImm/ret).
+template <typename Derived, typename R> struct TierNamedOps {
+  // Register-register ALU.
+  void addu(R Rd, R A, R B) { D().binop(BinOp::Add, Type::U, Rd, A, B); }
+  void addp(R Rd, R A, R B) { D().binop(BinOp::Add, Type::P, Rd, A, B); }
+  void oru(R Rd, R A, R B) { D().binop(BinOp::Or, Type::U, Rd, A, B); }
+  // Immediate ALU.
+  void addpi(R Rd, R A, int64_t I) {
+    D().binopImm(BinOp::Add, Type::P, Rd, A, I);
+  }
+  void subui(R Rd, R A, int64_t I) {
+    D().binopImm(BinOp::Sub, Type::U, Rd, A, I);
+  }
+  void andui(R Rd, R A, int64_t I) {
+    D().binopImm(BinOp::And, Type::U, Rd, A, I);
+  }
+  void xorui(R Rd, R A, int64_t I) {
+    D().binopImm(BinOp::Xor, Type::U, Rd, A, I);
+  }
+  void lshii(R Rd, R A, int64_t I) {
+    D().binopImm(BinOp::Lsh, Type::I, Rd, A, I);
+  }
+  void lshui(R Rd, R A, int64_t I) {
+    D().binopImm(BinOp::Lsh, Type::U, Rd, A, I);
+  }
+  void rshui(R Rd, R A, int64_t I) {
+    D().binopImm(BinOp::Rsh, Type::U, Rd, A, I);
+  }
+  void mului(R Rd, R A, int64_t I) {
+    D().binopImm(BinOp::Mul, Type::U, Rd, A, I);
+  }
+  void movp(R Rd, R A) { D().unop(UnOp::Mov, Type::P, Rd, A); }
+  // Constants.
+  void seti(R Rd, int32_t V) {
+    D().setInt(Type::I, Rd, uint64_t(int64_t(V)));
+  }
+  void setu(R Rd, uint32_t V) { D().setInt(Type::U, Rd, V); }
+  void setp(R Rd, SimAddr V) { D().setInt(Type::P, Rd, V); }
+  // Memory.
+  void lduci(R Rd, R Base, int64_t O) { D().loadImm(Type::UC, Rd, Base, O); }
+  void ldusi(R Rd, R Base, int64_t O) { D().loadImm(Type::US, Rd, Base, O); }
+  void ldui(R Rd, R Base, int64_t O) { D().loadImm(Type::U, Rd, Base, O); }
+  void ldpi(R Rd, R Base, int64_t O) { D().loadImm(Type::P, Rd, Base, O); }
+  void stui(R Val, R Base, int64_t O) { D().storeImm(Type::U, Val, Base, O); }
+  // Branches.
+  void bequi(R A, int64_t I, Label L) {
+    D().branchImm(Cond::Eq, Type::U, A, I, L);
+  }
+  void bneui(R A, int64_t I, Label L) {
+    D().branchImm(Cond::Ne, Type::U, A, I, L);
+  }
+  void bltui(R A, int64_t I, Label L) {
+    D().branchImm(Cond::Lt, Type::U, A, I, L);
+  }
+  void bgtui(R A, int64_t I, Label L) {
+    D().branchImm(Cond::Gt, Type::U, A, I, L);
+  }
+  void bgep(R A, R B, Label L) { D().branch(Cond::Ge, Type::P, A, B, L); }
+  // Returns.
+  void reti(R Rs) { D().ret(Type::I, Rs); }
+  void retu(R Rs) { D().ret(Type::U, Rs); }
+
+private:
+  Derived &D() { return *static_cast<Derived *>(this); }
+};
+
+/// Tier-0: straight pass-through to the in-place VCode emitters.
+struct DirectStream : TierNamedOps<DirectStream, Reg> {
+  using RegT = Reg;
+
+  explicit DirectStream(VCode &V) : V(V) {}
+
+  Reg fromArg(Type, Reg ArgReg) { return ArgReg; }
+  Reg temp(Type Ty) { return V.getreg(Ty); }
+  void release(Reg Rg) { V.putreg(Rg); }
+  Label genLabel() { return V.genLabel(); }
+  void label(Label L) { V.label(L); }
+  void jmp(Label L) { V.jmp(L); }
+  void jmpr(Reg Rg) { V.jmpr(Rg); }
+  template <typename BrFn, typename SlotFn>
+  void scheduleDelay(BrFn Br, SlotFn Slot) {
+    V.scheduleDelay(Br, Slot);
+  }
+  void finish() {}
+
+  void binop(BinOp Op, Type Ty, Reg Rd, Reg A, Reg B) {
+    V.binop(Op, Ty, Rd, A, B);
+  }
+  void binopImm(BinOp Op, Type Ty, Reg Rd, Reg A, int64_t I) {
+    V.binopImm(Op, Ty, Rd, A, I);
+  }
+  void unop(UnOp Op, Type Ty, Reg Rd, Reg A) { V.unop(Op, Ty, Rd, A); }
+  void setInt(Type Ty, Reg Rd, uint64_t Imm) { V.setInt(Ty, Rd, Imm); }
+  void loadImm(Type Ty, Reg Rd, Reg Base, int64_t O) {
+    V.loadImm(Ty, Rd, Base, O);
+  }
+  void storeImm(Type Ty, Reg Val, Reg Base, int64_t O) {
+    V.storeImm(Ty, Val, Base, O);
+  }
+  void branch(Cond C, Type Ty, Reg A, Reg B, Label L) {
+    V.branch(C, Ty, A, B, L);
+  }
+  void branchImm(Cond C, Type Ty, Reg A, int64_t I, Label L) {
+    V.branchImm(C, Ty, A, I, L);
+  }
+  void ret(Type Ty, Reg Rs) { V.ret(Ty, Rs); }
+
+  VCode &V;
+};
+
+/// Tier-1: records into a VRegLayer; finish() allocates and replays.
+struct RecStream : TierNamedOps<RecStream, VReg> {
+  using RegT = VReg;
+
+  RecStream(VCode &V, VRegLayer &L) : V(V), L(L) {}
+
+  VReg fromArg(Type Ty, Reg ArgReg) { return L.fromArg(Ty, ArgReg); }
+  VReg temp(Type Ty) { return L.alloc(Ty); }
+  void release(VReg) {} // vregs need no pool bookkeeping
+  Label genLabel() { return V.genLabel(); }
+  void label(Label Lb) { L.label(Lb); }
+  void jmp(Label Lb) { L.jmp(Lb); }
+  void jmpr(VReg Rg) { L.jmpReg(Rg); }
+  /// The recording replay schedules delay slots itself; record in
+  /// no-delay order and let the fill pass reassemble the pair.
+  template <typename BrFn, typename SlotFn>
+  void scheduleDelay(BrFn Br, SlotFn Slot) {
+    Slot();
+    Br();
+  }
+  void finish() { L.finish(); }
+
+  void binop(BinOp Op, Type Ty, VReg Rd, VReg A, VReg B) {
+    L.binop(Op, Ty, Rd, A, B);
+  }
+  void binopImm(BinOp Op, Type Ty, VReg Rd, VReg A, int64_t I) {
+    L.binopImm(Op, Ty, Rd, A, I);
+  }
+  void unop(UnOp Op, Type Ty, VReg Rd, VReg A) { L.unop(Op, Ty, Rd, A); }
+  void setInt(Type Ty, VReg Rd, uint64_t Imm) { L.setInt(Ty, Rd, Imm); }
+  void loadImm(Type Ty, VReg Rd, VReg Base, int64_t O) {
+    L.load(Ty, Rd, Base, O);
+  }
+  void storeImm(Type Ty, VReg Val, VReg Base, int64_t O) {
+    L.store(Ty, Val, Base, O);
+  }
+  void branch(Cond C, Type Ty, VReg A, VReg B, Label Lb) {
+    L.branch(C, Ty, A, B, Lb);
+  }
+  void branchImm(Cond C, Type Ty, VReg A, int64_t I, Label Lb) {
+    L.branchImm(C, Ty, A, I, Lb);
+  }
+  void ret(Type Ty, VReg Rs) { L.ret(Ty, Rs); }
+
+  VCode &V;
+  VRegLayer &L;
+};
+
+} // namespace vcode
+
+#endif // VCODE_CORE_TIERSTREAM_H

@@ -217,6 +217,9 @@ public:
   void ret(Type Ty, Reg Rs) { T.emitRet(*this, Ty, Rs); }
   /// Return with no value.
   void retv() { T.emitRet(*this, Type::V, Reg()); }
+  /// Return the integer constant \p Imm (fused setInt + ret; see
+  /// Target::emitRetImm).
+  void retImm(Type Ty, int64_t Imm) { T.emitRetImm(*this, Ty, Imm); }
   void nop() { T.emitNop(*this); }
   void setInt(Type Ty, Reg Rd, uint64_t V) { T.emitSetInt(*this, Ty, Rd, V); }
   void setFp(Type Ty, Reg Rd, double V) { T.emitSetFp(*this, Ty, Rd, V); }

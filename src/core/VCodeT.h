@@ -80,6 +80,7 @@ public:
   void jmpi(SimAddr A) { DT.insJumpAddr(*this, A); }
   void ret(Type Ty, Reg Rs) { DT.insRet(*this, Ty, Rs); }
   void retv() { DT.insRet(*this, Type::V, Reg()); }
+  void retImm(Type Ty, int64_t Imm) { DT.insRetImm(*this, Ty, Imm); }
   void nop() { DT.insNop(*this); }
   void setInt(Type Ty, Reg Rd, uint64_t V) { DT.insSetInt(*this, Ty, Rd, V); }
   void setFp(Type Ty, Reg Rd, double V) { DT.insSetFp(*this, Ty, Rd, V); }

@@ -5,11 +5,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/VRegLayer.h"
+#include "core/LinearScan.h"
+#include "core/Peephole.h"
+#include "core/StrengthReduce.h"
+#include "support/Telemetry.h"
+#include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 using namespace vcode;
 
-VRegLayer::VRegLayer(VCode &V) : V(V) {
+VRegLayer::VRegLayer(VCode &V, Tier T) : V(V), Mode(T) {
+  if (Mode != Tier::Tier0)
+    return;
   for (unsigned I = 0; I < 3; ++I) {
     IntStage[I] = V.getreg(Type::L, RegClass::Temp);
     FpStage[I] = V.getreg(Type::D, RegClass::Temp);
@@ -19,19 +27,46 @@ VRegLayer::VRegLayer(VCode &V) : V(V) {
 }
 
 VRegLayer::~VRegLayer() {
-  for (unsigned I = 0; I < 3; ++I) {
-    V.putreg(IntStage[I]);
-    V.putreg(FpStage[I]);
+  if (Mode == Tier::Tier0) {
+    for (unsigned I = 0; I < 3; ++I) {
+      V.putreg(IntStage[I]);
+      V.putreg(FpStage[I]);
+    }
+    return;
   }
+  // Tier-1: finish() releases the claimed pool; this only runs when an
+  // emission error unwound out of the recording or replay.
+  releaseClaimed();
 }
 
 VReg VRegLayer::alloc(Type Ty) {
   Slot S;
   S.Ty = Ty;
-  S.Home = V.localVar(Ty);
+  if (Mode == Tier::Tier0)
+    S.Home = V.localVar(Ty); // Tier-1 spill homes are allocated on demand
   Slots.push_back(S);
   return VReg{int32_t(Slots.size() - 1)};
 }
+
+VReg VRegLayer::fromArg(Type Ty, Reg ArgReg) {
+  if (Mode == Tier::Tier0) {
+    VReg R = alloc(Ty);
+    fromPhys(R, ArgReg);
+    return R;
+  }
+  Slot S;
+  S.Ty = Ty;
+  S.Pre = ArgReg;
+  Slots.push_back(S);
+  VReg R{int32_t(Slots.size() - 1)};
+  RecOp &O = rec(RecOp::FromPhys);
+  O.Ty = Ty;
+  O.D = R.Id;
+  O.Phys = ArgReg;
+  return R;
+}
+
+// --- Tier-0: stage-through-locals emission ----------------------------------
 
 Reg VRegLayer::stage(unsigned Which, Type Ty) {
   assert(Which < 3 && "bad staging index");
@@ -51,63 +86,714 @@ void VRegLayer::writeBack(VReg R, Reg Phys) {
   V.storeLocal(S.Ty, Phys, S.Home);
 }
 
+// --- Mirrored surface --------------------------------------------------------
+
+void VRegLayer::checkVReg(VReg R) const {
+  if (!R.isValid() || size_t(R.Id) >= Slots.size())
+    fatal("vreg layer: invalid virtual register");
+}
+
+VRegLayer::RecOp &VRegLayer::rec(RecOp::Kind K) {
+  if (Finished)
+    fatal("vreg layer: recording after finish()");
+  Rec.emplace_back();
+  Rec.back().K = K;
+  return Rec.back();
+}
+
 void VRegLayer::fromPhys(VReg Dst, Reg Src) {
-  writeBack(Dst, Src);
+  checkVReg(Dst);
+  if (Mode == Tier::Tier0) {
+    writeBack(Dst, Src);
+    return;
+  }
+  RecOp &O = rec(RecOp::FromPhys);
+  O.Ty = Slots[Dst.Id].Ty;
+  O.D = Dst.Id;
+  O.Phys = Src;
 }
 
 void VRegLayer::binop(BinOp Op, Type Ty, VReg Rd, VReg Rs1, VReg Rs2) {
-  Reg A = readIn(Rs1, 0);
-  Reg B = readIn(Rs2, 1);
-  Reg D = stage(2, Ty);
-  V.binop(Op, Ty, D, A, B);
-  writeBack(Rd, D);
+  checkVReg(Rd);
+  checkVReg(Rs1);
+  checkVReg(Rs2);
+  if (Mode == Tier::Tier0) {
+    Reg A = readIn(Rs1, 0);
+    Reg B = readIn(Rs2, 1);
+    Reg D = stage(2, Ty);
+    V.binop(Op, Ty, D, A, B);
+    writeBack(Rd, D);
+    return;
+  }
+  RecOp &O = rec(RecOp::Binop);
+  O.Op = uint8_t(Op);
+  O.Ty = Ty;
+  O.D = Rd.Id;
+  O.S1 = Rs1.Id;
+  O.S2 = Rs2.Id;
 }
 
 void VRegLayer::binopImm(BinOp Op, Type Ty, VReg Rd, VReg Rs1, int64_t Imm) {
-  Reg A = readIn(Rs1, 0);
-  Reg D = stage(2, Ty);
-  V.binopImm(Op, Ty, D, A, Imm);
-  writeBack(Rd, D);
+  checkVReg(Rd);
+  checkVReg(Rs1);
+  if (Mode == Tier::Tier0) {
+    Reg A = readIn(Rs1, 0);
+    Reg D = stage(2, Ty);
+    V.binopImm(Op, Ty, D, A, Imm);
+    writeBack(Rd, D);
+    return;
+  }
+  RecOp &O = rec(RecOp::BinopImm);
+  O.Op = uint8_t(Op);
+  O.Ty = Ty;
+  O.D = Rd.Id;
+  O.S1 = Rs1.Id;
+  O.Imm = Imm;
 }
 
 void VRegLayer::unop(UnOp Op, Type Ty, VReg Rd, VReg Rs) {
-  Reg A = readIn(Rs, 0);
-  Reg D = stage(2, Ty);
-  V.unop(Op, Ty, D, A);
-  writeBack(Rd, D);
+  checkVReg(Rd);
+  checkVReg(Rs);
+  if (Mode == Tier::Tier0) {
+    Reg A = readIn(Rs, 0);
+    Reg D = stage(2, Ty);
+    V.unop(Op, Ty, D, A);
+    writeBack(Rd, D);
+    return;
+  }
+  RecOp &O = rec(RecOp::Unop);
+  O.Op = uint8_t(Op);
+  O.Ty = Ty;
+  O.D = Rd.Id;
+  O.S1 = Rs.Id;
 }
 
 void VRegLayer::setInt(Type Ty, VReg Rd, uint64_t Imm) {
-  Reg D = stage(2, Ty);
-  V.setInt(Ty, D, Imm);
-  writeBack(Rd, D);
+  checkVReg(Rd);
+  if (Mode == Tier::Tier0) {
+    Reg D = stage(2, Ty);
+    V.setInt(Ty, D, Imm);
+    writeBack(Rd, D);
+    return;
+  }
+  RecOp &O = rec(RecOp::SetInt);
+  O.Ty = Ty;
+  O.D = Rd.Id;
+  O.Imm = int64_t(Imm);
 }
 
 void VRegLayer::load(Type Ty, VReg Rd, VReg Base, int64_t Off) {
-  Reg A = readIn(Base, 0);
-  Reg D = stage(2, Ty);
-  V.loadImm(Ty, D, A, Off);
-  writeBack(Rd, D);
+  checkVReg(Rd);
+  checkVReg(Base);
+  if (Mode == Tier::Tier0) {
+    Reg A = readIn(Base, 0);
+    Reg D = stage(2, Ty);
+    V.loadImm(Ty, D, A, Off);
+    writeBack(Rd, D);
+    return;
+  }
+  RecOp &O = rec(RecOp::Load);
+  O.Ty = Ty;
+  O.D = Rd.Id;
+  O.S1 = Base.Id;
+  O.Imm = Off;
 }
 
 void VRegLayer::store(Type Ty, VReg Val, VReg Base, int64_t Off) {
-  Reg A = readIn(Base, 0);
-  Reg Vv = readIn(Val, 1);
-  V.storeImm(Ty, Vv, A, Off);
+  checkVReg(Val);
+  checkVReg(Base);
+  if (Mode == Tier::Tier0) {
+    Reg A = readIn(Base, 0);
+    Reg Vv = readIn(Val, 1);
+    V.storeImm(Ty, Vv, A, Off);
+    return;
+  }
+  RecOp &O = rec(RecOp::Store);
+  O.Ty = Ty;
+  O.S1 = Val.Id;
+  O.S2 = Base.Id;
+  O.Imm = Off;
 }
 
 void VRegLayer::branch(Cond C, Type Ty, VReg A, VReg B, Label L) {
-  Reg Pa = readIn(A, 0);
-  Reg Pb = readIn(B, 1);
-  V.branch(C, Ty, Pa, Pb, L);
+  checkVReg(A);
+  checkVReg(B);
+  if (Mode == Tier::Tier0) {
+    Reg Pa = readIn(A, 0);
+    Reg Pb = readIn(B, 1);
+    V.branch(C, Ty, Pa, Pb, L);
+    return;
+  }
+  RecOp &O = rec(RecOp::Branch);
+  O.Op = uint8_t(C);
+  O.Ty = Ty;
+  O.S1 = A.Id;
+  O.S2 = B.Id;
+  O.L = L;
 }
 
 void VRegLayer::branchImm(Cond C, Type Ty, VReg A, int64_t Imm, Label L) {
-  Reg Pa = readIn(A, 0);
-  V.branchImm(C, Ty, Pa, Imm, L);
+  checkVReg(A);
+  if (Mode == Tier::Tier0) {
+    Reg Pa = readIn(A, 0);
+    V.branchImm(C, Ty, Pa, Imm, L);
+    return;
+  }
+  RecOp &O = rec(RecOp::BranchImm);
+  O.Op = uint8_t(C);
+  O.Ty = Ty;
+  O.S1 = A.Id;
+  O.Imm = Imm;
+  O.L = L;
 }
 
 void VRegLayer::ret(Type Ty, VReg Rs) {
-  Reg P = readIn(Rs, 0);
-  V.ret(Ty, P);
+  checkVReg(Rs);
+  if (Mode == Tier::Tier0) {
+    Reg P = readIn(Rs, 0);
+    V.ret(Ty, P);
+    return;
+  }
+  RecOp &O = rec(RecOp::Ret);
+  O.Ty = Ty;
+  O.S1 = Rs.Id;
+}
+
+void VRegLayer::label(Label L) {
+  if (Mode == Tier::Tier0) {
+    V.label(L);
+    return;
+  }
+  rec(RecOp::Lbl).L = L;
+}
+
+void VRegLayer::jmp(Label L) {
+  if (Mode == Tier::Tier0) {
+    V.jmp(L);
+    return;
+  }
+  rec(RecOp::Jmp).L = L;
+}
+
+void VRegLayer::jmpReg(VReg R) {
+  checkVReg(R);
+  if (Mode == Tier::Tier0) {
+    Reg P = readIn(R, 0);
+    V.jmpr(P);
+    return;
+  }
+  rec(RecOp::JmpReg).S1 = R.Id;
+}
+
+// --- Tier-1: allocate and replay ---------------------------------------------
+
+void VRegLayer::claimPools() {
+  // Claim only caller-saved temps, by name: probing through getreg would
+  // eventually hand out a callee-saved register, and merely touching one
+  // sticks in the used-callee mask — the allocated code would pay a
+  // prologue/epilogue (frame, save, restore) it does not need. take()
+  // also skips argument registers the lambda already pinned.
+  RegAlloc &RA = V.regAlloc();
+  auto Claim = [&](std::vector<Reg> &Pool, const std::vector<Reg> &Temps) {
+    for (Reg R : Temps)
+      if (RA.kindOf(R) == RegKind::CallerSaved && RA.isFree(R) &&
+          RA.take(R)) {
+        Pool.push_back(R);
+        Claimed.push_back(R);
+      }
+  };
+  const TargetInfo &TI = V.info();
+  Claim(IntPool, TI.IntTemps);
+  bool AnyFp = false;
+  for (const Slot &S : Slots)
+    AnyFp |= isFpType(S.Ty);
+  if (AnyFp)
+    Claim(FpPool, TI.FpTemps);
+}
+
+void VRegLayer::releaseClaimed() {
+  for (Reg R : Claimed)
+    V.putreg(R);
+  Claimed.clear();
+}
+
+Reg VRegLayer::physOf(int32_t Vr) const {
+  return Vr >= 0 ? Slots[Vr].Phys : Reg{};
+}
+
+bool VRegLayer::isSpilled(int32_t Vr) const {
+  return Vr >= 0 && Slots[Vr].Spilled;
+}
+
+Reg VRegLayer::scratchFor(Type Ty, unsigned Which) const {
+  Reg R = isFpType(Ty) ? FpScratch[Which] : IntScratch[Which];
+  if (!R.isValid())
+    fatal("vreg layer: spill with no reserved scratch register");
+  return R;
+}
+
+void VRegLayer::allocate() {
+  std::vector<LsVRegInfo> Infos(Slots.size());
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    Infos[I].Ty = Slots[I].Ty;
+    Infos[I].Pre = Slots[I].Pre;
+  }
+
+  std::unordered_map<int32_t, uint32_t> LabelPos;
+  for (uint32_t P = 0; P < Rec.size(); ++P)
+    if (Rec[P].K == RecOp::Lbl)
+      LabelPos[Rec[P].L.Id] = P;
+
+  std::vector<LsOpRefs> Refs(Rec.size());
+  std::vector<LsEdge> BackEdges;
+  for (uint32_t P = 0; P < Rec.size(); ++P) {
+    const RecOp &O = Rec[P];
+    LsOpRefs &R = Refs[P];
+    switch (O.K) {
+    case RecOp::Binop:
+      R.Use0 = O.S1;
+      R.Use1 = O.S2;
+      R.Def = O.D;
+      break;
+    case RecOp::BinopImm:
+    case RecOp::Unop:
+    case RecOp::Load:
+      R.Use0 = O.S1;
+      R.Def = O.D;
+      break;
+    case RecOp::SetInt:
+    case RecOp::FromPhys:
+      R.Def = O.D;
+      break;
+    case RecOp::Store:
+    case RecOp::Branch:
+      R.Use0 = O.S1;
+      R.Use1 = O.S2;
+      break;
+    case RecOp::BranchImm:
+    case RecOp::Ret:
+    case RecOp::JmpReg:
+      R.Use0 = O.S1;
+      break;
+    case RecOp::Lbl:
+    case RecOp::Jmp:
+      break;
+    }
+    if (O.K == RecOp::Branch || O.K == RecOp::BranchImm || O.K == RecOp::Jmp) {
+      auto It = LabelPos.find(O.L.Id);
+      if (It != LabelPos.end() && It->second <= P)
+        BackEdges.push_back(LsEdge{P, It->second});
+    }
+  }
+
+  LsResult LS = linearScan(Infos, Refs, BackEdges, IntPool, FpPool);
+  if (LS.Spills > 0) {
+    // Pressure: rerun with scratch registers held back so the replay can
+    // stage spilled operands. Two per class covers the worst op (both
+    // sources spilled).
+    auto Reserve = [&](std::vector<Reg> &Pool, Reg (&Scratch)[2],
+                       const char *What) {
+      if (Pool.size() < 2)
+        fatal("vreg layer: not enough %s registers to stage spills", What);
+      for (unsigned I = 0; I < 2; ++I) {
+        Scratch[I] = Pool.back();
+        Pool.pop_back();
+      }
+    };
+    Reserve(IntPool, IntScratch, "integer");
+    if (!FpPool.empty())
+      Reserve(FpPool, FpScratch, "floating-point");
+    LS = linearScan(Infos, Refs, BackEdges, IntPool, FpPool);
+  }
+
+  Spills = LS.Spills;
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    if (Slots[I].Pre.isValid()) {
+      Slots[I].Phys = Slots[I].Pre;
+      continue;
+    }
+    Slots[I].Phys = LS.Assign[I].Phys;
+    Slots[I].Spilled = LS.Assign[I].Spilled;
+    if (Slots[I].Spilled)
+      Slots[I].Home = V.localVar(Slots[I].Ty);
+  }
+}
+
+namespace {
+
+enum FillKind : uint8_t { FillNone = 0, FillPred, FillTarget };
+
+} // namespace
+
+void VRegLayer::replay() {
+  const TargetInfo &TI = V.info();
+  const size_t N = Rec.size();
+
+  auto IsBr = [&](const RecOp &O) {
+    return O.K == RecOp::Branch || O.K == RecOp::BranchImm || O.K == RecOp::Jmp;
+  };
+
+  // An op that may legally sit in a branch delay slot: a single emitted
+  // word on MIPS and SPARC, no memory access, no spilled operand.
+  auto SlotEligible = [&](const RecOp &O) {
+    switch (O.K) {
+    case RecOp::Binop:
+      if (isFpType(O.Ty) || isSpilled(O.D) || isSpilled(O.S1) ||
+          isSpilled(O.S2))
+        return false;
+      switch (BinOp(O.Op)) {
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::And:
+      case BinOp::Or:
+      case BinOp::Xor:
+        return true;
+      default:
+        return false;
+      }
+    case RecOp::BinopImm:
+      if (isFpType(O.Ty) || isSpilled(O.D) || isSpilled(O.S1))
+        return false;
+      switch (BinOp(O.Op)) {
+      case BinOp::Add:
+      case BinOp::Sub:
+        return O.Imm >= -2047 && O.Imm <= 2047;
+      case BinOp::And:
+      case BinOp::Or:
+      case BinOp::Xor:
+        return O.Imm >= 0 && O.Imm <= 2047;
+      case BinOp::Lsh:
+      case BinOp::Rsh:
+        return O.Imm >= 0 && O.Imm <= 31;
+      default:
+        return false;
+      }
+    case RecOp::Unop:
+      return UnOp(O.Op) == UnOp::Mov && !isFpType(O.Ty) && !isSpilled(O.D) &&
+             !isSpilled(O.S1) && physOf(O.D) != physOf(O.S1);
+    case RecOp::SetInt:
+      return !isFpType(O.Ty) && !isSpilled(O.D) && O.Imm >= -2047 &&
+             O.Imm <= 2047;
+    default:
+      return false;
+    }
+  };
+
+  // A branch must not read the register the slot op writes (the sim's
+  // delayed-NPC semantics evaluate the condition before the slot runs,
+  // but the recorded order computed the value first).
+  auto BranchReads = [&](const RecOp &Br, Reg Written) {
+    if (Br.K == RecOp::Branch)
+      return physOf(Br.S1) == Written || physOf(Br.S2) == Written;
+    if (Br.K == RecOp::BranchImm)
+      return physOf(Br.S1) == Written;
+    return false; // jmp
+  };
+  auto BranchSpilled = [&](const RecOp &Br) {
+    if (Br.K == RecOp::Branch)
+      return isSpilled(Br.S1) || isSpilled(Br.S2);
+    if (Br.K == RecOp::BranchImm)
+      return isSpilled(Br.S1);
+    return false; // jmp
+  };
+
+  std::vector<uint8_t> Fill(N, FillNone);  // per branch op
+  std::vector<uint8_t> Consumed(N, 0);     // op folded into a neighbor
+  std::vector<uint8_t> RetImm(N, 0);       // ret emitted as retImm
+  std::vector<int32_t> FillSrc(N, -1);     // FillTarget: op index to copy
+  std::unordered_map<int32_t, Label> SkipLabelOf; // label id -> skip label
+  std::unordered_multimap<uint32_t, Label> BindAfter; // op idx -> skip label
+
+  // Fold "setInt D, K; ret D" into one return-immediate: the constant's
+  // only consumer is the adjacent ret (a ret never falls through and no
+  // label separates the pair, so no other path can observe this def).
+  // On delay-slot machines the constant rides the return's slot; on the
+  // others the result move disappears. Either way, one instruction saved.
+  for (uint32_t I = 0; I + 1 < N; ++I) {
+    const RecOp &O = Rec[I];
+    const RecOp &R = Rec[I + 1];
+    if (O.K == RecOp::SetInt && !isFpType(O.Ty) && R.K == RecOp::Ret &&
+        !isFpType(R.Ty) && R.S1 == O.D) {
+      Consumed[I] = 1;
+      RetImm[I + 1] = 1;
+    }
+  }
+
+  if (TI.HasBranchDelaySlot) {
+    std::unordered_map<int32_t, uint32_t> LabelPos;
+    for (uint32_t P = 0; P < N; ++P)
+      if (Rec[P].K == RecOp::Lbl)
+        LabelPos[Rec[P].L.Id] = P;
+
+    // Pass 1: fill from the predecessor. The previous recorded op moves
+    // into the slot; it executes on every path through the branch (no
+    // label can sit between — it would be a distinct recorded op).
+    for (uint32_t I = 1; I < N; ++I) {
+      const RecOp &O = Rec[I];
+      if (!IsBr(O) || BranchSpilled(O) || Consumed[I - 1])
+        continue;
+      const RecOp &Prev = Rec[I - 1];
+      if (!SlotEligible(Prev) || BranchReads(O, physOf(Prev.D)))
+        continue;
+      Consumed[I - 1] = 1;
+      Fill[I] = FillPred;
+    }
+
+    // Pass 2: for unconditional jumps with an empty slot, copy the
+    // target's first instruction into the slot and retarget the jump to
+    // a skip label bound just past the copied instruction. Illegal for
+    // conditional branches (the slot executes on the fall-through path
+    // too).
+    for (uint32_t I = 0; I < N; ++I) {
+      if (Rec[I].K != RecOp::Jmp || Fill[I] != FillNone)
+        continue;
+      auto It = LabelPos.find(Rec[I].L.Id);
+      if (It == LabelPos.end())
+        continue;
+      uint32_t F = It->second;
+      while (F < N && Rec[F].K == RecOp::Lbl)
+        ++F;
+      if (F >= N || F == I || Consumed[F] || !SlotEligible(Rec[F]))
+        continue;
+      Fill[I] = FillTarget;
+      FillSrc[I] = int32_t(F);
+      auto Ins = SkipLabelOf.try_emplace(Rec[I].L.Id, Label{});
+      if (Ins.second) {
+        Ins.first->second = V.genLabel();
+        BindAfter.emplace(F, Ins.first->second);
+      }
+    }
+  }
+
+  Peephole PH(V, /*Enabled=*/true);
+
+  // Raw single-word emission for delay slots (operands are unspilled by
+  // eligibility).
+  auto EmitRaw = [&](const RecOp &O) {
+    switch (O.K) {
+    case RecOp::Binop:
+      V.binop(BinOp(O.Op), O.Ty, physOf(O.D), physOf(O.S1), physOf(O.S2));
+      break;
+    case RecOp::BinopImm:
+      V.binopImm(BinOp(O.Op), O.Ty, physOf(O.D), physOf(O.S1), O.Imm);
+      break;
+    case RecOp::Unop:
+      V.unop(UnOp(O.Op), O.Ty, physOf(O.D), physOf(O.S1));
+      break;
+    case RecOp::SetInt:
+      V.setInt(O.Ty, physOf(O.D), uint64_t(O.Imm));
+      break;
+    default:
+      fatal("vreg layer: op kind not legal in a delay slot");
+    }
+  };
+
+  // Loads a (possibly spilled) source operand; spilled ops run outside
+  // the peephole window, staged through the reserved scratch registers.
+  auto Use = [&](int32_t Vr, unsigned Which) {
+    if (!isSpilled(Vr))
+      return physOf(Vr);
+    Reg Sc = scratchFor(Slots[Vr].Ty, Which);
+    V.loadLocal(Slots[Vr].Ty, Sc, Slots[Vr].Home);
+    return Sc;
+  };
+  auto DefReg = [&](int32_t Vr) {
+    return isSpilled(Vr) ? scratchFor(Slots[Vr].Ty, 0) : physOf(Vr);
+  };
+  auto DefStore = [&](int32_t Vr, Reg R) {
+    if (isSpilled(Vr))
+      V.storeLocal(Slots[Vr].Ty, R, Slots[Vr].Home);
+  };
+  auto AnySpilled = [&](const RecOp &O) {
+    return isSpilled(O.D) || isSpilled(O.S1) || isSpilled(O.S2);
+  };
+
+  // If an emission error (CgAbort) unwinds out of the loop, drop the
+  // peephole window first: its dtor would otherwise flush into the
+  // poisoned function and raise again mid-unwind.
+  try {
+  for (uint32_t I = 0; I < N; ++I) {
+    const RecOp &O = Rec[I];
+    if (Consumed[I]) {
+      // Folded into the following branch's delay slot or return.
+    } else if (RetImm[I]) {
+      PH.flush();
+      V.retImm(O.Ty, Rec[I - 1].Imm);
+      ++RetFolds;
+    } else if (Fill[I] == FillPred) {
+      PH.flush();
+      const RecOp &SlotOp = Rec[I - 1];
+      V.scheduleDelay(
+          [&] {
+            if (O.K == RecOp::Branch)
+              V.branch(Cond(O.Op), O.Ty, physOf(O.S1), physOf(O.S2), O.L);
+            else if (O.K == RecOp::BranchImm)
+              V.branchImm(Cond(O.Op), O.Ty, physOf(O.S1), O.Imm, O.L);
+            else
+              V.jmp(O.L);
+          },
+          [&] { EmitRaw(SlotOp); });
+      ++DelayFills;
+    } else if (Fill[I] == FillTarget) {
+      PH.flush();
+      Label Skip = SkipLabelOf.at(O.L.Id);
+      V.scheduleDelay([&] { V.jmp(Skip); },
+                      [&] { EmitRaw(Rec[FillSrc[I]]); });
+      ++DelayFills;
+    } else {
+      switch (O.K) {
+      case RecOp::Binop:
+        if (AnySpilled(O)) {
+          PH.flush();
+          Reg A = Use(O.S1, 0), B = Use(O.S2, 1), D = DefReg(O.D);
+          V.binop(BinOp(O.Op), O.Ty, D, A, B);
+          DefStore(O.D, D);
+        } else {
+          PH.binop(BinOp(O.Op), O.Ty, physOf(O.D), physOf(O.S1),
+                   physOf(O.S2));
+        }
+        break;
+      case RecOp::BinopImm:
+        if (AnySpilled(O)) {
+          PH.flush();
+          Reg A = Use(O.S1, 0), D = DefReg(O.D);
+          V.binopImm(BinOp(O.Op), O.Ty, D, A, O.Imm);
+          DefStore(O.D, D);
+        } else if (BinOp(O.Op) == BinOp::Mul && !isFpType(O.Ty) &&
+                   physOf(O.D) != physOf(O.S1)) {
+          // Strength-reduce multiply-by-constant through the extension
+          // expansion (shift/add chains); it emits directly, so flush.
+          PH.flush();
+          emitMulConst(V, O.Ty, physOf(O.D), physOf(O.S1), O.Imm);
+        } else {
+          PH.binopImm(BinOp(O.Op), O.Ty, physOf(O.D), physOf(O.S1), O.Imm);
+        }
+        break;
+      case RecOp::Unop:
+        if (AnySpilled(O)) {
+          PH.flush();
+          Reg A = Use(O.S1, 0), D = DefReg(O.D);
+          V.unop(UnOp(O.Op), O.Ty, D, A);
+          DefStore(O.D, D);
+        } else {
+          PH.unop(UnOp(O.Op), O.Ty, physOf(O.D), physOf(O.S1));
+        }
+        break;
+      case RecOp::SetInt:
+        if (isSpilled(O.D)) {
+          PH.flush();
+          Reg D = DefReg(O.D);
+          V.setInt(O.Ty, D, uint64_t(O.Imm));
+          DefStore(O.D, D);
+        } else {
+          PH.setInt(O.Ty, physOf(O.D), uint64_t(O.Imm));
+        }
+        break;
+      case RecOp::Load:
+        if (AnySpilled(O)) {
+          PH.flush();
+          Reg B = Use(O.S1, 1), D = DefReg(O.D);
+          V.loadImm(O.Ty, D, B, O.Imm);
+          DefStore(O.D, D);
+        } else {
+          PH.loadImm(O.Ty, physOf(O.D), physOf(O.S1), O.Imm);
+        }
+        break;
+      case RecOp::Store:
+        if (AnySpilled(O)) {
+          PH.flush();
+          Reg Val = Use(O.S1, 0), B = Use(O.S2, 1);
+          V.storeImm(O.Ty, Val, B, O.Imm);
+        } else {
+          PH.storeImm(O.Ty, physOf(O.S1), physOf(O.S2), O.Imm);
+        }
+        break;
+      case RecOp::Branch:
+        if (AnySpilled(O)) {
+          PH.flush();
+          Reg A = Use(O.S1, 0), B = Use(O.S2, 1);
+          V.branch(Cond(O.Op), O.Ty, A, B, O.L);
+        } else {
+          PH.branch(Cond(O.Op), O.Ty, physOf(O.S1), physOf(O.S2), O.L);
+        }
+        break;
+      case RecOp::BranchImm:
+        if (AnySpilled(O)) {
+          PH.flush();
+          Reg A = Use(O.S1, 0);
+          V.branchImm(Cond(O.Op), O.Ty, A, O.Imm, O.L);
+        } else {
+          PH.branchImm(Cond(O.Op), O.Ty, physOf(O.S1), O.Imm, O.L);
+        }
+        break;
+      case RecOp::Ret:
+        if (AnySpilled(O)) {
+          PH.flush();
+          V.ret(O.Ty, Use(O.S1, 0));
+        } else {
+          PH.ret(O.Ty, physOf(O.S1));
+        }
+        break;
+      case RecOp::Lbl:
+        PH.label(O.L);
+        break;
+      case RecOp::Jmp:
+        PH.jmp(O.L);
+        break;
+      case RecOp::JmpReg:
+        PH.flush();
+        V.jmpr(Use(O.S1, 0));
+        break;
+      case RecOp::FromPhys:
+        if (Slots[O.D].Pre.isValid()) {
+          // Pre-colored: the vreg *is* the argument register.
+        } else if (isSpilled(O.D)) {
+          PH.flush();
+          V.storeLocal(O.Ty, O.Phys, Slots[O.D].Home);
+        } else if (physOf(O.D) != O.Phys) {
+          PH.unop(UnOp::Mov, O.Ty, physOf(O.D), O.Phys);
+        }
+        break;
+      }
+    }
+    // Bind any fill-from-target skip labels that land right after this op.
+    auto Range = BindAfter.equal_range(I);
+    if (Range.first != Range.second) {
+      PH.flush();
+      for (auto It = Range.first; It != Range.second; ++It)
+        V.label(It->second);
+    }
+  }
+  PH.flush();
+  } catch (...) {
+    PH.discard();
+    throw;
+  }
+  PhSaved = PH.saved();
+}
+
+void VRegLayer::finish() {
+  if (Mode == Tier::Tier0 || Finished)
+    return;
+  Finished = true;
+  VCODE_TM_COUNT("core.tier1.recordings", 1);
+  VCODE_TM_COUNT("core.tier1.recorded_ops", Rec.size());
+  claimPools();
+  try {
+    allocate();
+    replay();
+  } catch (...) {
+    // An emission error (e.g. buffer overflow) unwound out of the
+    // replay: release the claimed pool so the caller's retry starts
+    // from a clean allocator, then let the driver see the error.
+    releaseClaimed();
+    throw;
+  }
+  releaseClaimed();
+  if (Spills)
+    VCODE_TM_COUNT("core.tier1.spills", Spills);
+  if (DelayFills)
+    VCODE_TM_COUNT("core.tier1.delay_fills", DelayFills);
+  if (RetFolds)
+    VCODE_TM_COUNT("core.tier1.ret_folds", RetFolds);
 }

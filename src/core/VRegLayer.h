@@ -11,17 +11,28 @@
 /// the addition of this (optional) support would increase code generation
 /// cost by roughly a factor of two."
 ///
-/// The layer sits strictly on top of the VCode core: virtual registers are
-/// backed by stack locals (v_local) plus a small set of physical staging
-/// registers; every layered instruction loads its sources, operates, and
-/// stores its destination. bench_ablation measures the predicted ~2x
-/// code-generation cost.
+/// The layer runs at either generation tier (core/Tier.h):
+///
+/// Tier-0 (the original layer): virtual registers are backed by stack
+/// locals (v_local) plus a small set of physical staging registers; every
+/// layered instruction loads its sources, operates, and stores its
+/// destination — the paper's naive cost model, measured by bench_ablation.
+///
+/// Tier-1: the same mirrored surface *records* a compact buffered IR
+/// (per-op vreg defs/uses) instead of emitting. finish() then runs
+/// linear-scan register allocation over the recording (core/LinearScan.h)
+/// and replays it through the real emitters with the Peephole and
+/// StrengthReduce layers applied unconditionally and branch delay slots
+/// filled on machines that have them (MIPS/SPARC). Values live in real
+/// registers; stack homes are allocated only for vregs the allocator
+/// spills under pressure.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef VCODE_CORE_VREGLAYER_H
 #define VCODE_CORE_VREGLAYER_H
 
+#include "core/Tier.h"
 #include "core/VCode.h"
 #include <vector>
 
@@ -34,18 +45,28 @@ struct VReg {
 };
 
 /// Per-function virtual-register state layered over a VCode stream.
-/// Create after v_lambda; use the mirrored instruction surface; the real
-/// registers it stages through are claimed from the core allocator.
+/// Create after v_lambda; use the mirrored instruction surface; call
+/// finish() before v_end (a no-op at Tier-0, the allocate-and-replay
+/// pass at Tier-1).
 class VRegLayer {
 public:
-  explicit VRegLayer(VCode &V);
+  explicit VRegLayer(VCode &V, Tier T = Tier::Tier0);
   ~VRegLayer();
+
+  Tier tier() const { return Mode; }
 
   /// Allocates a fresh virtual register of type \p Ty (never fails until
   /// stack space runs out).
   VReg alloc(Type Ty);
 
-  /// Copies a physical register (e.g. an incoming argument) into a vreg.
+  /// A vreg holding the incoming argument in \p ArgReg. At Tier-1 the
+  /// vreg is pre-colored to the argument register (no copy); at Tier-0
+  /// this is alloc + fromPhys.
+  VReg fromArg(Type Ty, Reg ArgReg);
+
+  /// Copies a physical register into a vreg. The source must still hold
+  /// its value when finish() replays at Tier-1 — argument registers and
+  /// registers the client has not released qualify.
   void fromPhys(VReg Dst, Reg Src);
 
   // Mirrored instruction surface.
@@ -59,19 +80,90 @@ public:
   void branchImm(Cond C, Type Ty, VReg A, int64_t Imm, Label L);
   void ret(Type Ty, VReg Rs);
 
+  // Control flow must route through the layer so the Tier-1 recording
+  // sees it (labels resolve positions, backward branches extend
+  // liveness across loops). At Tier-0 these forward directly.
+  void label(Label L);
+  void jmp(Label L);
+  void jmpReg(VReg R);
+
+  /// Tier-1: allocates registers over the recording and replays it
+  /// through the optimizing emitters. Tier-0: no-op. Idempotent.
+  void finish();
+
+  // Post-finish() introspection (Tier-1; zero at Tier-0).
+  unsigned spillCount() const { return Spills; }
+  unsigned delayFills() const { return DelayFills; }
+  unsigned retFolds() const { return RetFolds; }
+  unsigned peepholeSaved() const { return PhSaved; }
+  size_t recordedOps() const { return Rec.size(); }
+
 private:
   struct Slot {
-    Local Home;
-    Type Ty;
+    Local Home;          ///< Tier-0: staging home. Tier-1: spill home.
+    Type Ty = Type::I;
+    Reg Pre;             ///< Tier-1 pre-color (argument registers)
+    Reg Phys;            ///< Tier-1 assignment (invalid when spilled)
+    bool Spilled = false;
   };
+
+  /// One recorded operation of the Tier-1 buffered IR.
+  struct RecOp {
+    enum Kind : uint8_t {
+      Binop,
+      BinopImm,
+      Unop,
+      SetInt,
+      Load,
+      Store,
+      Branch,
+      BranchImm,
+      Ret,
+      Lbl,
+      Jmp,
+      JmpReg,
+      FromPhys,
+    };
+    Kind K = Binop;
+    uint8_t Op = 0; ///< BinOp / UnOp / Cond, per kind
+    Type Ty = Type::I;
+    int32_t D = -1, S1 = -1, S2 = -1; ///< vreg refs
+    int64_t Imm = 0;                  ///< immediate / offset / set value
+    Label L;                          ///< branch target / bound label
+    Reg Phys;                         ///< FromPhys source
+  };
+
+  // --- Tier-0 path ----------------------------------------------------------
   Reg stage(unsigned Which, Type Ty); ///< staging register 0/1/2
   Reg readIn(VReg R, unsigned Which); ///< load vreg into a staging reg
   void writeBack(VReg R, Reg Phys);   ///< store staging reg to its home
 
+  // --- Tier-1 path ----------------------------------------------------------
+  RecOp &rec(RecOp::Kind K);
+  void checkVReg(VReg R) const;
+  void claimPools();
+  void releaseClaimed();
+  void allocate();
+  void replay();
+  Reg physOf(int32_t V) const;
+  bool isSpilled(int32_t V) const;
+  Reg scratchFor(Type Ty, unsigned Which) const;
+
   VCode &V;
+  Tier Mode;
   std::vector<Slot> Slots;
   Reg IntStage[3];
   Reg FpStage[3];
+
+  std::vector<RecOp> Rec;
+  std::vector<Reg> IntPool, FpPool;
+  Reg IntScratch[2], FpScratch[2];
+  std::vector<Reg> Claimed; ///< everything to putreg (pool + scratch)
+  bool Finished = false;
+  unsigned Spills = 0;
+  unsigned DelayFills = 0;
+  unsigned RetFolds = 0;
+  unsigned PhSaved = 0;
 };
 
 } // namespace vcode

@@ -23,6 +23,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "dpf/Engines.h"
+#include "core/TierStream.h"
+#include "core/VRegLayer.h"
 #include "support/BitUtils.h"
 #include <algorithm>
 
@@ -64,219 +66,245 @@ bool findPerfectHash(const std::vector<uint32_t> &Keys, unsigned Bits,
 
 } // namespace
 
-void DpfEngine::emitBinarySearch(VCode &V, std::vector<EdgeCase> &Cases,
-                                 size_t Lo, size_t Hi, Reg V0, Label Reject) {
-  if (Hi - Lo <= 2) {
-    for (size_t I = Lo; I <= Hi; ++I)
-      V.bequi(V0, Cases[I].Value, Cases[I].Target);
-    V.jmp(Reject);
-    return;
-  }
-  size_t Mid = (Lo + Hi) / 2;
-  V.bequi(V0, Cases[Mid].Value, Cases[Mid].Target);
-  Label LLeft = V.genLabel();
-  V.bltui(V0, Cases[Mid].Value, LLeft);
-  if (Mid + 1 <= Hi)
-    emitBinarySearch(V, Cases, Mid + 1, Hi, V0, Reject);
-  else
-    V.jmp(Reject);
-  V.label(LLeft);
-  if (Mid >= Lo + 1)
-    emitBinarySearch(V, Cases, Lo, Mid - 1, V0, Reject);
-  else
-    V.jmp(Reject);
-}
+/// The classifier emitter, instantiated per tier stream. St is a
+/// DirectStream (Tier-0: pass-through, byte-identical to the historical
+/// emission) or RecStream (Tier-1: records vreg IR for linear scan and
+/// the optimizing replay).
+template <typename S> struct DpfEngine::Em {
+  using R = typename S::RegT;
 
-void DpfEngine::emitDispatch(VCode &V, std::vector<EdgeCase> &Cases, Reg V0,
-                             Reg T0, Label Reject) {
-  unsigned WB = Tgt.info().WordBytes;
-  std::sort(Cases.begin(), Cases.end(),
-            [](const EdgeCase &A, const EdgeCase &B) {
-              return A.Value < B.Value;
-            });
-  size_t N = Cases.size();
-  uint32_t LoV = Cases.front().Value, HiV = Cases.back().Value;
-  uint64_t Range = uint64_t(HiV) - LoV + 1;
-  bool Dense = Range <= 2 * N + 2;
+  DpfEngine &E;
+  S &St;
 
-  Dispatch D = Strategy;
-  if (D == Dispatch::Auto) {
-    if (N <= 3)
-      D = Dispatch::Chain;
-    else if (Dense)
-      D = Dispatch::Table;
-    else if (N >= 8)
-      D = Dispatch::Hash;
+  void emitBinarySearch(std::vector<EdgeCase> &Cases, size_t Lo, size_t Hi,
+                        R V0, Label Reject) {
+    if (Hi - Lo <= 2) {
+      for (size_t I = Lo; I <= Hi; ++I)
+        St.bequi(V0, Cases[I].Value, Cases[I].Target);
+      St.jmp(Reject);
+      return;
+    }
+    size_t Mid = (Lo + Hi) / 2;
+    St.bequi(V0, Cases[Mid].Value, Cases[Mid].Target);
+    Label LLeft = St.genLabel();
+    St.bltui(V0, Cases[Mid].Value, LLeft);
+    if (Mid + 1 <= Hi)
+      emitBinarySearch(Cases, Mid + 1, Hi, V0, Reject);
     else
-      D = Dispatch::Binary;
+      St.jmp(Reject);
+    St.label(LLeft);
+    if (Mid >= Lo + 1)
+      emitBinarySearch(Cases, Lo, Mid - 1, V0, Reject);
+    else
+      St.jmp(Reject);
   }
 
-  switch (D) {
-  case Dispatch::Chain:
-    Used = "chain";
-    for (EdgeCase &C : Cases)
-      V.bequi(V0, C.Value, C.Target);
-    V.jmp(Reject);
-    return;
+  void emitDispatch(std::vector<EdgeCase> &Cases, R V0, R T0, Label Reject) {
+    unsigned WB = E.Tgt.info().WordBytes;
+    std::sort(Cases.begin(), Cases.end(),
+              [](const EdgeCase &A, const EdgeCase &B) {
+                return A.Value < B.Value;
+              });
+    size_t N = Cases.size();
+    uint32_t LoV = Cases.front().Value, HiV = Cases.back().Value;
+    uint64_t Range = uint64_t(HiV) - LoV + 1;
+    bool Dense = Range <= 2 * N + 2;
 
-  case Dispatch::Binary:
-    Used = "binary";
-    emitBinarySearch(V, Cases, 0, N - 1, V0, Reject);
-    return;
+    Dispatch D = E.Strategy;
+    if (D == Dispatch::Auto) {
+      if (N <= 3)
+        D = Dispatch::Chain;
+      else if (Dense)
+        D = Dispatch::Table;
+      else if (N >= 8)
+        D = Dispatch::Hash;
+      else
+        D = Dispatch::Binary;
+    }
 
-  case Dispatch::Table: {
-    Used = "table";
-    if (Range > 4096) { // degenerate request; fall back
-      emitBinarySearch(V, Cases, 0, N - 1, V0, Reject);
+    switch (D) {
+    case Dispatch::Chain:
+      E.Used = "chain";
+      for (EdgeCase &C : Cases)
+        St.bequi(V0, C.Value, C.Target);
+      St.jmp(Reject);
+      return;
+
+    case Dispatch::Binary:
+      E.Used = "binary";
+      emitBinarySearch(Cases, 0, N - 1, V0, Reject);
+      return;
+
+    case Dispatch::Table: {
+      E.Used = "table";
+      if (Range > 4096) { // degenerate request; fall back
+        emitBinarySearch(Cases, 0, N - 1, V0, Reject);
+        return;
+      }
+      SimAddr Table = E.Mem.alloc(size_t(Range) * WB, 8);
+      TablePatch TP;
+      TP.TableAddr = Table;
+      TP.Slots.assign(size_t(Range), Label()); // invalid -> reject
+      for (EdgeCase &C : Cases)
+        TP.Slots[C.Value - LoV] = C.Target;
+      E.Tables.push_back(std::move(TP));
+
+      R TPReg = St.temp(Type::P);
+      if (!TPReg.isValid())
+        fatalKind(CgErrKind::RegisterPressure,
+                  "dpf: out of registers for table dispatch");
+      St.subui(T0, V0, int64_t(LoV));
+      St.bgtui(T0, int64_t(Range - 1), Reject);
+      St.lshii(T0, T0, int64_t(log2Floor(WB)));
+      St.setp(TPReg, Table);
+      St.addp(TPReg, TPReg, T0);
+      St.ldpi(TPReg, TPReg, 0);
+      St.jmpr(TPReg);
+      St.release(TPReg);
       return;
     }
-    SimAddr Table = Mem.alloc(size_t(Range) * WB, 8);
-    TablePatch TP;
-    TP.TableAddr = Table;
-    TP.Slots.assign(size_t(Range), Label()); // invalid -> reject
-    for (EdgeCase &C : Cases)
-      TP.Slots[C.Value - LoV] = C.Target;
-    Tables.push_back(std::move(TP));
 
-    Reg TPReg = V.getreg(Type::P);
-    if (!TPReg.isValid())
-      fatalKind(CgErrKind::RegisterPressure,
-                "dpf: out of registers for table dispatch");
-    V.subui(T0, V0, int64_t(LoV));
-    V.bgtui(T0, int64_t(Range - 1), Reject);
-    V.lshii(T0, T0, int64_t(log2Floor(WB)));
-    V.setp(TPReg, Table);
-    V.addp(TPReg, TPReg, T0);
-    V.ldpi(TPReg, TPReg, 0);
-    V.jmpr(TPReg);
-    V.putreg(TPReg);
-    return;
-  }
+    case Dispatch::Hash: {
+      unsigned Bits = 1;
+      while ((size_t(1) << Bits) < 2 * N)
+        ++Bits;
+      uint32_t Mult = 0;
+      std::vector<uint32_t> Keys;
+      for (EdgeCase &C : Cases)
+        Keys.push_back(C.Value);
+      if (!findPerfectHash(Keys, Bits, Mult)) {
+        E.Used = "binary (no perfect hash)";
+        emitBinarySearch(Cases, 0, N - 1, V0, Reject);
+        return;
+      }
+      E.Used = "hash";
+      size_t TSize = size_t(1) << Bits;
+      SimAddr Table = E.Mem.alloc(TSize * WB, 8);
+      TablePatch TP;
+      TP.TableAddr = Table;
+      TP.Slots.assign(TSize, Label());
 
-  case Dispatch::Hash: {
-    unsigned Bits = 1;
-    while ((size_t(1) << Bits) < 2 * N)
-      ++Bits;
-    uint32_t Mult = 0;
-    std::vector<uint32_t> Keys;
-    for (EdgeCase &C : Cases)
-      Keys.push_back(C.Value);
-    if (!findPerfectHash(Keys, Bits, Mult)) {
-      Used = "binary (no perfect hash)";
-      emitBinarySearch(V, Cases, 0, N - 1, V0, Reject);
+      // Verification stubs: since keys are known at code-generation time,
+      // each slot needs exactly one compare — there are no collision
+      // chains.
+      std::vector<Label> Stubs;
+      for (EdgeCase &C : Cases) {
+        uint32_t H = (C.Value * Mult) >> (32 - Bits);
+        Label Stub = St.genLabel();
+        TP.Slots[H] = Stub;
+        Stubs.push_back(Stub);
+      }
+      E.Tables.push_back(std::move(TP));
+
+      R TPReg = St.temp(Type::P);
+      if (!TPReg.isValid())
+        fatalKind(CgErrKind::RegisterPressure,
+                  "dpf: out of registers for hash dispatch");
+      // The chosen hash function is encoded directly in the instruction
+      // stream (paper §4.2).
+      St.mului(T0, V0, int64_t(Mult));
+      St.rshui(T0, T0, int64_t(32 - Bits));
+      St.lshii(T0, T0, int64_t(log2Floor(WB)));
+      St.setp(TPReg, Table);
+      St.addp(TPReg, TPReg, T0);
+      St.ldpi(TPReg, TPReg, 0);
+      St.jmpr(TPReg);
+      St.release(TPReg);
+
+      for (size_t I = 0; I < Cases.size(); ++I) {
+        St.label(Stubs[I]);
+        St.bneui(V0, Cases[I].Value, Reject);
+        St.jmp(Cases[I].Target);
+      }
       return;
     }
-    Used = "hash";
-    size_t TSize = size_t(1) << Bits;
-    SimAddr Table = Mem.alloc(TSize * WB, 8);
-    TablePatch TP;
-    TP.TableAddr = Table;
-    TP.Slots.assign(TSize, Label());
 
-    // Verification stubs: since keys are known at code-generation time,
-    // each slot needs exactly one compare — there are no collision chains.
-    std::vector<Label> Stubs;
-    for (EdgeCase &C : Cases) {
-      uint32_t H = (C.Value * Mult) >> (32 - Bits);
-      Label Stub = V.genLabel();
-      TP.Slots[H] = Stub;
-      Stubs.push_back(Stub);
+    case Dispatch::Auto:
+      break;
     }
-    Tables.push_back(std::move(TP));
-
-    Reg TPReg = V.getreg(Type::P);
-    if (!TPReg.isValid())
-      fatalKind(CgErrKind::RegisterPressure,
-                "dpf: out of registers for hash dispatch");
-    // The chosen hash function is encoded directly in the instruction
-    // stream (paper §4.2).
-    V.mului(T0, V0, int64_t(Mult));
-    V.rshui(T0, T0, int64_t(32 - Bits));
-    V.lshii(T0, T0, int64_t(log2Floor(WB)));
-    V.setp(TPReg, Table);
-    V.addp(TPReg, TPReg, T0);
-    V.ldpi(TPReg, TPReg, 0);
-    V.jmpr(TPReg);
-    V.putreg(TPReg);
-
-    for (size_t I = 0; I < Cases.size(); ++I) {
-      V.label(Stubs[I]);
-      V.bneui(V0, Cases[I].Value, Reject);
-      V.jmp(Cases[I].Target);
-    }
-    return;
+    unreachable("bad dispatch strategy");
   }
 
-  case Dispatch::Auto:
-    break;
+  void emitNode(const Trie &T, int NodeIdx, R Msg, R V0, R T0,
+                Label Reject) {
+    const Trie::Node &N = T.Nodes[NodeIdx];
+    if (!N.HasField) {
+      // Accept state: the id is a code-generation-time constant.
+      St.seti(V0, N.AcceptId);
+      St.reti(V0);
+      return;
+    }
+
+    // Fully specialized field fetch: offset and width are encoded in the
+    // instruction, not fetched from a description.
+    switch (N.Size) {
+    case 1:
+      St.lduci(V0, Msg, N.Offset);
+      break;
+    case 2:
+      St.ldusi(V0, Msg, N.Offset);
+      break;
+    default:
+      St.ldui(V0, Msg, N.Offset);
+      break;
+    }
+    if (N.Mask != fullMask(N.Size))
+      St.andui(V0, V0, N.Mask);
+
+    std::vector<EdgeCase> Cases;
+    Cases.reserve(N.Edges.size());
+    for (const auto &[Value, Child] : N.Edges)
+      Cases.push_back(EdgeCase{Value, St.genLabel()});
+
+    if (Cases.size() == 1) {
+      // Single successor: a compare-immediate falls through to the child.
+      St.bneui(V0, Cases[0].Value, Reject);
+      St.label(Cases[0].Target);
+      emitNode(T, N.Edges.begin()->second, Msg, V0, T0, Reject);
+      return;
+    }
+
+    emitDispatch(Cases, V0, T0, Reject);
+    size_t I = 0;
+    for (const auto &[Value, Child] : N.Edges) {
+      // Cases were sorted by value; map::iteration is sorted too.
+      St.label(Cases[I].Target);
+      emitNode(T, Child, Msg, V0, T0, Reject);
+      ++I;
+    }
   }
-  unreachable("bad dispatch strategy");
+};
+
+template <typename S>
+Label DpfEngine::emitAll(S &St, const Trie &T, Reg MsgArg) {
+  auto Msg = St.fromArg(Type::P, MsgArg);
+  auto V0 = St.temp(Type::U);
+  auto T0 = St.temp(Type::U);
+  Label Reject = St.genLabel();
+  Em<S> W{*this, St};
+  W.emitNode(T, 0, Msg, V0, T0, Reject);
+  St.label(Reject);
+  St.seti(V0, -1);
+  St.reti(V0);
+  St.finish();
+  return Reject;
 }
 
-void DpfEngine::emitNode(VCode &V, const Trie &T, int NodeIdx, Reg Msg,
-                         Reg V0, Reg T0, Label Reject) {
-  const Trie::Node &N = T.Nodes[NodeIdx];
-  if (!N.HasField) {
-    // Accept state: the id is a code-generation-time constant.
-    V.seti(V0, N.AcceptId);
-    V.reti(V0);
-    return;
-  }
-
-  // Fully specialized field fetch: offset and width are encoded in the
-  // instruction, not fetched from a description.
-  switch (N.Size) {
-  case 1:
-    V.lduci(V0, Msg, N.Offset);
-    break;
-  case 2:
-    V.ldusi(V0, Msg, N.Offset);
-    break;
-  default:
-    V.ldui(V0, Msg, N.Offset);
-    break;
-  }
-  if (N.Mask != fullMask(N.Size))
-    V.andui(V0, V0, N.Mask);
-
-  std::vector<EdgeCase> Cases;
-  Cases.reserve(N.Edges.size());
-  for (const auto &[Value, Child] : N.Edges)
-    Cases.push_back(EdgeCase{Value, V.genLabel()});
-
-  if (Cases.size() == 1) {
-    // Single successor: a compare-immediate falls through to the child.
-    V.bneui(V0, Cases[0].Value, Reject);
-    V.label(Cases[0].Target);
-    emitNode(V, T, N.Edges.begin()->second, Msg, V0, T0, Reject);
-    return;
-  }
-
-  emitDispatch(V, Cases, V0, T0, Reject);
-  size_t I = 0;
-  for (const auto &[Value, Child] : N.Edges) {
-    // Cases were sorted by value; map::iteration is sorted too.
-    V.label(Cases[I].Target);
-    emitNode(V, T, Child, Msg, V0, T0, Reject);
-    ++I;
-  }
-}
-
-CodePtr DpfEngine::emitInto(VCode &V, const Trie &T, CodeMem CM) {
+CodePtr DpfEngine::emitInto(VCode &V, const Trie &T, CodeMem CM, Tier Tr) {
   Tables.clear();
   Used = "none";
 
   Reg Arg[1];
   V.lambda("%p", Arg, LeafHint, CM);
-  Reg Msg = Arg[0];
-  Reg V0 = V.getreg(Type::U);
-  Reg T0 = V.getreg(Type::U);
-  Label Reject = V.genLabel();
-
-  emitNode(V, T, 0, Msg, V0, T0, Reject);
-  V.label(Reject);
-  V.seti(V0, -1);
-  V.reti(V0);
+  Label Reject;
+  if (Tr == Tier::Tier1) {
+    VRegLayer L(V, Tier::Tier1);
+    RecStream St(V, L);
+    Reject = emitAll(St, T, Arg[0]);
+  } else {
+    DirectStream St(V);
+    Reject = emitAll(St, T, Arg[0]);
+  }
   CodePtr P = V.end();
   if (!P.isValid()) // recovery mode: poisoned attempt, tables untouched
     return P;
@@ -299,15 +327,22 @@ CodePtr DpfEngine::emitInto(VCode &V, const Trie &T, CodeMem CM) {
 
 void DpfEngine::install(const std::vector<Filter> &Filters) {
   CacheHandle = CodeCache::Handle(); // private install: unpin shared code
+  SharedCache = nullptr;
+  SharedKey.clear();
+  SharedFilters.clear();
   Trie T = Trie::build(Filters);
   VCode V(Tgt);
-  installWithRetry(V, [&](CodeMem CM) { return emitInto(V, T, CM); });
+  installWithRetry(
+      V, [&](CodeMem CM, Tier Tr) { return emitInto(V, T, CM, Tr); },
+      GenTier);
 }
 
 bool DpfEngine::installShared(CodeCache &Cache,
                               const std::vector<Filter> &Filters) {
   static const char *const DispatchNames[] = {"auto", "chain", "binary",
                                               "hash", "table"};
+  // Deliberately tier-independent: promotion swaps code versions under
+  // this same key rather than caching tiers side by side.
   std::string Key = "dpf|";
   Key += Tgt.info().Name;
   Key += '|';
@@ -325,9 +360,11 @@ bool DpfEngine::installShared(CodeCache &Cache,
         VCode V(Tgt);
         GenerateOptions Opts;
         Opts.InitialBytes = InitialCodeBytes;
+        Opts.GenTier = GenTier;
         GenerateResult R = generateWithRetry(
             V, [&](size_t N) { return Alloc(N); },
-            [&](CodeMem CM) { return emitInto(V, T, CM); }, Opts);
+            [&](CodeMem CM, Tier Tr) { return emitInto(V, T, CM, Tr); },
+            Opts);
         MyAttempts = R.Attempts;
         MyRegionBytes = R.RegionBytes;
         return R;
@@ -339,6 +376,52 @@ bool DpfEngine::installShared(CodeCache &Cache,
   Code = H.code();
   Attempts = Generated ? MyAttempts : 0;
   RegionBytes = Generated ? MyRegionBytes : H.regionBytes();
+  SharedCache = &Cache;
+  SharedKey = std::move(Key);
+  SharedFilters = Filters;
   VCODE_TM_COUNT("dpf.installs_shared", 1);
   return !Generated;
+}
+
+bool DpfEngine::promoteShared() {
+  if (!SharedCache || SharedKey.empty())
+    return false;
+  bool Swapped =
+      SharedCache->promote(SharedKey, [&](CodeCache::RegionAlloc &Alloc) {
+        Trie T = Trie::build(SharedFilters);
+        VCode V(Tgt);
+        GenerateOptions Opts;
+        Opts.InitialBytes = InitialCodeBytes;
+        Opts.GenTier = Tier::Tier1;
+        return generateWithRetry(
+            V, [&](size_t N) { return Alloc(N); },
+            [&](CodeMem CM, Tier Tr) { return emitInto(V, T, CM, Tr); },
+            Opts);
+      });
+  if (Swapped)
+    VCODE_TM_COUNT("dpf.promotions", 1);
+  return Swapped;
+}
+
+int DpfEngine::classify(sim::Cpu &Cpu, SimAddr Msg) {
+  // Shared classifiers dispatch through a pinned code version so a
+  // concurrent promotion can never reclaim the region mid-call.
+  if (SharedCache && CacheHandle.valid()) {
+    auto Ver = CacheHandle.pin();
+    if (Ver) {
+      uint64_t N = CacheHandle.noteExecution();
+      // Exactly one dispatcher observes the threshold-crossing count;
+      // it performs (or delegates to promote()'s gate) the regeneration.
+      if (HotThreshold && N == HotThreshold &&
+          Ver->GenTier == Tier::Tier0 && promoteShared()) {
+        if (auto NewVer = CacheHandle.pin())
+          Ver = std::move(NewVer);
+      }
+      VCODE_TM_COUNT("dpf.dispatches", 1);
+      return Cpu.call(Ver->Code.Entry, {sim::TypedValue::fromPtr(Msg)},
+                      Type::I)
+          .asInt32();
+    }
+  }
+  return Engine::classify(Cpu, Msg);
 }

@@ -32,10 +32,12 @@
 
 #include "core/CodeCache.h"
 #include "core/Generate.h"
+#include "core/Tier.h"
 #include "core/VCode.h"
 #include "dpf/Filter.h"
 #include "sim/Cpu.h"
 #include "sim/Memory.h"
+#include <string>
 
 namespace vcode {
 namespace dpf {
@@ -62,8 +64,9 @@ public:
   /// Code-region size of the last install's successful attempt.
   size_t regionBytes() const { return RegionBytes; }
 
-  /// Runs the classifier for the message at \p Msg.
-  int classify(sim::Cpu &Cpu, SimAddr Msg) {
+  /// Runs the classifier for the message at \p Msg. Virtual so engines
+  /// with tiered promotion can count executions and swap versions.
+  virtual int classify(sim::Cpu &Cpu, SimAddr Msg) {
     VCODE_TM_COUNT("dpf.dispatches", 1);
     return Cpu.call(Code.Entry, {sim::TypedValue::fromPtr(Msg)}, Type::I)
         .asInt32();
@@ -80,9 +83,11 @@ protected:
   /// persistent data structures must be written *before* calling this.
   /// Aborts (or raises through an outer recovery handler) if generation
   /// still fails at the growth cap.
-  template <typename EmitFn> void installWithRetry(VCode &V, EmitFn Emit) {
+  template <typename EmitFn>
+  void installWithRetry(VCode &V, EmitFn Emit, Tier T = Tier::Tier0) {
     GenerateOptions Opts;
     Opts.InitialBytes = InitialCodeBytes;
+    Opts.GenTier = T;
     VCODE_TM_TICK(TmInstall);
     SimAddr Mark = Mem.mark();
     GenerateResult R = generateWithRetry(
@@ -133,8 +138,32 @@ public:
   enum class Dispatch { Auto, Chain, Binary, Hash, Table };
 
   DpfEngine(Target &T, sim::Memory &M, Dispatch D = Dispatch::Auto)
-      : Engine(T, M, 32768), Strategy(D) {}
+      : Engine(T, M, 32768), Strategy(D), GenTier(defaultTier()) {}
   void install(const std::vector<Filter> &Filters) override;
+
+  /// Selects the generation tier for subsequent installs (Tier-0 emits in
+  /// place as installed filters always did; Tier-1 records a vreg IR,
+  /// allocates registers by linear scan, and replays through the
+  /// optimizing emitters). Defaults to defaultTier() (VCODE_TIER env).
+  void setTier(Tier T) { GenTier = T; }
+  Tier tier() const { return GenTier; }
+
+  /// Enables hot-function promotion for installShared() classifiers:
+  /// once a shared classifier has executed \p N times (counted across
+  /// every engine dispatching it), the dispatcher that crosses the
+  /// threshold regenerates it at Tier-1 and the cache swaps versions
+  /// under the running dispatchers. 0 (the default) disables promotion.
+  void setHotThreshold(uint64_t N) { HotThreshold = N; }
+  uint64_t hotThreshold() const { return HotThreshold; }
+
+  /// Tiered dispatch: executes the pinned current version of a shared
+  /// classifier, counting executions and promoting at the threshold.
+  int classify(sim::Cpu &Cpu, SimAddr Msg) override;
+
+  /// Regenerates the installShared() classifier at Tier-1 and swaps it
+  /// into the cache (exactly one promoter wins across all engines
+  /// sharing the entry). Returns true when this call performed the swap.
+  bool promoteShared();
 
   /// Cache-backed install. The canonical key of \p Filters (plus target
   /// and dispatch strategy) is looked up in \p Cache: the first caller
@@ -154,28 +183,37 @@ public:
   /// widest node (for reporting).
   const char *dispatchUsed() const { return Used; }
 
-  /// One emission attempt of the classifier for \p T into \p CM: the
-  /// single-shot body install() retries with grown regions. Exposed so
-  /// fault-injection tests can drive it with an undersized region under a
-  /// caller-controlled error policy. On success the dispatch tables are
-  /// filled with resolved code addresses; on a poisoned recovery-mode
-  /// attempt it returns an invalid CodePtr and touches no table memory.
-  CodePtr emitInto(VCode &V, const Trie &T, CodeMem CM);
+  /// One emission attempt of the classifier for \p T into \p CM at tier
+  /// \p Tr: the single-shot body install() retries with grown regions.
+  /// Exposed so fault-injection tests can drive it with an undersized
+  /// region under a caller-controlled error policy. On success the
+  /// dispatch tables are filled with resolved code addresses; on a
+  /// poisoned recovery-mode attempt it returns an invalid CodePtr and
+  /// touches no table memory.
+  CodePtr emitInto(VCode &V, const Trie &T, CodeMem CM, Tier Tr);
+  CodePtr emitInto(VCode &V, const Trie &T, CodeMem CM) {
+    return emitInto(V, T, CM, GenTier);
+  }
 
 private:
   struct EdgeCase {
     uint32_t Value;
     Label Target;
   };
-  void emitNode(VCode &V, const Trie &T, int NodeIdx, Reg Msg, Reg V0,
-                Reg T0, Label Reject);
-  void emitDispatch(VCode &V, std::vector<EdgeCase> &Cases, Reg V0, Reg T0,
-                    Label Reject);
-  void emitBinarySearch(VCode &V, std::vector<EdgeCase> &Cases, size_t Lo,
-                        size_t Hi, Reg V0, Label Reject);
+  /// The classifier emitter, templated over the tier's emission stream
+  /// (core/TierStream.h): DirectStream reproduces the historical in-place
+  /// emission byte for byte; RecStream records for Tier-1.
+  template <typename S> struct Em;
+  template <typename S> Label emitAll(S &St, const Trie &T, Reg MsgArg);
 
   Dispatch Strategy;
   const char *Used = "none";
+  Tier GenTier;
+  uint64_t HotThreshold = 0;
+  /// installShared() provenance, kept so classify() can promote.
+  CodeCache *SharedCache = nullptr;
+  std::string SharedKey;
+  std::vector<Filter> SharedFilters;
   /// Pin on the shared classifier when installShared() is in use.
   CodeCache::Handle CacheHandle;
   /// Post-generation patches: jump tables filled with label addresses.

@@ -500,6 +500,22 @@ public:
     }
   }
 
+  void insRetImm(VCode &VC, Type Ty, int64_t Imm) {
+    unsigned Ret = gpr(VC.resultReg(Ty));
+    if (!isInt<16>(Imm)) {
+      // Too wide for the delay slot: materialize into the result register
+      // (the ret then needs no move, so its slot stays a nop).
+      insSetInt(VC, Ty, VC.resultReg(Ty), uint64_t(Imm));
+      insRet(VC, Ty, VC.resultReg(Ty));
+      return;
+    }
+    CodeBuffer &B = VC.buf();
+    B.ensureWords(2);
+    VC.addFixup(FixupKind::EpilogueJump, VC.epilogueLabel());
+    B.put(jr(gpr(VC.cc().LinkReg)));
+    B.put(addiu(Ret, ZERO, int32_t(Imm)));
+  }
+
   void insNop(VCode &VC) { VC.buf().put(nop()); }
 
   // --- Cold paths (defined in MipsTarget.cpp) ------------------------------

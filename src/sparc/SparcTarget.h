@@ -510,6 +510,22 @@ public:
     }
   }
 
+  void insRetImm(VCode &VC, Type Ty, int64_t Imm) {
+    unsigned Ret = gpr(VC.resultReg(Ty));
+    int32_t V = int32_t(Imm);
+    if (!isInt<13>(V)) {
+      // sethi/or pair does not fit the delay slot; materialize first.
+      li(VC, Ret, Imm);
+      insRet(VC, Ty, VC.resultReg(Ty));
+      return;
+    }
+    CodeBuffer &B = VC.buf();
+    B.ensureWords(2);
+    VC.addFixup(FixupKind::EpilogueJump, VC.epilogueLabel());
+    B.put(jmpl(G0, gpr(VC.cc().LinkReg), 8));
+    B.put(ori(Ret, G0, V));
+  }
+
   void insNop(VCode &VC) { VC.buf().put(nop()); }
 
   // --- Cold paths (defined in SparcTarget.cpp) ------------------------------

@@ -1,0 +1,39 @@
+//===- support/ToolFlags.cpp - Shared CLI flags for tools/examples ---------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ToolFlags.h"
+#include "support/Error.h"
+#include "support/Telemetry.h"
+#include <cstdlib>
+#include <cstring>
+
+using namespace vcode;
+
+int tool::handleArgs(int Argc, char **Argv, ToolOptions &Opts) {
+  int Out = 1;
+  for (int Idx = 1; Idx < Argc; ++Idx) {
+    const char *A = Argv[Idx] ? Argv[Idx] : "";
+    if (std::strncmp(A, "--tier=", 7) == 0) {
+      if (!parseTier(A + 7, Opts.GenTier))
+        fatal("bad --tier value '%s' (expected 0, 1, tier0 or tier1)", A + 7);
+      Opts.TierGiven = true;
+      continue;
+    }
+    if (std::strncmp(A, "--hot-threshold=", 16) == 0) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(A + 16, &End, 10);
+      if (!End || *End || End == A + 16)
+        fatal("bad --hot-threshold value '%s' (expected a count)", A + 16);
+      Opts.HotThreshold = V;
+      Opts.HotGiven = true;
+      continue;
+    }
+    Argv[Out++] = Argv[Idx];
+  }
+  if (Out < Argc)
+    Argv[Out] = nullptr;
+  return telemetry::handleArgs(Out, Argv);
+}

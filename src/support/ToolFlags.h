@@ -1,0 +1,50 @@
+//===- support/ToolFlags.h - Shared CLI flags for tools/examples -*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One front door for the command-line plumbing every example, tool and
+/// bench repeats: the telemetry flags (--telemetry-report,
+/// --trace-json=<file>; see support/Telemetry.h) plus the tiered-codegen
+/// knobs:
+///
+///   --tier=<0|1>           generation tier for tier-aware clients
+///                          (default: $VCODE_TIER, else tier 0)
+///   --hot-threshold=<N>    promote a cache-shared function to Tier-1
+///                          after N executions (0 disables; clients with
+///                          no shared cache ignore it)
+///
+/// handleArgs() strips every recognized flag from argv (compacting and
+/// null-terminating it, like telemetry::handleArgs) so a tool's own
+/// argument parsing only ever sees its own flags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SUPPORT_TOOLFLAGS_H
+#define VCODE_SUPPORT_TOOLFLAGS_H
+
+#include "core/Tier.h"
+#include <cstdint>
+
+namespace vcode {
+namespace tool {
+
+/// Results of parsing the shared flags.
+struct ToolOptions {
+  Tier GenTier = defaultTier(); ///< --tier, else the process default
+  uint64_t HotThreshold = 0;    ///< --hot-threshold, else 0 (disabled)
+  bool TierGiven = false;       ///< --tier appeared on the command line
+  bool HotGiven = false;        ///< --hot-threshold appeared
+};
+
+/// Scans argv for the shared flags above, fills \p Opts, delegates the
+/// telemetry flags to telemetry::handleArgs, and returns the new argc.
+/// Unparseable values (e.g. --tier=2) are fatal with a usage message.
+int handleArgs(int Argc, char **Argv, ToolOptions &Opts);
+
+} // namespace tool
+} // namespace vcode
+
+#endif // VCODE_SUPPORT_TOOLFLAGS_H

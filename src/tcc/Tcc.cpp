@@ -691,7 +691,7 @@ CodePtr Tcc::compile(const std::string &Source) {
   Parser P(Source);
   FunctionAst F = P.parseFunction();
 
-  CodeGen CG(Tgt, Mem, Optimize,
+  CodeGen CG(Tgt, Mem, effectiveOptimize(),
              [this](const std::string &Name) { return slotFor(Name); });
   // The function-table slots slotFor() lazily creates during emission must
   // survive across attempts, so failed regions are NOT released back to
@@ -699,6 +699,7 @@ CodePtr Tcc::compile(const std::string &Source) {
   // final region size in total).
   GenerateOptions Opts;
   Opts.InitialBytes = InitialCodeBytes;
+  Opts.GenTier = GenTier;
   GenerateResult R = generateWithRetry(
       CG.vcode(), [&](size_t N) { return Mem.allocCode(N); },
       [&](CodeMem CM) { return CG.generateInto(F, CM); }, Opts);
@@ -719,6 +720,10 @@ CodePtr Tcc::compileShared(CodeCache &Cache, const std::string &Source) {
   Parser P(Source);
   FunctionAst F = P.parseFunction();
 
+  // The key is deliberately tier-independent (the |opt|/|raw| marker
+  // tracks only the caller's explicit setOptimize choice): promotion
+  // swaps code versions under this same key rather than caching tiers
+  // side by side.
   std::string Key = "tcc|";
   Key += Tgt.info().Name;
   Key += Optimize ? "|opt|" : "|raw|";
@@ -730,10 +735,11 @@ CodePtr Tcc::compileShared(CodeCache &Cache, const std::string &Source) {
   CodeCache::Handle H = Cache.lookupOrGenerate(
       Key, [&](CodeCache::RegionAlloc &Alloc) {
         Generated = true;
-        CodeGen CG(Tgt, Mem, Optimize,
+        CodeGen CG(Tgt, Mem, effectiveOptimize(),
                    [this](const std::string &Name) { return slotFor(Name); });
         GenerateOptions Opts;
         Opts.InitialBytes = InitialCodeBytes;
+        Opts.GenTier = GenTier;
         GenerateResult R = generateWithRetry(
             CG.vcode(), [&](size_t N) { return Alloc(N); },
             [&](CodeMem CM) { return CG.generateInto(F, CM); }, Opts);
@@ -748,15 +754,40 @@ CodePtr Tcc::compileShared(CodeCache &Cache, const std::string &Source) {
   Attempts = Generated ? MyAttempts : 0;
   RegionBytes = Generated ? MyRegionBytes : H.regionBytes();
   registerFn(F.Name, unsigned(F.Params.size()), H.code());
+  Shared[F.Name] = SharedInfo{&Cache, std::move(Key), Source, H};
   VCODE_TM_COUNT("tcc.compiles_shared", 1);
   return H.code();
+}
+
+bool Tcc::promoteShared(const std::string &Name, SharedInfo &SI) {
+  bool Swapped =
+      SI.Cache->promote(SI.Key, [&](CodeCache::RegionAlloc &Alloc) {
+        Parser P(SI.Source);
+        FunctionAst F = P.parseFunction();
+        // Tier-1 for tcc-lite: the optimizing pipeline, unconditionally.
+        CodeGen CG(Tgt, Mem, /*Optimize=*/true,
+                   [this](const std::string &N) { return slotFor(N); });
+        GenerateOptions Opts;
+        Opts.InitialBytes = InitialCodeBytes;
+        Opts.GenTier = Tier::Tier1;
+        return generateWithRetry(
+            CG.vcode(), [&](size_t N) { return Alloc(N); },
+            [&](CodeMem CM) { return CG.generateInto(F, CM); }, Opts);
+      });
+  if (Swapped) {
+    // Re-patch this instance's function table so table-mediated calls
+    // (recursion, callees) reach the promoted code too.
+    registerFn(Name, Functions[Name].Arity, SI.H.code());
+    VCODE_TM_COUNT("tcc.promotions", 1);
+  }
+  return Swapped;
 }
 
 CodePtr Tcc::compileInto(const std::string &Source, CodeMem CM, CgError *Err) {
   Parser P(Source);
   FunctionAst F = P.parseFunction();
 
-  CodeGen CG(Tgt, Mem, Optimize,
+  CodeGen CG(Tgt, Mem, effectiveOptimize(),
              [this](const std::string &Name) { return slotFor(Name); });
   CodePtr Code;
   if (Err) {
@@ -802,5 +833,22 @@ int32_t Tcc::run(sim::Cpu &Cpu, const std::string &Name,
   std::vector<sim::TypedValue> TV;
   for (int32_t A : Args)
     TV.push_back(sim::TypedValue::fromInt(A));
+  // Shared functions dispatch through a pinned code version: the pin
+  // keeps the region alive across a concurrent promotion's swap, and
+  // execution counts feed the hot-function threshold.
+  auto It = Shared.find(Name);
+  if (It != Shared.end() && It->second.H.valid()) {
+    auto Ver = It->second.H.pin();
+    if (Ver) {
+      uint64_t N = It->second.H.noteExecution();
+      if (HotThreshold && N == HotThreshold &&
+          Ver->GenTier == Tier::Tier0 &&
+          promoteShared(Name, It->second)) {
+        if (auto NewVer = It->second.H.pin())
+          Ver = std::move(NewVer);
+      }
+      return Cpu.call(Ver->Code.Entry, TV, Type::I).asInt32();
+    }
+  }
   return Cpu.call(lookup(Name), TV, Type::I).asInt32();
 }

@@ -48,6 +48,23 @@ public:
   /// ("trade runtime compilation overhead for better generated code").
   void setOptimize(bool On) { Optimize = On; }
 
+  /// Generation tier for subsequent compiles (core/Tier.h). tcc-lite's
+  /// Tier-1 pipeline is the optimizing one: the peephole layer runs
+  /// unconditionally (equivalent to setOptimize(true)) and results are
+  /// stamped Tier-1 so cache promotion can tell the versions apart.
+  /// Defaults to defaultTier() (VCODE_TIER env).
+  void setTier(Tier T) { GenTier = T; }
+  Tier tier() const { return GenTier; }
+
+  /// Enables hot-function promotion for compileShared() functions: once
+  /// a shared function has run \p N times through run() (counted across
+  /// every Tcc pinning the cache entry), the caller that crosses the
+  /// threshold recompiles it at Tier-1, the cache swaps the version
+  /// under any concurrent pinned callers, and this instance's function
+  /// table is re-patched to the promoted entry. 0 (default) disables.
+  void setHotThreshold(uint64_t N) { HotThreshold = N; }
+  uint64_t hotThreshold() const { return HotThreshold; }
+
   /// Sets the code-region size for the next compile's first attempt; on
   /// overflow compile() retries into a geometrically grown region.
   void setInitialCodeBytes(size_t N) { InitialCodeBytes = N; }
@@ -97,14 +114,32 @@ public:
               const std::vector<int32_t> &Args);
 
 private:
+  /// compileShared() provenance, kept per function so run() can count
+  /// executions and promote hot functions.
+  struct SharedInfo {
+    CodeCache *Cache = nullptr;
+    std::string Key;
+    std::string Source;
+    CodeCache::Handle H;
+  };
+
   /// Slot in the function table for \p Name (created on demand).
   SimAddr slotFor(const std::string &Name);
   /// Registers a successfully generated function under \p Name.
   void registerFn(const std::string &Name, unsigned Arity, CodePtr Code);
+  /// Whether the peephole layer runs for the configured tier.
+  bool effectiveOptimize() const {
+    return Optimize || GenTier == Tier::Tier1;
+  }
+  /// Recompiles \p Name at Tier-1 and swaps the cached version; true
+  /// when this call performed the swap (then the table is re-patched).
+  bool promoteShared(const std::string &Name, SharedInfo &SI);
 
   Target &Tgt;
   sim::Memory &Mem;
   bool Optimize = false;
+  Tier GenTier = defaultTier();
+  uint64_t HotThreshold = 0;
   size_t InitialCodeBytes = 32768;
   unsigned Attempts = 0;
   size_t RegionBytes = 0;
@@ -118,6 +153,8 @@ private:
   /// Pins on shared compiled functions (compileShared), so cache
   /// eviction cannot free code this instance's table still points at.
   std::vector<CodeCache::Handle> SharedPins;
+  /// Per-function shared-compile provenance for tiered promotion.
+  std::map<std::string, SharedInfo> Shared;
 };
 
 } // namespace tcc

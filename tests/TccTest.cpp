@@ -161,6 +161,7 @@ TEST_P(TccTest, OptimizedCodeAgreesAndIsFaster) {
       return c * 1 + a;
     })";
   tcc::Tcc Plain(*B.Tgt, *B.Mem);
+  Plain.setTier(Tier::Tier0); // keep the baseline naive under VCODE_TIER=1
   Plain.compile(Src);
   tcc::Tcc Opt(*B.Tgt, *B.Mem);
   Opt.setOptimize(true);

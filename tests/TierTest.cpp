@@ -1,0 +1,374 @@
+//===- tests/TierTest.cpp - Two-tier generation tests ----------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+// The tiered pipeline's contract, cross-checked on every target:
+//
+//  - differential: a seeded random vreg program generated at Tier-0
+//    (staging through locals, one pass) and at Tier-1 (record, linear
+//    scan, optimizing replay) computes the same results, and the Tier-1
+//    code never executes more dynamic instructions;
+//
+//  - spills: Tier-1 under register pressure spills correctly instead of
+//    failing (the paper's "unlimited virtual registers" promise, §6.2);
+//
+//  - clients: the DPF classifier and the ASH loop are strictly cheaper at
+//    Tier-1 on their hot paths (return-immediate folding guarantees this
+//    even on targets without a branch delay slot);
+//
+//  - recovery: a generation that cannot fit reports its retry history in
+//    the structured error instead of aborting;
+//
+//  - promotion: a cache-shared classifier crossing its hotness threshold
+//    is regenerated at Tier-1 and swapped exactly once, including under
+//    concurrent dispatch from many engines (a TSan workload, like all of
+//    ConcurrencyTest).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "ash/Ash.h"
+#include "core/CodeCache.h"
+#include "core/Generate.h"
+#include "core/VRegLayer.h"
+#include "dpf/Engines.h"
+#include "sim/AlphaSim.h"
+#include "sim/MipsSim.h"
+#include "sim/SparcSim.h"
+#include "support/Rng.h"
+#include <atomic>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace vcode;
+using namespace vcode::test;
+using sim::TypedValue;
+
+namespace {
+
+class TierTest : public ::testing::TestWithParam<std::string> {
+protected:
+  void SetUp() override { B = makeBundle(GetParam()); }
+  TargetBundle B;
+};
+
+/// A simulator over \p Mem for target \p Name (for tests that need
+/// several Cpus over one shared arena; the bundle's Cpu is one-per-arena).
+std::unique_ptr<sim::Cpu> makeCpu(const std::string &Name, sim::Memory &Mem) {
+  if (Name == "mips")
+    return std::make_unique<sim::MipsSim>(Mem);
+  if (Name == "sparc")
+    return std::make_unique<sim::SparcSim>(Mem);
+  return std::make_unique<sim::AlphaSim>(Mem);
+}
+
+/// Emits one seeded vreg program through the layer at \p T. All vregs are
+/// defined before any use; the body mixes random three-address ops,
+/// immediates beyond the small-constant range, forward skip branches, and
+/// a counted accumulation loop (a backward branch), so both the Tier-0
+/// staging path and the Tier-1 liveness/replay machinery are exercised.
+/// The op sequence is a pure function of \p Seed, so generating at both
+/// tiers yields the same program.
+CodePtr buildSeeded(VCode &V, Tier T, uint64_t Seed, CodeMem CM) {
+  Rng R(Seed);
+  Reg Arg[1];
+  V.lambda("%i", Arg, LeafHint, CM);
+  VRegLayer L(V, T);
+
+  constexpr unsigned NV = 6;
+  VReg Vr[NV];
+  VReg A = L.fromArg(Type::I, Arg[0]);
+  for (unsigned I = 0; I < NV; ++I) {
+    Vr[I] = L.alloc(Type::I);
+    L.setInt(Type::I, Vr[I], R.next() & 0xffff);
+  }
+  L.binop(BinOp::Add, Type::I, Vr[0], Vr[0], A);
+
+  const BinOp Bin[] = {BinOp::Add, BinOp::Sub, BinOp::Mul,
+                       BinOp::And, BinOp::Or,  BinOp::Xor};
+  const UnOp Un[] = {UnOp::Mov, UnOp::Neg, UnOp::Com, UnOp::Not};
+  for (unsigned I = 0; I < 24; ++I) {
+    unsigned D = unsigned(R.below(NV)), S1 = unsigned(R.below(NV)),
+             S2 = unsigned(R.below(NV));
+    switch (R.below(4)) {
+    case 0:
+      L.binop(Bin[R.below(6)], Type::I, Vr[D], Vr[S1], Vr[S2]);
+      break;
+    case 1:
+      // Every fourth immediate exceeds simm13/lit8, forcing the
+      // materialize-then-op path.
+      L.binopImm(Bin[R.below(6)], Type::I, Vr[D], Vr[S1],
+                 I % 4 == 0 ? int64_t(0x71234) : int64_t(R.next() & 0xfff));
+      break;
+    case 2:
+      L.unop(Un[R.below(4)], Type::I, Vr[D], Vr[S1]);
+      break;
+    default: {
+      Label Skip = V.genLabel();
+      L.branchImm(Cond::Ge, Type::I, Vr[S1], 0, Skip);
+      L.binopImm(BinOp::Xor, Type::I, Vr[D], Vr[D], 0x3ff);
+      L.label(Skip);
+      break;
+    }
+    }
+  }
+
+  // acc += v[i] over a counted loop: a backward branch, so Tier-1 must
+  // extend the loop-carried intervals across the whole body.
+  VReg Cnt = L.alloc(Type::I);
+  L.setInt(Type::I, Cnt, 5);
+  Label Top = V.genLabel();
+  L.label(Top);
+  L.binop(BinOp::Add, Type::I, Vr[0], Vr[0], Vr[1]);
+  L.binop(BinOp::Xor, Type::I, Vr[1], Vr[1], Vr[2]);
+  L.binopImm(BinOp::Sub, Type::I, Cnt, Cnt, 1);
+  L.branchImm(Cond::Gt, Type::I, Cnt, 0, Top);
+  L.ret(Type::I, Vr[0]);
+  L.finish();
+  return V.end();
+}
+
+// The differential guarantee: same program, same answers at both tiers,
+// and the optimizing tier never costs more dynamic instructions.
+TEST_P(TierTest, SeededProgramsAgreeAcrossTiers) {
+  for (uint64_t Case = 0; Case < 8; ++Case) {
+    VCODE_SEEDED(Case * 131 + 17);
+
+    VCode V0(*B.Tgt);
+    CodePtr P0 = buildSeeded(V0, Tier::Tier0, TestSeed,
+                             B.Mem->allocCode(1 << 16));
+    VCode V1(*B.Tgt);
+    CodePtr P1 = buildSeeded(V1, Tier::Tier1, TestSeed,
+                             B.Mem->allocCode(1 << 16));
+    ASSERT_TRUE(P0.isValid());
+    ASSERT_TRUE(P1.isValid());
+
+    for (int32_t A : {0, 1, -77, 12345, -0x4000}) {
+      int32_t R0 =
+          B.Cpu->call(P0.Entry, {TypedValue::fromInt(A)}, Type::I).asInt32();
+      uint64_t I0 = B.Cpu->lastStats().Instrs;
+      int32_t R1 =
+          B.Cpu->call(P1.Entry, {TypedValue::fromInt(A)}, Type::I).asInt32();
+      uint64_t I1 = B.Cpu->lastStats().Instrs;
+      EXPECT_EQ(R0, R1) << "arg " << A;
+      EXPECT_LE(I1, I0) << "arg " << A;
+    }
+  }
+}
+
+// Register pressure beyond every target's temp pool: 24 simultaneously
+// live vregs must spill (not fail) and still produce the right sum.
+TEST_P(TierTest, SpillPressureComputesCorrectly) {
+  constexpr unsigned N = 24;
+  VCode V(*B.Tgt);
+  Reg Arg[1];
+  V.lambda("%i", Arg, LeafHint, B.Mem->allocCode(1 << 16));
+  VRegLayer L(V, Tier::Tier1);
+  VReg A = L.fromArg(Type::I, Arg[0]);
+  VReg Vs[N];
+  int32_t Want = 0;
+  for (unsigned I = 0; I < N; ++I) {
+    Vs[I] = L.alloc(Type::I);
+    L.setInt(Type::I, Vs[I], I * 1000 + 7);
+    Want += int32_t(I * 1000 + 7);
+  }
+  // All N are live here; the pool is far smaller on every target.
+  VReg Acc = L.alloc(Type::I);
+  L.unop(UnOp::Mov, Type::I, Acc, A);
+  for (unsigned I = 0; I < N; ++I)
+    L.binop(BinOp::Add, Type::I, Acc, Acc, Vs[I]);
+  L.ret(Type::I, Acc);
+  L.finish();
+  EXPECT_GT(L.spillCount(), 0u);
+
+  CodePtr P = V.end();
+  ASSERT_TRUE(P.isValid());
+  int32_t Got =
+      B.Cpu->call(P.Entry, {TypedValue::fromInt(5)}, Type::I).asInt32();
+  EXPECT_EQ(Got, Want + 5);
+}
+
+// DPF at Tier-1 must agree with Tier-0 and execute strictly fewer dynamic
+// instructions on both the accept and the reject path (the acceptance
+// criterion for the tiered pipeline).
+TEST_P(TierTest, DpfTier1StrictlyFewerInstrs) {
+  std::vector<dpf::Filter> Filters = dpf::makeTcpIpFilters(10, 1024);
+  SimAddr Hit = B.Mem->alloc(dpf::pkt::HeaderBytes, 8);
+  SimAddr Miss = B.Mem->alloc(dpf::pkt::HeaderBytes, 8);
+  dpf::writeTcpPacket(*B.Mem, Hit, 1024);
+  dpf::writeTcpPacket(*B.Mem, Miss, 80);
+
+  dpf::DpfEngine E0(*B.Tgt, *B.Mem);
+  E0.setTier(Tier::Tier0);
+  E0.install(Filters);
+  dpf::DpfEngine E1(*B.Tgt, *B.Mem);
+  E1.setTier(Tier::Tier1);
+  E1.install(Filters);
+
+  int A0 = E0.classify(*B.Cpu, Hit);
+  uint64_t AccI0 = B.Cpu->lastStats().Instrs;
+  int M0 = E0.classify(*B.Cpu, Miss);
+  uint64_t RejI0 = B.Cpu->lastStats().Instrs;
+  int A1 = E1.classify(*B.Cpu, Hit);
+  uint64_t AccI1 = B.Cpu->lastStats().Instrs;
+  int M1 = E1.classify(*B.Cpu, Miss);
+  uint64_t RejI1 = B.Cpu->lastStats().Instrs;
+
+  EXPECT_EQ(A0, 0);
+  EXPECT_EQ(A1, A0);
+  EXPECT_EQ(M1, M0);
+  EXPECT_LT(AccI1, AccI0);
+  EXPECT_LT(RejI1, RejI0);
+  EXPECT_LE(E1.codeBytes(), E0.codeBytes());
+}
+
+// The ASH loop at Tier-1: identical output (checksum and destination
+// buffer, against the host reference), and fewer dynamic instructions —
+// strictly fewer where the replay can fill branch delay slots that the
+// unscheduled Tier-0 loop leaves as nops.
+TEST_P(TierTest, AshTier1MatchesReferenceAndSavesInstrs) {
+  const uint32_t Bytes = 1024;
+  const uint32_t Key = 0x5a5a1c3bu;
+  VCODE_SEEDED(61);
+  SimAddr Src = B.Mem->alloc(Bytes, 8);
+  Rng R(TestSeed);
+  for (uint32_t I = 0; I < Bytes; I += 4)
+    B.Mem->write<uint32_t>(Src + I, uint32_t(R.next()));
+
+  const std::vector<ash::Step> Cases[] = {
+      {ash::Step::Copy, ash::Step::Checksum},
+      {ash::Step::ByteSwap, ash::Step::Xor, ash::Step::Copy,
+       ash::Step::Checksum}};
+  for (const std::vector<ash::Step> &Steps : Cases) {
+    SimAddr RefDst = B.Mem->alloc(Bytes, 8);
+    uint32_t Want = ash::refRun(Steps, *B.Mem, RefDst, Src, Bytes, Key);
+
+    uint64_t Instrs[2];
+    for (Tier T : {Tier::Tier0, Tier::Tier1}) {
+      VCode V(*B.Tgt);
+      CodePtr P = ash::emitLoopInto(V, B.Mem->allocCode(1 << 16), Steps,
+                                    /*Unroll=*/1, /*ScheduleSlots=*/false,
+                                    Key, T);
+      ASSERT_TRUE(P.isValid());
+      SimAddr Dst = B.Mem->alloc(Bytes, 8);
+      uint32_t Sum = B.Cpu
+                         ->call(P.Entry,
+                                {TypedValue::fromPtr(Dst),
+                                 TypedValue::fromPtr(Src),
+                                 TypedValue::fromUInt(Bytes)},
+                                Type::U)
+                         .asUInt32();
+      Instrs[T == Tier::Tier1] = B.Cpu->lastStats().Instrs;
+      EXPECT_EQ(Sum, Want) << tierName(T);
+      for (uint32_t I = 0; I < Bytes; I += 4)
+        ASSERT_EQ(B.Mem->read<uint32_t>(Dst + I),
+                  B.Mem->read<uint32_t>(RefDst + I))
+            << tierName(T) << " offset " << I;
+    }
+    if (B.Tgt->info().HasBranchDelaySlot)
+      EXPECT_LT(Instrs[1], Instrs[0]);
+    else
+      EXPECT_LE(Instrs[1], Instrs[0]);
+  }
+}
+
+// When growth caps out, the terminating error must carry the retry
+// history — a long-running service logs this instead of dying with the
+// paper's "pass a larger region" advice.
+TEST_P(TierTest, RetryGiveUpReportsAttemptHistory) {
+  VCode V(*B.Tgt);
+  GenerateOptions Opts;
+  Opts.InitialBytes = 64;
+  Opts.MaxBytes = 128;
+  Opts.MaxAttempts = 8;
+  GenerateResult R = generateWithRetry(
+      V, [&](size_t N) { return B.Mem->allocCode(N); },
+      [&](CodeMem CM) {
+        Reg Arg[1];
+        V.lambda("%i", Arg, LeafHint, CM);
+        for (int I = 0; I < 256; ++I)
+          V.addii(Arg[0], Arg[0], 1);
+        V.reti(Arg[0]);
+        return V.end();
+      },
+      Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Err.Kind, CgErrKind::BufferOverflow);
+  EXPECT_EQ(R.Attempts, 2u); // 64 bytes, then the 128-byte cap
+  EXPECT_EQ(R.RegionBytes, 128u);
+  EXPECT_NE(std::strstr(R.Err.Detail, "[gave up after"), nullptr)
+      << R.Err.Detail;
+}
+
+// Hot-function promotion, single dispatcher: the classifier crosses the
+// threshold once, the cache swaps exactly one version in, classifications
+// never change, and the post-promotion code is strictly cheaper.
+TEST_P(TierTest, PromotionExactlyOnceSingleThread) {
+  CodeCache Cache(*B.Mem);
+  std::vector<dpf::Filter> Filters = dpf::makeTcpIpFilters(4, 1024);
+  SimAddr Pkt = B.Mem->alloc(dpf::pkt::HeaderBytes, 8);
+  dpf::writeTcpPacket(*B.Mem, Pkt, 1025); // filter 1 accepts
+
+  const uint64_t Threshold = 10;
+  dpf::DpfEngine E(*B.Tgt, *B.Mem);
+  E.setTier(Tier::Tier0);
+  E.setHotThreshold(Threshold);
+  EXPECT_FALSE(E.installShared(Cache, Filters)); // first caller generates
+
+  uint64_t ColdInstrs = 0, HotInstrs = 0;
+  for (unsigned I = 0; I < 25; ++I) {
+    ASSERT_EQ(E.classify(*B.Cpu, Pkt), 1) << "call " << I;
+    if (I == 0)
+      ColdInstrs = B.Cpu->lastStats().Instrs;
+    HotInstrs = B.Cpu->lastStats().Instrs;
+  }
+  CodeCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Promotions, 1u);
+  EXPECT_EQ(S.PromoteFailures, 0u);
+  EXPECT_LT(HotInstrs, ColdInstrs);
+}
+
+// Promotion under concurrent dispatch: eight engines pin the same shared
+// classifier and hammer it past the threshold together. Exactly one
+// promoter may win, no classification may ever be wrong (before, during,
+// or after the swap), and CI runs this under ThreadSanitizer.
+TEST_P(TierTest, PromotionExactlyOnceConcurrent) {
+  sim::Memory &Mem = *B.Mem;
+  CodeCache Cache(Mem);
+  std::vector<dpf::Filter> Filters = dpf::makeTcpIpFilters(4, 1024);
+  SimAddr Pkt = Mem.alloc(dpf::pkt::HeaderBytes, 8);
+  dpf::writeTcpPacket(Mem, Pkt, 1025);
+
+  constexpr unsigned NumThreads = 8, Iters = 40;
+  const uint64_t Threshold = 32; // crossed mid-run, all threads dispatching
+  std::atomic<unsigned> Misclassified{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&] {
+      dpf::DpfEngine E(*B.Tgt, Mem);
+      E.setTier(Tier::Tier0);
+      E.setHotThreshold(Threshold);
+      E.installShared(Cache, Filters);
+      std::unique_ptr<sim::Cpu> Cpu = makeCpu(GetParam(), Mem);
+      Cpu->setStackTop(Mem.allocStack());
+      for (unsigned I = 0; I < Iters; ++I)
+        if (E.classify(*Cpu, Pkt) != 1)
+          Misclassified.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(Misclassified.load(), 0u);
+  CodeCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Promotions, 1u);
+  EXPECT_EQ(S.PromoteFailures, 0u);
+  EXPECT_EQ(S.Generations, 1u); // the install itself was exactly-once too
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, TierTest,
+                         ::testing::ValuesIn(allTargetNames()),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace

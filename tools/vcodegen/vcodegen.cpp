@@ -19,7 +19,7 @@
 
 #include "core/Extension.h"
 #include "support/Error.h"
-#include "support/Telemetry.h"
+#include "support/ToolFlags.h"
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -29,7 +29,8 @@
 using namespace vcode;
 
 int main(int argc, char **argv) {
-  argc = telemetry::handleArgs(argc, argv);
+  tool::ToolOptions Opts;
+  argc = tool::handleArgs(argc, argv, Opts);
   std::string Text;
   if (argc > 2) {
     std::fprintf(stderr,
