@@ -18,9 +18,18 @@
 #include "dpf/Engines.h"
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
+#include "support/Error.h"
 #include "support/Rng.h"
 #include "support/TablePrinter.h"
+#include "support/ToolFlags.h"
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#ifdef __x86_64__
+#include "x64/NativeCpu.h"
+#include "x64/X64Target.h"
+#endif
 
 using namespace vcode;
 using namespace vcode::dpf;
@@ -49,9 +58,34 @@ double avgMicroseconds(Engine &E, sim::Cpu &Cpu,
          Cpu.config().ClockMHz;
 }
 
+/// Wall-clock microseconds per classification (used for the --target=host
+/// comparison, where the native rows have no simulated cycle counts).
+double wallUsPerMsg(Engine &E, sim::Cpu &Cpu, const std::vector<Trial> &Trials,
+                    int &Checksum) {
+  Checksum += E.classify(Cpu, Trials[0].Msg);
+  auto T0 = std::chrono::steady_clock::now();
+  for (const Trial &T : Trials)
+    Checksum += E.classify(Cpu, T.Msg);
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(T1 - T0).count() /
+         double(Trials.size());
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  tool::ToolOptions Opts;
+  tool::handleArgs(Argc, Argv, Opts);
+  bool Host = false;
+  if (Opts.TargetGiven) {
+    if (!std::strcmp(Opts.TargetName, "host"))
+      Host = true;
+    else if (std::strcmp(Opts.TargetName, "mips"))
+      fatal("bench_table3_dpf: --target=%s is not supported here (mips is "
+            "the simulated default; host adds native rows)",
+            Opts.TargetName);
+  }
+
   sim::Memory Mem;
   mips::MipsTarget Tgt;
   sim::MipsSim Cpu(Mem, sim::dec5000Config());
@@ -162,6 +196,83 @@ int main() {
               "PATHFINDER after %.1f.\n",
               Dpf.codeBytes(), InstallInsns, InstallUs,
               InstallUs / (MpfUs - DpfUs), InstallUs / (PfUs - DpfUs));
+
+  if (Host) {
+#ifdef __x86_64__
+    std::printf("\nNative execution (--target=host, x86-64 SysV, W^X code "
+                "regions):\n\n");
+    sim::Memory NMem(sim::Memory::Native);
+    x64::X64Target NTgt;
+    x64::NativeCpu NCpu(NMem);
+
+    // Identical packet stream in native memory (same seed, same ports).
+    Rng NR(42);
+    std::vector<SimAddr> NPackets;
+    for (int I = 0; I < NumPackets; ++I) {
+      SimAddr P = NMem.alloc(pkt::HeaderBytes, 8);
+      writeTcpPacket(NMem, P, uint16_t(BasePort + NR.below(NumFilters)));
+      NPackets.push_back(P);
+    }
+    std::vector<Trial> NTrials(NumTrials);
+    for (int I = 0; I < NumTrials; ++I)
+      NTrials[I].Msg = NPackets[NR.below(NumPackets)];
+
+    MpfEngine NMpf(NTgt, NMem);
+    PathFinderEngine NPf(NTgt, NMem);
+    DpfEngine NDpf(NTgt, NMem);
+    NMpf.install(Filters);
+    NPf.install(Filters);
+    NDpf.install(Filters);
+
+    // Differential gate: every engine executed natively must classify every
+    // packet exactly as the MIPS-interpreted DPF classifier does.
+    int Mismatches = 0;
+    for (int I = 0; I < NumPackets; ++I) {
+      int Want = Dpf.classify(Cpu, Packets[I]);
+      if (NDpf.classify(NCpu, NPackets[I]) != Want ||
+          NMpf.classify(NCpu, NPackets[I]) != Want ||
+          NPf.classify(NCpu, NPackets[I]) != Want)
+        ++Mismatches;
+    }
+
+    int NCheck = 0;
+    auto Best = [&NCheck](Engine &E, sim::Cpu &C,
+                          const std::vector<Trial> &Ts) {
+      double B = wallUsPerMsg(E, C, Ts, NCheck);
+      for (int K = 0; K < 2; ++K)
+        B = std::min(B, wallUsPerMsg(E, C, Ts, NCheck));
+      return B;
+    };
+    double SimWallUs = Best(Dpf, Cpu, Trials);
+    double NMpfUs = Best(NMpf, NCpu, NTrials);
+    double NPfUs = Best(NPf, NCpu, NTrials);
+    double NDpfUs = Best(NDpf, NCpu, NTrials);
+
+    TablePrinter TH({"Engine", "native us/message", "vs native DPF"});
+    TH.addRow({"MPF", strFormat("%.4f", NMpfUs),
+               strFormat("%.1fx", NMpfUs / NDpfUs)});
+    TH.addRow({"PATHFINDER", strFormat("%.4f", NPfUs),
+               strFormat("%.1fx", NPfUs / NDpfUs)});
+    TH.addRow({"DPF (vcode)", strFormat("%.4f", NDpfUs), "1.0x"});
+    TH.print();
+
+    std::printf("\nnative DPF dispatch: %.4f us/msg wall clock vs %.2f "
+                "us/msg for the\nMIPS-interpreted classifier = %.0fx "
+                "throughput %s\n",
+                NDpfUs, SimWallUs, SimWallUs / NDpfUs,
+                SimWallUs / NDpfUs >= 10.0 ? "(>= 10x: ok)"
+                                           : "(BELOW the 10x target)");
+    std::printf("differential check vs MIPS interpreter: %s (%d/%d packets)"
+                "\n(native check %d)\n",
+                Mismatches ? "MISMATCH" : "identical",
+                NumPackets - Mismatches, NumPackets, NCheck & 1);
+    if (Mismatches)
+      return 1;
+#else
+    std::printf("\n--target=host requires an x86-64 build host; skipping "
+                "the native section.\n");
+#endif
+  }
 
   std::printf("\n(check %d)\n", Check & 1);
   return 0;

@@ -27,9 +27,17 @@
 #include "ash/Ash.h"
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
+#include "support/Error.h"
 #include "support/Rng.h"
 #include "support/TablePrinter.h"
+#include "support/ToolFlags.h"
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#ifdef __x86_64__
+#include "x64/NativeCpu.h"
+#include "x64/X64Target.h"
+#endif
 
 using namespace vcode;
 using namespace vcode::ash;
@@ -134,9 +142,95 @@ void runMachine(const sim::MachineConfig &Cfg, sim::Memory &Mem,
               double(SepCold) / double(IntgCold));
 }
 
+#ifdef __x86_64__
+
+/// Native rows for --target=host: the same generated pipelines executing on
+/// the build machine through the x86-64 backend. There is no simulated
+/// cache to flush, so only the warm rows are reported, timed by wall clock
+/// over repeated passes.
+int runHost() {
+  std::printf("\nNative execution (--target=host, x86-64 SysV, %u KB "
+              "message, wall clock):\n\n",
+              BufBytes / 1024);
+  sim::Memory Mem(sim::Memory::Native);
+  x64::X64Target Tgt;
+  x64::NativeCpu Cpu(Mem);
+  Rng R(5);
+  SimAddr Src = Mem.alloc(BufBytes, 16);
+  SimAddr Dst = Mem.alloc(BufBytes, 16);
+  for (uint32_t I = 0; I < BufBytes; I += 4)
+    Mem.write<uint32_t>(Src + I, uint32_t(R.next()));
+
+  const Workload Workloads[] = {
+      {"copy + checksum", {Step::Copy, Step::Checksum}},
+      {"copy + checksum + byte swap",
+       {Step::ByteSwap, Step::Copy, Step::Checksum}},
+  };
+  const int Reps = 1000;
+  auto TimeUs = [&](auto &&Run) {
+    Run(); // warm-up (and checksum check) pass
+    auto T0 = std::chrono::steady_clock::now();
+    for (int I = 0; I < Reps; ++I)
+      Run();
+    auto T1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(T1 - T0).count() / Reps;
+  };
+
+  TablePrinter T({"Method", "copy+cksum us", "copy+cksum+swap us"});
+  std::vector<std::string> Rows[3];
+  const char *RowNames[] = {"separate", "C integrated", "ASH (vcode)"};
+  for (int RI = 0; RI < 3; ++RI)
+    Rows[RI].push_back(RowNames[RI]);
+
+  int BadChecksums = 0;
+  for (const Workload &W : Workloads) {
+    SeparateLoops Sep(Tgt, Mem, W.Steps);
+    IntegratedLoop Intg(Tgt, Mem, W.Steps);
+    Pipeline Ash(Tgt, Mem);
+    for (Step S : W.Steps)
+      Ash.addStep(S);
+    Ash.compile(4);
+
+    // Differential gate: each native pass must reproduce the reference
+    // checksum exactly.
+    uint32_t Ref = refRun(W.Steps, Mem, Dst, Src, BufBytes);
+    if (Sep.run(Cpu, Dst, Src, BufBytes, nullptr) != Ref ||
+        Intg.run(Cpu, Dst, Src, BufBytes) != Ref ||
+        Ash.run(Cpu, Dst, Src, BufBytes) != Ref)
+      ++BadChecksums;
+
+    Rows[0].push_back(strFormat(
+        "%.2f", TimeUs([&] { Sep.run(Cpu, Dst, Src, BufBytes, nullptr); })));
+    Rows[1].push_back(strFormat(
+        "%.2f", TimeUs([&] { Intg.run(Cpu, Dst, Src, BufBytes); })));
+    Rows[2].push_back(strFormat(
+        "%.2f", TimeUs([&] { Ash.run(Cpu, Dst, Src, BufBytes); })));
+  }
+  for (auto &Row : Rows)
+    T.addRow(Row);
+  T.print();
+  std::printf("\nchecksum differential vs reference: %s\n",
+              BadChecksums ? "MISMATCH" : "identical");
+  return BadChecksums ? 1 : 0;
+}
+
+#endif // __x86_64__
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  tool::ToolOptions Opts;
+  tool::handleArgs(Argc, Argv, Opts);
+  bool Host = false;
+  if (Opts.TargetGiven) {
+    if (!std::strcmp(Opts.TargetName, "host"))
+      Host = true;
+    else if (std::strcmp(Opts.TargetName, "mips"))
+      fatal("bench_table4_ash: --target=%s is not supported here (mips is "
+            "the simulated default; host adds native rows)",
+            Opts.TargetName);
+  }
+
   sim::Memory Mem;
   mips::MipsTarget Tgt;
 
@@ -144,5 +238,13 @@ int main() {
               "operations\n");
   runMachine(sim::dec3100Config(), Mem, Tgt);
   runMachine(sim::dec5000Config(), Mem, Tgt);
+  if (Host) {
+#ifdef __x86_64__
+    return runHost();
+#else
+    std::printf("\n--target=host requires an x86-64 build host; skipping "
+                "the native section.\n");
+#endif
+  }
   return 0;
 }

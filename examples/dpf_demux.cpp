@@ -9,42 +9,36 @@
 // are installed. Prints the classification of a few packets and the
 // per-message cost of each engine.
 //
+// With --target=host (x86-64 builds) the compiled classifier runs
+// directly on this machine instead of the MIPS simulator; costs are then
+// wall-clock nanoseconds rather than simulated cycles.
+//
 //===----------------------------------------------------------------------===//
 
 #include "dpf/Engines.h"
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
-#include <cstdio>
+#include "support/Error.h"
 #include "support/ToolFlags.h"
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#ifdef __x86_64__
+#include "x64/NativeCpu.h"
+#include "x64/X64Target.h"
+#endif
 
 using namespace vcode;
 using namespace vcode::dpf;
 
-int main(int argc, char **argv) {
-  // Shared tool flags: --tier=<0|1> picks DPF's generation tier,
-  // --telemetry-report / --trace-json=<file> as everywhere.
-  tool::ToolOptions Opts;
-  argc = tool::handleArgs(argc, argv, Opts);
-  (void)argc;
-  (void)argv;
-  sim::Memory Mem;
-  mips::MipsTarget Target;
-  sim::MipsSim Cpu(Mem, sim::dec5000Config());
+namespace {
 
-  // Ten endpoints listening on ports 1024..1033.
-  std::vector<Filter> Filters = makeTcpIpFilters(10, 1024);
-
-  MpfEngine Mpf(Target, Mem);
-  PathFinderEngine Pf(Target, Mem);
-  DpfEngine Dpf(Target, Mem);
-  Dpf.setTier(Opts.GenTier);
-  Mpf.install(Filters);
-  Pf.install(Filters);
-  Dpf.install(Filters);
-  std::printf("installed 10 TCP/IP filters; DPF compiled them to %zu bytes "
-              "of MIPS code (dispatch: %s)\n\n",
-              Dpf.codeBytes(), Dpf.dispatchUsed());
-
+/// Classifies the probe packets with all three engines, printing per-probe
+/// costs via \p CostOf (simulated cycles or measured wall nanoseconds).
+template <typename CostFn>
+int runProbes(sim::Memory &Mem, sim::Cpu &Cpu, MpfEngine &Mpf,
+              PathFinderEngine &Pf, DpfEngine &Dpf, const char *CostUnit,
+              CostFn CostOf) {
   SimAddr Msg = Mem.alloc(pkt::HeaderBytes, 8);
   struct Probe {
     uint16_t Port;
@@ -59,22 +53,94 @@ int main(int argc, char **argv) {
   for (const Probe &P : Probes) {
     writeTcpPacket(Mem, Msg, P.Port);
     int A = Mpf.classify(Cpu, Msg);
-    uint64_t MpfCycles = Cpu.lastStats().Cycles;
+    uint64_t MpfCost = CostOf(Mpf, Cpu, Msg);
     int B = Pf.classify(Cpu, Msg);
-    uint64_t PfCycles = Cpu.lastStats().Cycles;
+    uint64_t PfCost = CostOf(Pf, Cpu, Msg);
     int C = Dpf.classify(Cpu, Msg);
-    uint64_t DpfCycles = Cpu.lastStats().Cycles;
+    uint64_t DpfCost = CostOf(Dpf, Cpu, Msg);
     if (A != B || B != C) {
       std::printf("ENGINES DISAGREE on port %u: %d %d %d\n", P.Port, A, B, C);
       return 1;
     }
     std::printf("dst port %5u -> filter %2d (%s)\n", P.Port, C, P.What);
-    std::printf("   cycles: MPF %llu, PATHFINDER %llu, DPF %llu\n",
-                (unsigned long long)MpfCycles, (unsigned long long)PfCycles,
-                (unsigned long long)DpfCycles);
+    std::printf("   %s: MPF %llu, PATHFINDER %llu, DPF %llu\n", CostUnit,
+                (unsigned long long)MpfCost, (unsigned long long)PfCost,
+                (unsigned long long)DpfCost);
   }
+  return 0;
+}
 
+template <typename Body>
+int runDemux(sim::Memory &Mem, Target &Tgt, sim::Cpu &Cpu, Tier GenTier,
+             const char *CodeKind, const char *CostUnit, Body CostOf) {
+  // Ten endpoints listening on ports 1024..1033.
+  std::vector<Filter> Filters = makeTcpIpFilters(10, 1024);
+
+  MpfEngine Mpf(Tgt, Mem);
+  PathFinderEngine Pf(Tgt, Mem);
+  DpfEngine Dpf(Tgt, Mem);
+  Dpf.setTier(GenTier);
+  Mpf.install(Filters);
+  Pf.install(Filters);
+  Dpf.install(Filters);
+  std::printf("installed 10 TCP/IP filters; DPF compiled them to %zu bytes "
+              "of %s code (dispatch: %s)\n\n",
+              Dpf.codeBytes(), CodeKind, Dpf.dispatchUsed());
+
+  int Rc = runProbes(Mem, Cpu, Mpf, Pf, Dpf, CostUnit, CostOf);
+  if (Rc)
+    return Rc;
   std::printf("\nrun bench/bench_table3_dpf for the full Table 3 "
               "reproduction.\n");
   return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Shared tool flags: --tier=<0|1> picks DPF's generation tier,
+  // --target=host runs the compiled classifier natively (x86-64),
+  // --telemetry-report / --trace-json=<file> as everywhere.
+  tool::ToolOptions Opts;
+  argc = tool::handleArgs(argc, argv, Opts);
+  (void)argc;
+  (void)argv;
+
+  bool Host = Opts.TargetGiven && !std::strcmp(Opts.TargetName, "host");
+  if (Opts.TargetGiven && !Host && std::strcmp(Opts.TargetName, "mips"))
+    fatal("dpf_demux: --target=%s is not supported here (mips or host)",
+          Opts.TargetName);
+
+  if (Host) {
+#ifdef __x86_64__
+    sim::Memory Mem(sim::Memory::Native);
+    x64::X64Target Tgt;
+    x64::NativeCpu Cpu(Mem);
+    // Native runs report no simulated cycles; time a batch of dispatches
+    // and report wall nanoseconds per message.
+    auto CostOf = [](Engine &E, sim::Cpu &C, SimAddr Msg) -> uint64_t {
+      constexpr unsigned Reps = 10000;
+      auto T0 = std::chrono::steady_clock::now();
+      for (unsigned I = 0; I < Reps; ++I)
+        E.classify(C, Msg);
+      auto T1 = std::chrono::steady_clock::now();
+      return uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+              .count() /
+          Reps);
+    };
+    return runDemux(Mem, Tgt, Cpu, Opts.GenTier, "x86-64", "ns/message",
+                    CostOf);
+#else
+    fatal("dpf_demux: --target=host requires an x86-64 build machine");
+#endif
+  }
+
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  sim::MipsSim Cpu(Mem, sim::dec5000Config());
+  auto CostOf = [](Engine &, sim::Cpu &C, SimAddr) -> uint64_t {
+    return C.lastStats().Cycles;
+  };
+  return runDemux(Mem, Tgt, Cpu, Opts.GenTier, "MIPS", "cycles", CostOf);
 }

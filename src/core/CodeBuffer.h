@@ -12,6 +12,12 @@
 /// book-keeping needed to know the (simulated-machine) address of each word
 /// so absolute addresses can be encoded at emission time.
 ///
+/// The buffer emits in units of the target's smallest instruction element:
+/// 4 bytes on the fixed-width RISC ports (MIPS, SPARC, Alpha), 1 byte on
+/// the variable-length x86-64 host port. All cursor arithmetic (wordIndex,
+/// addrOfWord, patch indices) is in units, so the RISC backends are
+/// unchanged and the x64 backend addresses individual bytes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VCODE_CORE_CODEBUFFER_H
@@ -25,16 +31,47 @@
 namespace vcode {
 
 /// Simulated-machine address. 64-bit to cover the Alpha target; the 32-bit
-/// targets use the low 32 bits.
+/// targets use the low 32 bits. The native x86-64 port maps simulated
+/// addresses 1:1 onto host addresses.
 using SimAddr = uint64_t;
+
+/// Arena-side hooks for executable-memory protection. An arena that hands
+/// out W^X code regions (sim::Memory in native mode) implements these; the
+/// generation core calls beginWrite() before emitting into a region and
+/// publish() once the finished function's bytes are final, so RW->RX flips
+/// and icache coherence live in one place rather than in every client.
+/// The default no-op implementations keep the simulated arenas unchanged.
+class CodeArena {
+public:
+  virtual ~CodeArena() = default;
+  /// The region [Addr, Addr+Size) is about to be (re)written.
+  virtual void beginWrite(SimAddr Addr, size_t Size) {
+    (void)Addr;
+    (void)Size;
+  }
+  /// The region [Addr, Addr+Size) now holds finished code: make it
+  /// executable (and non-writable) and flush instruction caches.
+  virtual void publish(SimAddr Addr, size_t Size) {
+    (void)Addr;
+    (void)Size;
+  }
+};
 
 /// A span of code memory handed to v_lambda: host storage backing a range
 /// of simulated addresses. On the real system these coincide; here the host
-/// pointer is the simulator arena's backing store.
+/// pointer is the simulator arena's backing store (or, in native mode, the
+/// mapping itself).
 struct CodeMem {
   uint8_t *Host = nullptr; ///< host storage for the region
   SimAddr Guest = 0;       ///< simulated address of Host[0]
   size_t Size = 0;         ///< capacity in bytes
+  /// Owning arena's W^X hooks, when the region needs protection flips
+  /// around emission (native mode); null for plain simulated memory.
+  CodeArena *Arena = nullptr;
+  /// Who sized this region, for overflow diagnostics ("v_lambda" when the
+  /// client handed it over directly; the retry driver and the code cache
+  /// stamp themselves). Null means the legacy direct-to-v_lambda wording.
+  const char *Source = nullptr;
 };
 
 /// Result of v_end: the entry address of a finished function. SizeBytes
@@ -46,91 +83,186 @@ struct CodePtr {
   constexpr bool isValid() const { return Entry != 0; }
 };
 
-/// Bump-pointer emitter over a CodeMem region. All targets emit fixed
-/// 32-bit instruction words (MIPS, SPARC, and Alpha all do).
+/// Bump-pointer emitter over a CodeMem region, in units of the target's
+/// instruction granularity (TargetInfo::CodeUnitBytes): put() stores one
+/// unit — a 32-bit word on the RISC ports, a byte on x86-64.
 class CodeBuffer {
 public:
   CodeBuffer() = default;
 
-  /// Rebinds the buffer to \p Mem and resets the cursor. \p Mem must be
-  /// 4-byte aligned.
-  void reset(CodeMem Mem) {
-    assert((Mem.Guest & 3) == 0 && "code memory must be word aligned");
-    Base = reinterpret_cast<uint32_t *>(Mem.Host);
+  /// Rebinds the buffer to \p Mem with \p UnitBytes-sized instruction
+  /// units and resets the cursor. A malformed region — null or empty
+  /// storage, a guest address misaligned to the unit, or a size that is
+  /// not a whole number of units — is a recoverable bind-time error
+  /// (CgErrKind::BadRegion), not a silent truncation: a 4-byte-unit
+  /// region of 1023 bytes used to quietly lose its tail word, and a
+  /// misaligned guest base mis-addressed every branch target.
+  void reset(CodeMem Mem, unsigned UnitBytes = 4) {
+    assert((UnitBytes == 1 || UnitBytes == 2 || UnitBytes == 4) &&
+           "unsupported instruction unit");
+    if (Mem.Host == nullptr || Mem.Size == 0)
+      fatalKind(CgErrKind::BadRegion,
+                "cannot bind code region: no storage (%zu bytes at %p)",
+                Mem.Size, static_cast<void *>(Mem.Host));
+    if (Mem.Guest % UnitBytes != 0)
+      fatalKind(CgErrKind::BadRegion,
+                "cannot bind code region: address 0x%llx is not %u-byte "
+                "aligned",
+                (unsigned long long)Mem.Guest, UnitBytes);
+    if (Mem.Size % UnitBytes != 0)
+      fatalKind(CgErrKind::BadRegion,
+                "cannot bind code region: %zu bytes is not a multiple of "
+                "the %u-byte instruction unit",
+                Mem.Size, UnitBytes);
+    Base = Mem.Host;
     Ip = Base;
-    Limit = Base + Mem.Size / 4;
+    Limit = Base + Mem.Size;
     GuestBase = Mem.Guest;
+    Unit = UnitBytes;
+    Source = Mem.Source;
   }
 
   /// True once reset() has bound a region.
   bool isBound() const { return Base != nullptr; }
 
-  /// Emits one instruction word; the paper's "*v_ip++ = w".
+  /// Emits one instruction unit; the paper's "*v_ip++ = w". On a 4-byte
+  /// target this is the classic word store; on a byte target it stores
+  /// the low byte.
   void put(uint32_t W) {
     if (Ip == Limit)
-      fatalAt(CgErrKind::BufferOverflow, wordIndex(),
-              "code buffer overflow (%zu words); pass a larger region to "
-              "v_lambda",
-              size_t(Limit - Base));
-    *Ip++ = W;
+      overflow(1);
+    storeUnit(Ip, W);
+    Ip += Unit;
   }
 
-  /// Checks up front that \p N words fit, so a multi-word synthesis
+  /// Byte-granular emission for variable-length targets (requires a
+  /// 1-byte unit). Little-endian, matching x86-64.
+  void put8(uint8_t B) {
+    assert(Unit == 1 && "byte emission needs a byte-unit buffer");
+    if (Ip == Limit)
+      overflow(1);
+    *Ip++ = B;
+  }
+  void put16(uint16_t V) {
+    assert(Unit == 1 && "byte emission needs a byte-unit buffer");
+    ensureWords(2);
+    std::memcpy(Ip, &V, 2);
+    Ip += 2;
+  }
+  void put32(uint32_t V) {
+    assert(Unit == 1 && "byte emission needs a byte-unit buffer");
+    ensureWords(4);
+    std::memcpy(Ip, &V, 4);
+    Ip += 4;
+  }
+  void put64(uint64_t V) {
+    assert(Unit == 1 && "byte emission needs a byte-unit buffer");
+    ensureWords(8);
+    std::memcpy(Ip, &V, 8);
+    Ip += 8;
+  }
+
+  /// Checks up front that \p N units fit, so a multi-unit synthesis
   /// sequence reports overflow at instruction granularity instead of
   /// fataling halfway through with a partial sequence in the buffer.
-  /// Backends call this once before fixed-length multi-word sequences.
+  /// Backends call this once before fixed-length multi-unit sequences.
   void ensureWords(size_t N) {
     if (remainingWords() < N)
-      fatalAt(CgErrKind::BufferOverflow, wordIndex(),
-              "code buffer overflow: instruction needs %zu words but only "
-              "%zu of %zu remain; pass a larger region to v_lambda",
-              N, remainingWords(), size_t(Limit - Base));
+      overflow(N);
   }
 
-  /// Current cursor as a function-relative word index.
-  uint32_t wordIndex() const { return uint32_t(Ip - Base); }
+  /// Current cursor as a function-relative unit index.
+  uint32_t wordIndex() const { return uint32_t(Ip - Base) / Unit; }
 
-  /// Simulated address of the next word to be emitted.
-  SimAddr cursorAddr() const { return GuestBase + 4 * wordIndex(); }
+  /// Bytes emitted so far.
+  size_t usedBytes() const { return size_t(Ip - Base); }
 
-  /// Simulated address of word \p Idx.
-  SimAddr addrOfWord(uint32_t Idx) const { return GuestBase + 4 * SimAddr(Idx); }
+  /// Simulated address of the next unit to be emitted.
+  SimAddr cursorAddr() const { return GuestBase + SimAddr(Ip - Base); }
 
-  /// Reads back an already-emitted word (for backpatching). The bound is
+  /// Simulated address of unit \p Idx.
+  SimAddr addrOfWord(uint32_t Idx) const {
+    return GuestBase + SimAddr(Idx) * Unit;
+  }
+
+  /// Reads back an already-emitted unit (for backpatching). The bound is
   /// checked unconditionally: patch indices come from client-supplied
   /// fixups, so a bad one must be a reportable error, not release-mode UB.
   uint32_t read(uint32_t Idx) const {
-    if (Idx >= wordIndex())
-      fatalAt(CgErrKind::BadPatch, wordIndex(),
-              "patch index %u out of range (only %u words emitted)", Idx,
-              wordIndex());
-    return Base[Idx];
+    checkPatchIndex(Idx);
+    uint32_t W = 0;
+    std::memcpy(&W, Base + size_t(Idx) * Unit, Unit);
+    return W;
   }
 
-  /// Overwrites word \p Idx (backpatching). Bound checked unconditionally;
+  /// Overwrites unit \p Idx (backpatching). Bound checked unconditionally;
   /// see read().
   void patch(uint32_t Idx, uint32_t W) {
-    if (Idx >= wordIndex())
+    checkPatchIndex(Idx);
+    storeUnit(Base + size_t(Idx) * Unit, W);
+  }
+
+  /// ORs bits into unit \p Idx (filling a displacement field).
+  void patchOr(uint32_t Idx, uint32_t Bits) { patch(Idx, read(Idx) | Bits); }
+
+  /// Overwrites the 4 bytes starting at unit \p Idx (little-endian), for
+  /// rel32 fields on byte-unit targets.
+  void patch32(uint32_t Idx, uint32_t V) {
+    assert(Unit == 1 && "patch32 needs a byte-unit buffer");
+    if (size_t(Idx) + 4 > usedBytes())
       fatalAt(CgErrKind::BadPatch, wordIndex(),
               "patch index %u out of range (only %u words emitted)", Idx,
               wordIndex());
-    Base[Idx] = W;
+    std::memcpy(Base + Idx, &V, 4);
   }
-
-  /// ORs bits into word \p Idx (filling a displacement field).
-  void patchOr(uint32_t Idx, uint32_t Bits) { patch(Idx, read(Idx) | Bits); }
 
   /// Simulated address of the start of the region.
   SimAddr baseAddr() const { return GuestBase; }
 
-  /// Number of words still available.
-  size_t remainingWords() const { return size_t(Limit - Ip); }
+  /// Number of units still available.
+  size_t remainingWords() const { return size_t(Limit - Ip) / Unit; }
+
+  /// Instruction unit in bytes (TargetInfo::CodeUnitBytes of the target
+  /// this buffer was bound for).
+  unsigned unitBytes() const { return Unit; }
 
 private:
-  uint32_t *Base = nullptr;
-  uint32_t *Ip = nullptr;
-  uint32_t *Limit = nullptr;
+  void storeUnit(uint8_t *P, uint32_t W) {
+    if (Unit == 4)
+      std::memcpy(P, &W, 4); // the common RISC word store
+    else if (Unit == 1)
+      *P = uint8_t(W);
+    else
+      std::memcpy(P, &W, 2);
+  }
+
+  void checkPatchIndex(uint32_t Idx) const {
+    if (Idx >= wordIndex())
+      fatalAt(CgErrKind::BadPatch, wordIndex(),
+              "patch index %u out of range (only %u words emitted)", Idx,
+              wordIndex());
+  }
+
+  [[noreturn]] void overflow(size_t Needed) const {
+    size_t Cap = size_t(Limit - Base) / Unit;
+    if (Needed <= 1)
+      fatalAt(CgErrKind::BufferOverflow, wordIndex(),
+              "code buffer overflow (%zu words); %s", Cap,
+              Source ? Source : "pass a larger region to v_lambda");
+    else
+      fatalAt(CgErrKind::BufferOverflow, wordIndex(),
+              "code buffer overflow: instruction needs %zu words but only "
+              "%zu of %zu remain; %s",
+              Needed, remainingWords(), Cap,
+              Source ? Source : "pass a larger region to v_lambda");
+  }
+
+  uint8_t *Base = nullptr;
+  uint8_t *Ip = nullptr;
+  uint8_t *Limit = nullptr;
   SimAddr GuestBase = 0;
+  unsigned Unit = 4;
+  const char *Source = nullptr;
 };
 
 } // namespace vcode

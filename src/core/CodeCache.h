@@ -433,12 +433,22 @@ private:
         M.Size = It->first;
         FreePool.erase(It);
         M.Host = Mem.hostPtr(M.Guest, M.Size);
+        M.Arena = &Mem;
+        M.Source = RegionSource;
         CtRegionsReused.inc();
         return M;
       }
     }
-    return Mem.allocCode(Bytes);
+    CodeMem M = Mem.allocCode(Bytes);
+    M.Source = RegionSource;
+    return M;
   }
+
+  /// Overflow-diagnostic provenance for cache-managed regions: the caller
+  /// never sized these, so "pass a larger region to v_lambda" is wrong.
+  static constexpr const char *RegionSource =
+      "the region came from the CodeCache region pool (generateWithRetry "
+      "grows it on overflow)";
 
   /// Returns a region to the free pool (called by Entry destruction and
   /// by RegionAlloc when an attempt's region is abandoned).

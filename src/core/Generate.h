@@ -113,10 +113,17 @@ GenerateResult generateWithRetry(VCode &V, AllocFn Alloc, EmitFn Emit,
     V.clearError();
     try {
       CodePtr P;
+      CodeMem CM = Alloc(Bytes);
+      // Overflow diagnostics should name whoever sized the region: these
+      // regions are driver-sized and regrown automatically, so "pass a
+      // larger region to v_lambda" would mislead.
+      if (!CM.Source)
+        CM.Source = "the region was sized by generateWithRetry (it grows "
+                    "and retries on overflow)";
       if constexpr (std::is_invocable_v<EmitFn, CodeMem, Tier>)
-        P = Emit(Alloc(Bytes), Opts.GenTier);
+        P = Emit(CM, Opts.GenTier);
       else
-        P = Emit(Alloc(Bytes));
+        P = Emit(CM);
       if (P.isValid()) {
         R.Code = P;
         R.Err = CgError{};

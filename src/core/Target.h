@@ -37,9 +37,13 @@ class VCode;
 /// Static description of a target machine.
 struct TargetInfo {
   const char *Name = "?";
-  unsigned WordBytes = 4;          ///< 4 (MIPS/SPARC) or 8 (Alpha)
+  unsigned WordBytes = 4;          ///< 4 (MIPS/SPARC) or 8 (Alpha/x64)
   bool HasBranchDelaySlot = false; ///< MIPS/SPARC: one branch delay slot
   unsigned LoadDelaySlots = 0;     ///< architectural load-use delay (MIPS I)
+  /// Smallest instruction element the port emits: 4 on the fixed-width
+  /// RISC ports, 1 on variable-length x86-64. This is the CodeBuffer
+  /// unit; all fixup/word indices are in these units.
+  unsigned CodeUnitBytes = 4;
 
   Reg Zero; ///< hardwired zero register
   Reg At;   ///< assembler temporary, reserved for synthesis sequences

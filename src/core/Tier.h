@@ -19,6 +19,7 @@
 #define VCODE_CORE_TIER_H
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -51,13 +52,22 @@ inline bool parseTier(const char *S, Tier &Out) {
 }
 
 /// Process-wide default tier for tier-aware clients (DpfEngine, ash
-/// Pipeline, Tcc): $VCODE_TIER when set and valid, else Tier0. Read once;
-/// raw VCode/VRegLayer use stays explicit and is not affected by the
-/// environment.
+/// Pipeline, Tcc): $VCODE_TIER when set, else Tier0. Read once; raw
+/// VCode/VRegLayer use stays explicit and is not affected by the
+/// environment. A set-but-invalid VCODE_TIER is a hard error, not a
+/// silent fallback to Tier0: a typo like VCODE_TIER=teir1 must not
+/// quietly benchmark the wrong pipeline.
 inline Tier defaultTier() {
   static const Tier T = [] {
     Tier R = Tier::Tier0;
-    parseTier(std::getenv("VCODE_TIER"), R);
+    const char *Env = std::getenv("VCODE_TIER");
+    if (Env && !parseTier(Env, R)) {
+      std::fprintf(stderr,
+                   "vcode: bad VCODE_TIER value '%s' (expected 0, 1, tier0 "
+                   "or tier1)\n",
+                   Env);
+      std::exit(2);
+    }
     return R;
   }();
   return T;

@@ -116,7 +116,12 @@ void VCode::lambda(const char *ArgTypeStr, Reg *ArgRegs, bool IsLeaf,
   resetFunctionState();
   InFunction = true;
   LeafFlag = IsLeaf;
-  Buf.reset(Mem);
+  Buf.reset(Mem, TI.CodeUnitBytes);
+  MemArena = Mem.Arena;
+  MemGuest = Mem.Guest;
+  MemSize = Mem.Size;
+  if (MemArena)
+    MemArena->beginWrite(MemGuest, MemSize);
   RA.init(TI);
   EpiLabel = genLabel();
 
@@ -188,12 +193,16 @@ CodePtr VCode::endImpl() {
   // Floating-point immediates go at the end of the instruction stream so
   // their space is reclaimed with the function (paper §5.2).
   if (!ConstPool.empty()) {
-    if (Buf.cursorAddr() & 7)
+    while (Buf.cursorAddr() & 7)
       Buf.put(0);
     for (size_t I = 0; I < ConstPool.size(); ++I) {
       label(ConstPoolLabels[I]);
-      Buf.put(uint32_t(ConstPool[I]));
-      Buf.put(uint32_t(ConstPool[I] >> 32));
+      if (Buf.unitBytes() == 1) {
+        Buf.put64(ConstPool[I]);
+      } else {
+        Buf.put(uint32_t(ConstPool[I]));
+        Buf.put(uint32_t(ConstPool[I] >> 32));
+      }
     }
   }
 
@@ -209,7 +218,13 @@ CodePtr VCode::endImpl() {
   }
 
   InFunction = false;
-  Entry.SizeBytes = size_t(Buf.wordIndex()) * 4;
+  Entry.SizeBytes = Buf.usedBytes();
+
+  // The bytes are final: flip the region executable and flush icaches.
+  // Unreached on a poisoned function (recovery unwinds above), so
+  // partially emitted code is never made executable.
+  if (MemArena)
+    MemArena->publish(MemGuest, Entry.SizeBytes);
 
   VCODE_TM_SPAN("core.backpatch", TmFinishStart);
   VCODE_TM_COUNT("core.functions", 1);

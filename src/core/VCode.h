@@ -356,6 +356,13 @@ private:
   bool MadeCall = false;
   bool SuppressDelayNop = false;
 
+  // W^X bookkeeping for the bound code region: lambda() unprotects it for
+  // writing through the arena's hooks, end() publishes it executable once
+  // the bytes are final. Null arena (simulated memory) means no-ops.
+  CodeArena *MemArena = nullptr;
+  SimAddr MemGuest = 0;
+  size_t MemSize = 0;
+
   std::vector<int64_t> LabelPos; // word index, -1 if unbound
   std::vector<Fixup> Fixups;
   Label EpiLabel;

@@ -21,6 +21,7 @@
 #include "core/Types.h"
 #include "sim/Memory.h"
 #include <cstring>
+#include <initializer_list>
 #include <vector>
 
 namespace vcode {
@@ -139,10 +140,29 @@ public:
                                   const std::vector<TypedValue> &Args,
                                   Type RetTy) = 0;
 
+  /// Span form of callWithConv: the argument list lives in caller-owned
+  /// storage. The base implementation copies into a vector and delegates;
+  /// NativeCpu overrides it with an allocation-free marshalling path, which
+  /// matters when a dispatch loop makes millions of sub-microsecond calls.
+  virtual TypedValue callWithConvSpan(const CallConv &CC, SimAddr Entry,
+                                      const TypedValue *Args, size_t NumArgs,
+                                      Type RetTy) {
+    return callWithConv(CC, Entry,
+                        std::vector<TypedValue>(Args, Args + NumArgs), RetTy);
+  }
+
   /// Calls under the target's default convention.
   TypedValue call(SimAddr Entry, const std::vector<TypedValue> &Args,
                   Type RetTy = Type::I) {
     return callWithConv(defaultConv(), Entry, Args, RetTy);
+  }
+
+  /// Braced argument lists take the span path: no heap allocation on Cpus
+  /// that override callWithConvSpan.
+  TypedValue call(SimAddr Entry, std::initializer_list<TypedValue> Args,
+                  Type RetTy = Type::I) {
+    return callWithConvSpan(defaultConv(), Entry, Args.begin(), Args.size(),
+                            RetTy);
   }
 
   /// The target's default calling convention.

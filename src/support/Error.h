@@ -39,6 +39,7 @@ enum class CgErrKind : uint8_t {
   BadOperand,     ///< operand/type misuse (immediate where reg required, ...)
   OutOfRange,     ///< encodable-range overflow (frame size, displacement)
   BadPatch,       ///< backpatch index outside the emitted range
+  BadRegion,      ///< code region rejected at bind time (null/misaligned)
   UnboundLabel,   ///< label referenced but never bound
   RegisterPressure, ///< register allocator ran out
   ApiMisuse,      ///< protocol violation (v_end without v_lambda, ...)
@@ -55,6 +56,7 @@ inline const char *cgErrKindName(CgErrKind K) {
   case CgErrKind::BadOperand:       return "bad-operand";
   case CgErrKind::OutOfRange:       return "out-of-range";
   case CgErrKind::BadPatch:         return "bad-patch";
+  case CgErrKind::BadRegion:        return "bad-region";
   case CgErrKind::UnboundLabel:     return "unbound-label";
   case CgErrKind::RegisterPressure: return "register-pressure";
   case CgErrKind::ApiMisuse:        return "api-misuse";

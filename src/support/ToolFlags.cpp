@@ -7,10 +7,38 @@
 #include "support/ToolFlags.h"
 #include "support/Error.h"
 #include "support/Telemetry.h"
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
 using namespace vcode;
+
+namespace {
+
+/// Strict unsigned decimal parse. strtoull alone is not enough: it accepts
+/// leading whitespace and a leading '-' (wrapping to a huge count) and
+/// saturates silently on overflow (ERANGE), all of which used to turn a
+/// typo into a quietly wrong configuration.
+bool parseCount(const char *S, uint64_t &Out) {
+  if (!S || !std::isdigit((unsigned char)*S))
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (!End || *End || End == S || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Backend names --target accepts.
+bool validTarget(const char *S) {
+  return !std::strcmp(S, "mips") || !std::strcmp(S, "sparc") ||
+         !std::strcmp(S, "alpha") || !std::strcmp(S, "host");
+}
+
+} // namespace
 
 int tool::handleArgs(int Argc, char **Argv, ToolOptions &Opts) {
   int Out = 1;
@@ -23,12 +51,20 @@ int tool::handleArgs(int Argc, char **Argv, ToolOptions &Opts) {
       continue;
     }
     if (std::strncmp(A, "--hot-threshold=", 16) == 0) {
-      char *End = nullptr;
-      unsigned long long V = std::strtoull(A + 16, &End, 10);
-      if (!End || *End || End == A + 16)
-        fatal("bad --hot-threshold value '%s' (expected a count)", A + 16);
-      Opts.HotThreshold = V;
+      if (!parseCount(A + 16, Opts.HotThreshold))
+        fatal("bad --hot-threshold value '%s' (expected a non-negative "
+              "64-bit count)",
+              A + 16);
       Opts.HotGiven = true;
+      continue;
+    }
+    if (std::strncmp(A, "--target=", 9) == 0) {
+      if (!validTarget(A + 9))
+        fatal("bad --target value '%s' (expected mips, sparc, alpha or "
+              "host)",
+              A + 9);
+      Opts.TargetName = A + 9;
+      Opts.TargetGiven = true;
       continue;
     }
     Argv[Out++] = Argv[Idx];

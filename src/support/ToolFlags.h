@@ -15,6 +15,12 @@
 ///   --hot-threshold=<N>    promote a cache-shared function to Tier-1
 ///                          after N executions (0 disables; clients with
 ///                          no shared cache ignore it)
+///   --target=<name>        backend for tools/benches that honor it:
+///                          mips, sparc, alpha, or host (native x86-64)
+///
+/// Integer flag values are validated strictly: malformed text, a negative
+/// count, or a value past the 64-bit range is a fatal diagnostic with a
+/// nonzero exit, never a silent fallback.
 ///
 /// handleArgs() strips every recognized flag from argv (compacting and
 /// null-terminating it, like telemetry::handleArgs) so a tool's own
@@ -35,8 +41,10 @@ namespace tool {
 struct ToolOptions {
   Tier GenTier = defaultTier(); ///< --tier, else the process default
   uint64_t HotThreshold = 0;    ///< --hot-threshold, else 0 (disabled)
+  const char *TargetName = nullptr; ///< --target, else null (tool default)
   bool TierGiven = false;       ///< --tier appeared on the command line
   bool HotGiven = false;        ///< --hot-threshold appeared
+  bool TargetGiven = false;     ///< --target appeared
 };
 
 /// Scans argv for the shared flags above, fills \p Opts, delegates the

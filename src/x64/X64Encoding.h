@@ -1,0 +1,325 @@
+//===- x64/X64Encoding.h - x86-64 instruction encoding ----------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level x86-64 encoding helpers. Unlike the fixed-width RISC ports,
+/// whose encoders are pure constexpr word builders, x86-64 instructions are
+/// variable length, so the encoder is a thin stateful wrapper (Asm) that
+/// appends prefix/opcode/ModRM/SIB/immediate bytes to the function's
+/// CodeBuffer (bound with a 1-byte instruction unit). The paper's in-place
+/// "*v_ip++ = w" model survives intact — the unit is just a byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_X64_X64ENCODING_H
+#define VCODE_X64_X64ENCODING_H
+
+#include "core/CodeBuffer.h"
+#include <cstdint>
+
+namespace vcode {
+namespace x64 {
+
+// Integer register numbers (standard x86-64 encoding order).
+enum : unsigned {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10, // assembler temporary (TargetInfo::At)
+  R11 = 11, // synthesized zero register (TargetInfo::Zero)
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+// XMM register numbers. XMM14/15 are backend scratch.
+enum : unsigned { XMM14 = 14, XMM15 = 15 };
+
+/// Port-role aliases (mirroring the RISC ports' naming).
+inline constexpr unsigned AT = R10;    ///< assembler temporary
+inline constexpr unsigned ZERO_ = R11; ///< synthesized zero register
+
+// Condition-code nibbles for Jcc/SETcc (0F 8x / 0F 9x).
+enum : unsigned {
+  CC_O = 0x0,
+  CC_B = 0x2,  // unsigned <  (also: ucomis "below")
+  CC_AE = 0x3, // unsigned >=
+  CC_E = 0x4,
+  CC_NE = 0x5,
+  CC_BE = 0x6, // unsigned <=
+  CC_A = 0x7,  // unsigned >
+  CC_S = 0x8,  // sign set
+  CC_L = 0xC,  // signed <
+  CC_GE = 0xD, // signed >=
+  CC_LE = 0xE, // signed <=
+  CC_G = 0xF,  // signed >
+};
+
+/// Appends x86-64 instruction bytes to a CodeBuffer. All methods follow
+/// the manual's field names: \c Reg is the ModRM reg field operand, \c Rm
+/// the r/m field operand, \c W selects a 64-bit operand size (REX.W).
+class Asm {
+public:
+  explicit Asm(CodeBuffer &B) : B(B) {}
+
+  static constexpr uint8_t modrm(unsigned Mod, unsigned Reg, unsigned Rm) {
+    return uint8_t((Mod << 6) | ((Reg & 7) << 3) | (Rm & 7));
+  }
+  static constexpr uint8_t sib(unsigned Scale, unsigned Index, unsigned Base) {
+    return uint8_t((Scale << 6) | ((Index & 7) << 3) | (Base & 7));
+  }
+
+  /// REX prefix from the extension bits of the three register fields;
+  /// omitted when empty unless \p Force (needed to reach SPL/BPL/SIL/DIL
+  /// in byte operations).
+  void rex(bool W, unsigned Reg, unsigned Index, unsigned Base,
+           bool Force = false) {
+    uint8_t P = uint8_t(0x40 | (W ? 8 : 0) | ((Reg >> 3) << 2) |
+                        ((Index >> 3) << 1) | (Base >> 3));
+    if (P != 0x40 || Force)
+      B.put8(P);
+  }
+
+  // --- Register-register forms ---------------------------------------------
+
+  /// One-byte-opcode reg/reg instruction (ALU MR forms, mov, test...).
+  void rr(bool W, uint8_t Op, unsigned Reg, unsigned Rm, bool Force = false) {
+    rex(W, Reg, 0, Rm, Force);
+    B.put8(Op);
+    B.put8(modrm(3, Reg, Rm));
+  }
+  /// 0F-escaped reg/reg instruction (imul, movzx, setcc...).
+  void rr0F(bool W, uint8_t Op, unsigned Reg, unsigned Rm) {
+    rex(W, Reg, 0, Rm);
+    B.put8(0x0F);
+    B.put8(Op);
+    B.put8(modrm(3, Reg, Rm));
+  }
+
+  /// mov Rd, Rs (64-bit). Safe as the universal register copy: 32-bit
+  /// consumers read the low half.
+  void movRR(unsigned Rd, unsigned Rs) { rr(true, 0x89, Rs, Rd); }
+  /// mov Rd32, Rs32: zero-extends into the upper half.
+  void movRR32(unsigned Rd, unsigned Rs) { rr(false, 0x89, Rs, Rd); }
+  /// movsxd Rd, Rs32: sign-extend a 32-bit value to 64 bits.
+  void movsxd(unsigned Rd, unsigned Rs) {
+    rex(true, Rd, 0, Rs);
+    B.put8(0x63);
+    B.put8(modrm(3, Rd, Rs));
+  }
+
+  // --- Immediates ----------------------------------------------------------
+
+  /// mov Rd32, imm32 (zero-extends; the shortest constant load).
+  void movRI32(unsigned Rd, uint32_t Imm) {
+    rex(false, 0, 0, Rd);
+    B.put8(uint8_t(0xB8 | (Rd & 7)));
+    B.put32(Imm);
+  }
+  /// mov Rd64, simm32 (sign-extends).
+  void movRIs32(unsigned Rd, int32_t Imm) {
+    rex(true, 0, 0, Rd);
+    B.put8(0xC7);
+    B.put8(modrm(3, 0, Rd));
+    B.put32(uint32_t(Imm));
+  }
+  /// movabs Rd, imm64.
+  void movRI64(unsigned Rd, uint64_t Imm) {
+    rex(true, 0, 0, Rd);
+    B.put8(uint8_t(0xB8 | (Rd & 7)));
+    B.put64(Imm);
+  }
+  /// Group-1 ALU op (81 /ext) with a 32-bit immediate.
+  void aluRI(bool W, unsigned Ext, unsigned Rm, uint32_t Imm) {
+    rex(W, 0, 0, Rm);
+    B.put8(0x81);
+    B.put8(modrm(3, Ext, Rm));
+    B.put32(Imm);
+  }
+  /// Shift by a constant (C1 /ext imm8).
+  void shiftRI(bool W, unsigned Ext, unsigned Rm, uint8_t Imm) {
+    rex(W, 0, 0, Rm);
+    B.put8(0xC1);
+    B.put8(modrm(3, Ext, Rm));
+    B.put8(Imm);
+  }
+  /// Shift by CL (D3 /ext).
+  void shiftRCl(bool W, unsigned Ext, unsigned Rm) {
+    rex(W, 0, 0, Rm);
+    B.put8(0xD3);
+    B.put8(modrm(3, Ext, Rm));
+  }
+  /// Group-3 unary op (F7 /ext: not=2 neg=3 mul=4 div=6 idiv=7).
+  void grp3(bool W, unsigned Ext, unsigned Rm) {
+    rex(W, 0, 0, Rm);
+    B.put8(0xF7);
+    B.put8(modrm(3, Ext, Rm));
+  }
+
+  // --- Memory operands -----------------------------------------------------
+
+  /// ModRM(+SIB) bytes for [Base + Disp] with the shortest displacement.
+  void mem(unsigned Reg, unsigned Base, int32_t Disp) {
+    bool NeedSib = (Base & 7) == 4; // rsp/r12 demand a SIB byte
+    unsigned Rm = NeedSib ? 4 : (Base & 7);
+    if (Disp == 0 && (Base & 7) != 5) { // rbp/r13 need an explicit disp
+      B.put8(modrm(0, Reg, Rm));
+      if (NeedSib)
+        B.put8(sib(0, 4, Base));
+    } else if (Disp >= -128 && Disp <= 127) {
+      B.put8(modrm(1, Reg, Rm));
+      if (NeedSib)
+        B.put8(sib(0, 4, Base));
+      B.put8(uint8_t(Disp));
+    } else {
+      B.put8(modrm(2, Reg, Rm));
+      if (NeedSib)
+        B.put8(sib(0, 4, Base));
+      B.put32(uint32_t(Disp));
+    }
+  }
+  /// ModRM+SIB for [Base + Index] (scale 1). Index must not be RSP.
+  void memIdx(unsigned Reg, unsigned Base, unsigned Index) {
+    bool NeedDisp = (Base & 7) == 5; // rbp/r13 base forces disp8=0
+    B.put8(modrm(NeedDisp ? 1 : 0, Reg, 4));
+    B.put8(sib(0, Index, Base));
+    if (NeedDisp)
+      B.put8(0);
+  }
+
+  /// One-byte-opcode instruction with a [Base + Disp] operand.
+  void rm(bool W, uint8_t Op, unsigned Reg, unsigned Base, int32_t Disp,
+          bool Force = false) {
+    rex(W, Reg, 0, Base, Force);
+    B.put8(Op);
+    mem(Reg, Base, Disp);
+  }
+  /// 0F-escaped instruction with a [Base + Disp] operand.
+  void rm0F(bool W, uint8_t Op, unsigned Reg, unsigned Base, int32_t Disp) {
+    rex(W, Reg, 0, Base);
+    B.put8(0x0F);
+    B.put8(Op);
+    mem(Reg, Base, Disp);
+  }
+  /// One-byte-opcode instruction with a [Base + Index] operand.
+  void rmIdx(bool W, uint8_t Op, unsigned Reg, unsigned Base, unsigned Index,
+             bool Force = false) {
+    rex(W, Reg, Index, Base, Force);
+    B.put8(Op);
+    memIdx(Reg, Base, Index);
+  }
+  /// 0F-escaped instruction with a [Base + Index] operand.
+  void rmIdx0F(bool W, uint8_t Op, unsigned Reg, unsigned Base,
+               unsigned Index) {
+    rex(W, Reg, Index, Base);
+    B.put8(0x0F);
+    B.put8(Op);
+    memIdx(Reg, Base, Index);
+  }
+
+  // --- SSE scalar ----------------------------------------------------------
+
+  /// Prefixed 0F-escaped reg/reg SSE instruction. \p Prefix is 0x66, 0xF2,
+  /// 0xF3, or 0 (none).
+  void sse(uint8_t Prefix, bool W, uint8_t Op, unsigned Reg, unsigned Rm) {
+    if (Prefix)
+      B.put8(Prefix);
+    rex(W, Reg, 0, Rm);
+    B.put8(0x0F);
+    B.put8(Op);
+    B.put8(modrm(3, Reg, Rm));
+  }
+  /// Prefixed SSE instruction with a [Base + Disp] operand.
+  void sseMem(uint8_t Prefix, uint8_t Op, unsigned Reg, unsigned Base,
+              int32_t Disp) {
+    if (Prefix)
+      B.put8(Prefix);
+    rex(false, Reg, 0, Base);
+    B.put8(0x0F);
+    B.put8(Op);
+    mem(Reg, Base, Disp);
+  }
+  /// Prefixed SSE instruction with a [Base + Index] operand.
+  void sseMemIdx(uint8_t Prefix, uint8_t Op, unsigned Reg, unsigned Base,
+                 unsigned Index) {
+    if (Prefix)
+      B.put8(Prefix);
+    rex(false, Reg, Index, Base);
+    B.put8(0x0F);
+    B.put8(Op);
+    memIdx(Reg, Base, Index);
+  }
+
+  // --- Stack, flow control, misc -------------------------------------------
+
+  void push(unsigned R) {
+    rex(false, 0, 0, R);
+    B.put8(uint8_t(0x50 | (R & 7)));
+  }
+  void pop(unsigned R) {
+    rex(false, 0, 0, R);
+    B.put8(uint8_t(0x58 | (R & 7)));
+  }
+  /// cdq (W=0) / cqo (W=1): sign-extend the accumulator into rdx.
+  void cdq(bool W) {
+    if (W)
+      B.put8(0x48);
+    B.put8(0x99);
+  }
+  /// setcc Rm8 (always REX'd when Rm is SPL..DIL).
+  void setcc(unsigned Cc, unsigned Rm) {
+    rex(false, 0, 0, Rm, Rm >= 4 && Rm < 8);
+    B.put8(0x0F);
+    B.put8(uint8_t(0x90 | Cc));
+    B.put8(modrm(3, 0, Rm));
+  }
+  /// jcc rel32 with a zero placeholder (6 bytes; rel32 at +2).
+  void jcc32(unsigned Cc) {
+    B.put8(0x0F);
+    B.put8(uint8_t(0x80 | Cc));
+    B.put32(0);
+  }
+  /// jmp rel32 (5 bytes; rel32 at +1).
+  void jmp32(int32_t Rel = 0) {
+    B.put8(0xE9);
+    B.put32(uint32_t(Rel));
+  }
+  /// call rel32 (5 bytes; rel32 at +1).
+  void call32(int32_t Rel = 0) {
+    B.put8(0xE8);
+    B.put32(uint32_t(Rel));
+  }
+  void jmpReg(unsigned R) {
+    rex(false, 0, 0, R);
+    B.put8(0xFF);
+    B.put8(modrm(3, 4, R));
+  }
+  void callReg(unsigned R) {
+    rex(false, 0, 0, R);
+    B.put8(0xFF);
+    B.put8(modrm(3, 2, R));
+  }
+  void ret() { B.put8(0xC3); }
+  void nop() { B.put8(0x90); }
+  /// Re-establish the synthesized zero register (xor r11d, r11d).
+  void zeroR11() { rr(false, 0x31, R11, R11); }
+
+private:
+  CodeBuffer &B;
+};
+
+} // namespace x64
+} // namespace vcode
+
+#endif // VCODE_X64_X64ENCODING_H

@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "StreamGen.h"
 #include "TestUtil.h"
 #include "support/Rng.h"
 #include <gtest/gtest.h>
@@ -25,255 +26,6 @@ using namespace vcode::test;
 using sim::TypedValue;
 
 namespace {
-
-constexpr unsigned Slots = 4;        ///< live registers
-constexpr unsigned ScratchSlots = 6; ///< 8-byte scratch buffer cells
-constexpr unsigned StreamLen = 48;   ///< instructions per program
-constexpr unsigned Chunks = 4;       ///< ctest cases per target
-constexpr unsigned ProgsPerChunk = 12;
-
-/// One random stream instruction over slot indices 0..Slots-1.
-struct StreamInsn {
-  enum KindType {
-    Bin,    ///< d = a op b
-    BinImm, ///< d = a op imm
-    Un,     ///< d = op a
-    Set,    ///< d = imm
-    CmpSet, ///< d = (a COND b) ? 1 : 0, via a branch diamond
-    Load,   ///< d = scratch[cell]
-    Store,  ///< scratch[cell] = a
-    Cvt,    ///< d = cvt(Ty2 -> Ty, cvt(Ty -> Ty2, a))
-    Guard,  ///< if (a COND b) skip the next Skip instructions
-  } Kind;
-  BinOp Bop = BinOp::Add;
-  UnOp Uop = UnOp::Mov;
-  Cond C = Cond::Eq;
-  Type Ty2 = Type::I;
-  unsigned D = 0, A = 0, B = 0;
-  unsigned Cell = 0; ///< scratch index for Load/Store
-  unsigned Skip = 0; ///< guarded-block length for Guard
-  int64_t Imm = 0;
-};
-
-/// Integer conversion partners with both directions covered by the
-/// backends (the pairs the per-instruction regression suite locks down).
-std::vector<Type> cvtPartners(Type Ty) {
-  switch (Ty) {
-  case Type::I:
-    return {Type::U, Type::L, Type::UL};
-  case Type::U:
-    return {Type::I, Type::UL};
-  case Type::L:
-    return {Type::I, Type::UL};
-  default: // UL
-    return {Type::I, Type::U, Type::L};
-  }
-}
-
-/// Draws a random legal stream. Guarded blocks never nest or overlap, so
-/// both emission (one pending forward label at a time) and the host
-/// evaluator stay simple.
-std::vector<StreamInsn> makeStream(Rng &R, Type Ty, unsigned Bits) {
-  std::vector<StreamInsn> P;
-  unsigned NoGuardUntil = 0;
-  for (unsigned I = 0; I < StreamLen; ++I) {
-    StreamInsn N;
-    N.D = unsigned(R.below(Slots));
-    N.A = unsigned(R.below(Slots));
-    N.B = unsigned(R.below(Slots));
-    unsigned Pick = unsigned(R.below(9));
-    if (Pick == 8 && (I < NoGuardUntil || I + 1 >= StreamLen))
-      Pick = unsigned(R.below(8)); // no room (or inside a guarded block)
-    switch (Pick) {
-    case 0: {
-      N.Kind = StreamInsn::Bin;
-      const BinOp Ops[] = {BinOp::Add, BinOp::Sub, BinOp::Mul,
-                           BinOp::And, BinOp::Or,  BinOp::Xor};
-      N.Bop = Ops[R.below(6)];
-      break;
-    }
-    case 1: {
-      N.Kind = StreamInsn::BinImm;
-      const BinOp Ops[] = {BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And,
-                           BinOp::Or,  BinOp::Xor, BinOp::Lsh, BinOp::Rsh};
-      N.Bop = Ops[R.below(8)];
-      if (N.Bop == BinOp::Lsh || N.Bop == BinOp::Rsh)
-        N.Imm = int64_t(R.below(Bits));
-      else
-        N.Imm = int64_t(int32_t(uint32_t(R.next())));
-      break;
-    }
-    case 2: {
-      N.Kind = StreamInsn::Un;
-      const UnOp Ops[] = {UnOp::Com, UnOp::Not, UnOp::Mov};
-      N.Uop = Ops[R.below(3)];
-      break;
-    }
-    case 3:
-      N.Kind = StreamInsn::Set;
-      N.Imm = int64_t(R.next());
-      break;
-    case 4: {
-      N.Kind = StreamInsn::CmpSet;
-      const Cond Cs[] = {Cond::Lt, Cond::Le, Cond::Gt,
-                         Cond::Ge, Cond::Eq, Cond::Ne};
-      N.C = Cs[R.below(6)];
-      break;
-    }
-    case 5:
-      N.Kind = StreamInsn::Load;
-      N.Cell = unsigned(R.below(ScratchSlots));
-      break;
-    case 6:
-      N.Kind = StreamInsn::Store;
-      N.Cell = unsigned(R.below(ScratchSlots));
-      break;
-    case 7: {
-      N.Kind = StreamInsn::Cvt;
-      std::vector<Type> Partners = cvtPartners(Ty);
-      N.Ty2 = Partners[R.below(Partners.size())];
-      break;
-    }
-    default: {
-      N.Kind = StreamInsn::Guard;
-      const Cond Cs[] = {Cond::Lt, Cond::Ge, Cond::Eq, Cond::Ne};
-      N.C = Cs[R.below(4)];
-      unsigned MaxSkip = std::min(3u, StreamLen - I - 1);
-      N.Skip = 1 + unsigned(R.below(MaxSkip));
-      NoGuardUntil = I + 1 + N.Skip;
-      break;
-    }
-    }
-    P.push_back(N);
-  }
-  return P;
-}
-
-/// Direct host evaluation of the stream: \p Slot and \p Scratch hold
-/// canonical \p Ty values throughout.
-void evalHost(const std::vector<StreamInsn> &P, Type Ty,
-              std::vector<uint64_t> &Slot, std::vector<uint64_t> &Scratch,
-              unsigned WB) {
-  unsigned I = 0;
-  while (I < P.size()) {
-    const StreamInsn &N = P[I];
-    switch (N.Kind) {
-    case StreamInsn::Bin:
-      Slot[N.D] = refBinop(N.Bop, Ty, Slot[N.A], Slot[N.B], WB);
-      break;
-    case StreamInsn::BinImm:
-      Slot[N.D] = refBinop(N.Bop, Ty, Slot[N.A],
-                           canonicalize(Ty, uint64_t(N.Imm), WB), WB);
-      break;
-    case StreamInsn::Un:
-      Slot[N.D] = refUnop(N.Uop, Ty, Slot[N.A], WB);
-      break;
-    case StreamInsn::Set:
-      Slot[N.D] = canonicalize(Ty, uint64_t(N.Imm), WB);
-      break;
-    case StreamInsn::CmpSet:
-      Slot[N.D] = canonicalize(
-          Ty, refCond(N.C, Ty, Slot[N.A], Slot[N.B], WB) ? 1 : 0, WB);
-      break;
-    case StreamInsn::Load:
-      Slot[N.D] = Scratch[N.Cell];
-      break;
-    case StreamInsn::Store:
-      Scratch[N.Cell] = Slot[N.A];
-      break;
-    case StreamInsn::Cvt:
-      Slot[N.D] = refCvt(N.Ty2, Ty, refCvt(Ty, N.Ty2, Slot[N.A], WB), WB);
-      break;
-    case StreamInsn::Guard:
-      if (refCond(N.C, Ty, Slot[N.A], Slot[N.B], WB)) {
-        I += 1 + N.Skip;
-        continue;
-      }
-      break;
-    }
-    ++I;
-  }
-}
-
-/// Emits the stream as a function: slot values arrive as UL arguments and
-/// are converted to the stream type at entry; final slot values leave
-/// through \p Out as UL; scratch traffic goes to \p Scratch.
-CodePtr emitStream(VCode &V, const std::vector<StreamInsn> &P, Type Ty,
-                   CodeMem CM, SimAddr Scratch, SimAddr Out) {
-  Reg Arg[Slots];
-  V.lambda("%U%U%U%U", Arg, LeafHint, CM);
-  std::vector<Reg> S(Arg, Arg + Slots);
-  for (unsigned I = 0; I < Slots; ++I)
-    V.cvt(Type::UL, Ty, S[I], S[I]);
-  Reg Ptr = V.getreg(Type::P);
-  Reg Tmp = V.getreg(Type::UL);
-  if (!Ptr.isValid() || !Tmp.isValid())
-    return CodePtr{};
-  V.setp(Ptr, Scratch);
-
-  // Forward labels for guarded blocks, placed when their end index is
-  // reached (blocks never overlap, so at most one is pending).
-  std::vector<std::pair<unsigned, Label>> Pending;
-  for (unsigned I = 0; I < P.size(); ++I) {
-    while (!Pending.empty() && Pending.back().first == I) {
-      V.label(Pending.back().second);
-      Pending.pop_back();
-    }
-    const StreamInsn &N = P[I];
-    switch (N.Kind) {
-    case StreamInsn::Bin:
-      V.binop(N.Bop, Ty, S[N.D], S[N.A], S[N.B]);
-      break;
-    case StreamInsn::BinImm:
-      V.binopImm(N.Bop, Ty, S[N.D], S[N.A], N.Imm);
-      break;
-    case StreamInsn::Un:
-      V.unop(N.Uop, Ty, S[N.D], S[N.A]);
-      break;
-    case StreamInsn::Set:
-      V.setInt(Ty, S[N.D], uint64_t(N.Imm));
-      break;
-    case StreamInsn::CmpSet: {
-      Label LT = V.genLabel(), LE = V.genLabel();
-      V.branch(N.C, Ty, S[N.A], S[N.B], LT);
-      V.setInt(Ty, S[N.D], 0);
-      V.jmp(LE);
-      V.label(LT);
-      V.setInt(Ty, S[N.D], 1);
-      V.label(LE);
-      break;
-    }
-    case StreamInsn::Load:
-      V.loadImm(Ty, S[N.D], Ptr, 8 * N.Cell);
-      break;
-    case StreamInsn::Store:
-      V.storeImm(Ty, S[N.A], Ptr, 8 * N.Cell);
-      break;
-    case StreamInsn::Cvt:
-      V.cvt(Ty, N.Ty2, Tmp, S[N.A]);
-      V.cvt(N.Ty2, Ty, S[N.D], Tmp);
-      break;
-    case StreamInsn::Guard: {
-      Label L = V.genLabel();
-      V.branch(N.C, Ty, S[N.A], S[N.B], L);
-      Pending.emplace_back(I + 1 + N.Skip, L);
-      break;
-    }
-    }
-  }
-  while (!Pending.empty()) {
-    V.label(Pending.back().second);
-    Pending.pop_back();
-  }
-
-  V.setp(Ptr, Out);
-  for (unsigned I = 0; I < Slots; ++I) {
-    V.cvt(Ty, Type::UL, S[I], S[I]);
-    V.stuli(S[I], Ptr, 8 * I);
-  }
-  V.retv();
-  return V.end();
-}
 
 /// Parameter: (target name, corpus chunk).
 class RandomStreamTest
@@ -291,24 +43,24 @@ TEST_P(RandomStreamTest, MatchesHostEvaluation) {
   const Type StreamTypes[] = {Type::I, Type::U, Type::L, Type::UL};
   const unsigned Chunk = unsigned(std::get<1>(GetParam()));
 
-  for (unsigned Pn = 0; Pn < ProgsPerChunk; ++Pn) {
-    unsigned Index = Chunk * ProgsPerChunk + Pn;
+  for (unsigned Pn = 0; Pn < StreamProgsPerChunk; ++Pn) {
+    unsigned Index = Chunk * StreamProgsPerChunk + Pn;
     VCODE_SEEDED(Index * 6151 + 101);
     Type Ty = StreamTypes[Index % 4];
     Rng R(TestSeed);
     std::vector<StreamInsn> Prog = makeStream(R, Ty, typeBits(Ty, WB));
 
     // Initial register and scratch state.
-    std::vector<uint64_t> Init(Slots), Slot(Slots);
-    for (unsigned I = 0; I < Slots; ++I) {
+    std::vector<uint64_t> Init(StreamSlots), Slot(StreamSlots);
+    for (unsigned I = 0; I < StreamSlots; ++I) {
       Init[I] = canonicalize(Type::UL, R.next(), WB);
       Slot[I] = canonicalize(Ty, Init[I], WB);
     }
-    std::vector<uint64_t> Scratch(ScratchSlots, 0);
+    std::vector<uint64_t> Scratch(StreamScratchSlots, 0);
 
-    SimAddr ScratchMem = B.Mem->alloc(ScratchSlots * 8, 8);
-    SimAddr Out = B.Mem->alloc(Slots * 8, 8);
-    for (unsigned I = 0; I < ScratchSlots; ++I)
+    SimAddr ScratchMem = B.Mem->alloc(StreamScratchSlots * 8, 8);
+    SimAddr Out = B.Mem->alloc(StreamSlots * 8, 8);
+    for (unsigned I = 0; I < StreamScratchSlots; ++I)
       B.Mem->write<uint64_t>(ScratchMem + 8 * I, 0);
 
     VCode V(*B.Tgt);
@@ -324,7 +76,7 @@ TEST_P(RandomStreamTest, MatchesHostEvaluation) {
     evalHost(Prog, Ty, Slot, Scratch, WB);
 
     // Register state: slots leave as UL through Out.
-    for (unsigned I = 0; I < Slots; ++I) {
+    for (unsigned I = 0; I < StreamSlots; ++I) {
       uint64_t Got = B.Mem->read<uint64_t>(Out + 8 * I);
       if (WB == 4)
         Got &= 0xffffffffu;
@@ -336,7 +88,7 @@ TEST_P(RandomStreamTest, MatchesHostEvaluation) {
     }
     // Memory state: scratch cells hold the raw truncated store image.
     unsigned Size = typeSize(Ty, WB);
-    for (unsigned I = 0; I < ScratchSlots; ++I) {
+    for (unsigned I = 0; I < StreamScratchSlots; ++I) {
       uint64_t Got = Size == 8 ? B.Mem->read<uint64_t>(ScratchMem + 8 * I)
                                : B.Mem->read<uint32_t>(ScratchMem + 8 * I);
       uint64_t Want = Size == 8 ? Scratch[I] : uint32_t(Scratch[I]);
@@ -349,7 +101,7 @@ TEST_P(RandomStreamTest, MatchesHostEvaluation) {
 INSTANTIATE_TEST_SUITE_P(
     Corpus, RandomStreamTest,
     ::testing::Combine(::testing::ValuesIn(allTargetNames()),
-                       ::testing::Range(0, int(Chunks))),
+                       ::testing::Range(0, int(StreamChunks))),
     [](const auto &Info) {
       return std::get<0>(Info.param) + "_chunk" +
              std::to_string(std::get<1>(Info.param));

@@ -7,11 +7,15 @@
 #include "support/BitUtils.h"
 #include "support/Rng.h"
 #include "support/TablePrinter.h"
+#include "support/ToolFlags.h"
 #include "core/Types.h"
 #include "core/Ops.h"
 #include "core/CallConv.h"
 #include <gtest/gtest.h>
+#include <initializer_list>
 #include <set>
+#include <string>
+#include <vector>
 
 using namespace vcode;
 
@@ -156,6 +160,82 @@ TEST(TablePrinterTest, AlignsColumns) {
   EXPECT_NE(S.find("xxxx"), std::string::npos);
   // All three lines of rows + header + rule.
   EXPECT_EQ(std::count(S.begin(), S.end(), '\n'), 4);
+}
+
+// --- tool::handleArgs strict parsing ----------------------------------------
+
+/// Mutable argv for handleArgs, which compacts it in place.
+struct ArgvBuilder {
+  std::vector<std::string> Store;
+  std::vector<char *> Ptrs;
+  ArgvBuilder(std::initializer_list<const char *> Args) {
+    Store.emplace_back("tool");
+    for (const char *A : Args)
+      Store.emplace_back(A);
+    for (std::string &S : Store)
+      Ptrs.push_back(S.data());
+    Ptrs.push_back(nullptr);
+  }
+  int argc() const { return int(Store.size()); }
+  char **argv() { return Ptrs.data(); }
+};
+
+TEST(ToolFlagsTest, ParsesSharedFlagsAndCompactsArgv) {
+  ArgvBuilder A({"--tier=1", "keep-me", "--hot-threshold=64",
+                 "--target=host", "also-keep"});
+  tool::ToolOptions Opts;
+  int Argc = tool::handleArgs(A.argc(), A.argv(), Opts);
+  EXPECT_EQ(Opts.GenTier, Tier::Tier1);
+  EXPECT_TRUE(Opts.TierGiven);
+  EXPECT_EQ(Opts.HotThreshold, 64u);
+  EXPECT_TRUE(Opts.HotGiven);
+  ASSERT_TRUE(Opts.TargetGiven);
+  EXPECT_STREQ(Opts.TargetName, "host");
+  // Only the tool's own arguments survive, in order, null-terminated.
+  ASSERT_EQ(Argc, 3);
+  EXPECT_STREQ(A.argv()[1], "keep-me");
+  EXPECT_STREQ(A.argv()[2], "also-keep");
+  EXPECT_EQ(A.argv()[3], nullptr);
+}
+
+TEST(ToolFlagsTest, AcceptsFullUint64Range) {
+  ArgvBuilder A({"--hot-threshold=18446744073709551615"});
+  tool::ToolOptions Opts;
+  tool::handleArgs(A.argc(), A.argv(), Opts);
+  EXPECT_EQ(Opts.HotThreshold, ~uint64_t(0));
+}
+
+TEST(ToolFlagsTest, RejectsMalformedHotThreshold) {
+  // Each of these used to slip through strtoull: a negative count wraps, an
+  // overflow saturates, trailing garbage is ignored. All must be fatal.
+  for (const char *Bad : {"-5", "+5", "abc", "", "12x", "0x10",
+                          "18446744073709551616", " 7"}) {
+    ArgvBuilder A({(std::string("--hot-threshold=") + Bad).c_str()});
+    tool::ToolOptions Opts;
+    EXPECT_DEATH(tool::handleArgs(A.argc(), A.argv(), Opts),
+                 "bad --hot-threshold value")
+        << "value '" << Bad << "'";
+  }
+}
+
+TEST(ToolFlagsTest, RejectsBadTier) {
+  for (const char *Bad : {"2", "teir1", "", "01"}) {
+    ArgvBuilder A({(std::string("--tier=") + Bad).c_str()});
+    tool::ToolOptions Opts;
+    EXPECT_DEATH(tool::handleArgs(A.argc(), A.argv(), Opts),
+                 "bad --tier value")
+        << "value '" << Bad << "'";
+  }
+}
+
+TEST(ToolFlagsTest, RejectsUnknownTarget) {
+  for (const char *Bad : {"x86", "HOST", ""}) {
+    ArgvBuilder A({(std::string("--target=") + Bad).c_str()});
+    tool::ToolOptions Opts;
+    EXPECT_DEATH(tool::handleArgs(A.argc(), A.argv(), Opts),
+                 "bad --target value")
+        << "value '" << Bad << "'";
+  }
 }
 
 } // namespace
