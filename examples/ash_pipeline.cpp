@@ -10,25 +10,65 @@
 //===----------------------------------------------------------------------===//
 
 #include "ash/Ash.h"
+#include "dbt/MipsTranslatingCpu.h"
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
+#include "support/Error.h"
 #include "support/Rng.h"
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include "support/ToolFlags.h"
+#ifdef __x86_64__
+#include "x64/NativeCpu.h"
+#include "x64/X64Target.h"
+#endif
 
 using namespace vcode;
 using namespace vcode::ash;
 
 int main(int argc, char **argv) {
   // Shared tool flags: --tier=<0|1> picks the ASH pipeline's generation
-  // tier, --telemetry-report / --trace-json=<file> as everywhere.
+  // tier, --target selects the machine (mips simulates the DEC5000/200
+  // and reports cycles; host composes and runs the pipeline natively on
+  // x86-64; dbt binary-translates the MIPS pipeline), --telemetry-report
+  // / --trace-json=<file> as everywhere.
   tool::ToolOptions Opts;
   argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
-  sim::Memory Mem;
-  mips::MipsTarget Target;
-  sim::MipsSim Cpu(Mem, sim::dec5000Config());
+
+  std::unique_ptr<sim::Memory> MemPtr;
+  std::unique_ptr<Target> TgtPtr;
+  std::unique_ptr<sim::Cpu> CpuPtr;
+  bool Cycles = true; // only the interpreter models cycle counts
+  const char *Want = Opts.TargetGiven ? Opts.TargetName : "mips";
+  if (!std::strcmp(Want, "host")) {
+#ifdef __x86_64__
+    MemPtr = std::make_unique<sim::Memory>(sim::Memory::Native);
+    TgtPtr = std::make_unique<x64::X64Target>();
+    CpuPtr = std::make_unique<x64::NativeCpu>(*MemPtr);
+    Cycles = false;
+#else
+    fatal("ash_pipeline: --target=host requires an x86-64 build machine");
+#endif
+  } else if (!std::strcmp(Want, "mips") || !std::strcmp(Want, "dbt")) {
+    MemPtr = std::make_unique<sim::Memory>();
+    TgtPtr = std::make_unique<mips::MipsTarget>();
+    if (!std::strcmp(Want, "dbt")) {
+      CpuPtr = std::make_unique<dbt::MipsTranslatingCpu>(*MemPtr);
+      Cycles = false;
+    } else {
+      CpuPtr = std::make_unique<sim::MipsSim>(*MemPtr, sim::dec5000Config());
+    }
+  } else {
+    fatal("ash_pipeline: --target=%s is not supported here (mips, host or "
+          "dbt)",
+          Want);
+  }
+  sim::Memory &Mem = *MemPtr;
+  Target &Target = *TgtPtr;
+  sim::Cpu &Cpu = *CpuPtr;
 
   const uint32_t Bytes = 4096;
   Rng R(1);
@@ -57,17 +97,24 @@ int main(int argc, char **argv) {
   uint32_t SumAsh = Ash.run(Cpu, Dst, Src, Bytes);
   uint64_t AshCycles = Cpu.lastStats().Cycles;
 
-  std::printf("swap+scramble+copy+checksum of a %u-byte message "
-              "(simulated DEC5000/200):\n\n",
-              Bytes);
-  std::printf("  separate passes : checksum 0x%04x, %8llu cycles\n", SumSep,
-              (unsigned long long)SepCycles);
-  std::printf("  hand-integrated : checksum 0x%04x, %8llu cycles\n", SumIntg,
-              (unsigned long long)IntgCycles);
-  std::printf("  ASH pipeline    : checksum 0x%04x, %8llu cycles  "
-              "(%.2fx vs separate)\n",
-              SumAsh, (unsigned long long)AshCycles,
-              double(SepCycles) / double(AshCycles));
+  std::printf("swap+scramble+copy+checksum of a %u-byte message (%s):\n\n",
+              Bytes,
+              Cycles ? "simulated DEC5000/200"
+                     : "cycle counts not modeled on this target");
+  if (Cycles) {
+    std::printf("  separate passes : checksum 0x%04x, %8llu cycles\n", SumSep,
+                (unsigned long long)SepCycles);
+    std::printf("  hand-integrated : checksum 0x%04x, %8llu cycles\n", SumIntg,
+                (unsigned long long)IntgCycles);
+    std::printf("  ASH pipeline    : checksum 0x%04x, %8llu cycles  "
+                "(%.2fx vs separate)\n",
+                SumAsh, (unsigned long long)AshCycles,
+                double(SepCycles) / double(AshCycles));
+  } else {
+    std::printf("  separate passes : checksum 0x%04x\n", SumSep);
+    std::printf("  hand-integrated : checksum 0x%04x\n", SumIntg);
+    std::printf("  ASH pipeline    : checksum 0x%04x\n", SumAsh);
+  }
 
   if (SumSep != SumIntg || SumIntg != SumAsh) {
     std::printf("\nCHECKSUM MISMATCH\n");

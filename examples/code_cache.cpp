@@ -17,28 +17,76 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/CodeCache.h"
+#include "dbt/MipsTranslatingCpu.h"
 #include "dpf/Engines.h"
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
+#include "support/Error.h"
 #include "tcc/Tcc.h"
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 #include "support/ToolFlags.h"
+#ifdef __x86_64__
+#include "x64/NativeCpu.h"
+#include "x64/X64Target.h"
+#endif
 
 using namespace vcode;
 
 int main(int argc, char **argv) {
   // Shared tool flags: --tier=<0|1> picks the engines' generation tier,
   // --hot-threshold=<N> enables hot-function promotion of cache-shared
-  // code, --telemetry-report / --trace-json=<file> as everywhere.
+  // code, --target picks the machine every thread executes on (mips
+  // interprets, host runs natively on x86-64, dbt binary-translates the
+  // MIPS code — the translation cache is itself a shared CodeCache),
+  // --telemetry-report / --trace-json=<file> as everywhere.
   tool::ToolOptions Opts;
   argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
+
   // One arena + one backend + one cache, shared by every thread.
-  sim::Memory Mem;
-  mips::MipsTarget Tgt;
+  std::unique_ptr<sim::Memory> MemPtr;
+  std::unique_ptr<Target> TgtPtr;
+  std::shared_ptr<dbt::TranslationEngine> Dbt;
+  const char *Want = Opts.TargetGiven ? Opts.TargetName : "mips";
+  if (!std::strcmp(Want, "host")) {
+#ifdef __x86_64__
+    MemPtr = std::make_unique<sim::Memory>(sim::Memory::Native);
+    TgtPtr = std::make_unique<x64::X64Target>();
+#else
+    fatal("code_cache: --target=host requires an x86-64 build machine");
+#endif
+  } else if (!std::strcmp(Want, "mips") || !std::strcmp(Want, "dbt")) {
+    MemPtr = std::make_unique<sim::Memory>();
+    TgtPtr = std::make_unique<mips::MipsTarget>();
+    if (!std::strcmp(Want, "dbt"))
+      Dbt = std::make_shared<dbt::TranslationEngine>(*MemPtr);
+  } else {
+    fatal("code_cache: --target=%s is not supported here (mips, host or "
+          "dbt)",
+          Want);
+  }
+  sim::Memory &Mem = *MemPtr;
+  Target &Tgt = *TgtPtr;
+  // Per-thread CPUs over the shared arena (each with a private stack).
+  auto makeCpu = [&]() -> std::unique_ptr<sim::Cpu> {
+    std::unique_ptr<sim::Cpu> C;
+    if (Dbt)
+      C = std::make_unique<dbt::MipsTranslatingCpu>(Mem, Dbt);
+#ifdef __x86_64__
+    else if (!std::strcmp(Want, "host"))
+      C = std::make_unique<x64::NativeCpu>(Mem);
+#endif
+    else
+      C = std::make_unique<sim::MipsSim>(Mem);
+    C->setStackTop(Mem.allocStack());
+    return C;
+  };
   CodeCache Cache(Mem);
 
   std::printf("-- DPF: eight threads, two distinct filter sets --\n");
@@ -55,8 +103,8 @@ int main(int argc, char **argv) {
       dpf::DpfEngine Engine(Tgt, Mem);
       Engine.setTier(Opts.GenTier);
       Engine.setHotThreshold(Opts.HotThreshold);
-      sim::MipsSim Cpu(Mem);
-      Cpu.setStackTop(Mem.allocStack());
+      std::unique_ptr<sim::Cpu> CpuPtr = makeCpu();
+      sim::Cpu &Cpu = *CpuPtr;
       // Even threads serve SetA, odd ones SetB: within each group only
       // the first arrival generates, everyone else reuses its code.
       Engine.installShared(Cache, T % 2 ? SetB : SetA);
@@ -80,9 +128,9 @@ int main(int argc, char **argv) {
   const char *Src = "triple(x) { return 3 * x; }";
   CodePtr P1 = C1.compileShared(Cache, Src);
   CodePtr P2 = C2.compileShared(Cache, Src); // cache hit: same entry point
-  sim::MipsSim Cpu(Mem);
+  std::unique_ptr<sim::Cpu> Cpu = makeCpu();
   std::printf("triple(14) = %d; shared entry: %s\n",
-              C1.run(Cpu, "triple", {14}),
+              C1.run(*Cpu, "triple", {14}),
               P1.Entry == P2.Entry ? "yes" : "no");
 
   S = Cache.stats();

@@ -11,10 +11,14 @@
 //
 // With --target=host (x86-64 builds) the compiled classifier runs
 // directly on this machine instead of the MIPS simulator; costs are then
-// wall-clock nanoseconds rather than simulated cycles.
+// wall-clock nanoseconds rather than simulated cycles. With --target=dbt
+// the MIPS classifier runs through the binary translator
+// (dbt::MipsTranslatingCpu): same code, same results, translated to host
+// code on the fly.
 //
 //===----------------------------------------------------------------------===//
 
+#include "dbt/MipsTranslatingCpu.h"
 #include "dpf/Engines.h"
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
@@ -107,8 +111,10 @@ int main(int argc, char **argv) {
   (void)argv;
 
   bool Host = Opts.TargetGiven && !std::strcmp(Opts.TargetName, "host");
-  if (Opts.TargetGiven && !Host && std::strcmp(Opts.TargetName, "mips"))
-    fatal("dpf_demux: --target=%s is not supported here (mips or host)",
+  bool Dbt = Opts.TargetGiven && !std::strcmp(Opts.TargetName, "dbt");
+  if (Opts.TargetGiven && !Host && !Dbt &&
+      std::strcmp(Opts.TargetName, "mips"))
+    fatal("dpf_demux: --target=%s is not supported here (mips, host or dbt)",
           Opts.TargetName);
 
   if (Host) {
@@ -134,6 +140,31 @@ int main(int argc, char **argv) {
 #else
     fatal("dpf_demux: --target=host requires an x86-64 build machine");
 #endif
+  }
+
+  if (Dbt) {
+    // Same MIPS code and memory arena, but executed through the binary
+    // translator. Cycle counts are not modeled there, so costs are wall
+    // nanoseconds like the native path.
+    sim::Memory Mem;
+    mips::MipsTarget Tgt;
+    dbt::MipsTranslatingCpu Cpu(Mem);
+    std::printf("binary translation %s\n\n",
+                Cpu.translating() ? "active (MIPS -> x86-64)"
+                                  : "unavailable; interpreting");
+    auto CostOf = [](Engine &E, sim::Cpu &C, SimAddr Msg) -> uint64_t {
+      constexpr unsigned Reps = 2000;
+      auto T0 = std::chrono::steady_clock::now();
+      for (unsigned I = 0; I < Reps; ++I)
+        E.classify(C, Msg);
+      auto T1 = std::chrono::steady_clock::now();
+      return uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+              .count() /
+          Reps);
+    };
+    return runDemux(Mem, Tgt, Cpu, Opts.GenTier, "MIPS (translated)",
+                    "ns/message", CostOf);
   }
 
   sim::Memory Mem;

@@ -17,11 +17,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/VCode.h"
+#include "dbt/MipsTranslatingCpu.h"
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
+#include "support/Error.h"
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <vector>
 #include "support/ToolFlags.h"
+#ifdef __x86_64__
+#include "x64/NativeCpu.h"
+#include "x64/X64Target.h"
+#endif
 
 using namespace vcode;
 using sim::TypedValue;
@@ -315,15 +323,47 @@ CodePtr jitCompile(Target &Tgt, sim::Memory &Mem,
 } // namespace
 
 int main(int argc, char **argv) {
-  // Shared tool flags (see support/ToolFlags.h). This example drives
-  // raw VCode streams (tier-independent by design); the telemetry flags still apply.
+  // Shared tool flags (see support/ToolFlags.h). This example drives raw
+  // VCode streams (tier-independent by design); the telemetry flags still
+  // apply. --target=host builds both the interpreter and the JIT output
+  // as native x86-64; --target=dbt runs the MIPS versions through the
+  // binary translator (costs are then retired instructions, not cycles).
   tool::ToolOptions Opts;
   argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
-  sim::Memory Mem;
-  mips::MipsTarget Tgt;
-  sim::MipsSim Cpu(Mem, sim::dec5000Config());
+
+  std::unique_ptr<sim::Memory> MemPtr;
+  std::unique_ptr<Target> TgtPtr;
+  std::unique_ptr<sim::Cpu> CpuPtr;
+  bool HaveCycles = true;
+  const char *Want = Opts.TargetGiven ? Opts.TargetName : "mips";
+  if (!std::strcmp(Want, "host")) {
+#ifdef __x86_64__
+    MemPtr = std::make_unique<sim::Memory>(sim::Memory::Native);
+    TgtPtr = std::make_unique<x64::X64Target>();
+    CpuPtr = std::make_unique<x64::NativeCpu>(*MemPtr);
+    HaveCycles = false;
+#else
+    fatal("jit_interp: --target=host requires an x86-64 build machine");
+#endif
+  } else if (!std::strcmp(Want, "mips") || !std::strcmp(Want, "dbt")) {
+    MemPtr = std::make_unique<sim::Memory>();
+    TgtPtr = std::make_unique<mips::MipsTarget>();
+    if (!std::strcmp(Want, "dbt")) {
+      CpuPtr = std::make_unique<dbt::MipsTranslatingCpu>(*MemPtr);
+      HaveCycles = false;
+    } else {
+      CpuPtr = std::make_unique<sim::MipsSim>(*MemPtr, sim::dec5000Config());
+    }
+  } else {
+    fatal("jit_interp: --target=%s is not supported here (mips, host or "
+          "dbt)",
+          Want);
+  }
+  sim::Memory &Mem = *MemPtr;
+  Target &Tgt = *TgtPtr;
+  sim::Cpu &Cpu = *CpuPtr;
 
   std::vector<Insn> Prog = buildProgram();
 
@@ -340,23 +380,29 @@ int main(int argc, char **argv) {
               "JIT output: %zu bytes\n\n",
               Prog.size(), Interp.SizeBytes, Jit.SizeBytes);
 
-  std::printf("%6s %12s %14s %14s %8s\n", "n", "expected", "interp cycles",
-              "jit cycles", "speedup");
+  // Simulated runs are billed in cycles; translated runs count retired
+  // instructions (cycles are not modeled); native runs only check results.
+  std::printf("%6s %12s %14s %14s %8s\n", "n", "expected",
+              HaveCycles ? "interp cycles" : "interp instrs",
+              HaveCycles ? "jit cycles" : "jit instrs", "speedup");
   for (int32_t N : {10, 100, 1000}) {
-    int32_t Want = refRun(N);
+    int32_t Expect = refRun(N);
     int32_t A = Cpu.call(Interp.Entry,
                          {TypedValue::fromPtr(ProgMem), TypedValue::fromInt(N)})
                     .asInt32();
-    uint64_t CI = Cpu.lastStats().Cycles;
+    uint64_t CI = HaveCycles ? Cpu.lastStats().Cycles : Cpu.lastStats().Instrs;
     int32_t Bv = Cpu.call(Jit.Entry, {TypedValue::fromInt(N)}).asInt32();
-    uint64_t CJ = Cpu.lastStats().Cycles;
-    if (A != Want || Bv != Want) {
-      std::printf("MISMATCH: want %d, interp %d, jit %d\n", Want, A, Bv);
+    uint64_t CJ = HaveCycles ? Cpu.lastStats().Cycles : Cpu.lastStats().Instrs;
+    if (A != Expect || Bv != Expect) {
+      std::printf("MISMATCH: want %d, interp %d, jit %d\n", Expect, A, Bv);
       return 1;
     }
-    std::printf("%6d %12d %14llu %14llu %7.1fx\n", N, Want,
-                (unsigned long long)CI, (unsigned long long)CJ,
-                double(CI) / double(CJ));
+    if (CJ)
+      std::printf("%6d %12d %14llu %14llu %7.1fx\n", N, Expect,
+                  (unsigned long long)CI, (unsigned long long)CJ,
+                  double(CI) / double(CJ));
+    else
+      std::printf("%6d %12d %14s %14s %8s\n", N, Expect, "-", "-", "ok");
   }
   std::printf("\n\"dynamic code generation ... enabling applications to use "
               "runtime information to\nimprove performance by up to an "

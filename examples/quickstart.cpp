@@ -13,26 +13,83 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/VCode.h"
+#include "dbt/MipsTranslatingCpu.h"
 #include "mips/MipsTarget.h"
 #include "sim/MipsSim.h"
+#include "support/Error.h"
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include "support/ToolFlags.h"
+#ifdef __x86_64__
+#include "x64/NativeCpu.h"
+#include "x64/X64Target.h"
+#endif
 
 using namespace vcode;
+
+#ifdef __x86_64__
+namespace {
+
+/// The same Fig. 1 sequence emitted for this machine and called directly
+/// (--target=host): no simulator anywhere, plus1 is real x86-64.
+int runHost() {
+  sim::Memory Mem(sim::Memory::Native);
+  x64::X64Target Target;
+  x64::NativeCpu Cpu(Mem);
+
+  VCode V(Target);
+  Reg Arg[1];
+  V.lambda("%i", Arg, LeafHint, Mem.allocCode(4096));
+  V.addii(Arg[0], Arg[0], 1);
+  V.reti(Arg[0]);
+  CodePtr Plus1 = V.end();
+
+  std::printf("plus1 entry: 0x%llx (%zu bytes of x86-64)\n",
+              (unsigned long long)Plus1.Entry, Plus1.SizeBytes);
+  for (int32_t X : {41, -1, 0, 99})
+    std::printf("plus1(%d) = %d   (native call)\n", X,
+                Cpu.call(Plus1.Entry, {sim::TypedValue::fromInt(X)})
+                    .asInt32());
+  return 0;
+}
+
+} // namespace
+#endif
 
 int main(int argc, char **argv) {
   // Shared tool flags (see support/ToolFlags.h). This example drives a
   // raw VCode stream, which is tier-independent by design; the telemetry
-  // flags still apply.
+  // flags still apply. --target=host emits Fig. 1 for this machine and
+  // calls it directly; --target=dbt runs the MIPS version through the
+  // binary translator.
   tool::ToolOptions Opts;
   argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
+  bool Dbt = Opts.TargetGiven && !std::strcmp(Opts.TargetName, "dbt");
+  if (Opts.TargetGiven && !Dbt && std::strcmp(Opts.TargetName, "mips")) {
+    if (!std::strcmp(Opts.TargetName, "host")) {
+#ifdef __x86_64__
+      return runHost();
+#else
+      fatal("quickstart: --target=host requires an x86-64 build machine");
+#endif
+    }
+    fatal("quickstart: --target=%s is not supported here (mips, host or "
+          "dbt)",
+          Opts.TargetName);
+  }
   // The simulated machine's memory and CPU stand in for the paper's
   // DECstation (see DESIGN.md).
   sim::Memory Mem;
   mips::MipsTarget Target;
-  sim::MipsSim Cpu(Mem);
+  std::unique_ptr<sim::Cpu> CpuPtr;
+  if (Dbt)
+    CpuPtr = std::make_unique<dbt::MipsTranslatingCpu>(Mem);
+  else
+    CpuPtr = std::make_unique<sim::MipsSim>(Mem);
+  sim::Cpu &Cpu = *CpuPtr;
 
   // --- Paper Fig. 1, line for line -------------------------------------
   VCode V(Target);

@@ -11,15 +11,22 @@
 //===----------------------------------------------------------------------===//
 
 #include "alpha/AlphaTarget.h"
+#include "dbt/MipsTranslatingCpu.h"
 #include "mips/MipsTarget.h"
 #include "sim/AlphaSim.h"
 #include "sim/MipsSim.h"
 #include "sim/SparcSim.h"
 #include "sparc/SparcTarget.h"
+#include "support/Error.h"
 #include "tcc/Tcc.h"
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include "support/ToolFlags.h"
+#ifdef __x86_64__
+#include "x64/NativeCpu.h"
+#include "x64/X64Target.h"
+#endif
 
 using namespace vcode;
 
@@ -50,26 +57,50 @@ void runOn(const char *Name, Target &Tgt, sim::Cpu &Cpu, sim::Memory &Mem,
 
 int main(int argc, char **argv) {
   // Shared tool flags: --tier=<0|1> picks tcc-lite's generation tier,
-  // --telemetry-report / --trace-json=<file> as everywhere.
+  // --target=<name> narrows the run to one machine (host compiles and
+  // runs natively on x86-64; dbt runs the MIPS code through the binary
+  // translator), --telemetry-report / --trace-json=<file> as everywhere.
   tool::ToolOptions Opts;
   argc = tool::handleArgs(argc, argv, Opts);
   (void)argc;
   (void)argv;
+
+  if (Opts.TargetGiven && !std::strcmp(Opts.TargetName, "host")) {
+#ifdef __x86_64__
+    std::printf("tcc-lite: same front-end, native x86-64 target\n\n");
+    sim::Memory Mem(sim::Memory::Native);
+    x64::X64Target Tgt;
+    x64::NativeCpu Cpu(Mem);
+    runOn("host", Tgt, Cpu, Mem, Opts.GenTier);
+    return 0;
+#else
+    fatal("tcc_compile: --target=host requires an x86-64 build machine");
+#endif
+  }
+  if (Opts.TargetGiven && !std::strcmp(Opts.TargetName, "dbt")) {
+    std::printf("tcc-lite: MIPS target, binary-translated execution\n\n");
+    sim::Memory Mem;
+    mips::MipsTarget Tgt;
+    dbt::MipsTranslatingCpu Cpu(Mem);
+    runOn("dbt", Tgt, Cpu, Mem, Opts.GenTier);
+    return 0;
+  }
+
   std::printf("tcc-lite: one front-end, three target machines "
               "(paper §4.1)\n\n");
-  {
+  if (!Opts.TargetGiven || !std::strcmp(Opts.TargetName, "mips")) {
     sim::Memory Mem;
     mips::MipsTarget Tgt;
     sim::MipsSim Cpu(Mem);
     runOn("mips", Tgt, Cpu, Mem, Opts.GenTier);
   }
-  {
+  if (!Opts.TargetGiven || !std::strcmp(Opts.TargetName, "sparc")) {
     sim::Memory Mem;
     sparc::SparcTarget Tgt;
     sim::SparcSim Cpu(Mem);
     runOn("sparc", Tgt, Cpu, Mem, Opts.GenTier);
   }
-  {
+  if (!Opts.TargetGiven || !std::strcmp(Opts.TargetName, "alpha")) {
     sim::Memory Mem;
     alpha::AlphaTarget Tgt;
     Tgt.installDivHelpers(Mem.allocCode(16384));

@@ -1,0 +1,72 @@
+//===- dbt/GuestState.h - Spilled MIPS guest register block -----*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spilled architectural state of the translated MIPS guest. Translated
+/// x86-64 code receives a GuestState* as its first argument and reads/writes
+/// guest registers through fixed offsets into it, so guest state is precise
+/// at every instruction boundary — which is what lets any translated
+/// instruction bail out to the interpreter mid-block (fault, unsupported
+/// opcode, instruction budget) without reconstruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_DBT_GUESTSTATE_H
+#define VCODE_DBT_GUESTSTATE_H
+
+#include "core/CodeBuffer.h"
+#include <cstddef>
+#include <cstdint>
+
+namespace vcode {
+namespace dbt {
+
+/// Spilled MIPS architectural state, laid out for direct addressing from
+/// translated code (all hot offsets fit in a disp8/disp32).
+struct GuestState {
+  uint32_t R[32] = {};    ///< integer registers ($0 stored but never read)
+  uint32_t FPR[32] = {};  ///< FPU registers (doubles span two cells)
+  uint32_t HI = 0;
+  uint32_t LO = 0;
+  uint32_t FpCond = 0;    ///< FP condition flag (0/1)
+  uint32_t Pad = 0;
+  uint64_t Instrs = 0;     ///< guest instructions retired this call
+  uint64_t InstrLimit = 0; ///< budget; crossing it exits to the interpreter
+};
+
+/// Byte offsets into GuestState used by the translator.
+inline constexpr int32_t gsRegOff(unsigned N) { return int32_t(4 * N); }
+inline constexpr int32_t gsFprOff(unsigned N) { return int32_t(128 + 4 * N); }
+inline constexpr int32_t GsHiOff = 256;
+inline constexpr int32_t GsLoOff = 260;
+inline constexpr int32_t GsFpCondOff = 264;
+inline constexpr int32_t GsInstrsOff = 272;
+inline constexpr int32_t GsInstrLimitOff = 280;
+
+static_assert(offsetof(GuestState, FPR) == 128, "GuestState layout");
+static_assert(offsetof(GuestState, HI) == GsHiOff, "GuestState layout");
+static_assert(offsetof(GuestState, LO) == GsLoOff, "GuestState layout");
+static_assert(offsetof(GuestState, FpCond) == GsFpCondOff, "GuestState layout");
+static_assert(offsetof(GuestState, Instrs) == GsInstrsOff, "GuestState layout");
+static_assert(offsetof(GuestState, InstrLimit) == GsInstrLimitOff,
+              "GuestState layout");
+
+/// A translated region is a function `uint64_t f(GuestState *, uint8_t
+/// *GuestHostBase)` returning the next guest PC. The tag bit marks "the
+/// dispatcher must execute one instruction unit at this PC through the
+/// interpreter before continuing" — runtime faults, unsupported opcodes,
+/// and budget exhaustion all funnel through it.
+using TranslatedFn = uint64_t (*)(GuestState *, uint8_t *);
+
+/// Exit-protocol tag: high bit block well above any 32-bit guest PC.
+inline constexpr uint64_t DbtInterpTag = uint64_t(1) << 62;
+/// Mask recovering the guest PC from a tagged exit value.
+inline constexpr uint64_t DbtPcMask = 0xFFFFFFFFull;
+
+} // namespace dbt
+} // namespace vcode
+
+#endif // VCODE_DBT_GUESTSTATE_H

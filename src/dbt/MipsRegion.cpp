@@ -1,0 +1,203 @@
+//===- dbt/MipsRegion.cpp - Guest basic-block discovery ---------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/MipsRegion.h"
+#include <deque>
+
+using namespace vcode;
+using namespace vcode::dbt;
+
+bool vcode::dbt::isMipsCti(uint32_t I) {
+  MipsFields F{I};
+  switch (F.op()) {
+  case 0x00: // SPECIAL: jr / jalr
+    return F.fn() == 0x08 || F.fn() == 0x09;
+  case 0x01: // REGIMM: bltz / bgez
+  case 0x02: // j
+  case 0x03: // jal
+  case 0x04: // beq
+  case 0x05: // bne
+  case 0x06: // blez
+  case 0x07: // bgtz
+    return true;
+  case 0x11: // COP1: bc1f / bc1t
+    return F.rs() == 8;
+  default:
+    return false;
+  }
+}
+
+bool vcode::dbt::isMipsTranslatable(uint32_t I) {
+  MipsFields F{I};
+  switch (F.op()) {
+  case 0x00: // SPECIAL
+    switch (F.fn()) {
+    case 0x00: case 0x02: case 0x03: // sll / srl / sra
+    case 0x04: case 0x06: case 0x07: // sllv / srlv / srav
+    case 0x08: case 0x09:            // jr / jalr
+    case 0x10: case 0x11: case 0x12: case 0x13: // mfhi/mthi/mflo/mtlo
+    case 0x18: case 0x19: case 0x1a: case 0x1b: // mult/multu/div/divu
+    case 0x20: case 0x21: case 0x22: case 0x23: // add/addu/sub/subu
+    case 0x24: case 0x25: case 0x26: case 0x27: // and/or/xor/nor
+    case 0x2a: case 0x2b:            // slt / sltu
+      return true;
+    default:
+      return false; // interpreter fatals: route through it
+    }
+  case 0x01: // REGIMM (any rt: rt==0 is bltz, everything else bgez)
+  case 0x02: case 0x03: // j / jal
+  case 0x04: case 0x05: case 0x06: case 0x07: // beq/bne/blez/bgtz
+  case 0x08: case 0x09: // addi / addiu
+  case 0x0a: case 0x0b: // slti / sltiu
+  case 0x0c: case 0x0d: case 0x0e: // andi / ori / xori
+  case 0x0f:            // lui
+  case 0x20: case 0x21: case 0x23: case 0x24: case 0x25: // loads
+  case 0x28: case 0x29: case 0x2b: // sb / sh / sw
+  case 0x31: case 0x39: // lwc1 / swc1
+    return true;
+  case 0x35: case 0x3d: // ldc1 / sdc1: FPR[rt+1] must exist
+    return F.rt() != 31;
+  case 0x11: { // COP1
+    unsigned Sub = F.rs();
+    if (Sub == 0 || Sub == 4 || Sub == 8) // mfc1 / mtc1 / bc1
+      return true;
+    // Arithmetic: the interpreter treats fmt==17 as double and anything
+    // else as single. Double operands read FPR[f] and FPR[f+1], so f==31
+    // goes to the interpreter (whose own bounds behavior applies).
+    bool Dbl = Sub == 17;
+    unsigned Ft = F.rt(), Fs = F.rd(), Fd = F.sh();
+    auto BadD = [&](unsigned R) { return Dbl && R == 31; };
+    switch (F.fn()) {
+    case 0x00: case 0x01: case 0x02: case 0x03: // add/sub/mul/div.fmt
+      return !BadD(Ft) && !BadD(Fs) && !BadD(Fd);
+    case 0x04: case 0x05: case 0x06: case 0x07: // sqrt/abs/mov/neg.fmt
+      return !BadD(Fs) && !BadD(Fd);
+    case 0x0d: case 0x24: // trunc.w.fmt / cvt.w.fmt (result is one word)
+      return !BadD(Fs);
+    case 0x20: // cvt.s.fmt: from double (17) or word (20) only
+      return (Sub == 17 && Fs != 31) || Sub == 20;
+    case 0x21: // cvt.d.fmt: from single (16) or word (20) only
+      return (Sub == 16 || Sub == 20) && Fd != 31;
+    case 0x32: case 0x3c: case 0x3e: // c.eq / c.lt / c.le
+      return !BadD(Fs) && !BadD(Ft);
+    default:
+      return false;
+    }
+  }
+  default:
+    return false;
+  }
+}
+
+namespace {
+
+/// Static successors of a CTI at \p PC (fall-through and/or taken target).
+/// Indirect transfers contribute none.
+void staticSuccessors(SimAddr PC, uint32_t I, std::deque<SimAddr> &Out) {
+  MipsFields F{I};
+  switch (F.op()) {
+  case 0x00: // jr / jalr: indirect
+    return;
+  case 0x02: // j
+    Out.push_back((PC & ~SimAddr(0x0fffffff)) | SimAddr(F.jindex() << 2));
+    return;
+  case 0x03: // jal: static target; the return lands wherever $ra points
+    Out.push_back((PC & ~SimAddr(0x0fffffff)) | SimAddr(F.jindex() << 2));
+    return;
+  default: // conditional branches: taken target + fall-through
+    Out.push_back(PC + 4 + (SimAddr(int64_t(F.imm())) << 2));
+    Out.push_back(PC + 8);
+    return;
+  }
+}
+
+} // namespace
+
+MipsRegion vcode::dbt::discoverRegion(const sim::Memory &GuestMem,
+                                      SimAddr Entry) {
+  MipsRegion R;
+  R.Entry = Entry;
+
+  std::deque<SimAddr> Work;
+  Work.push_back(Entry);
+
+  while (!Work.empty() && R.Blocks.size() < MaxRegionBlocks &&
+         R.TotalWords < MaxRegionWords) {
+    SimAddr Start = Work.front();
+    Work.pop_front();
+    if (R.isLeader(Start))
+      continue;
+
+    R.Leaders.emplace(Start, unsigned(R.Blocks.size()));
+    R.Blocks.emplace_back();
+    MipsBlock &B = R.Blocks.back();
+    B.Entry = Start;
+
+    SimAddr PC = Start;
+    for (;;) {
+      // Falling into another block's entry: chain instead of duplicating.
+      if (PC != Start && R.isLeader(PC)) {
+        B.Term = TermKind::Goto;
+        B.ExitPC = PC;
+        break;
+      }
+      if (R.TotalWords >= MaxRegionWords) {
+        B.Term = TermKind::Goto; // cap: hand the plain PC back
+        B.ExitPC = PC;
+        break;
+      }
+      if ((PC & 3) != 0 || !GuestMem.contains(PC, 4)) {
+        // The interpreter's fetch will fault here with its own message.
+        B.Term = TermKind::InterpExit;
+        B.ExitPC = PC;
+        break;
+      }
+      uint32_t I = GuestMem.read<uint32_t>(PC);
+      if (!isMipsTranslatable(I)) {
+        B.Term = TermKind::InterpExit;
+        B.ExitPC = PC;
+        break;
+      }
+      if (isMipsCti(I)) {
+        // The unit needs its delay slot. A missing, untranslatable, or
+        // CTI delay word sends the whole unit to the interpreter, which
+        // owns every delay-slot edge case (chained CTIs included).
+        if (!GuestMem.contains(PC + 4, 4)) {
+          B.Term = TermKind::InterpExit;
+          B.ExitPC = PC;
+          break;
+        }
+        uint32_t D = GuestMem.read<uint32_t>(PC + 4);
+        if (isMipsCti(D) || !isMipsTranslatable(D)) {
+          B.Term = TermKind::InterpExit;
+          B.ExitPC = PC;
+          break;
+        }
+        MipsUnit U;
+        U.PC = PC;
+        U.Insn = I;
+        U.Delay = D;
+        U.Kind = UnitKind::Cti;
+        B.Units.push_back(U);
+        R.TotalWords += 2;
+        B.Term = TermKind::Cti;
+        staticSuccessors(PC, I, Work);
+        break;
+      }
+      MipsUnit U;
+      U.PC = PC;
+      U.Insn = I;
+      B.Units.push_back(U);
+      R.TotalWords += 1;
+      PC += 4;
+    }
+  }
+
+  // Blocks queued but never built stay mere exit targets: any reference
+  // to them from a built block falls back to a plain-PC return and the
+  // dispatcher translates them as their own region entries.
+  return R;
+}

@@ -1,0 +1,122 @@
+//===- dbt/MipsRegion.h - Guest basic-block discovery -----------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decode and basic-block discovery over simulated MIPS code. A Region is
+/// the unit of translation: the set of basic blocks reachable from one
+/// entry PC through *static* control transfers (conditional branches, j,
+/// jal), bounded by discovery caps. Indirect transfers (jr, jalr) and
+/// anything the translator cannot handle end a block; the translated code
+/// returns the next guest PC (possibly tagged "run one unit through the
+/// interpreter") and the dispatcher takes it from there.
+///
+/// The decode mirrors sim::MipsSim exactly: an instruction is classified
+/// translatable if and only if the interpreter executes it without a
+/// fatal; everything else becomes an interpreter-exit unit, so unknown
+/// encodings produce the interpreter's own diagnostics, not new ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_DBT_MIPSREGION_H
+#define VCODE_DBT_MIPSREGION_H
+
+#include "core/CodeBuffer.h"
+#include "sim/Memory.h"
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace vcode {
+namespace dbt {
+
+/// Field accessors for a MIPS instruction word (interpreter layout).
+struct MipsFields {
+  uint32_t I;
+  unsigned op() const { return I >> 26; }
+  unsigned rs() const { return (I >> 21) & 31; }
+  unsigned rt() const { return (I >> 16) & 31; }
+  unsigned rd() const { return (I >> 11) & 31; }
+  unsigned sh() const { return (I >> 6) & 31; }
+  unsigned fn() const { return I & 63; }
+  int32_t imm() const { return int32_t(int16_t(I & 0xffff)); }
+  uint32_t uimm() const { return I & 0xffff; }
+  uint32_t jindex() const { return I & 0x03ffffff; }
+};
+
+/// True for instructions that architecturally start a delay-slot chain:
+/// jr/jalr, REGIMM branches, j/jal, beq/bne/blez/bgtz, and bc1f/bc1t.
+bool isMipsCti(uint32_t I);
+
+/// True when the translator emits native code for this instruction. A
+/// false return is not an error: the unit is routed to the interpreter,
+/// which either executes it (semantics we chose not to translate) or
+/// reports its own unknown-instruction fatal.
+bool isMipsTranslatable(uint32_t I);
+
+/// How one translation unit ends.
+enum class UnitKind : uint8_t {
+  Plain, ///< one straight-line instruction
+  Cti,   ///< control transfer + its delay-slot instruction (two words)
+};
+
+/// One translation unit: an instruction, plus its delay-slot word when it
+/// is a control transfer.
+struct MipsUnit {
+  SimAddr PC = 0;
+  uint32_t Insn = 0;
+  uint32_t Delay = 0; ///< delay-slot word (Cti units only)
+  UnitKind Kind = UnitKind::Plain;
+  /// Guest instructions this unit retires when executed natively.
+  unsigned instrs() const { return Kind == UnitKind::Cti ? 2 : 1; }
+};
+
+/// Why a block stopped.
+enum class TermKind : uint8_t {
+  Cti,        ///< last unit is a control transfer; it picks the successor
+  InterpExit, ///< next instruction is untranslatable: exit tagged at ExitPC
+  Goto,       ///< fell into another leader / hit a cap: continue at ExitPC
+};
+
+/// A straight-line run of units with one terminator.
+struct MipsBlock {
+  SimAddr Entry = 0;
+  std::vector<MipsUnit> Units; ///< excludes the InterpExit pseudo-unit
+  TermKind Term = TermKind::InterpExit;
+  SimAddr ExitPC = 0; ///< InterpExit/Goto continuation PC
+  /// Instructions retired by one full native execution of this block.
+  unsigned instrCount() const {
+    unsigned N = 0;
+    for (const MipsUnit &U : Units)
+      N += U.instrs();
+    return N;
+  }
+};
+
+/// A multi-block translation region rooted at Entry.
+struct MipsRegion {
+  SimAddr Entry = 0;
+  std::vector<MipsBlock> Blocks; ///< Blocks[0].Entry == Entry
+  std::unordered_map<SimAddr, unsigned> Leaders; ///< block entry -> index
+  unsigned TotalWords = 0; ///< decoded instruction words (code sizing)
+
+  bool isLeader(SimAddr PC) const { return Leaders.count(PC) != 0; }
+};
+
+/// Discovery caps: regions stay small enough that one translation never
+/// monopolizes the code cache, and the BFS terminates on any input.
+inline constexpr unsigned MaxRegionWords = 2048;
+inline constexpr unsigned MaxRegionBlocks = 128;
+
+/// Discovers the region rooted at \p Entry by breadth-first search over
+/// static successors. Never faults: addresses outside \p GuestMem simply
+/// terminate their block with an interpreter exit (the interpreter then
+/// reproduces the fetch fault with its own diagnostic).
+MipsRegion discoverRegion(const sim::Memory &GuestMem, SimAddr Entry);
+
+} // namespace dbt
+} // namespace vcode
+
+#endif // VCODE_DBT_MIPSREGION_H

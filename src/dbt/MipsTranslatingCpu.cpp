@@ -1,0 +1,233 @@
+//===- dbt/MipsTranslatingCpu.cpp - Drop-in translating MIPS CPU -----------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/MipsTranslatingCpu.h"
+#include "support/Telemetry.h"
+#include <cstring>
+
+using namespace vcode;
+using namespace vcode::dbt;
+using sim::RunStats;
+using sim::TypedValue;
+
+MipsTranslatingCpu::MipsTranslatingCpu(sim::Memory &M, sim::MachineConfig Cfg)
+    : MipsTranslatingCpu(M, std::make_shared<TranslationEngine>(M), Cfg) {}
+
+MipsTranslatingCpu::MipsTranslatingCpu(sim::Memory &M,
+                                       std::shared_ptr<TranslationEngine> Eng,
+                                       sim::MachineConfig Cfg)
+    : Mem(M), Interp(M, Cfg), Engine(std::move(Eng)) {
+  Interp.setInstrLimit(InstrLimit);
+  Avail = Engine->available();
+  DefCC = &Interp.defaultConv();
+}
+
+MipsTranslatingCpu::~MipsTranslatingCpu() { flushTelemetry(); }
+
+void MipsTranslatingCpu::flushExecCounts() {
+  for (auto &KV : Local) {
+    if (KV.second.PendingExecs) {
+      KV.second.H.noteExecutions(KV.second.PendingExecs);
+      KV.second.PendingExecs = 0;
+    }
+  }
+}
+
+void MipsTranslatingCpu::flushTelemetry() {
+  flushExecCounts();
+  if (!PendCalls && !PendDispatches)
+    return;
+  VCODE_TM_COUNT("dbt.calls", PendCalls);
+  VCODE_TM_COUNT("dbt.dispatches", PendDispatches);
+  VCODE_TM_COUNT("sim.calls", PendCalls);
+  VCODE_TM_COUNT("sim.instrs", PendInstrs);
+  PendCalls = PendDispatches = PendInstrs = 0;
+}
+
+const CallConv &MipsTranslatingCpu::defaultConv() const {
+  return *DefCC; // cached: resolved once at construction
+}
+
+SimAddr MipsTranslatingCpu::interpUnit(SimAddr At) {
+  VCODE_TM_COUNT("dbt.fallback_units", 1);
+  sim::MipsSim::ArchState S;
+  std::memcpy(S.R, GS.R, sizeof(S.R));
+  std::memcpy(S.FPR, GS.FPR, sizeof(S.FPR));
+  S.HI = GS.HI;
+  S.LO = GS.LO;
+  S.FpCond = GS.FpCond != 0;
+  Interp.importState(S);
+  Interp.seedRun(GS.Instrs); // the limit fatal fires at the exact count
+  SimAddr Next = Interp.stepUnit(At);
+  Interp.exportState(S);
+  std::memcpy(GS.R, S.R, sizeof(GS.R));
+  std::memcpy(GS.FPR, S.FPR, sizeof(GS.FPR));
+  GS.HI = S.HI;
+  GS.LO = S.LO;
+  GS.FpCond = S.FpCond ? 1 : 0;
+  GS.Instrs = Interp.retiredInstrs();
+  return Next;
+}
+
+TypedValue MipsTranslatingCpu::callWithConvSpan(const CallConv &CC,
+                                                SimAddr Entry,
+                                                const TypedValue *Args,
+                                                size_t NumArgs, Type RetTy) {
+  if (!Avail) {
+    // Unsupported host or out-of-range guest arena: the whole call runs
+    // on the embedded reference interpreter (which bills full timing
+    // statistics and its own sim.* telemetry; we refold the stats so
+    // cumulativeStats() stays coherent without double-billing the
+    // registry).
+    Interp.setStackTop(initialSp(Mem));
+    TypedValue Res =
+        Interp.callWithConvSpan(CC, Entry, Args, NumArgs, RetTy);
+    Stats = Interp.lastStats();
+    accumulateStats(Stats);
+    return Res;
+  }
+
+  // Marshal exactly as MipsSim::callWithConv does. FPR persists across
+  // calls there too (only the integer file is cleared).
+  std::memset(GS.R, 0, sizeof(GS.R));
+  GS.HI = GS.LO = 0;
+  GS.FpCond = 0;
+  GS.R[29] = uint32_t(initialSp(Mem));
+  unsigned Link = CC.LinkReg.isValid() ? CC.LinkReg.Num : 31;
+  GS.R[Link] = uint32_t(sim::MipsSim::stopAddr());
+
+  // Register-only argument lists (every client in this repo) marshal
+  // inline with the same left-to-right next-free-register rule as
+  // computeArgLocs; the vector-building path only runs when some argument
+  // spills to the stack (its offset depends on the whole prefix).
+  size_t NextInt = 0, NextFp = 0, FirstSpill = NumArgs;
+  for (size_t I = 0; I < NumArgs; ++I) {
+    const TypedValue &A = Args[I];
+    if (isFpType(A.Ty)) {
+      if (NextFp >= CC.FpArgRegs.size()) {
+        FirstSpill = I;
+        break;
+      }
+      unsigned N = CC.FpArgRegs[NextFp++].Num;
+      GS.FPR[N] = uint32_t(A.Bits);
+      if (A.Ty == Type::D)
+        GS.FPR[N + 1] = uint32_t(A.Bits >> 32);
+    } else {
+      if (NextInt >= CC.IntArgRegs.size()) {
+        FirstSpill = I;
+        break;
+      }
+      GS.R[CC.IntArgRegs[NextInt++].Num] = uint32_t(A.Bits);
+    }
+  }
+  if (FirstSpill != NumArgs) {
+    std::vector<Type> Types;
+    Types.reserve(NumArgs);
+    for (size_t I = 0; I < NumArgs; ++I)
+      Types.push_back(Args[I].Ty);
+    std::vector<ArgLoc> Locs = computeArgLocs(CC, Types, 4);
+    for (size_t I = FirstSpill; I < NumArgs; ++I) {
+      const ArgLoc &L = Locs[I];
+      const TypedValue &A = Args[I];
+      if (!L.OnStack) {
+        if (L.R.isInt()) {
+          GS.R[L.R.Num] = uint32_t(A.Bits);
+        } else {
+          GS.FPR[L.R.Num] = uint32_t(A.Bits);
+          if (A.Ty == Type::D)
+            GS.FPR[L.R.Num + 1] = uint32_t(A.Bits >> 32);
+        }
+        continue;
+      }
+      SimAddr Slot = SimAddr(GS.R[29]) + uint32_t(L.StackOff);
+      Mem.write<uint32_t>(Slot, uint32_t(A.Bits));
+      if (A.Ty == Type::D)
+        Mem.write<uint32_t>(Slot + 4, uint32_t(A.Bits >> 32));
+    }
+  }
+
+  GS.Instrs = 0;
+  GS.InstrLimit = InstrLimit;
+  if (!HostBase)
+    HostBase = Mem.hostPtr(Mem.base(), Mem.size());
+
+  // One generation check per call: guest code is published from the host
+  // side between calls (translated code cannot republish regions), so the
+  // generation cannot move under a running call. A concurrent publisher's
+  // bump is observed by the next call — the strongest ordering a publish
+  // racing with execution can ask for.
+  uint64_t Gen = Mem.codeGeneration();
+  if (Gen != LocalGen) {
+    if (!Local.empty()) {
+      VCODE_TM_COUNT("dbt.invalidations", 1);
+      flushExecCounts();
+      Local.clear();
+    }
+    for (TableEnt &T : Dispatch)
+      T = TableEnt();
+    LocalGen = Gen;
+  }
+
+  const SimAddr Stop = sim::MipsSim::stopAddr();
+  uint64_t PC = Entry;
+  while (PC != Stop) {
+    if (PC & DbtInterpTag) {
+      PC = interpUnit(SimAddr(PC & DbtPcMask));
+      continue;
+    }
+    TableEnt &T = Dispatch[(PC >> 2) & (DispatchSlots - 1)];
+    CachedFn *CF;
+    if (T.PC == PC) {
+      CF = T.CF;
+    } else {
+      auto It = Local.find(PC);
+      if (It == Local.end()) {
+        CodeCache::Handle H = Engine->translate(PC, Gen);
+        std::shared_ptr<const CodeCache::Version> Pin = H.pin();
+        if (!Pin || !Pin->Code.isValid()) {
+          VCODE_TM_COUNT("dbt.translate_failures", 1);
+          PC = interpUnit(PC);
+          continue;
+        }
+        CachedFn NF;
+        NF.Fn = reinterpret_cast<TranslatedFn>(uintptr_t(Pin->Code.Entry));
+        NF.H = H;
+        NF.Pin = std::move(Pin);
+        It = Local.emplace(PC, std::move(NF)).first;
+      }
+      CF = &It->second;
+      T.PC = PC;
+      T.CF = CF;
+    }
+    ++PendDispatches;
+    ++CF->PendingExecs;
+    PC = CF->Fn(&GS, HostBase);
+  }
+
+  TypedValue Res;
+  Res.Ty = RetTy;
+  if (RetTy == Type::D)
+    Res.Bits = uint64_t(GS.FPR[CC.FpRet.Num]) |
+               (uint64_t(GS.FPR[CC.FpRet.Num + 1]) << 32);
+  else if (RetTy == Type::F)
+    Res.Bits = GS.FPR[CC.FpRet.Num];
+  else if (isSignedType(RetTy))
+    Res.Bits = uint64_t(int64_t(int32_t(GS.R[CC.IntRet.Num])));
+  else
+    Res.Bits = GS.R[CC.IntRet.Num];
+
+  // Architectural results are exact; the timing model is not run, so a
+  // translated call bills retired instructions only. Registry telemetry
+  // is batched (see flushTelemetry); per-call cumulative stats stay exact.
+  Stats = RunStats();
+  Stats.Instrs = GS.Instrs;
+  accumulateStats(Stats);
+  ++PendCalls;
+  PendInstrs += GS.Instrs;
+  if (PendCalls >= TelemetryFlushPeriod)
+    flushTelemetry();
+  return Res;
+}

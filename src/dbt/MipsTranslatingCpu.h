@@ -1,0 +1,136 @@
+//===- dbt/MipsTranslatingCpu.h - Drop-in translating MIPS CPU --*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sim::Cpu that executes simulated MIPS code by dynamic binary
+/// translation: guest basic blocks are translated to host x86-64 through
+/// VCODE's own backend, cached per (guest PC, guest code generation), and
+/// chained; anything the translator does not handle — faults, delay-slot
+/// edge cases, unsupported opcodes, the instruction budget — is executed
+/// one unit at a time by an embedded reference MipsSim from precise
+/// spilled state. Architectural results are bit-identical to MipsSim by
+/// construction; timing statistics are not modeled (Instrs is exact,
+/// Cycles and cache counters read zero).
+///
+/// Drop-in: DPF engines, tcc, ash pipelines, and benches that take a
+/// sim::Cpu run unchanged. On hosts where translation is unavailable the
+/// embedded interpreter transparently runs the whole call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_DBT_MIPSTRANSLATINGCPU_H
+#define VCODE_DBT_MIPSTRANSLATINGCPU_H
+
+#include "dbt/GuestState.h"
+#include "dbt/TranslationEngine.h"
+#include "sim/MipsSim.h"
+#include <memory>
+#include <unordered_map>
+
+namespace vcode {
+namespace dbt {
+
+/// Binary-translating MIPS CPU over a simulated memory arena.
+class MipsTranslatingCpu final : public sim::Cpu {
+public:
+  /// Creates a CPU with its own TranslationEngine.
+  explicit MipsTranslatingCpu(sim::Memory &M,
+                              sim::MachineConfig Cfg = sim::dec5000Config());
+  /// Creates a CPU over a shared engine (several CPUs, one translation
+  /// cache — the multi-threaded dispatch configuration).
+  MipsTranslatingCpu(sim::Memory &M, std::shared_ptr<TranslationEngine> Eng,
+                     sim::MachineConfig Cfg = sim::dec5000Config());
+  ~MipsTranslatingCpu();
+
+  sim::TypedValue callWithConv(const CallConv &CC, SimAddr Entry,
+                               const std::vector<sim::TypedValue> &Args,
+                               Type RetTy) override {
+    return callWithConvSpan(CC, Entry, Args.data(), Args.size(), RetTy);
+  }
+  /// The hot path: register-only argument lists marshal straight into the
+  /// guest state block with no allocation (a million-call dispatch loop
+  /// lives or dies on this; see the Table 3 bench's --target=dbt section).
+  sim::TypedValue callWithConvSpan(const CallConv &CC, SimAddr Entry,
+                                   const sim::TypedValue *Args,
+                                   size_t NumArgs, Type RetTy) override;
+  const CallConv &defaultConv() const override;
+  void flushCaches() override { Interp.flushCaches(); }
+  void warmData(SimAddr A, size_t Len) override { Interp.warmData(A, Len); }
+  const sim::RunStats &lastStats() const override { return Stats; }
+  void setInstrLimit(uint64_t N) override {
+    InstrLimit = N;
+    Interp.setInstrLimit(N);
+  }
+  const sim::MachineConfig &config() const override { return Interp.config(); }
+
+  /// True when calls actually run translated (false: pure interpretation).
+  bool translating() const { return Engine->available(); }
+  /// The shared translation service (tests / telemetry).
+  TranslationEngine &engine() { return *Engine; }
+  /// Spilled architectural state after the last translated call (tests:
+  /// differential comparison against the interpreter's register file).
+  const GuestState &guestState() const { return GS; }
+
+private:
+  /// Executes one instruction unit at \p At through the interpreter from
+  /// the spilled GuestState and folds the result back. Returns the next
+  /// guest PC.
+  SimAddr interpUnit(SimAddr At);
+
+  sim::Memory &Mem;
+  sim::MipsSim Interp; ///< reference fallback; also the delegate path
+  std::shared_ptr<TranslationEngine> Engine;
+  GuestState GS;
+  sim::RunStats Stats;
+  uint64_t InstrLimit = 2'000'000'000;
+
+  /// Per-CPU dispatch index: guest PC -> pinned translation. Pins keep
+  /// regions alive across cache eviction; the map is rebuilt whenever the
+  /// guest publishes new code (generation bump).
+  struct CachedFn {
+    TranslatedFn Fn;
+    CodeCache::Handle H; ///< execution counting
+    std::shared_ptr<const CodeCache::Version> Pin;
+    /// Executions not yet folded into the cache entry's shared counter
+    /// (one plain increment per dispatch; see flushExecCounts).
+    uint64_t PendingExecs = 0;
+  };
+  std::unordered_map<SimAddr, CachedFn> Local;
+  uint64_t LocalGen = ~uint64_t(0);
+  /// Direct-mapped front of Local (valid while LocalGen holds): a
+  /// steady-state call re-dispatches the same few guest blocks every
+  /// time, and a one-entry MRU thrashes as soon as a call chains through
+  /// two of them, so hot dispatch indexes this little table instead of
+  /// hashing. CachedFn pointers are stable (node-based map); the table is
+  /// cleared whenever Local is.
+  struct TableEnt {
+    SimAddr PC = ~SimAddr(0);
+    CachedFn *CF = nullptr;
+  };
+  static constexpr size_t DispatchSlots = 64; ///< power of two
+  TableEnt Dispatch[DispatchSlots];
+  uint8_t *HostBase = nullptr; ///< cached hostPtr(base, size); arena is fixed
+  bool Avail = false;          ///< Engine->available(), fixed at construction
+  const CallConv *DefCC = nullptr; ///< cached MIPS default convention
+
+  /// Per-call registry atomics would dominate a nanosecond-scale dispatch
+  /// loop, so per-call telemetry (dbt.calls / dbt.dispatches / sim.calls /
+  /// sim.instrs) accumulates in these plain counters and is flushed to the
+  /// process-wide registry every TelemetryFlushPeriod calls and at
+  /// destruction — before the at-exit report runs, so reports stay exact.
+  uint64_t PendCalls = 0, PendDispatches = 0, PendInstrs = 0;
+  static constexpr uint64_t TelemetryFlushPeriod = 4096;
+
+  /// Folds every CachedFn's PendingExecs into its cache entry.
+  void flushExecCounts();
+  /// Flushes pending execution counts and per-call counters.
+  void flushTelemetry();
+};
+
+} // namespace dbt
+} // namespace vcode
+
+#endif // VCODE_DBT_MIPSTRANSLATINGCPU_H

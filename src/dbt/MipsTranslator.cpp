@@ -1,0 +1,688 @@
+//===- dbt/MipsTranslator.cpp - MIPS region -> x86-64 translation ----------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+// The translated ABI and exit protocol:
+//
+//   uint64_t f(GuestState *S /*RDI*/, uint8_t *GuestHostBase /*RSI*/)
+//
+// returns the next guest PC. A return value with DbtInterpTag set asks the
+// dispatcher to execute exactly one instruction unit at (ret & DbtPcMask)
+// through the interpreter — that single mechanism covers memory faults,
+// untranslatable opcodes, and the instruction budget, and it is what makes
+// the translation bit-exact: anything subtle is *re-executed* by the
+// reference implementation from precise spilled state.
+//
+// Instruction accounting is block-granular with fixups. A block that
+// retires N guest instructions adds N to GuestState::Instrs up front
+// (exiting untouched to the interpreter if that would cross InstrLimit,
+// so the interpreter's own limit fatal triggers at the exact instruction);
+// a mid-block exit at unit k subtracts the not-yet-executed remainder in
+// its out-of-line stub. Every CTI re-executed by the interpreter after a
+// delay-slot fault is idempotent to re-enter: link-register writes write
+// the same value, and branch conditions are recomputed from unmodified
+// state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/MipsTranslator.h"
+#include "support/Error.h"
+#include "x64/X64Encoding.h"
+#include <vector>
+
+using namespace vcode;
+using namespace vcode::dbt;
+
+namespace {
+
+class RegionTranslator {
+public:
+  RegionTranslator(VCodeT<x64::X64Target> &V, const MipsRegion &R,
+                   const sim::Memory &Guest)
+      : V(V), R(R), GuestBase(uint32_t(Guest.base())), GuestSize(Guest.size()) {
+  }
+
+  CodePtr run(CodeMem CM) {
+    Reg Args[2];
+    V.lambda("%p%p", Args, LeafHint, CM);
+    State = Args[0]; // RDI
+    Base = Args[1];  // RSI
+    A = V.getreg(Type::UL);
+    B = V.getreg(Type::UL);
+    C = V.getreg(Type::UL);
+    D = V.getreg(Type::UL);
+    Cap = V.getreg(Type::UL);
+    F0 = V.getreg(Type::D);
+    F1 = V.getreg(Type::D);
+    if (!Cap.isValid() || !F1.isValid())
+      fatalKind(CgErrKind::RegisterPressure,
+                "dbt: host scratch registers unavailable");
+    BlockLbl.reserve(R.Blocks.size());
+    for (size_t I = 0; I < R.Blocks.size(); ++I)
+      BlockLbl.push_back(V.genLabel());
+    for (size_t I = 0; I < R.Blocks.size(); ++I)
+      emitBlock(unsigned(I));
+    return V.end();
+  }
+
+private:
+  VCodeT<x64::X64Target> &V;
+  const MipsRegion &R;
+  uint32_t GuestBase;
+  size_t GuestSize;
+
+  Reg State, Base;       // incoming arguments, live throughout
+  Reg A, B, C, D, Cap;   // int scratch; Cap survives across delay slots
+  Reg F0, F1;            // fp scratch
+
+  std::vector<Label> BlockLbl;
+
+  /// Out-of-line interpreter-exit stubs requested by the current block.
+  struct Stub {
+    Label L;
+    SimAddr FaultPC;       ///< unit the interpreter must re-execute
+    unsigned InstrsBefore; ///< guest instructions retired before that unit
+  };
+  std::vector<Stub> Stubs;
+  Label LimitLbl;
+  unsigned BlockN = 0; ///< instructions the current block pre-charges
+
+  // -- small emission helpers --------------------------------------------
+
+  void loadG(Reg Rd, unsigned N) {
+    // $0 is read from memory like any register: the dispatcher marshals
+    // state exactly as the interpreter does (which writes R[Link]
+    // unguarded), and execution-time writes below are guarded, so this
+    // mirrors MipsSim bit for bit even for exotic calling conventions.
+    V.loadImm(Type::U, Rd, State, gsRegOff(N));
+  }
+  void storeG(Reg Rs, unsigned N) {
+    if (N != 0) // the interpreter's W(): writes to $0 are dropped
+      V.storeImm(Type::U, Rs, State, gsRegOff(N));
+  }
+  void loadF(Reg Rd, unsigned F, bool Dbl) {
+    V.loadImm(Dbl ? Type::D : Type::F, Rd, State, gsFprOff(F));
+  }
+  void storeF(Reg Rs, unsigned F, bool Dbl) {
+    V.storeImm(Dbl ? Type::D : Type::F, Rs, State, gsFprOff(F));
+  }
+
+  /// cmp Ra32, Rb32 (sets flags; no register modified).
+  void cmpRR(Reg Ra, Reg Rb) {
+    x64::Asm As(V.buf());
+    As.rr(false, 0x39, Rb.Num, Ra.Num);
+  }
+  /// cmp Ra32, imm32.
+  void cmpRI(Reg Ra, uint32_t Imm) {
+    x64::Asm As(V.buf());
+    As.aluRI(false, 7, Ra.Num, Imm);
+  }
+  /// Rd32 = condition CC of the current flags (0/1), via the AT byte reg.
+  void setCond(unsigned CC, Reg Rd) {
+    x64::Asm As(V.buf());
+    As.setcc(CC, x64::AT);
+    As.rr0F(false, 0xB6, Rd.Num, x64::AT); // movzx Rd32, r10b
+  }
+  /// ucomis{s,d} Ra, Rb (FP compare; sets ZF/PF/CF).
+  void ucomis(bool Dbl, Reg Ra, Reg Rb) {
+    x64::Asm As(V.buf());
+    As.sse(Dbl ? 0x66 : 0x00, false, 0x2E, Ra.Num, Rb.Num);
+  }
+
+  void interpExitAt(SimAddr PC) {
+    V.retImm(Type::UL, int64_t(DbtInterpTag | (PC & DbtPcMask)));
+  }
+
+  /// Continue at guest PC \p T: chain directly when \p T is a translated
+  /// leader in this region, otherwise hand the plain PC back.
+  void exitTo(SimAddr T) {
+    auto It = R.Leaders.find(T);
+    if (It != R.Leaders.end())
+      V.jmp(BlockLbl[It->second]);
+    else
+      V.retImm(Type::UL, int64_t(T & DbtPcMask));
+  }
+
+  /// Label of a fresh fault stub for the unit at \p FaultPC with
+  /// \p InstrsBefore guest instructions retired before it.
+  Label faultStub(SimAddr FaultPC, unsigned InstrsBefore) {
+    Stub S;
+    S.L = V.genLabel();
+    S.FaultPC = FaultPC;
+    S.InstrsBefore = InstrsBefore;
+    Stubs.push_back(S);
+    return S.L;
+  }
+
+  /// Effective address + access checks for a guest memory operand.
+  /// Leaves EA in C (32-bit guest address) and the in-arena byte offset in
+  /// D; branches to a fault stub when misaligned (mod \p Align) or out of
+  /// [GuestBase, GuestBase+GuestSize-\p Bytes]. The interpreter re-executes
+  /// the faulting unit and reproduces its exact diagnostic.
+  void emitAccessCheck(unsigned Rs, int32_t Imm, unsigned Bytes,
+                       unsigned Align, SimAddr FaultPC,
+                       unsigned InstrsBefore) {
+    loadG(C, Rs);
+    if (Imm != 0)
+      V.binopImm(BinOp::Add, Type::U, C, C, Imm); // 32-bit wrap, like uint32_t
+    Label F = faultStub(FaultPC, InstrsBefore);
+    if (Align > 1) {
+      V.binopImm(BinOp::And, Type::U, D, C, int64_t(Align - 1));
+      V.branchImm(Cond::Ne, Type::U, D, 0, F);
+    }
+    V.binopImm(BinOp::Sub, Type::U, D, C, int64_t(GuestBase));
+    // Unsigned compare: a wrapped (EA < base) offset is huge and fails too.
+    V.branchImm(Cond::Gt, Type::U, D, int64_t(GuestSize - Bytes), F);
+  }
+
+  // -- block emission ----------------------------------------------------
+
+  void emitBlock(unsigned Idx) {
+    const MipsBlock &Blk = R.Blocks[Idx];
+    Stubs.clear();
+    BlockN = Blk.instrCount();
+
+    V.label(BlockLbl[Idx]);
+    if (BlockN != 0) {
+      // Pre-charge the whole block; exit *without storing* if that would
+      // cross the budget, so the interpreter recounts from the block entry
+      // and its limit fatal fires at the precise instruction.
+      V.loadImm(Type::UL, A, State, GsInstrsOff);
+      V.binopImm(BinOp::Add, Type::UL, A, A, int64_t(BlockN));
+      V.loadImm(Type::UL, B, State, GsInstrLimitOff);
+      LimitLbl = V.genLabel();
+      V.branch(Cond::Gt, Type::UL, A, B, LimitLbl);
+      V.storeImm(Type::UL, A, State, GsInstrsOff);
+    }
+
+    unsigned InstrIdx = 0;
+    for (const MipsUnit &U : Blk.Units) {
+      if (U.Kind == UnitKind::Cti)
+        emitCti(U, InstrIdx);
+      else
+        emitPlain(U.Insn, U.PC, InstrIdx);
+      InstrIdx += U.instrs();
+    }
+
+    if (Blk.Term == TermKind::InterpExit)
+      interpExitAt(Blk.ExitPC);
+    else if (Blk.Term == TermKind::Goto)
+      exitTo(Blk.ExitPC);
+    // TermKind::Cti: emitCti already emitted the dispatch.
+
+    if (BlockN != 0) {
+      V.label(LimitLbl);
+      interpExitAt(Blk.Entry);
+    }
+    for (const Stub &S : Stubs) {
+      V.label(S.L);
+      // Uncharge the instructions this execution did not retire.
+      if (BlockN != S.InstrsBefore) {
+        V.loadImm(Type::UL, A, State, GsInstrsOff);
+        V.binopImm(BinOp::Sub, Type::UL, A, A,
+                   int64_t(BlockN - S.InstrsBefore));
+        V.storeImm(Type::UL, A, State, GsInstrsOff);
+      }
+      interpExitAt(S.FaultPC);
+    }
+  }
+
+  // -- control transfers -------------------------------------------------
+
+  void emitCti(const MipsUnit &U, unsigned InstrIdx) {
+    MipsFields F{U.Insn};
+    SimAddr PC = U.PC;
+    bool TakenIfZero = false; // bc1f: taken when Cap == 0
+    bool IsIndirect = false;  // jr / jalr: Cap holds the target PC
+    bool IsStatic = false;    // j / jal: static Target
+
+    // Phase 1: capture everything the transfer needs *before* the delay
+    // slot runs (the delay instruction may overwrite sources).
+    switch (F.op()) {
+    case 0x00:
+      if (F.fn() == 0x08) { // jr
+        loadG(Cap, F.rs());
+      } else { // jalr: link first, then read rs (rd==rs jumps to pc+8,
+               // exactly like the interpreter's W-then-read order)
+        V.setInt(Type::U, A, uint32_t(PC + 8));
+        storeG(A, F.rd());
+        loadG(Cap, F.rs());
+      }
+      IsIndirect = true;
+      break;
+    case 0x01: // REGIMM: rt==0 is bltz, anything else bgez
+      loadG(A, F.rs());
+      cmpRI(A, 0);
+      setCond(F.rt() == 0 ? x64::CC_L : x64::CC_GE, Cap);
+      break;
+    case 0x02: // j
+      IsStatic = true;
+      break;
+    case 0x03: // jal
+      V.setInt(Type::U, A, uint32_t(PC + 8));
+      V.storeImm(Type::U, A, State, gsRegOff(31));
+      IsStatic = true;
+      break;
+    case 0x04: // beq
+    case 0x05: // bne
+      loadG(A, F.rs());
+      loadG(B, F.rt());
+      cmpRR(A, B);
+      setCond(F.op() == 0x04 ? x64::CC_E : x64::CC_NE, Cap);
+      break;
+    case 0x06: // blez
+    case 0x07: // bgtz
+      loadG(A, F.rs());
+      cmpRI(A, 0);
+      setCond(F.op() == 0x06 ? x64::CC_LE : x64::CC_G, Cap);
+      break;
+    case 0x11: // bc1f / bc1t
+      V.loadImm(Type::U, Cap, State, GsFpCondOff);
+      TakenIfZero = (F.rt() & 1) == 0;
+      break;
+    default:
+      fatalKind(CgErrKind::Internal, "dbt: non-CTI in CTI unit");
+    }
+
+    // Phase 2: the delay-slot instruction (never itself a CTI; uses only
+    // A/B/C/D/F0/F1, so Cap survives). A fault here re-enters at the CTI,
+    // which is idempotent: the link write repeats the same value and the
+    // condition re-evaluates from unmodified state.
+    emitPlain(U.Delay, PC, InstrIdx);
+
+    // Phase 3: dispatch.
+    if (IsIndirect) {
+      V.ret(Type::UL, Cap);
+      return;
+    }
+    if (IsStatic) {
+      SimAddr T = (PC & ~SimAddr(0x0fffffff)) | SimAddr(F.jindex() << 2);
+      exitTo(T);
+      return;
+    }
+    SimAddr Taken = PC + 4 + (SimAddr(int64_t(F.imm())) << 2);
+    Label Tk = V.genLabel();
+    if (TakenIfZero)
+      V.branchImm(Cond::Eq, Type::U, Cap, 0, Tk);
+    else
+      V.branchImm(Cond::Ne, Type::U, Cap, 0, Tk);
+    exitTo(PC + 8);
+    V.label(Tk);
+    exitTo(Taken);
+  }
+
+  // -- straight-line instructions ----------------------------------------
+
+  /// Emits one non-CTI instruction. \p FaultPC / \p InstrIdx parameterize
+  /// the fault stubs: for a delay-slot instruction they name the CTI unit,
+  /// not the slot itself.
+  void emitPlain(uint32_t I, SimAddr FaultPC, unsigned InstrIdx) {
+    MipsFields F{I};
+    switch (F.op()) {
+    case 0x00:
+      emitSpecial(F);
+      return;
+    case 0x08: // addi (the interpreter ignores the overflow trap)
+    case 0x09: // addiu
+      loadG(A, F.rs());
+      V.binopImm(BinOp::Add, Type::U, A, A, F.imm());
+      storeG(A, F.rt());
+      return;
+    case 0x0a: // slti
+    case 0x0b: // sltiu
+      loadG(A, F.rs());
+      cmpRI(A, uint32_t(F.imm())); // full 32-bit immediate compare
+      setCond(F.op() == 0x0a ? x64::CC_L : x64::CC_B, A);
+      storeG(A, F.rt());
+      return;
+    case 0x0c: // andi
+    case 0x0d: // ori
+    case 0x0e: // xori
+      loadG(A, F.rs());
+      V.binopImm(F.op() == 0x0c   ? BinOp::And
+                 : F.op() == 0x0d ? BinOp::Or
+                                  : BinOp::Xor,
+                 Type::U, A, A, int64_t(F.uimm()));
+      storeG(A, F.rt());
+      return;
+    case 0x0f: // lui
+      V.setInt(Type::U, A, F.uimm() << 16);
+      storeG(A, F.rt());
+      return;
+    case 0x11:
+      emitCop1(F);
+      return;
+    case 0x20: // lb
+    case 0x21: // lh
+    case 0x23: // lw
+    case 0x24: // lbu
+    case 0x25: // lhu
+    case 0x28: // sb
+    case 0x29: // sh
+    case 0x2b: // sw
+    case 0x31: // lwc1
+    case 0x39: // swc1
+    case 0x35: // ldc1
+    case 0x3d: // sdc1
+      emitMem(F, FaultPC, InstrIdx);
+      return;
+    default:
+      fatalKind(CgErrKind::Internal, "dbt: untranslatable opcode 0x%x",
+                F.op());
+    }
+  }
+
+  void emitSpecial(MipsFields F) {
+    unsigned Rs = F.rs(), Rt = F.rt(), Rd = F.rd(), Sh = F.sh();
+    switch (F.fn()) {
+    case 0x00: // sll
+    case 0x02: // srl
+    case 0x03: // sra
+      loadG(A, Rt);
+      if (Sh != 0)
+        V.binopImm(F.fn() == 0x00 ? BinOp::Lsh : BinOp::Rsh,
+                   F.fn() == 0x03 ? Type::I : Type::U, A, A, Sh);
+      storeG(A, Rd);
+      return;
+    case 0x04: // sllv
+    case 0x06: // srlv
+    case 0x07: // srav (the host masks the count to 5 bits, like &31)
+      loadG(A, Rt);
+      loadG(B, Rs);
+      V.binop(F.fn() == 0x04 ? BinOp::Lsh : BinOp::Rsh,
+              F.fn() == 0x07 ? Type::I : Type::U, A, A, B);
+      storeG(A, Rd);
+      return;
+    case 0x08: // jr
+    case 0x09: // jalr — CTIs; never reach emitSpecial
+      fatalKind(CgErrKind::Internal, "dbt: CTI in plain unit");
+    case 0x10: // mfhi
+      V.loadImm(Type::U, A, State, GsHiOff);
+      storeG(A, Rd);
+      return;
+    case 0x11: // mthi
+      loadG(A, Rs);
+      V.storeImm(Type::U, A, State, GsHiOff);
+      return;
+    case 0x12: // mflo
+      V.loadImm(Type::U, A, State, GsLoOff);
+      storeG(A, Rd);
+      return;
+    case 0x13: // mtlo
+      loadG(A, Rs);
+      V.storeImm(Type::U, A, State, GsLoOff);
+      return;
+    case 0x18: // mult
+    case 0x19: // multu
+      loadG(A, Rs);
+      loadG(B, Rt);
+      if (F.fn() == 0x18) { // widen signed: (int64)int32 * (int64)int32
+        V.cvt(Type::I, Type::L, A, A);
+        V.cvt(Type::I, Type::L, B, B);
+      }
+      V.binop(BinOp::Mul, Type::UL, A, A, B);
+      V.storeImm(Type::U, A, State, GsLoOff);
+      V.binopImm(BinOp::Rsh, Type::UL, A, A, 32);
+      V.storeImm(Type::U, A, State, GsHiOff);
+      return;
+    case 0x1a: // div
+    case 0x1b: // divu
+    {
+      bool Signed = F.fn() == 0x1a;
+      loadG(A, Rs);
+      loadG(B, Rt);
+      Label Ok = V.genLabel(), End = V.genLabel();
+      V.branchImm(Cond::Ne, Type::U, B, 0, Ok);
+      // rt == 0: LO = 0, HI = rs (the interpreter's explicit convention).
+      V.storeImm(Type::U, V.zeroReg(), State, GsLoOff);
+      V.storeImm(Type::U, A, State, GsHiOff);
+      V.jmp(End);
+      V.label(Ok);
+      // 64-bit host division of the widened operands: INT_MIN / -1 yields
+      // 2^31 whose low word is the interpreter's 0x80000000, remainder 0.
+      V.binop(BinOp::Div, Signed ? Type::I : Type::U, C, A, B);
+      V.binop(BinOp::Mod, Signed ? Type::I : Type::U, D, A, B);
+      V.storeImm(Type::U, C, State, GsLoOff);
+      V.storeImm(Type::U, D, State, GsHiOff);
+      V.label(End);
+      return;
+    }
+    case 0x20: // add (no trap in the interpreter)
+    case 0x21: // addu
+      loadG(A, Rs);
+      loadG(B, Rt);
+      V.binop(BinOp::Add, Type::U, A, A, B);
+      storeG(A, Rd);
+      return;
+    case 0x22: // sub
+    case 0x23: // subu
+      loadG(A, Rs);
+      loadG(B, Rt);
+      V.binop(BinOp::Sub, Type::U, A, A, B);
+      storeG(A, Rd);
+      return;
+    case 0x24: // and
+    case 0x25: // or
+    case 0x26: // xor
+      loadG(A, Rs);
+      loadG(B, Rt);
+      V.binop(F.fn() == 0x24   ? BinOp::And
+              : F.fn() == 0x25 ? BinOp::Or
+                               : BinOp::Xor,
+              Type::U, A, A, B);
+      storeG(A, Rd);
+      return;
+    case 0x27: // nor
+      loadG(A, Rs);
+      loadG(B, Rt);
+      V.binop(BinOp::Or, Type::U, A, A, B);
+      V.unop(UnOp::Com, Type::U, A, A);
+      storeG(A, Rd);
+      return;
+    case 0x2a: // slt
+    case 0x2b: // sltu
+      loadG(A, Rs);
+      loadG(B, Rt);
+      cmpRR(A, B);
+      setCond(F.fn() == 0x2a ? x64::CC_L : x64::CC_B, A);
+      storeG(A, Rd);
+      return;
+    default:
+      fatalKind(CgErrKind::Internal, "dbt: untranslatable SPECIAL 0x%x",
+                F.fn());
+    }
+  }
+
+  void emitCop1(MipsFields F) {
+    unsigned Sub = F.rs();
+    if (Sub == 0) { // mfc1: W(rt, FPR[rd])
+      V.loadImm(Type::U, A, State, gsFprOff(F.rd()));
+      storeG(A, F.rt());
+      return;
+    }
+    if (Sub == 4) { // mtc1: FPR[rd] = R[rt] (unguarded FPR write)
+      loadG(A, F.rt());
+      V.storeImm(Type::U, A, State, gsFprOff(F.rd()));
+      return;
+    }
+    // Arithmetic. The interpreter: fmt==17 is double, everything else
+    // single (bc1 was classified as a CTI and cannot reach here).
+    bool Dbl = Sub == 17;
+    unsigned Ft = F.rt(), Fs = F.rd(), Fd = F.sh();
+    Type Ty = Dbl ? Type::D : Type::F;
+    switch (F.fn()) {
+    case 0x00: // add.fmt
+    case 0x01: // sub.fmt
+    case 0x02: // mul.fmt
+    case 0x03: // div.fmt
+      loadF(F0, Fs, Dbl);
+      loadF(F1, Ft, Dbl);
+      V.binop(F.fn() == 0x00   ? BinOp::Add
+              : F.fn() == 0x01 ? BinOp::Sub
+              : F.fn() == 0x02 ? BinOp::Mul
+                               : BinOp::Div,
+              Ty, F0, F0, F1);
+      storeF(F0, Fd, Dbl);
+      return;
+    case 0x04: { // sqrt.fmt
+      loadF(F0, Fs, Dbl);
+      x64::Asm As(V.buf());
+      As.sse(Dbl ? 0xF2 : 0xF3, false, 0x51, F0.Num, F0.Num);
+      storeF(F0, Fd, Dbl);
+      return;
+    }
+    case 0x05: // abs.fmt: clear the sign bit (bitwise, NaN-preserving)
+      if (Dbl) {
+        V.loadImm(Type::UL, A, State, gsFprOff(Fs));
+        V.binopImm(BinOp::And, Type::UL, A, A, 0x7fffffffffffffffLL);
+        V.storeImm(Type::UL, A, State, gsFprOff(Fd));
+      } else {
+        V.loadImm(Type::U, A, State, gsFprOff(Fs));
+        V.binopImm(BinOp::And, Type::U, A, A, 0x7fffffffLL);
+        V.storeImm(Type::U, A, State, gsFprOff(Fd));
+      }
+      return;
+    case 0x06: // mov.fmt: raw bit copy
+      if (Dbl) {
+        V.loadImm(Type::UL, A, State, gsFprOff(Fs));
+        V.storeImm(Type::UL, A, State, gsFprOff(Fd));
+      } else {
+        V.loadImm(Type::U, A, State, gsFprOff(Fs));
+        V.storeImm(Type::U, A, State, gsFprOff(Fd));
+      }
+      return;
+    case 0x07: // neg.fmt: flip the sign bit
+      if (Dbl) {
+        V.loadImm(Type::UL, A, State, gsFprOff(Fs));
+        V.binopImm(BinOp::Xor, Type::UL, A, A, INT64_MIN);
+        V.storeImm(Type::UL, A, State, gsFprOff(Fd));
+      } else {
+        V.loadImm(Type::U, A, State, gsFprOff(Fs));
+        V.binopImm(BinOp::Xor, Type::U, A, A, int64_t(0x80000000LL));
+        V.storeImm(Type::U, A, State, gsFprOff(Fd));
+      }
+      return;
+    case 0x0d: // trunc.w.fmt
+    case 0x24: // cvt.w.fmt (the interpreter truncates for both)
+    {
+      loadF(F0, Fs, Dbl);
+      // 32-bit cvttss2si / cvttsd2si: the interpreter computes an int32_t
+      // cast (float sources widen to double exactly, so the single-
+      // precision instruction is equivalent), 0x80000000 when out of range.
+      x64::Asm As(V.buf());
+      As.sse(Dbl ? 0xF2 : 0xF3, false, 0x2C, A.Num, F0.Num);
+      V.storeImm(Type::U, A, State, gsFprOff(Fd));
+      return;
+    }
+    case 0x20: // cvt.s.fmt: from double or from word
+      if (Sub == 20) { // cvt.s.w
+        V.loadImm(Type::U, A, State, gsFprOff(Fs));
+        V.cvt(Type::I, Type::F, F0, A);
+      } else { // cvt.s.d
+        loadF(F0, Fs, true);
+        V.cvt(Type::D, Type::F, F0, F0);
+      }
+      storeF(F0, Fd, false);
+      return;
+    case 0x21: // cvt.d.fmt: from single or from word
+      if (Sub == 20) { // cvt.d.w
+        V.loadImm(Type::U, A, State, gsFprOff(Fs));
+        V.cvt(Type::I, Type::D, F0, A);
+      } else { // cvt.d.s
+        loadF(F0, Fs, false);
+        V.cvt(Type::F, Type::D, F0, F0);
+      }
+      storeF(F0, Fd, true);
+      return;
+    case 0x32: // c.eq.fmt: true iff ZF && !PF (NaN compares false)
+      loadF(F0, Fs, Dbl);
+      loadF(F1, Ft, Dbl);
+      ucomis(Dbl, F0, F1);
+      setCond(x64::CC_E, A);
+      setCond(0x0B /* NP */, B);
+      {
+        x64::Asm As(V.buf());
+        As.rr(false, 0x21, B.Num, A.Num); // and A32, B32
+      }
+      V.storeImm(Type::U, A, State, GsFpCondOff);
+      return;
+    case 0x3c: // c.lt.fmt: a < b  ==  ucomis(b, a) above (NaN -> false)
+    case 0x3e: // c.le.fmt
+      loadF(F0, Fs, Dbl);
+      loadF(F1, Ft, Dbl);
+      ucomis(Dbl, F1, F0);
+      setCond(F.fn() == 0x3c ? x64::CC_A : x64::CC_AE, A);
+      V.storeImm(Type::U, A, State, GsFpCondOff);
+      return;
+    default:
+      fatalKind(CgErrKind::Internal, "dbt: untranslatable COP1 0x%x", F.fn());
+    }
+  }
+
+  void emitMem(MipsFields F, SimAddr FaultPC, unsigned InstrIdx) {
+    unsigned Rs = F.rs(), Rt = F.rt();
+    int32_t Imm = F.imm();
+    switch (F.op()) {
+    case 0x20: // lb
+    case 0x21: // lh
+    case 0x23: // lw
+    case 0x24: // lbu
+    case 0x25: // lhu
+    {
+      Type Ty = F.op() == 0x20   ? Type::C
+                : F.op() == 0x21 ? Type::S
+                : F.op() == 0x23 ? Type::U
+                : F.op() == 0x24 ? Type::UC
+                                 : Type::US;
+      unsigned Bytes = F.op() == 0x23 ? 4 : (F.op() == 0x21 || F.op() == 0x25) ? 2 : 1;
+      emitAccessCheck(Rs, Imm, Bytes, Bytes, FaultPC, InstrIdx);
+      V.load(Ty, A, Base, D); // sub-word loads extend into a 32-bit value
+      storeG(A, Rt);
+      return;
+    }
+    case 0x28: // sb
+    case 0x29: // sh
+    case 0x2b: // sw
+    {
+      Type Ty = F.op() == 0x28 ? Type::UC : F.op() == 0x29 ? Type::US : Type::U;
+      unsigned Bytes = F.op() == 0x2b ? 4 : F.op() == 0x29 ? 2 : 1;
+      emitAccessCheck(Rs, Imm, Bytes, Bytes, FaultPC, InstrIdx);
+      loadG(A, Rt);
+      V.store(Ty, A, Base, D);
+      return;
+    }
+    case 0x31: // lwc1
+      emitAccessCheck(Rs, Imm, 4, 4, FaultPC, InstrIdx);
+      V.load(Type::U, A, Base, D);
+      V.storeImm(Type::U, A, State, gsFprOff(Rt));
+      return;
+    case 0x39: // swc1
+      emitAccessCheck(Rs, Imm, 4, 4, FaultPC, InstrIdx);
+      V.loadImm(Type::U, A, State, gsFprOff(Rt));
+      V.store(Type::U, A, Base, D);
+      return;
+    case 0x35: // ldc1: two interpreter word accesses, so alignment is 4;
+               // both words checked before either moves (8-byte bounds)
+      emitAccessCheck(Rs, Imm, 8, 4, FaultPC, InstrIdx);
+      V.load(Type::UL, A, Base, D); // little-endian == FPR[rt] | FPR[rt+1]<<32
+      V.storeImm(Type::UL, A, State, gsFprOff(Rt));
+      return;
+    case 0x3d: // sdc1
+      emitAccessCheck(Rs, Imm, 8, 4, FaultPC, InstrIdx);
+      V.loadImm(Type::UL, A, State, gsFprOff(Rt));
+      V.store(Type::UL, A, Base, D);
+      return;
+    default:
+      fatalKind(CgErrKind::Internal, "dbt: bad memory opcode 0x%x", F.op());
+    }
+  }
+};
+
+} // namespace
+
+CodePtr vcode::dbt::translateRegion(VCodeT<x64::X64Target> &V,
+                                    const MipsRegion &R, CodeMem CM,
+                                    const sim::Memory &GuestMem) {
+  RegionTranslator T(V, R, GuestMem);
+  return T.run(CM);
+}

@@ -1,0 +1,41 @@
+//===- dbt/MipsTranslator.h - MIPS region -> x86-64 translation -*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation of a discovered MipsRegion to host x86-64 through the
+/// ordinary VCodeT<X64Target> emission path — the translator is just
+/// another VCODE client. Guest registers live in a spilled GuestState
+/// block (first argument), guest memory accesses are bounds- and
+/// alignment-checked against the guest arena (second argument: its host
+/// base), and every check failure, unsupported opcode, and instruction-
+/// budget crossing exits back to the dispatcher with a tagged PC so the
+/// interpreter reproduces the exact architectural behavior, fatal
+/// messages included.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_DBT_MIPSTRANSLATOR_H
+#define VCODE_DBT_MIPSTRANSLATOR_H
+
+#include "dbt/GuestState.h"
+#include "dbt/MipsRegion.h"
+#include "x64/X64Target.h"
+
+namespace vcode {
+namespace dbt {
+
+/// Emits native code for region \p R into \p CM through \p V and returns
+/// the entry point. The generated function is `uint64_t f(GuestState *,
+/// uint8_t *GuestHostBase)` (see GuestState.h). Emission errors follow
+/// \p V's error policy: under generateWithRetry they unwind as CgAbort
+/// and surface as a failed GenerateResult.
+CodePtr translateRegion(VCodeT<x64::X64Target> &V, const MipsRegion &R,
+                        CodeMem CM, const sim::Memory &GuestMem);
+
+} // namespace dbt
+} // namespace vcode
+
+#endif // VCODE_DBT_MIPSTRANSLATOR_H

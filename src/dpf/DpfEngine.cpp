@@ -417,7 +417,7 @@ int DpfEngine::classify(sim::Cpu &Cpu, SimAddr Msg) {
         if (auto NewVer = CacheHandle.pin())
           Ver = std::move(NewVer);
       }
-      VCODE_TM_COUNT("dpf.dispatches", 1);
+      countDispatch();
       return Cpu.call(Ver->Code.Entry, {sim::TypedValue::fromPtr(Msg)},
                       Type::I)
           .asInt32();

@@ -23,8 +23,9 @@
 using namespace vcode;
 using namespace vcode::dpf;
 
-// Virtual anchor.
-Engine::~Engine() = default;
+// Virtual anchor; flushes the batched dispatch count so the at-exit
+// telemetry report sees the exact total.
+Engine::~Engine() { flushDispatches(); }
 
 void MpfEngine::install(const std::vector<Filter> &Filters) {
   unsigned WB = Tgt.info().WordBytes;

@@ -211,6 +211,13 @@ protected:
   /// stalls, cache misses) and generation cost read off one report.
   void finishRun(const RunStats &S);
 
+  /// Folds one run into the cumulative totals without touching the
+  /// process-wide telemetry registry. Substrates whose entire call is
+  /// tens of nanoseconds (binary translation, native dispatch) batch
+  /// their registry traffic and flush it on a coarse cadence; the six
+  /// per-call counter adds finishRun issues would dominate them.
+  void accumulateStats(const RunStats &S) { CumStats.accumulate(S); }
+
 private:
   RunStats CumStats;
   SimAddr StackTopOverride = 0;

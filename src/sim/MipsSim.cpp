@@ -18,7 +18,7 @@ using namespace vcode::sim;
 Cpu::~Cpu() = default;
 
 void Cpu::finishRun(const RunStats &S) {
-  CumStats.accumulate(S);
+  accumulateStats(S);
   VCODE_TM_COUNT("sim.calls", 1);
   VCODE_TM_COUNT("sim.instrs", S.Instrs);
   VCODE_TM_COUNT("sim.cycles", S.Cycles);
@@ -470,6 +470,40 @@ void MipsSim::step() {
   fatalKind(CgErrKind::SimFault,
       "mips sim: unknown opcode 0x%x at 0x%llx", Op,
         (unsigned long long)InstrPC);
+}
+
+void MipsSim::exportState(ArchState &S) const {
+  std::memcpy(S.R, R, sizeof(R));
+  std::memcpy(S.FPR, FPR, sizeof(FPR));
+  S.HI = HI;
+  S.LO = LO;
+  S.FpCond = FpCond;
+}
+
+void MipsSim::importState(const ArchState &S) {
+  std::memcpy(R, S.R, sizeof(R));
+  R[0] = 0;
+  std::memcpy(FPR, S.FPR, sizeof(FPR));
+  HI = S.HI;
+  LO = S.LO;
+  FpCond = S.FpCond;
+}
+
+SimAddr MipsSim::stepUnit(SimAddr At) {
+  PC = At;
+  NPC = At + 4;
+  // A unit is one instruction, extended while the pipeline is mid-transfer:
+  // after a CTI executes, NPC != PC + 4 and the delay slot (possibly itself
+  // a CTI, extending the chain) must run before control is architecturally
+  // at rest again.
+  do {
+    if (Stats.Instrs >= InstrLimit)
+      fatalKind(CgErrKind::SimFault,
+          "mips sim: instruction limit (%llu) exceeded; runaway code?",
+            (unsigned long long)InstrLimit);
+    step();
+  } while (PC != StopAddr && NPC != PC + 4);
+  return PC;
 }
 
 TypedValue MipsSim::callWithConv(const CallConv &CC, SimAddr Entry,

@@ -46,6 +46,43 @@ public:
       R[N] = V;
   }
 
+  // --- Binary-translator fallback interface (dbt::MipsTranslatingCpu) ----
+
+  /// Architectural register file, exportable/importable so a binary
+  /// translator can hand individual instructions back to the interpreter
+  /// and resume translated execution from the resulting state.
+  struct ArchState {
+    uint32_t R[32];
+    uint32_t FPR[32];
+    uint32_t HI, LO;
+    bool FpCond;
+  };
+
+  void exportState(ArchState &S) const;
+  void importState(const ArchState &S);
+
+  /// Resets the per-run statistics and seeds the retired-instruction
+  /// count, so interpreter-executed units continue a translator-maintained
+  /// total and the instruction limit fires at the same point either way.
+  void seedRun(uint64_t Instrs) {
+    Stats = RunStats();
+    Stats.Instrs = Instrs;
+    LastLoadReg = -1;
+  }
+  uint64_t retiredInstrs() const { return Stats.Instrs; }
+
+  /// Executes one instruction *unit* starting at \p At: the instruction
+  /// itself plus, when it is a control-transfer, the delay-slot chain it
+  /// starts — so the caller never observes the architecturally-invisible
+  /// mid-CTI state. Returns the PC where control lands (stopAddr() when
+  /// the unit returned through the sentinel link register).
+  SimAddr stepUnit(SimAddr At);
+
+  /// Sentinel return address terminating a call (link register seed).
+  static constexpr SimAddr stopAddr() { return StopAddr; }
+  /// Instruction budget for a call (see setInstrLimit).
+  uint64_t instrLimit() const { return InstrLimit; }
+
 private:
   void step();
   uint32_t fetch(SimAddr A);

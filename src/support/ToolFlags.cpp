@@ -35,7 +35,8 @@ bool parseCount(const char *S, uint64_t &Out) {
 /// Backend names --target accepts.
 bool validTarget(const char *S) {
   return !std::strcmp(S, "mips") || !std::strcmp(S, "sparc") ||
-         !std::strcmp(S, "alpha") || !std::strcmp(S, "host");
+         !std::strcmp(S, "alpha") || !std::strcmp(S, "host") ||
+         !std::strcmp(S, "dbt");
 }
 
 } // namespace
@@ -60,8 +61,8 @@ int tool::handleArgs(int Argc, char **Argv, ToolOptions &Opts) {
     }
     if (std::strncmp(A, "--target=", 9) == 0) {
       if (!validTarget(A + 9))
-        fatal("bad --target value '%s' (expected mips, sparc, alpha or "
-              "host)",
+        fatal("bad --target value '%s' (expected mips, sparc, alpha, host "
+              "or dbt)",
               A + 9);
       Opts.TargetName = A + 9;
       Opts.TargetGiven = true;

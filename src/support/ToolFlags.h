@@ -16,7 +16,9 @@
 ///                          after N executions (0 disables; clients with
 ///                          no shared cache ignore it)
 ///   --target=<name>        backend for tools/benches that honor it:
-///                          mips, sparc, alpha, or host (native x86-64)
+///                          mips, sparc, alpha, host (native x86-64), or
+///                          dbt (MIPS code run through the binary
+///                          translator instead of the interpreter)
 ///
 /// Integer flag values are validated strictly: malformed text, a negative
 /// count, or a value past the 64-bit range is a fatal diagnostic with a

@@ -37,13 +37,24 @@ constexpr unsigned IntOrder[6] = {RDI, RSI, RDX, RCX, R8, R9};
 /// The universal trampoline shape: the SysV ABI assigns integer parameters
 /// to rdi,rsi,rdx,rcx,r8,r9 and double parameters to xmm0..7 in order,
 /// independent of their interleaving, so one C call with every register
-/// parameter populated realizes any register-only argument list.
+/// parameter populated realizes any register-only argument list. The
+/// trailing uint64_t parameters are all memory-class (the register sets
+/// are exhausted by then) and land at [rsp], [rsp+8], ... in order —
+/// exactly the outgoing-argument layout computeArgLocs assigns, since on
+/// this target every stack argument occupies one naturally-aligned 8-byte
+/// slot. Populating all eight realizes any argument list with up to 64
+/// bytes of stack arguments; the callee reads only the slots its signature
+/// names.
+constexpr size_t MaxStackSlots = 8;
 using IntFn = uint64_t (*)(uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
                            uint64_t, double, double, double, double, double,
-                           double, double, double);
+                           double, double, double, uint64_t, uint64_t,
+                           uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+                           uint64_t);
 using FpFn = double (*)(uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
                         uint64_t, double, double, double, double, double,
-                        double, double, double);
+                        double, double, double, uint64_t, uint64_t, uint64_t,
+                        uint64_t, uint64_t, uint64_t, uint64_t, uint64_t);
 
 int intSlotOf(Reg R) {
   for (int I = 0; I < 6; ++I)
@@ -79,36 +90,47 @@ TypedValue NativeCpu::callWithConvSpan(const CallConv &CC, SimAddr Entry,
     ExecStamp = Epoch;
   }
 
-  // Assign registers exactly as computeArgLocs does (next free int/fp
-  // register per argument, left to right), without materializing the
-  // ArgLoc vector: this path runs once per dispatched message.
+  // Assign locations exactly as computeArgLocs does (next free int/fp
+  // register per argument, left to right; then naturally-aligned 8-byte
+  // outgoing slots), without materializing the ArgLoc vector: this path
+  // runs once per dispatched message.
   uint64_t IArg[6] = {0, 0, 0, 0, 0, 0};
   double DArg[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-  size_t NextInt = 0, NextFp = 0;
+  uint64_t SArg[MaxStackSlots] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t NextInt = 0, NextFp = 0, NextSlot = 0;
   for (size_t I = 0; I < NumArgs; ++I) {
     const TypedValue &A = Args[I];
     if (isFpType(A.Ty)) {
-      if (NextFp >= CC.FpArgRegs.size())
-        fatalKind(CgErrKind::ApiMisuse,
-                  "native: argument %zu is stack-passed; the host trampoline "
-                  "takes at most 6 integer and 8 fp register arguments",
-                  I + 1);
+      // Pass the bit pattern: an F argument occupies the low 32 bits of
+      // its xmm register (or stack slot), exactly where the callee reads
+      // it.
+      uint64_t Bits = A.Ty == Type::F ? (A.Bits & 0xffffffffu) : A.Bits;
+      if (NextFp >= CC.FpArgRegs.size()) {
+        if (NextSlot >= MaxStackSlots)
+          fatalKind(CgErrKind::ApiMisuse,
+                    "native: argument %zu needs stack slot %zu; the host "
+                    "trampoline passes at most %zu stack slots",
+                    I + 1, NextSlot + 1, MaxStackSlots);
+        SArg[NextSlot++] = Bits;
+        continue;
+      }
       Reg R = CC.FpArgRegs[NextFp++];
       if (R.Num >= 8)
         fatalKind(CgErrKind::ApiMisuse,
                   "native: fp argument register xmm%u is outside the SysV "
                   "argument set",
                   unsigned(R.Num));
-      // Pass the bit pattern: an F argument occupies the low 32 bits of
-      // its xmm register, exactly where the callee reads it.
-      uint64_t Bits = A.Ty == Type::F ? (A.Bits & 0xffffffffu) : A.Bits;
       DArg[R.Num] = std::bit_cast<double>(Bits);
     } else {
-      if (NextInt >= CC.IntArgRegs.size())
-        fatalKind(CgErrKind::ApiMisuse,
-                  "native: argument %zu is stack-passed; the host trampoline "
-                  "takes at most 6 integer and 8 fp register arguments",
-                  I + 1);
+      if (NextInt >= CC.IntArgRegs.size()) {
+        if (NextSlot >= MaxStackSlots)
+          fatalKind(CgErrKind::ApiMisuse,
+                    "native: argument %zu needs stack slot %zu; the host "
+                    "trampoline passes at most %zu stack slots",
+                    I + 1, NextSlot + 1, MaxStackSlots);
+        SArg[NextSlot++] = A.Bits;
+        continue;
+      }
       int Slot = intSlotOf(CC.IntArgRegs[NextInt++]);
       if (Slot < 0)
         fatalKind(CgErrKind::ApiMisuse,
@@ -127,7 +149,9 @@ TypedValue NativeCpu::callWithConvSpan(const CallConv &CC, SimAddr Entry,
                 "native: fp results must come back in xmm0");
     double D = reinterpret_cast<FpFn>(P)(
         IArg[0], IArg[1], IArg[2], IArg[3], IArg[4], IArg[5], DArg[0],
-        DArg[1], DArg[2], DArg[3], DArg[4], DArg[5], DArg[6], DArg[7]);
+        DArg[1], DArg[2], DArg[3], DArg[4], DArg[5], DArg[6], DArg[7],
+        SArg[0], SArg[1], SArg[2], SArg[3], SArg[4], SArg[5], SArg[6],
+        SArg[7]);
     uint64_t Bits = std::bit_cast<uint64_t>(D);
     R.Bits = RetTy == Type::F ? (Bits & 0xffffffffu) : Bits;
   } else {
@@ -136,7 +160,9 @@ TypedValue NativeCpu::callWithConvSpan(const CallConv &CC, SimAddr Entry,
                 "native: integer results must come back in rax");
     uint64_t V = reinterpret_cast<IntFn>(P)(
         IArg[0], IArg[1], IArg[2], IArg[3], IArg[4], IArg[5], DArg[0],
-        DArg[1], DArg[2], DArg[3], DArg[4], DArg[5], DArg[6], DArg[7]);
+        DArg[1], DArg[2], DArg[3], DArg[4], DArg[5], DArg[6], DArg[7],
+        SArg[0], SArg[1], SArg[2], SArg[3], SArg[4], SArg[5], SArg[6],
+        SArg[7]);
     // Canonicalize like the simulators do: 32-bit results sign/zero-extend
     // (the generated code's upper 32 bits are unspecified for i/u).
     switch (RetTy) {

@@ -12,8 +12,9 @@
 ///   arena), so simulated addresses are host addresses;
 /// * the entry must have been published executable (W^X flip) — calling
 ///   unpublished code is rejected, not faulted;
-/// * arguments must fit the SysV register set (<= 6 integer, <= 8 FP, no
-///   stack-passed arguments), which the paper's clients all satisfy.
+/// * arguments beyond the SysV register set (6 integer, 8 FP) are passed
+///   on the stack through the trampoline's trailing slots; up to 64 bytes
+///   of stack arguments (eight 8-byte slots) are supported per call.
 ///
 /// Native runs execute on the host thread's own stack and count no
 /// simulated statistics: lastStats() is all zeros and the instruction

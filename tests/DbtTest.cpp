@@ -1,0 +1,363 @@
+//===- tests/DbtTest.cpp - Binary-translator differential suite -----------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+// dbt::MipsTranslatingCpu must be architecturally indistinguishable from
+// sim::MipsSim: every test here runs the same generated MIPS code on both
+// and locks registers, memory, results, and the retired-instruction count
+// bit for bit. Coverage comes from three directions — the RandomStream
+// corpus (integer ALU + control flow + memory traffic), the DPF and ASH
+// clients (real generated classifiers/pipelines, including jal/jr call
+// trees), and targeted cases for floating point, stack-passed arguments,
+// and code invalidation when the guest regenerates a function mid-run. A
+// final hammer shares one TranslationEngine across threads while the guest
+// keeps publishing new code, exercising concurrent translation-cache
+// lookup/insert/invalidate (the CI TSan step runs it under
+// ThreadSanitizer).
+//
+// On hosts without x86-64 + mmap the translator delegates whole calls to
+// its embedded interpreter; the differential tests still run (they then
+// compare the interpreter with itself) so the suite is portable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "StreamGen.h"
+#include "TestUtil.h"
+#include "ash/Ash.h"
+#include "dbt/MipsTranslatingCpu.h"
+#include "dpf/Engines.h"
+#include "mips/MipsTarget.h"
+#include "support/Rng.h"
+#include <atomic>
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace vcode;
+using namespace vcode::test;
+using sim::TypedValue;
+
+namespace {
+
+/// Compares every piece of architectural state the two CPUs expose after
+/// a run. Skipped (vacuously true) when the translator delegated the call.
+void expectStateMatches(const sim::MipsSim &Ref,
+                        const dbt::MipsTranslatingCpu &Dbt,
+                        const std::string &What) {
+  if (!Dbt.translating())
+    return; // delegate mode: the interpreter *is* the reference
+  sim::MipsSim::ArchState S;
+  Ref.exportState(S);
+  const dbt::GuestState &G = Dbt.guestState();
+  for (unsigned I = 0; I < 32; ++I) {
+    EXPECT_EQ(G.R[I], S.R[I]) << What << ": $" << I;
+    EXPECT_EQ(G.FPR[I], S.FPR[I]) << What << ": $f" << I;
+  }
+  EXPECT_EQ(G.HI, S.HI) << What << ": HI";
+  EXPECT_EQ(G.LO, S.LO) << What << ": LO";
+  EXPECT_EQ(G.FpCond != 0, S.FpCond) << What << ": FpCond";
+}
+
+class DbtStreamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DbtStreamTest, MatchesInterpreterOnRandomStreams) {
+  const Type StreamTypes[] = {Type::I, Type::U, Type::L, Type::UL};
+  const unsigned Chunk = unsigned(GetParam());
+
+  for (unsigned Pn = 0; Pn < StreamProgsPerChunk; ++Pn) {
+    unsigned Index = Chunk * StreamProgsPerChunk + Pn;
+    VCODE_SEEDED(Index * 6151 + 101); // RandomStreamTest's corpus
+    Type Ty = StreamTypes[Index % 4];
+    Rng R(TestSeed);
+    std::vector<StreamInsn> Prog = makeStream(R, Ty, typeBits(Ty, 4));
+
+    sim::Memory Mem;
+    mips::MipsTarget Tgt;
+    sim::MipsSim Ref(Mem);
+    dbt::MipsTranslatingCpu Dbt(Mem);
+
+    std::vector<uint64_t> Init(StreamSlots);
+    for (unsigned I = 0; I < StreamSlots; ++I)
+      Init[I] = canonicalize(Type::UL, R.next(), 4);
+
+    SimAddr Scratch = Mem.alloc(StreamScratchSlots * 8, 8);
+    SimAddr Out = Mem.alloc(StreamSlots * 8, 8);
+
+    VCode V(Tgt);
+    CodePtr Fn =
+        emitStream(V, Prog, Ty, Mem.allocCode(1 << 16), Scratch, Out);
+    ASSERT_TRUE(Fn.isValid());
+
+    std::vector<TypedValue> Args;
+    for (uint64_t I : Init)
+      Args.push_back(TypedValue::fromUInt(I, Type::UL));
+
+    // Reference run.
+    for (unsigned I = 0; I < StreamScratchSlots; ++I)
+      Mem.write<uint64_t>(Scratch + 8 * I, 0);
+    Ref.call(Fn.Entry, Args, Type::V);
+    std::vector<uint64_t> OutRef(StreamSlots), ScrRef(StreamScratchSlots);
+    for (unsigned I = 0; I < StreamSlots; ++I)
+      OutRef[I] = Mem.read<uint64_t>(Out + 8 * I);
+    for (unsigned I = 0; I < StreamScratchSlots; ++I)
+      ScrRef[I] = Mem.read<uint64_t>(Scratch + 8 * I);
+
+    // Translated run over the same code and fresh scratch.
+    for (unsigned I = 0; I < StreamScratchSlots; ++I)
+      Mem.write<uint64_t>(Scratch + 8 * I, 0);
+    Dbt.call(Fn.Entry, Args, Type::V);
+
+    std::string What = "program " + std::to_string(Index);
+    for (unsigned I = 0; I < StreamSlots; ++I)
+      EXPECT_EQ(Mem.read<uint64_t>(Out + 8 * I), OutRef[I])
+          << What << " out slot " << I;
+    for (unsigned I = 0; I < StreamScratchSlots; ++I)
+      EXPECT_EQ(Mem.read<uint64_t>(Scratch + 8 * I), ScrRef[I])
+          << What << " scratch cell " << I;
+    expectStateMatches(Ref, Dbt, What);
+    EXPECT_EQ(Dbt.lastStats().Instrs, Ref.lastStats().Instrs) << What;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, DbtStreamTest,
+                         ::testing::Range(0, int(StreamChunks)),
+                         [](const auto &Info) {
+                           return "chunk" + std::to_string(Info.param);
+                         });
+
+TEST(DbtTest, DpfClientsClassifyIdentically) {
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  sim::MipsSim Ref(Mem);
+  dbt::MipsTranslatingCpu Dbt(Mem);
+
+  std::vector<dpf::Filter> Filters = dpf::makeTcpIpFilters(10, 1024);
+  dpf::DpfEngine Dpf(Tgt, Mem);
+  dpf::MpfEngine Mpf(Tgt, Mem);
+  Dpf.install(Filters);
+  Mpf.install(Filters);
+
+  SimAddr Msg = Mem.alloc(dpf::pkt::HeaderBytes, 8);
+  for (uint16_t Port : {1024, 1028, 1033, 1034, 1023, 80, 0, 65535}) {
+    dpf::writeTcpPacket(Mem, Msg, Port);
+    int WantDpf = Dpf.classify(Ref, Msg);
+    uint64_t WantInstrs = Ref.lastStats().Instrs;
+    EXPECT_EQ(Dpf.classify(Dbt, Msg), WantDpf) << "dpf port " << Port;
+    EXPECT_EQ(Dbt.lastStats().Instrs, WantInstrs) << "dpf port " << Port;
+    expectStateMatches(Ref, Dbt, "dpf port " + std::to_string(Port));
+
+    int WantMpf = Mpf.classify(Ref, Msg);
+    WantInstrs = Ref.lastStats().Instrs;
+    EXPECT_EQ(Mpf.classify(Dbt, Msg), WantMpf) << "mpf port " << Port;
+    EXPECT_EQ(Dbt.lastStats().Instrs, WantInstrs) << "mpf port " << Port;
+  }
+}
+
+TEST(DbtTest, AshPipelineMatches) {
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  sim::MipsSim Ref(Mem);
+  dbt::MipsTranslatingCpu Dbt(Mem);
+
+  const std::vector<ash::Step> Steps = {ash::Step::ByteSwap, ash::Step::Copy,
+                                        ash::Step::Checksum};
+  ash::Pipeline P(Tgt, Mem);
+  for (ash::Step S : Steps)
+    P.addStep(S);
+  P.compile(4);
+
+  for (uint32_t Bytes : {16u, 1000u, 4096u}) {
+    VCODE_SEEDED(Bytes * 13 + 7);
+    Rng R(TestSeed);
+    SimAddr Src = Mem.alloc(Bytes, 8);
+    for (uint32_t I = 0; I < Bytes; I += 4)
+      Mem.write<uint32_t>(Src + I, uint32_t(R.next()));
+
+    // Both runs use the same destination so pointer-carrying registers end
+    // up identical; the reference output is snapshotted in between.
+    SimAddr Dst = Mem.alloc(Bytes, 8);
+    uint32_t SumRef = P.run(Ref, Dst, Src, Bytes);
+    uint64_t WantInstrs = Ref.lastStats().Instrs;
+    std::vector<uint32_t> WantDst(Bytes / 4);
+    for (uint32_t I = 0; I < Bytes; I += 4)
+      WantDst[I / 4] = Mem.read<uint32_t>(Dst + I);
+    for (uint32_t I = 0; I < Bytes; I += 4)
+      Mem.write<uint32_t>(Dst + I, 0xdeadbeef);
+    uint32_t SumDbt = P.run(Dbt, Dst, Src, Bytes);
+
+    EXPECT_EQ(SumDbt, SumRef) << Bytes << "B";
+    EXPECT_EQ(Dbt.lastStats().Instrs, WantInstrs) << Bytes << "B";
+    for (uint32_t I = 0; I < Bytes; I += 4)
+      ASSERT_EQ(Mem.read<uint32_t>(Dst + I), WantDst[I / 4])
+          << Bytes << "B at +" << I;
+    expectStateMatches(Ref, Dbt, std::to_string(Bytes) + "B ash");
+  }
+}
+
+TEST(DbtTest, FloatingPointMatches) {
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  sim::MipsSim Ref(Mem);
+  dbt::MipsTranslatingCpu Dbt(Mem);
+
+  // d0*d1 + d0/d1 - sqrt-free mix ending in a compare-driven select, so
+  // COP1 arithmetic, conversions, and bc1 all execute.
+  VCode V(Tgt);
+  Reg Arg[2];
+  V.lambda("%d%d", Arg, LeafHint, Mem.allocCode(4096));
+  Reg T0 = V.getreg(Type::D), T1 = V.getreg(Type::D);
+  ASSERT_TRUE(T0.isValid() && T1.isValid());
+  V.binop(BinOp::Mul, Type::D, T0, Arg[0], Arg[1]);
+  V.binop(BinOp::Div, Type::D, T1, Arg[0], Arg[1]);
+  V.binop(BinOp::Add, Type::D, T0, T0, T1);
+  Label Ge = V.genLabel(), End = V.genLabel();
+  V.branch(Cond::Ge, Type::D, T0, Arg[0], Ge);
+  V.binop(BinOp::Sub, Type::D, T0, T0, Arg[0]);
+  V.jmp(End);
+  V.label(Ge);
+  V.binop(BinOp::Add, Type::D, T0, T0, Arg[1]);
+  V.label(End);
+  V.ret(Type::D, T0);
+  CodePtr Fn = V.end();
+  ASSERT_TRUE(Fn.isValid());
+
+  const double Cases[][2] = {{1.5, 2.25},   {-3.0, 0.5},  {1e300, 1e-300},
+                             {0.0, 1.0},    {-0.0, -1.0}, {1.0, 0.0},
+                             {1e9, 3.1415}, {-1e-9, 7.0}};
+  for (const double *C : Cases) {
+    TypedValue A = TypedValue::fromDouble(C[0]);
+    TypedValue B = TypedValue::fromDouble(C[1]);
+    TypedValue RRef = Ref.call(Fn.Entry, {A, B}, Type::D);
+    uint64_t WantInstrs = Ref.lastStats().Instrs;
+    TypedValue RDbt = Dbt.call(Fn.Entry, {A, B}, Type::D);
+    EXPECT_EQ(RDbt.Bits, RRef.Bits) << C[0] << ", " << C[1];
+    EXPECT_EQ(Dbt.lastStats().Instrs, WantInstrs) << C[0] << ", " << C[1];
+    expectStateMatches(Ref, Dbt, "fp case");
+  }
+}
+
+TEST(DbtTest, StackPassedArgumentsMatch) {
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  sim::MipsSim Ref(Mem);
+  dbt::MipsTranslatingCpu Dbt(Mem);
+
+  // Six integer arguments: MIPS passes four in $a0-$a3, two on the stack,
+  // so the dispatcher's stack-slot marshalling is on the result path.
+  VCode V(Tgt);
+  Reg Arg[6];
+  V.lambda("%i%i%i%i%i%i", Arg, LeafHint, Mem.allocCode(4096));
+  for (int I = 1; I < 6; ++I)
+    V.binop(BinOp::Add, Type::I, Arg[0], Arg[0], Arg[I]);
+  V.binopImm(BinOp::Mul, Type::I, Arg[0], Arg[0], 3);
+  V.ret(Type::I, Arg[0]);
+  CodePtr Fn = V.end();
+  ASSERT_TRUE(Fn.isValid());
+
+  std::vector<TypedValue> Args;
+  for (int I = 1; I <= 6; ++I)
+    Args.push_back(TypedValue::fromInt(I * 1000 - 2500));
+  TypedValue RRef = Ref.call(Fn.Entry, Args, Type::I);
+  uint64_t WantInstrs = Ref.lastStats().Instrs;
+  TypedValue RDbt = Dbt.call(Fn.Entry, Args, Type::I);
+  EXPECT_EQ(RDbt.Bits, RRef.Bits);
+  EXPECT_EQ(RDbt.asInt32(), 3 * (1000 + 2000 + 3000 + 4000 + 5000 + 6000 -
+                                 6 * 2500));
+  EXPECT_EQ(Dbt.lastStats().Instrs, WantInstrs);
+  expectStateMatches(Ref, Dbt, "stack args");
+}
+
+/// Emits `int f() { return K; }` into \p CM (regenerating in place).
+CodePtr emitConstFn(Target &Tgt, CodeMem CM, int K) {
+  VCode V(Tgt);
+  V.lambda("", nullptr, LeafHint, CM);
+  V.retImm(Type::I, K);
+  return V.end();
+}
+
+TEST(DbtTest, GuestRegenerationInvalidatesTranslations) {
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  dbt::MipsTranslatingCpu Dbt(Mem);
+
+  CodeMem CM = Mem.allocCode(4096);
+  CodePtr F1 = emitConstFn(Tgt, CM, 111);
+  ASSERT_TRUE(F1.isValid());
+  EXPECT_EQ(Dbt.call(F1.Entry, {}, Type::I).asInt32(), 111);
+  // Hot path: the cached translation must be reused, not regenerated.
+  EXPECT_EQ(Dbt.call(F1.Entry, {}, Type::I).asInt32(), 111);
+
+  // The guest regenerates the function in place mid-run. The publish bumps
+  // the memory's code generation; a stale translation would return 111.
+  CodePtr F2 = emitConstFn(Tgt, CM, 222);
+  ASSERT_TRUE(F2.isValid());
+  ASSERT_EQ(F2.Entry, F1.Entry);
+  EXPECT_EQ(Dbt.call(F2.Entry, {}, Type::I).asInt32(), 222);
+
+  // And once more, with a different entry layout: a second region whose
+  // publish must not resurrect the first region's stale code either.
+  CodeMem CM2 = Mem.allocCode(4096);
+  CodePtr G = emitConstFn(Tgt, CM2, 333);
+  ASSERT_TRUE(G.isValid());
+  EXPECT_EQ(Dbt.call(G.Entry, {}, Type::I).asInt32(), 333);
+  EXPECT_EQ(Dbt.call(F2.Entry, {}, Type::I).asInt32(), 222);
+}
+
+TEST(DbtTest, ConcurrentTranslationSharedEngine) {
+  sim::Memory Mem;
+  mips::MipsTarget Tgt;
+  auto Engine = std::make_shared<dbt::TranslationEngine>(Mem);
+
+  // A pool of small functions: f_k(x) = 3*x + k, each its own region.
+  constexpr int NumFns = 8;
+  CodePtr Fns[NumFns];
+  for (int K = 0; K < NumFns; ++K) {
+    VCode V(Tgt);
+    Reg Arg[1];
+    V.lambda("%i", Arg, LeafHint, Mem.allocCode(4096));
+    V.binopImm(BinOp::Mul, Type::I, Arg[0], Arg[0], 3);
+    V.binopImm(BinOp::Add, Type::I, Arg[0], Arg[0], K);
+    V.ret(Type::I, Arg[0]);
+    Fns[K] = V.end();
+    ASSERT_TRUE(Fns[K].isValid());
+  }
+
+  std::atomic<bool> Stop{false};
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  constexpr int NumThreads = 4;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      dbt::MipsTranslatingCpu Cpu(Mem, Engine);
+      Cpu.setStackTop(Mem.allocStack());
+      Rng R(uint64_t(T) * 977 + 11);
+      for (int It = 0; It < 400 && !Failures.load(); ++It) {
+        int K = int(R.below(NumFns));
+        int X = int(uint32_t(R.next()) & 0xffff);
+        int Got =
+            Cpu.call(Fns[K].Entry, {TypedValue::fromInt(X)}, Type::I)
+                .asInt32();
+        if (Got != 3 * X + K)
+          ++Failures;
+      }
+    });
+  }
+  // The "guest compiler" keeps publishing fresh code, bumping the code
+  // generation: every dispatcher must flush its local index and the
+  // shared cache sees lookup/insert/invalidate from all sides at once.
+  std::thread Publisher([&] {
+    CodeMem CM = Mem.allocCode(4096);
+    for (int I = 0; I < 50 && !Stop.load(); ++I) {
+      CodePtr P = emitConstFn(Tgt, CM, I);
+      if (!P.isValid())
+        ++Failures;
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread &Th : Threads)
+    Th.join();
+  Stop = true;
+  Publisher.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+} // namespace
