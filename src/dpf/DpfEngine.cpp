@@ -343,12 +343,14 @@ bool DpfEngine::installShared(CodeCache &Cache,
                                               "hash", "table"};
   // Deliberately tier-independent: promotion swaps code versions under
   // this same key rather than caching tiers side by side.
-  std::string Key = "dpf|";
+  std::string Key;
+  Key.reserve(64);
+  Key += "dpf|";
   Key += Tgt.info().Name;
   Key += '|';
   Key += DispatchNames[size_t(Strategy)];
   Key += '|';
-  Key += filterSetKey(Filters);
+  appendFilterSetKey(Key, Filters);
 
   unsigned MyAttempts = 0;
   size_t MyRegionBytes = 0;

@@ -30,20 +30,83 @@ std::vector<Filter> vcode::dpf::makeTcpIpFilters(unsigned N,
   return Filters;
 }
 
+namespace {
+
+// The canonical key is rebuilt per installShared call, which makes it a
+// hot path under churn: avoid snprintf (locale machinery, per-call format
+// parsing) and grow the string once — appendFilterSetKey measures the
+// exact byte count up front, so the loop below never reallocates.
+
+char *putDec(char *P, uint32_t V) {
+  char Tmp[10];
+  unsigned N = 0;
+  do {
+    Tmp[N++] = char('0' + V % 10);
+    V /= 10;
+  } while (V);
+  while (N)
+    *P++ = Tmp[--N];
+  return P;
+}
+
+unsigned decDigits(uint32_t V) {
+  unsigned N = 1;
+  while (V >= 10) {
+    V /= 10;
+    ++N;
+  }
+  return N;
+}
+
+char *putHex8(char *P, uint32_t V) {
+  static const char Digits[] = "0123456789abcdef";
+  for (int Shift = 28; Shift >= 0; Shift -= 4)
+    *P++ = Digits[(V >> Shift) & 0xf];
+  return P;
+}
+
+} // namespace
+
+void vcode::dpf::appendFilterSetKey(std::string &Key,
+                                    const std::vector<Filter> &Filters) {
+  // Exact length: "f<id>:" + per-atom "(<off>,<size>,<hex8>,<hex8>)" + ';'.
+  size_t Len = 0;
+  for (const Filter &F : Filters) {
+    Len += 1 + decDigits(uint32_t(F.Id < 0 ? -F.Id : F.Id)) +
+           (F.Id < 0 ? 1 : 0) + 1 + 1; // "f", sign, id, ':', ';'
+    for (const Atom &A : F.Atoms)
+      Len += 2 + decDigits(A.Offset) + 1 + decDigits(A.Size) + 1 + 8 + 1 + 8;
+  }
+  size_t Base = Key.size();
+  Key.resize(Base + Len);
+  char *P = Key.data() + Base;
+  for (const Filter &F : Filters) {
+    *P++ = 'f';
+    if (F.Id < 0) {
+      *P++ = '-';
+      P = putDec(P, uint32_t(-F.Id));
+    } else {
+      P = putDec(P, uint32_t(F.Id));
+    }
+    *P++ = ':';
+    for (const Atom &A : F.Atoms) {
+      *P++ = '(';
+      P = putDec(P, A.Offset);
+      *P++ = ',';
+      P = putDec(P, A.Size);
+      *P++ = ',';
+      P = putHex8(P, A.Mask);
+      *P++ = ',';
+      P = putHex8(P, A.Value);
+      *P++ = ')';
+    }
+    *P++ = ';';
+  }
+}
+
 std::string vcode::dpf::filterSetKey(const std::vector<Filter> &Filters) {
   std::string Key;
-  Key.reserve(Filters.size() * 48);
-  char Buf[80];
-  for (const Filter &F : Filters) {
-    std::snprintf(Buf, sizeof(Buf), "f%d:", F.Id);
-    Key += Buf;
-    for (const Atom &A : F.Atoms) {
-      std::snprintf(Buf, sizeof(Buf), "(%u,%u,%08x,%08x)", A.Offset,
-                    unsigned(A.Size), A.Mask, A.Value);
-      Key += Buf;
-    }
-    Key += ';';
-  }
+  appendFilterSetKey(Key, Filters);
   return Key;
 }
 
@@ -93,4 +156,36 @@ Trie Trie::build(const std::vector<Filter> &Filters) {
     T.Nodes[Cur].AcceptId = F.Id;
   }
   return T;
+}
+
+int Trie::classify(const sim::Memory &M, SimAddr Msg) const {
+  if (Nodes.empty())
+    return -1;
+  int Cur = 0;
+  for (;;) {
+    const Node &N = Nodes[Cur];
+    // A node with a field dispatches on it; its AcceptId (a filter that
+    // is a strict prefix of another) is ignored, because the compiled
+    // classifier routes every dispatch miss to the shared reject exit.
+    // Only fieldless leaves accept — mirror that exactly.
+    if (!N.HasField)
+      return N.AcceptId;
+    uint32_t V;
+    switch (N.Size) {
+    case 1:
+      V = M.read<uint8_t>(Msg + N.Offset);
+      break;
+    case 2:
+      V = M.read<uint16_t>(Msg + N.Offset);
+      break;
+    default:
+      V = M.read<uint32_t>(Msg + N.Offset);
+      break;
+    }
+    V &= N.Mask;
+    auto It = N.Edges.find(V);
+    if (It == N.Edges.end())
+      return -1; // dispatch miss rejects even at an interior accept state
+    Cur = It->second;
+  }
 }

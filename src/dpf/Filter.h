@@ -52,6 +52,11 @@ struct Filter {
 /// atom's offset/size/mask/value and the accepting id).
 std::string filterSetKey(const std::vector<Filter> &Filters);
 
+/// Appends the canonical key to \p Key (single upfront reserve, no
+/// per-atom formatting calls) — the install hot path builds
+/// "<prefix>|<key>" in one buffer per installShared under churn.
+void appendFilterSetKey(std::string &Key, const std::vector<Filter> &Filters);
+
 /// Header layout of the simplified IP/TCP packets used by the workload
 /// (fields stored little-endian in simulator memory; see DESIGN.md).
 namespace pkt {
@@ -95,6 +100,13 @@ struct Trie {
   /// Builds the trie. All filters must examine fields in the same order
   /// (true of the workload and typical protocol filters).
   static Trie build(const std::vector<Filter> &Filters);
+
+  /// Reference interpreter over the trie, mirroring the compiled
+  /// classifier's semantics exactly: a node with a field dispatches on it
+  /// (miss -> -1) and a fieldless node accepts. The differential gates
+  /// (ServiceTest, the service's sampled checker) compare compiled
+  /// verdicts against this. \p Msg points at the message in \p M.
+  int classify(const sim::Memory &M, SimAddr Msg) const;
 };
 
 } // namespace dpf

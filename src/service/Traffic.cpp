@@ -1,0 +1,75 @@
+//===- service/Traffic.cpp - Zipf-skewed synthetic traffic ------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Traffic.h"
+#include "support/Error.h"
+#include <cmath>
+
+using namespace vcode;
+using namespace vcode::service;
+
+ZipfGen::ZipfGen(unsigned N, double S, uint64_t Seed) : R(Seed) {
+  if (N == 0)
+    fatal("service: ZipfGen over an empty rank set");
+  if (!(S >= 0.0) || !std::isfinite(S))
+    fatal("service: Zipf skew must be a finite non-negative value");
+  Cdf.resize(N);
+  double Sum = 0;
+  for (unsigned I = 0; I < N; ++I) {
+    Sum += 1.0 / std::pow(double(I + 1), S);
+    Cdf[I] = Sum;
+  }
+  for (unsigned I = 0; I < N; ++I)
+    Cdf[I] /= Sum;
+  Cdf[N - 1] = 1.0; // exact, against accumulated rounding
+}
+
+unsigned ZipfGen::next() {
+  // 53 uniform bits -> [0, 1); first CDF entry >= U is the drawn rank.
+  double U = double(R.next() >> 11) * 0x1.0p-53;
+  unsigned Lo = 0, Hi = unsigned(Cdf.size()) - 1;
+  while (Lo < Hi) {
+    unsigned Mid = (Lo + Hi) / 2;
+    if (Cdf[Mid] < U)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+double ZipfGen::probabilityOf(unsigned R) const {
+  if (R >= Cdf.size())
+    return 0;
+  return R == 0 ? Cdf[0] : Cdf[R] - Cdf[R - 1];
+}
+
+std::vector<dpf::Filter> vcode::service::makeSetFilters(unsigned Set,
+                                                        unsigned FlowsPerSet) {
+  return dpf::makeTcpIpFilters(FlowsPerSet, kBasePort, kSetIpBase + Set);
+}
+
+TrafficGen::TrafficGen(sim::Memory &M, unsigned Sets, unsigned FlowsPerSet,
+                       double ZipfS, uint64_t Seed)
+    : Mem(M), FlowsPerSet(FlowsPerSet),
+      // Distinct sub-seeds so the two rank streams are unrelated even
+      // though they advance in lockstep.
+      SetGen(Sets, ZipfS, Seed * 2 + 1),
+      FlowGen(FlowsPerSet + 1, ZipfS, Seed * 2 + 2),
+      Buf(M.alloc(dpf::pkt::HeaderBytes, 8)) {}
+
+TrafficGen::Pkt TrafficGen::next() {
+  Pkt P;
+  P.Set = SetGen.next();
+  unsigned Flow = FlowGen.next();
+  // The rank one past the set's filters is the deliberate miss: its port
+  // matches no filter, so the classifier must reject.
+  P.ExpectId = Flow < FlowsPerSet ? int(Flow) : -1;
+  P.Addr = Buf;
+  dpf::writeTcpPacket(Mem, Buf, uint16_t(kBasePort + Flow),
+                      kSetIpBase + P.Set);
+  return P;
+}

@@ -1,0 +1,94 @@
+//===- service/Traffic.h - Zipf-skewed synthetic traffic --------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic packet source for the classifier service: a seeded Zipf
+/// generator (real traffic is flow-skewed — a few flows carry most
+/// packets), and a TrafficGen that turns its draws into TCP/IP headers in
+/// simulator memory together with the verdict the installed filter set
+/// must return for them. Deterministic for a fixed seed, so a service run
+/// (and its differential gate) is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_SERVICE_TRAFFIC_H
+#define VCODE_SERVICE_TRAFFIC_H
+
+#include "dpf/Filter.h"
+#include "sim/Memory.h"
+#include "support/Rng.h"
+#include <vector>
+
+namespace vcode {
+namespace service {
+
+/// Draws ranks from a Zipf(s) distribution over {0, ..., N-1}: rank r is
+/// drawn with probability proportional to 1/(r+1)^s. s == 0 degenerates
+/// to uniform; larger s concentrates the mass on the low ranks (s ~ 1 is
+/// the classic web/flow skew). Implementation: the CDF is precomputed
+/// once (N entries) and each draw binary-searches it with one uniform
+/// double from a seeded xorshift Rng — exact, allocation-free draws, and
+/// two generators with the same (N, s, seed) produce identical streams.
+class ZipfGen {
+public:
+  ZipfGen(unsigned N, double S, uint64_t Seed);
+
+  /// The next rank, in [0, size()).
+  unsigned next();
+
+  unsigned size() const { return unsigned(Cdf.size()); }
+  /// P(rank == R) for distribution-shape tests.
+  double probabilityOf(unsigned R) const;
+
+private:
+  std::vector<double> Cdf; ///< Cdf[R] = P(rank <= R); back() == 1.0
+  Rng R;
+};
+
+/// Base of the per-set destination-IP space: set S's filters match
+/// destination IP kSetIpBase + S, so filter sets stay distinguishable no
+/// matter how many the service churns (ports alone run out at 64K).
+inline constexpr uint32_t kSetIpBase = 0x0a010000;
+/// First destination port of every set's filters (filter F of a set
+/// matches port kBasePort + F; one port past the set's last filter is the
+/// deliberate-miss flow).
+inline constexpr uint16_t kBasePort = 1024;
+
+/// The filters of service set \p Set (\p FlowsPerSet filters on the
+/// set's own destination IP).
+std::vector<dpf::Filter> makeSetFilters(unsigned Set, unsigned FlowsPerSet);
+
+/// A per-dispatch-thread packet source: each next() draws a filter set
+/// (Zipf over sets — hot sets dominate, exercising cache reuse and
+/// promotion) and a flow within it (Zipf over FlowsPerSet+1 ranks, the
+/// extra rank being a port no filter matches), writes the TCP/IP header
+/// into this generator's own packet buffer, and reports the verdict the
+/// set's classifier must produce. Not thread-safe; one per thread.
+class TrafficGen {
+public:
+  TrafficGen(sim::Memory &M, unsigned Sets, unsigned FlowsPerSet,
+             double ZipfS, uint64_t Seed);
+
+  struct Pkt {
+    unsigned Set;   ///< which filter set this packet is destined for
+    int ExpectId;   ///< verdict set Set's classifier must return (-1 miss)
+    SimAddr Addr;   ///< the header, in the service's shared arena
+  };
+
+  Pkt next();
+
+private:
+  sim::Memory &Mem;
+  unsigned FlowsPerSet;
+  ZipfGen SetGen;
+  ZipfGen FlowGen;
+  SimAddr Buf; ///< this generator's packet buffer
+};
+
+} // namespace service
+} // namespace vcode
+
+#endif // VCODE_SERVICE_TRAFFIC_H

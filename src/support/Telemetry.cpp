@@ -79,8 +79,11 @@ struct Registry::Impl {
   // stay stable for the life of the process (Timer::name() relies on it).
   std::map<std::string, Counter> Counters;
   std::map<std::string, Timer> Timers;
+  std::map<std::string, Histogram> Histograms;
   std::map<std::string, std::vector<Counter *>> Attached;
   std::map<std::string, uint64_t> Retired;
+  std::map<std::string, std::vector<Histogram *>> AttachedHists;
+  std::map<std::string, Histogram::Snapshot> RetiredHists;
 
   // Event ring: single atomic cursor, slots overwritten on wrap. Writes to
   // a slot are unsynchronized by design (tracing is an opt-in debugging
@@ -114,6 +117,46 @@ Counter::~Counter() {
     registry().detach(AttachedName, this);
 }
 
+Histogram::Histogram(const char *Name) : AttachedName(Name) {
+  registry().attach(Name, this);
+}
+
+Histogram::~Histogram() {
+  if (AttachedName)
+    registry().detach(AttachedName, this);
+}
+
+double Histogram::Snapshot::percentile(double P) const {
+  if (!Count)
+    return 0;
+  if (P < 0)
+    P = 0;
+  if (P > 100)
+    P = 100;
+  // Rank of the percentile sample, 1-based (p0 -> first sample).
+  double Rank = P / 100.0 * double(Count);
+  if (Rank < 1)
+    Rank = 1;
+  uint64_t Cum = 0;
+  for (unsigned I = 0; I < kBuckets; ++I) {
+    uint64_t N = Counts[I];
+    if (!N)
+      continue;
+    if (double(Cum + N) >= Rank) {
+      // Interpolate within [bucketLo, bucketHi) by the rank's position
+      // among this bucket's samples, then clamp to the recorded max (the
+      // top bucket's nominal width can far exceed any real sample).
+      double Lo = double(bucketLo(I));
+      double Hi = double(bucketHi(I));
+      double Frac = (Rank - double(Cum)) / double(N);
+      double V = Lo + (Hi - Lo) * Frac;
+      return V > double(Max) ? double(Max) : V;
+    }
+    Cum += N;
+  }
+  return double(Max);
+}
+
 Registry &registry() {
   // Leaked singleton: atexit report/trace handlers may run after static
   // destructors, so the registry must never be destroyed.
@@ -135,6 +178,25 @@ Timer &Registry::timer(std::string_view Name) {
   if (Inserted)
     It->second.Name = It->first.c_str();
   return It->second;
+}
+
+Histogram &Registry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> L(I->M);
+  return I->Histograms[std::string(Name)];
+}
+
+Histogram::Snapshot Registry::histogramSnapshot(std::string_view Name) const {
+  std::lock_guard<std::mutex> L(I->M);
+  std::string Key(Name);
+  Histogram::Snapshot S;
+  if (auto It = I->Histograms.find(Key); It != I->Histograms.end())
+    S.merge(It->second.snapshot());
+  if (auto It = I->AttachedHists.find(Key); It != I->AttachedHists.end())
+    for (const Histogram *H : It->second)
+      S.merge(H->snapshot());
+  if (auto It = I->RetiredHists.find(Key); It != I->RetiredHists.end())
+    S.merge(It->second);
+  return S;
 }
 
 uint64_t Registry::counterValue(std::string_view Name) const {
@@ -166,6 +228,21 @@ void Registry::detach(const char *Name, Counter *C) {
   I->Retired[Name] += C->value();
 }
 
+void Registry::attach(const char *Name, Histogram *H) {
+  std::lock_guard<std::mutex> L(I->M);
+  I->AttachedHists[Name].push_back(H);
+}
+
+void Registry::detach(const char *Name, Histogram *H) {
+  std::lock_guard<std::mutex> L(I->M);
+  auto It = I->AttachedHists.find(Name);
+  if (It == I->AttachedHists.end())
+    return;
+  std::vector<Histogram *> &V = It->second;
+  V.erase(std::remove(V.begin(), V.end(), H), V.end());
+  I->RetiredHists[Name].merge(H->snapshot());
+}
+
 void Registry::recordEvent(const char *Name, unsigned Tid, uint64_t StartTick,
                            uint64_t EndTick) {
   Event *R = I->Ring.load(std::memory_order_acquire);
@@ -194,7 +271,13 @@ void Registry::reset() {
   for (auto &[Name, V] : I->Attached)
     for (Counter *C : V)
       C->reset();
+  for (auto &[Name, H] : I->Histograms)
+    H.reset();
+  for (auto &[Name, V] : I->AttachedHists)
+    for (Histogram *H : V)
+      H->reset();
   I->Retired.clear();
+  I->RetiredHists.clear();
   I->Head.store(0, std::memory_order_relaxed);
 }
 
@@ -265,6 +348,39 @@ void Registry::report(std::ostream &OS) const {
       printDuration(Max, sizeof(Max), ticksToNs(S.MaxTicks));
       std::snprintf(Line, sizeof(Line), "  %-36s %10llu %10s %10s %10s\n",
                     Name.c_str(), (unsigned long long)S.Count, Total, Avg, Max);
+      OS << Line;
+    }
+  }
+
+  // Merge global, live instance, and retired histograms by name. Values
+  // recorded into histograms are nanoseconds by convention ("*_ns" names).
+  std::map<std::string, Histogram::Snapshot> MergedHists;
+  for (const auto &[Name, H] : I->Histograms)
+    MergedHists[Name].merge(H.snapshot());
+  for (const auto &[Name, V] : I->AttachedHists)
+    for (const Histogram *H : V)
+      MergedHists[Name].merge(H->snapshot());
+  for (const auto &[Name, S] : I->RetiredHists)
+    MergedHists[Name].merge(S);
+  bool AnyHist = false;
+  for (const auto &[Name, S] : MergedHists)
+    AnyHist |= S.Count != 0;
+  if (AnyHist) {
+    std::snprintf(Line, sizeof(Line),
+                  "histograms:%27s %10s %10s %10s %10s %10s\n", "", "count",
+                  "p50", "p90", "p99", "max");
+    OS << Line;
+    for (const auto &[Name, S] : MergedHists) {
+      if (!S.Count)
+        continue;
+      char P50[32], P90[32], P99[32], Max[32];
+      printDuration(P50, sizeof(P50), S.percentile(50));
+      printDuration(P90, sizeof(P90), S.percentile(90));
+      printDuration(P99, sizeof(P99), S.percentile(99));
+      printDuration(Max, sizeof(Max), double(S.Max));
+      std::snprintf(Line, sizeof(Line), "  %-36s %10llu %10s %10s %10s %10s\n",
+                    Name.c_str(), (unsigned long long)S.Count, P50, P90, P99,
+                    Max);
       OS << Line;
     }
   }

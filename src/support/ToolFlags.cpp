@@ -32,6 +32,22 @@ bool parseCount(const char *S, uint64_t &Out) {
   return true;
 }
 
+/// Strict non-negative real parse for --duration/--zipf, in the spirit of
+/// parseCount: no leading whitespace or sign, full-string consumption,
+/// finite, no range overflow.
+bool parseReal(const char *S, double &Out) {
+  if (!S || !*S || std::isspace((unsigned char)*S) || *S == '-' || *S == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(S, &End);
+  if (!End || *End || End == S || errno == ERANGE || !(V >= 0) ||
+      V > 1e18) // finite by construction of the bounds check
+    return false;
+  Out = V;
+  return true;
+}
+
 /// Backend names --target accepts.
 bool validTarget(const char *S) {
   return !std::strcmp(S, "mips") || !std::strcmp(S, "sparc") ||
@@ -66,6 +82,44 @@ int tool::handleArgs(int Argc, char **Argv, ToolOptions &Opts) {
               A + 9);
       Opts.TargetName = A + 9;
       Opts.TargetGiven = true;
+      continue;
+    }
+    if (std::strncmp(A, "--filters=", 10) == 0) {
+      if (!parseCount(A + 10, Opts.Filters) || Opts.Filters == 0)
+        fatal("bad --filters value '%s' (expected a positive 64-bit count)",
+              A + 10);
+      Opts.FiltersGiven = true;
+      continue;
+    }
+    if (std::strncmp(A, "--threads=", 10) == 0) {
+      if (!parseCount(A + 10, Opts.Threads) || Opts.Threads == 0)
+        fatal("bad --threads value '%s' (expected a positive 64-bit count)",
+              A + 10);
+      Opts.ThreadsGiven = true;
+      continue;
+    }
+    if (std::strncmp(A, "--churn=", 8) == 0) {
+      if (!parseCount(A + 8, Opts.Churn))
+        fatal("bad --churn value '%s' (expected a non-negative 64-bit "
+              "count of churn threads)",
+              A + 8);
+      Opts.ChurnGiven = true;
+      continue;
+    }
+    if (std::strncmp(A, "--duration=", 11) == 0) {
+      if (!parseReal(A + 11, Opts.Duration) || Opts.Duration <= 0)
+        fatal("bad --duration value '%s' (expected a positive number of "
+              "seconds)",
+              A + 11);
+      Opts.DurationGiven = true;
+      continue;
+    }
+    if (std::strncmp(A, "--zipf=", 7) == 0) {
+      if (!parseReal(A + 7, Opts.Zipf))
+        fatal("bad --zipf value '%s' (expected a finite non-negative skew "
+              "exponent)",
+              A + 7);
+      Opts.ZipfGiven = true;
       continue;
     }
     Argv[Out++] = Argv[Idx];

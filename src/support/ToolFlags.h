@@ -20,9 +20,20 @@
 ///                          dbt (MIPS code run through the binary
 ///                          translator instead of the interpreter)
 ///
+/// plus the service-workload knobs (bench_dpf_service; other tools ignore
+/// them unless they opt in):
+///
+///   --filters=<N>          total filters under management
+///   --threads=<N>          dispatch threads
+///   --churn=<N>            install/retire worker threads
+///   --duration=<seconds>   length of the churn phase
+///   --zipf=<s>             traffic skew exponent (0 = uniform)
+///
 /// Integer flag values are validated strictly: malformed text, a negative
 /// count, or a value past the 64-bit range is a fatal diagnostic with a
-/// nonzero exit, never a silent fallback.
+/// nonzero exit, never a silent fallback. The two real-valued flags
+/// (--duration, --zipf) are equally strict: full-string parse, finite,
+/// non-negative.
 ///
 /// handleArgs() strips every recognized flag from argv (compacting and
 /// null-terminating it, like telemetry::handleArgs) so a tool's own
@@ -44,9 +55,19 @@ struct ToolOptions {
   Tier GenTier = defaultTier(); ///< --tier, else the process default
   uint64_t HotThreshold = 0;    ///< --hot-threshold, else 0 (disabled)
   const char *TargetName = nullptr; ///< --target, else null (tool default)
+  uint64_t Filters = 0;         ///< --filters, else 0 (tool default)
+  uint64_t Threads = 0;         ///< --threads, else 0 (tool default)
+  uint64_t Churn = 0;           ///< --churn, else 0 (tool default)
+  double Duration = 0;          ///< --duration seconds, else 0 (default)
+  double Zipf = 0;              ///< --zipf exponent, else 0 (default)
   bool TierGiven = false;       ///< --tier appeared on the command line
   bool HotGiven = false;        ///< --hot-threshold appeared
   bool TargetGiven = false;     ///< --target appeared
+  bool FiltersGiven = false;    ///< --filters appeared
+  bool ThreadsGiven = false;    ///< --threads appeared
+  bool ChurnGiven = false;      ///< --churn appeared
+  bool DurationGiven = false;   ///< --duration appeared
+  bool ZipfGiven = false;       ///< --zipf appeared
 };
 
 /// Scans argv for the shared flags above, fills \p Opts, delegates the

@@ -179,6 +179,73 @@ TEST_P(DpfStressTest, RandomFilterSetsAgainstReference) {
   }
 }
 
+TEST_P(DpfStressTest, EvictionPressurePinnedHandlesSurvive) {
+  // A cache sized to a fraction of the live filter sets: 1 shard with 2
+  // entries, 6 engines each pinning their own set. Installs are serial,
+  // so the LRU accounting below is deterministic.
+  CodeCache Cache(*B.Mem, CodeCache::Options(1, 2));
+  const unsigned Sets = 6, PerSet = 4;
+  std::vector<std::unique_ptr<DpfEngine>> Engines;
+  std::vector<std::vector<Filter>> Sets_;
+  for (unsigned S = 0; S < Sets; ++S) {
+    Sets_.push_back(
+        makeTcpIpFilters(PerSet, uint16_t(2000 + 100 * S), 0x0a000001 + S));
+    Engines.push_back(std::make_unique<DpfEngine>(*B.Tgt, *B.Mem));
+    Engines.back()->installShared(Cache, Sets_.back());
+  }
+  // Capacity 2: installs 3..6 each evicted one entry.
+  CodeCache::Stats St = Cache.stats();
+  EXPECT_EQ(St.Misses, uint64_t(Sets));
+  EXPECT_EQ(St.Generations, uint64_t(Sets));
+  EXPECT_EQ(St.Evictions, uint64_t(Sets - 2));
+  EXPECT_EQ(Cache.size(), 2u);
+
+  // Pinned handles survive eviction: every engine still classifies its
+  // own (long-evicted) set correctly — the pin kept the code region from
+  // being reclaimed into the pool.
+  SimAddr Msg = B.Mem->alloc(pkt::HeaderBytes, 8);
+  for (unsigned S = 0; S < Sets; ++S) {
+    writeTcpPacket(*B.Mem, Msg, uint16_t(2000 + 100 * S + 1),
+                   0x0a000001 + S);
+    EXPECT_EQ(Engines[S]->classify(*B.Cpu, Msg), 1) << "set " << S;
+    writeTcpPacket(*B.Mem, Msg, uint16_t(2000 + 100 * S + PerSet),
+                   0x0a000001 + S);
+    EXPECT_EQ(Engines[S]->classify(*B.Cpu, Msg), -1) << "set " << S;
+  }
+
+  // Reinstalling an evicted set is a miss that regenerates (and evicts
+  // again); reinstalling a still-cached set is a hit. The counters must
+  // reconcile exactly: every miss generated, every install hit or missed.
+  DpfEngine Re0(*B.Tgt, *B.Mem);
+  EXPECT_FALSE(Re0.installShared(Cache, Sets_[0])); // evicted -> regenerate
+  DpfEngine Re5(*B.Tgt, *B.Mem);
+  EXPECT_TRUE(Re5.installShared(Cache, Sets_[5])); // still cached -> hit
+  St = Cache.stats();
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, uint64_t(Sets) + 1);
+  EXPECT_EQ(St.Generations, uint64_t(Sets) + 1);
+  EXPECT_EQ(St.Failures, 0u);
+  EXPECT_EQ(St.Hits + St.Misses, uint64_t(Sets) + 2); // one per install
+  EXPECT_EQ(St.Evictions, uint64_t(Sets - 2) + 1);
+  // Every evicted version is still pinned by its engine, so no region has
+  // been reclaimed into the free pool yet — eviction defers to the pin.
+  EXPECT_EQ(St.RegionsReused, 0u);
+
+  writeTcpPacket(*B.Mem, Msg, 2001, 0x0a000001);
+  EXPECT_EQ(Re0.classify(*B.Cpu, Msg), 1);
+
+  // Dropping an engine releases the last pin on its evicted version; the
+  // region returns to the pool and the next generation recycles it.
+  Engines[1].reset();
+  DpfEngine Fresh(*B.Tgt, *B.Mem);
+  Fresh.installShared(Cache,
+                      makeTcpIpFilters(PerSet, 9000, 0x0a0000f0));
+  St = Cache.stats();
+  EXPECT_GT(St.RegionsReused, 0u);
+  writeTcpPacket(*B.Mem, Msg, 9002, 0x0a0000f0);
+  EXPECT_EQ(Fresh.classify(*B.Cpu, Msg), 2);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllTargets, DpfStressTest,
                          ::testing::ValuesIn(allTargetNames()),
                          [](const auto &Info) { return Info.param; });

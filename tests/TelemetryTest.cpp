@@ -218,6 +218,125 @@ TEST(Telemetry, TraceEmptyWithoutTracing) {
 }
 
 //===----------------------------------------------------------------------===//
+// Log-bucketed latency histograms (always available, like counters)
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, HistogramBucketBoundaries) {
+  using H = vt::Histogram;
+  // Values below kSub get exact unit buckets.
+  for (uint64_t V = 0; V < H::kSub; ++V) {
+    EXPECT_EQ(H::bucketOf(V), unsigned(V));
+    EXPECT_EQ(H::bucketLo(unsigned(V)), V);
+  }
+  // Every bucket's lower bound maps back to the bucket, one below maps to
+  // the previous one, and bucketOf is monotone across the boundary.
+  for (unsigned Idx = 1; Idx < H::kBuckets; ++Idx) {
+    uint64_t Lo = H::bucketLo(Idx);
+    ASSERT_EQ(H::bucketOf(Lo), Idx) << "bucket " << Idx;
+    ASSERT_EQ(H::bucketOf(Lo - 1), Idx - 1) << "bucket " << Idx;
+    ASSERT_GT(Lo, H::bucketLo(Idx - 1)) << "bucket " << Idx;
+  }
+  // The last bucket holds the top of the range; its hi saturates.
+  EXPECT_EQ(H::bucketOf(~uint64_t(0)), H::kBuckets - 1);
+  EXPECT_EQ(H::bucketHi(H::kBuckets - 1), ~uint64_t(0));
+  // Relative bucket width is bounded by 1/kSub (12.5%) above kSub.
+  for (unsigned Idx = H::kSub; Idx + 1 < H::kBuckets; ++Idx) {
+    uint64_t Lo = H::bucketLo(Idx), Hi = H::bucketHi(Idx);
+    ASSERT_LE((Hi - Lo) * H::kSub, Lo) << "bucket " << Idx << " too wide";
+  }
+}
+
+TEST(Telemetry, HistogramPercentileMath) {
+  vt::Histogram H;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.record(V);
+  vt::Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 1000u);
+  EXPECT_EQ(S.Sum, 500500u);
+  EXPECT_EQ(S.Max, 1000u);
+  EXPECT_DOUBLE_EQ(S.mean(), 500.5);
+  // Percentile error is bounded by the bucket width (12.5% relative).
+  EXPECT_NEAR(S.percentile(50), 500, 500 * 0.125);
+  EXPECT_NEAR(S.percentile(99), 990, 990 * 0.125);
+  // The tail clamps to the recorded max, never past it.
+  EXPECT_LE(S.percentile(99.9), 1000);
+  EXPECT_LE(S.percentile(100), 1000);
+  EXPECT_GE(S.percentile(100), S.percentile(1));
+  // Degenerate cases.
+  vt::Histogram Empty;
+  EXPECT_EQ(Empty.snapshot().percentile(50), 0);
+  EXPECT_EQ(Empty.snapshot().mean(), 0);
+  vt::Histogram One;
+  One.record(42);
+  EXPECT_EQ(One.snapshot().percentile(50), 42);
+  EXPECT_EQ(One.snapshot().percentile(99.9), 42);
+}
+
+TEST(Telemetry, HistogramMergeAcrossShards) {
+  // Two shards with disjoint ranges merge into one distribution whose
+  // aggregates are the element-wise sums.
+  vt::Histogram A, B;
+  for (uint64_t V = 1; V <= 500; ++V)
+    A.record(V);
+  for (uint64_t V = 501; V <= 1000; ++V)
+    B.record(V);
+  vt::Histogram::Snapshot M = A.snapshot();
+  M.merge(B.snapshot());
+  vt::Histogram Whole;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    Whole.record(V);
+  vt::Histogram::Snapshot W = Whole.snapshot();
+  EXPECT_EQ(M.Count, W.Count);
+  EXPECT_EQ(M.Sum, W.Sum);
+  EXPECT_EQ(M.Max, W.Max);
+  for (unsigned I = 0; I < vt::Histogram::kBuckets; ++I)
+    ASSERT_EQ(M.Counts[I], W.Counts[I]) << "bucket " << I;
+  EXPECT_DOUBLE_EQ(M.percentile(50), W.percentile(50));
+}
+
+TEST(Telemetry, HistogramRegistryAttachAndReport) {
+  static const char *Name = "test.hist.attach_ns";
+  uint64_t Before = vt::registry().histogramSnapshot(Name).Count;
+  {
+    vt::Histogram H(Name); // instance-owned: attaches for reporting
+    H.record(100);
+    H.record(200);
+    EXPECT_EQ(vt::registry().histogramSnapshot(Name).Count, Before + 2);
+    // Folded into retired totals when the instance dies.
+  }
+  EXPECT_EQ(vt::registry().histogramSnapshot(Name).Count, Before + 2);
+  // The global registry histogram merges with the retired instance data
+  // under the same name.
+  vt::registry().histogram(Name).record(300);
+  vt::Histogram::Snapshot S = vt::registry().histogramSnapshot(Name);
+  EXPECT_EQ(S.Count, Before + 3);
+  EXPECT_EQ(S.Max, 300u);
+  // And the text report lists it with percentiles.
+  std::ostringstream OS;
+  vt::report(OS);
+  EXPECT_NE(OS.str().find("histograms:"), std::string::npos);
+  EXPECT_NE(OS.str().find("test.hist.attach_ns"), std::string::npos);
+}
+
+TEST(Telemetry, HistogramConcurrentRecord) {
+  vt::Histogram H;
+  constexpr int kThreads = 8, kIters = 20000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < kThreads; ++T)
+    Ts.emplace_back([&H, T] {
+      for (int I = 0; I < kIters; ++I)
+        H.record(uint64_t(T * kIters + I));
+    });
+  for (auto &T : Ts)
+    T.join();
+  vt::Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, uint64_t(kThreads) * kIters);
+  EXPECT_EQ(S.Max, uint64_t(kThreads) * kIters - 1);
+  uint64_t N = uint64_t(kThreads) * kIters;
+  EXPECT_EQ(S.Sum, N * (N - 1) / 2);
+}
+
+//===----------------------------------------------------------------------===//
 // Build-config-specific behavior
 //===----------------------------------------------------------------------===//
 
@@ -259,6 +378,7 @@ TEST(Telemetry, EmissionPhaseTimersWhenTimingOn) {
 // and the static_assert below would fail to compile.
 constexpr int compiledOutProbe() {
   VCODE_TM_COUNT("off.counter", 1);
+  VCODE_TM_HIST("off.hist_ns", 1);
   VCODE_TM_TICK(T0);
   VCODE_TM_SPAN("off.span", T0);
   VCODE_TM_SPAN_AT("off.span2", T0, T0);
