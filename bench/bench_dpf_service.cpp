@@ -19,7 +19,9 @@
 // (seconds per level), --zipf= (skew), --target=mips|host|dbt, --tier=,
 // --hot-threshold=. --soak runs a single bounded pass with the gates but
 // without the E16 sweep or the install floor — the ctest/CI mode, sized
-// to stay brief under sanitizers.
+// to stay brief under sanitizers. Every report ends with the top-N
+// hottest filter sets (dispatch tallies always; profiler samples when
+// --profile-report has the sampler running).
 //
 //===----------------------------------------------------------------------===//
 

@@ -219,6 +219,10 @@ public:
   /// Simulated address of the start of the region.
   SimAddr baseAddr() const { return GuestBase; }
 
+  /// Host address of the start of the region (where the bytes actually
+  /// live; identical to baseAddr() only for native arenas).
+  const uint8_t *hostBase() const { return Base; }
+
   /// Number of units still available.
   size_t remainingWords() const { return size_t(Limit - Ip) / Unit; }
 

@@ -51,6 +51,7 @@
 #define VCODE_CORE_CODECACHE_H
 
 #include "core/Generate.h"
+#include "profile/CodeMap.h"
 #include "sim/Memory.h"
 #include "support/Telemetry.h"
 #include <atomic>
@@ -100,8 +101,12 @@ public:
   struct Version {
     explicit Version(CodeCache &C) : Owner(C) {}
     ~Version() {
-      if (RegionBytes)
+      if (RegionBytes) {
+        // The region is going back to the free pool: unregister it from
+        // the CodeMap before another generation can reuse the addresses.
+        profile::CodeMap::instance().remove(RegionAddr);
         Owner.reclaimRegion(RegionAddr, RegionBytes);
+      }
     }
     Version(const Version &) = delete;
     Version &operator=(const Version &) = delete;
@@ -279,7 +284,7 @@ public:
     if (R.ok()) {
       {
         std::lock_guard<std::mutex> Lock(E->M);
-        E->Cur = makeVersion(R, RA);
+        E->Cur = makeVersion(R, RA, E->Key);
         E->St = State::Ready;
       }
       E->CV.notify_all();
@@ -349,7 +354,7 @@ public:
     {
       std::lock_guard<std::mutex> Lock(E->M);
       Old = std::move(E->Cur);
-      E->Cur = makeVersion(R, RA);
+      E->Cur = makeVersion(R, RA, E->Key);
     }
     // Old's region is reclaimed when the last pinned dispatcher drops it
     // (possibly right here, when nobody was mid-call).
@@ -420,12 +425,16 @@ private:
   /// Wraps a successful generation's region into a refcounted Version,
   /// taking ownership from the RegionAlloc.
   std::shared_ptr<const Version> makeVersion(const GenerateResult &R,
-                                             RegionAlloc &RA) {
+                                             RegionAlloc &RA,
+                                             const std::string &Key) {
     auto V = std::make_shared<Version>(*this);
     V->Code = R.Code;
     V->RegionAddr = RA.CurAddr;
     V->RegionBytes = RA.CurBytes;
     V->GenTier = R.GenTier;
+    // v_end published this region under a synthetic name; rename it to
+    // the cache key and record the tier actually generated.
+    profile::CodeMap::instance().annotate(RA.CurAddr, Key, R.GenTier);
     return V;
   }
 

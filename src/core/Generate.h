@@ -95,6 +95,9 @@ GenerateResult generateWithRetry(VCode &V, AllocFn Alloc, EmitFn Emit,
                                  GenerateOptions Opts = {}) {
   GenerateResult R;
   R.GenTier = Opts.GenTier;
+  // Stamp the tier onto the CodeMap entry v_end will publish (the stamp
+  // survives lambda(); see VCode::setPublishTier).
+  V.setPublishTier(Opts.GenTier);
   RecoveryScope Scope(V);
   size_t Bytes = std::max<size_t>(Opts.InitialBytes, 16);
   // Callers that ignore Attempts still need a diagnosable failure: stamp

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/VCode.h"
+#include "profile/CodeMap.h"
 #include "support/BitUtils.h"
 #include "support/Telemetry.h"
 #include <cassert>
@@ -106,6 +107,9 @@ void VCode::resetFunctionState() {
   ConstPoolIndex.clear();
   CallLocs.clear();
   CallNextArg = 0;
+  // FnName is per-function; PubTier deliberately persists (the retry
+  // driver stamps it once, before Emit() runs lambda()).
+  FnName.clear();
 }
 
 void VCode::lambda(const char *ArgTypeStr, Reg *ArgRegs, bool IsLeaf,
@@ -225,6 +229,13 @@ CodePtr VCode::endImpl() {
   // partially emitted code is never made executable.
   if (MemArena)
     MemArena->publish(MemGuest, Entry.SizeBytes);
+
+  // Register the finished region with the process-wide CodeMap (no-op
+  // when telemetry is compiled out). Callers with a better name/tier
+  // (CodeCache keys, DBT guest ranges) annotate the entry afterwards.
+  profile::CodeMap::instance().publish(
+      Buf.baseAddr(), Entry.SizeBytes, Entry.Entry,
+      uintptr_t(Buf.hostBase()), std::move(FnName), TI.Name, PubTier);
 
   VCODE_TM_SPAN("core.backpatch", TmFinishStart);
   VCODE_TM_COUNT("core.functions", 1);

@@ -25,11 +25,13 @@
 #include "core/Reg.h"
 #include "core/RegAlloc.h"
 #include "core/Target.h"
+#include "core/Tier.h"
 #include "core/Types.h"
 #include "support/Error.h"
 #include <cstdint>
 #include <initializer_list>
 #include <map>
+#include <string>
 #include <vector>
 
 namespace vcode {
@@ -103,6 +105,19 @@ public:
   /// Ends generation: links jumps, writes prologue/epilogue, emits the
   /// floating-point constant pool, and returns the entry point.
   CodePtr end();
+
+  /// Names the function being generated for introspection (the CodeMap
+  /// entry end() publishes, --dump-code, profiler reports). Cleared by
+  /// lambda(); callers that know a better name (cache key, guest PC) can
+  /// set it any time before end().
+  void setFunctionName(std::string Name) { FnName = std::move(Name); }
+  const std::string &functionName() const { return FnName; }
+
+  /// Tier recorded on the published CodeMap entry (generateWithRetry
+  /// stamps its GenerateOptions tier here). Unlike the name, the tier
+  /// persists across lambda() so a stamp placed before the emitter runs
+  /// survives to end().
+  void setPublishTier(Tier T) { PubTier = T; }
 
   // --- Registers (paper §3.2, §5.3) ---------------------------------------
 
@@ -362,6 +377,10 @@ private:
   CodeArena *MemArena = nullptr;
   SimAddr MemGuest = 0;
   size_t MemSize = 0;
+
+  // Introspection metadata carried to the CodeMap entry end() publishes.
+  std::string FnName;
+  Tier PubTier = Tier::Tier0;
 
   std::vector<int64_t> LabelPos; // word index, -1 if unbound
   std::vector<Fixup> Fixups;

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dbt/MipsTranslatingCpu.h"
+#include "profile/Profiler.h"
 #include "support/Telemetry.h"
 #include <cstring>
 
@@ -204,6 +205,7 @@ TypedValue MipsTranslatingCpu::callWithConvSpan(const CallConv &CC,
     }
     ++PendDispatches;
     ++CF->PendingExecs;
+    VCODE_PF_SAMPLE_VPC(++PfClock, PC);
     PC = CF->Fn(&GS, HostBase);
   }
 

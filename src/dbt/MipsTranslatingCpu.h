@@ -123,6 +123,7 @@ private:
   /// destruction — before the at-exit report runs, so reports stay exact.
   uint64_t PendCalls = 0, PendDispatches = 0, PendInstrs = 0;
   static constexpr uint64_t TelemetryFlushPeriod = 4096;
+  uint64_t PfClock = 0; ///< cumulative dispatch clock for the sampler
 
   /// Folds every CachedFn's PendingExecs into its cache entry.
   void flushExecCounts();

@@ -8,7 +8,9 @@
 #include "core/Generate.h"
 #include "dbt/MipsRegion.h"
 #include "dbt/MipsTranslator.h"
+#include "profile/CodeMap.h"
 #include "support/Telemetry.h"
+#include <algorithm>
 #include <cstdio>
 
 using namespace vcode;
@@ -70,6 +72,20 @@ CodeCache::Handle TranslationEngine::translate(SimAddr PC, uint64_t Gen) {
         V, RA, [&](CodeMem CM) { return translateRegion(V, R, CM, Guest); },
         GO);
     VCODE_TM_SPAN("dbt.translate", T0);
+    if (GR.Code.isValid()) {
+      // Record the guest-PC span the region translates so profiler samples
+      // of the dispatch loop (which carry guest PCs) attribute back here.
+      SimAddr Lo = ~SimAddr(0), Hi = 0;
+      for (const MipsBlock &B : R.Blocks) {
+        if (B.Units.empty())
+          continue;
+        Lo = std::min(Lo, B.Entry);
+        const MipsUnit &Last = B.Units.back();
+        Hi = std::max(Hi, Last.PC + 4 * SimAddr(Last.instrs()));
+      }
+      if (Hi > Lo)
+        profile::CodeMap::instance().setGuestRange(GR.Code.Entry, Lo, Hi);
+    }
     return GR;
   });
 }

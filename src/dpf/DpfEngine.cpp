@@ -337,8 +337,8 @@ void DpfEngine::install(const std::vector<Filter> &Filters) {
       GenTier);
 }
 
-bool DpfEngine::installShared(CodeCache &Cache,
-                              const std::vector<Filter> &Filters) {
+std::string DpfEngine::sharedCacheKey(const Target &T, Dispatch D,
+                                      const std::vector<Filter> &Filters) {
   static const char *const DispatchNames[] = {"auto", "chain", "binary",
                                               "hash", "table"};
   // Deliberately tier-independent: promotion swaps code versions under
@@ -346,11 +346,17 @@ bool DpfEngine::installShared(CodeCache &Cache,
   std::string Key;
   Key.reserve(64);
   Key += "dpf|";
-  Key += Tgt.info().Name;
+  Key += T.info().Name;
   Key += '|';
-  Key += DispatchNames[size_t(Strategy)];
+  Key += DispatchNames[size_t(D)];
   Key += '|';
   appendFilterSetKey(Key, Filters);
+  return Key;
+}
+
+bool DpfEngine::installShared(CodeCache &Cache,
+                              const std::vector<Filter> &Filters) {
+  std::string Key = sharedCacheKey(Tgt, Strategy, Filters);
 
   unsigned MyAttempts = 0;
   size_t MyRegionBytes = 0;

@@ -203,6 +203,16 @@ public:
   /// widest node (for reporting).
   const char *dispatchUsed() const { return Used; }
 
+  /// The canonical CodeCache key installShared() files \p Filters under:
+  /// "dpf|<target>|<strategy>|<filter-set key>". Exposed so observers
+  /// (the service's hot-set report, CodeMap joins) can compute the key a
+  /// set WOULD be cached under without holding a live engine.
+  static std::string sharedCacheKey(const Target &T, Dispatch D,
+                                    const std::vector<Filter> &Filters);
+  std::string sharedCacheKey(const std::vector<Filter> &Filters) const {
+    return sharedCacheKey(Tgt, Strategy, Filters);
+  }
+
   /// One emission attempt of the classifier for \p T into \p CM at tier
   /// \p Tr: the single-shot body install() retries with grown regions.
   /// Exposed so fault-injection tests can drive it with an undersized

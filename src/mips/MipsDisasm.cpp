@@ -255,3 +255,29 @@ std::string vcode::mips::disassemble(uint32_t I, SimAddr Pc) {
   }
   return fmt(".word   0x%08x", I);
 }
+
+// --- profile/Disasm registration --------------------------------------------
+// A static registrar publishes this disassembler under the target's name so
+// --dump-code resolves it whenever the backend is linked in. Code words are
+// stored little-endian in the code buffer's host memory.
+
+#include "profile/Disasm.h"
+
+namespace {
+
+size_t decodeMipsWord(const uint8_t *P, size_t Avail, uint64_t Pc,
+                      std::string &Out) {
+  if (Avail < 4)
+    return 0;
+  uint32_t W = uint32_t(P[0]) | (uint32_t(P[1]) << 8) |
+               (uint32_t(P[2]) << 16) | (uint32_t(P[3]) << 24);
+  Out += mips::disassemble(W, SimAddr(Pc));
+  return 4;
+}
+
+const bool RegisteredMipsDisasm = [] {
+  profile::registerDisassembler("mips", &decodeMipsWord);
+  return true;
+}();
+
+} // namespace

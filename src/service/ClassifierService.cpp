@@ -5,11 +5,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/ClassifierService.h"
+#include "profile/CodeMap.h"
 #include "support/Error.h"
 #include "support/Rng.h"
 #include "support/TablePrinter.h"
+#include <algorithm>
 #include <chrono>
 #include <thread>
+#include <unordered_map>
 
 using namespace vcode;
 using namespace vcode::service;
@@ -37,7 +40,7 @@ ClassifierService::ClassifierService(Target &Tgt, sim::Memory &Mem,
                     : std::max<size_t>(1, C.Sets / (2 * std::max(
                                                             1u,
                                                             C.CacheShards))))),
-      Slots(C.Sets) {
+      Slots(C.Sets), SetDispatches(C.Sets, 0) {
   if (Cfg.Sets == 0 || Cfg.FlowsPerSet == 0)
     fatal("service: need at least one set and one filter per set");
   if (Cfg.DispatchThreads == 0)
@@ -99,6 +102,8 @@ void ClassifierService::dispatchLoop(unsigned Tid) {
   Cpu->setStackTop(Mem.allocStack());
   TrafficGen Traffic(Mem, Cfg.Sets, Cfg.FlowsPerSet, Cfg.ZipfS,
                      Cfg.Seed + 0x2000 + Tid);
+  // Thread-local per-set tallies, folded into SetDispatches once at exit.
+  std::vector<uint64_t> MySetDispatches(Cfg.Sets, 0);
   uint64_t N = 0;
   while (!Stop.load(std::memory_order_relaxed)) {
     TrafficGen::Pkt P = Traffic.next();
@@ -112,6 +117,7 @@ void ClassifierService::dispatchLoop(unsigned Tid) {
       continue;
     }
     ++N;
+    ++MySetDispatches[P.Set];
     bool Sampled = N % 16 == 0; // sampled dispatch latency (2 TSC reads)
     uint64_t T0 = Sampled ? telemetry::now() : 0;
     int Verdict = L->Engine.classify(*Cpu, P.Addr);
@@ -131,6 +137,56 @@ void ClassifierService::dispatchLoop(unsigned Tid) {
         CtMismatches.inc();
     }
   }
+  {
+    std::lock_guard<std::mutex> Lock(SetDispatchM);
+    for (unsigned S = 0; S < Cfg.Sets; ++S)
+      SetDispatches[S] += MySetDispatches[S];
+  }
+}
+
+void ClassifierService::buildTopSets(Report &R) const {
+  if (!Cfg.TopN)
+    return;
+  // Heat joins through the CodeMap by shared cache key: the live entry
+  // (annotated by CodeCache::makeVersion) plus samples folded into the
+  // retired tally when churn evicted earlier versions of the same key.
+  std::vector<std::pair<std::string, uint64_t>> Retired =
+      profile::CodeMap::instance().retiredHeat();
+  std::unordered_map<std::string, uint64_t> RetiredByKey(Retired.begin(),
+                                                         Retired.end());
+  std::vector<Report::HotSet> Sets;
+  Sets.reserve(Cfg.Sets);
+  for (unsigned S = 0; S < Cfg.Sets; ++S) {
+    Report::HotSet H;
+    H.Set = S;
+    H.Key = dpf::DpfEngine::sharedCacheKey(Tgt, dpf::DpfEngine::Dispatch::Auto,
+                                           Filters[S]);
+    {
+      std::lock_guard<std::mutex> Lock(SetDispatchM);
+      H.Dispatches = SetDispatches[S];
+    }
+    if (std::shared_ptr<const profile::CodeEntry> E =
+            profile::CodeMap::instance().findByName(H.Key)) {
+      H.Samples = E->Samples.load(std::memory_order_relaxed);
+      H.TierNum = unsigned(E->GenTier);
+      H.LiveEntry = true;
+    }
+    auto It = RetiredByKey.find(H.Key);
+    if (It != RetiredByKey.end())
+      H.Samples += It->second;
+    Sets.push_back(std::move(H));
+  }
+  std::sort(Sets.begin(), Sets.end(),
+            [](const Report::HotSet &A, const Report::HotSet &B) {
+              if (A.Samples != B.Samples)
+                return A.Samples > B.Samples;
+              if (A.Dispatches != B.Dispatches)
+                return A.Dispatches > B.Dispatches;
+              return A.Set < B.Set;
+            });
+  if (Sets.size() > Cfg.TopN)
+    Sets.resize(Cfg.TopN);
+  R.TopSets = std::move(Sets);
 }
 
 ClassifierService::Report ClassifierService::run() {
@@ -175,6 +231,7 @@ ClassifierService::Report ClassifierService::run() {
   telemetry::Histogram::Snapshot Disp = DispatchHist.snapshot();
   R.DispatchP50Us = Disp.percentile(50) / 1e3;
   R.DispatchP99Us = Disp.percentile(99) / 1e3;
+  buildTopSets(R);
   return R;
 }
 
@@ -217,4 +274,19 @@ void ClassifierService::printReport(const Report &R, const Config &C,
             strFormat("%llu of %llu", (unsigned long long)R.VerdictErrors,
                       (unsigned long long)R.Dispatches)});
   T.print();
+
+  if (!R.TopSets.empty()) {
+    std::printf("hottest filter sets (top %zu of %u):\n", R.TopSets.size(),
+                C.Sets);
+    TablePrinter H({"set", "samples", "dispatches", "tier", "key"});
+    for (const Report::HotSet &S : R.TopSets) {
+      // Keys are long; the set id and the filter-set tail identify a row.
+      std::string K = S.Key.size() > 40 ? S.Key.substr(0, 37) + "..." : S.Key;
+      H.addRow({strFormat("%u", S.Set),
+                strFormat("%llu", (unsigned long long)S.Samples),
+                strFormat("%llu", (unsigned long long)S.Dispatches),
+                S.LiveEntry ? strFormat("tier%u", S.TierNum) : "retired", K});
+    }
+    H.print();
+  }
 }

@@ -75,6 +75,11 @@ public:
     /// live sets, so steady-state churn continuously evicts.
     size_t CacheEntriesPerShard = 0;
     bool Prepopulate = true; ///< install every set before the clock starts
+    /// Hottest filter sets listed in the report (0 disables the table).
+    /// Heat is profiler samples when the sampler ran, joined to sets
+    /// through the CodeMap by shared cache key; dispatch counts are
+    /// always tallied.
+    unsigned TopN = 5;
   };
 
   /// Outcome of one run(): correctness gates plus the SLO numbers.
@@ -94,6 +99,17 @@ public:
     double InstallP50Us = 0, InstallP99Us = 0, InstallP999Us = 0;
     double InstallMaxUs = 0;
     double DispatchP50Us = 0, DispatchP99Us = 0;
+
+    /// One hottest-filter-set row (Config::TopN of these, hottest first).
+    struct HotSet {
+      unsigned Set = 0;        ///< filter-set index
+      std::string Key;         ///< shared cache key the set files under
+      uint64_t Samples = 0;    ///< profiler heat (live + retired versions)
+      uint64_t Dispatches = 0; ///< classify() calls routed to the set
+      unsigned TierNum = 0;    ///< generation tier of the live classifier
+      bool LiveEntry = false;  ///< a CodeMap entry was live at report time
+    };
+    std::vector<HotSet> TopSets;
 
     /// Every verdict matched ground truth and every sampled differential
     /// matched the reference interpreter.
@@ -139,6 +155,9 @@ private:
   void installSet(unsigned Set);
   void churnLoop(unsigned Tid);
   void dispatchLoop(unsigned Tid);
+  /// Ranks filter sets by profiler heat (joined through the CodeMap) and
+  /// per-set dispatch tallies; fills Report::TopSets.
+  void buildTopSets(Report &R) const;
 
   Target &Tgt;
   sim::Memory &Mem;
@@ -151,6 +170,11 @@ private:
   std::vector<std::vector<dpf::Filter>> Filters;
   std::vector<dpf::Trie> Tries;
   std::vector<Slot> Slots;
+
+  /// Per-set dispatch tallies. Dispatch threads count locally and fold
+  /// here once at exit, so the hot loop stays free of shared writes.
+  mutable std::mutex SetDispatchM;
+  std::vector<uint64_t> SetDispatches;
 
   std::atomic<bool> Stop{false};
 

@@ -7,6 +7,7 @@
 #include "sim/AlphaSim.h"
 #include "alpha/AlphaEncoding.h"
 #include "alpha/AlphaTarget.h"
+#include "profile/Profiler.h"
 #include "support/BitUtils.h"
 #include <cmath>
 #include <cstring>
@@ -476,6 +477,7 @@ TypedValue AlphaSim::callWithConv(const CallConv &CC, SimAddr Entry,
     if (Stats.Instrs >= InstrLimit)
       fatalKind(CgErrKind::SimFault,
           "alpha sim: instruction limit exceeded; runaway code?");
+    VCODE_PF_SAMPLE_VPC(++PfClock, PC);
     step();
   }
 

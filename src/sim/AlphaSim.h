@@ -51,6 +51,7 @@ private:
   Cache ICache, DCache;
   RunStats Stats;
   uint64_t InstrLimit = 4'000'000'000;
+  uint64_t PfClock = 0; ///< cumulative instruction clock for the sampler
 
   uint64_t R[32] = {};
   uint64_t F[32] = {}; // raw T-format bits

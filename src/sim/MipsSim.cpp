@@ -6,6 +6,7 @@
 
 #include "sim/MipsSim.h"
 #include "mips/MipsTarget.h"
+#include "profile/Profiler.h"
 #include "support/BitUtils.h"
 #include "support/Telemetry.h"
 #include <cmath>
@@ -555,6 +556,10 @@ TypedValue MipsSim::callWithConv(const CallConv &CC, SimAddr Entry,
       fatalKind(CgErrKind::SimFault,
           "mips sim: instruction limit (%llu) exceeded; runaway code?",
             (unsigned long long)Limit);
+    // Virtual-PC sampling (profile/Profiler.h): PfClock is cumulative
+    // across calls (Stats resets per call) so the sampling phase does
+    // not realign with every callWithConv.
+    VCODE_PF_SAMPLE_VPC(++PfClock, PC);
     step();
   }
 

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/SparcSim.h"
+#include "profile/Profiler.h"
 #include "sparc/SparcEncoding.h"
 #include "sparc/SparcTarget.h"
 #include "support/BitUtils.h"
@@ -513,6 +514,7 @@ TypedValue SparcSim::callWithConv(const CallConv &CC, SimAddr Entry,
     if (Stats.Instrs >= InstrLimit)
       fatalKind(CgErrKind::SimFault,
           "sparc sim: instruction limit exceeded; runaway code?");
+    VCODE_PF_SAMPLE_VPC(++PfClock, PC);
     step();
   }
 

@@ -56,6 +56,7 @@ private:
   Cache ICache, DCache;
   RunStats Stats;
   uint64_t InstrLimit = 2'000'000'000;
+  uint64_t PfClock = 0; ///< cumulative instruction clock for the sampler
 
   uint32_t R[32] = {};
   uint32_t FPR[32] = {};

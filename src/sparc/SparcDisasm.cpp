@@ -277,3 +277,29 @@ std::string vcode::sparc::disassemble(uint32_t I, SimAddr Pc) {
   return fmt("%-7s [%s + %s], %s", N, regName(Rs1).c_str(),
              operand2(I).c_str(), R.c_str());
 }
+
+// --- profile/Disasm registration --------------------------------------------
+// A static registrar publishes this disassembler under the target's name so
+// --dump-code resolves it whenever the backend is linked in. Code words are
+// stored little-endian in the code buffer's host memory.
+
+#include "profile/Disasm.h"
+
+namespace {
+
+size_t decodeSparcWord(const uint8_t *P, size_t Avail, uint64_t Pc,
+                       std::string &Out) {
+  if (Avail < 4)
+    return 0;
+  uint32_t W = uint32_t(P[0]) | (uint32_t(P[1]) << 8) |
+               (uint32_t(P[2]) << 16) | (uint32_t(P[3]) << 24);
+  Out += sparc::disassemble(W, SimAddr(Pc));
+  return 4;
+}
+
+const bool RegisteredSparcDisasm = [] {
+  profile::registerDisassembler("sparc", &decodeSparcWord);
+  return true;
+}();
+
+} // namespace

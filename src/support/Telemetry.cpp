@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Telemetry.h"
+#include "profile/CodeMap.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -385,11 +386,19 @@ void Registry::report(std::ostream &OS) const {
     }
   }
 
+  // Published-code heat map (src/profile/CodeMap.h); empty when nothing
+  // was published or the profiler is compiled out.
+  std::string CodeMapText;
+  profile::CodeMap::instance().appendReport(CodeMapText);
+  OS << CodeMapText;
+
   uint64_t Recorded = I->Head.load(std::memory_order_relaxed);
+  uint64_t Dropped = Recorded > kRingSize ? Recorded - kRingSize : 0;
   std::snprintf(Line, sizeof(Line),
-                "trace events: %llu recorded (capacity %llu%s)\n",
-                (unsigned long long)Recorded, (unsigned long long)kRingSize,
-                Recorded > kRingSize ? ", oldest overwritten" : "");
+                "trace events: %llu recorded, %llu dropped (capacity %llu%s)\n",
+                (unsigned long long)Recorded, (unsigned long long)Dropped,
+                (unsigned long long)kRingSize,
+                Dropped ? ", oldest overwritten" : "");
   OS << Line;
 }
 
@@ -452,7 +461,12 @@ void Registry::writeChromeTrace(std::ostream &OS) const {
                   E.Tid, TsUs, DurUs);
     Out += Buf;
   }
-  Out += "\n]}\n";
+  // Overwritten ring slots are dropped from the export; say how many so
+  // a truncated trace is distinguishable from a complete one.
+  uint64_t Dropped = Head > kRingSize ? Head - kRingSize : 0;
+  std::snprintf(Buf, sizeof(Buf), "\n],\"droppedEvents\":%llu}\n",
+                (unsigned long long)Dropped);
+  Out += Buf;
   OS << Out;
 }
 
@@ -480,11 +494,14 @@ void atExitFlush() {
                    GTraceFile.c_str());
     } else {
       registry().writeChromeTrace(OS);
+      uint64_t Recorded = registry().eventsRecorded();
+      uint64_t Cap = registry().eventCapacity();
       std::fprintf(
           stderr,
-          "telemetry: wrote %llu trace events to %s (load in chrome://tracing)\n",
-          (unsigned long long)std::min(registry().eventsRecorded(),
-                                       registry().eventCapacity()),
+          "telemetry: wrote %llu trace events (%llu dropped) to %s "
+          "(load in chrome://tracing)\n",
+          (unsigned long long)std::min(Recorded, Cap),
+          (unsigned long long)(Recorded > Cap ? Recorded - Cap : 0),
           GTraceFile.c_str());
     }
   }

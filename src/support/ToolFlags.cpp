@@ -5,10 +5,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/ToolFlags.h"
+#include "profile/JitDump.h"
+#include "profile/Profiler.h"
 #include "support/Error.h"
 #include "support/Telemetry.h"
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -53,6 +56,21 @@ bool validTarget(const char *S) {
   return !std::strcmp(S, "mips") || !std::strcmp(S, "sparc") ||
          !std::strcmp(S, "alpha") || !std::strcmp(S, "host") ||
          !std::strcmp(S, "dbt");
+}
+
+/// The profiling flags are accepted in every build so scripts don't need
+/// to know the configuration, but in an OFF build they can't do anything;
+/// say so once instead of silently producing no output.
+void warnProfilingOff(const char *Flag) {
+  if (telemetry::compiledIn())
+    return;
+  static bool Warned = false;
+  if (!Warned) {
+    Warned = true;
+    std::fprintf(stderr,
+                 "vcode: %s ignored: built with -DVCODE_TELEMETRY=OFF\n",
+                 Flag);
+  }
 }
 
 } // namespace
@@ -122,9 +140,59 @@ int tool::handleArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.ZipfGiven = true;
       continue;
     }
+    if (std::strcmp(A, "--profile-report") == 0) {
+      Opts.ProfileReportGiven = true;
+      continue;
+    }
+    if (std::strncmp(A, "--dump-code=", 12) == 0) {
+      if (!A[12])
+        fatal("bad --dump-code value '' (expected a region name or 'all')");
+      Opts.DumpCode = A + 12;
+      Opts.DumpCodeGiven = true;
+      continue;
+    }
+    if (std::strcmp(A, "--perf-map") == 0) {
+      Opts.PerfMapGiven = true;
+      continue;
+    }
+    if (std::strcmp(A, "--jitdump") == 0 ||
+        std::strncmp(A, "--jitdump=", 10) == 0) {
+      Opts.JitDumpGiven = true;
+      const char *Path = A[9] == '=' ? A + 10 : nullptr;
+      if (Path && !*Path)
+        fatal("bad --jitdump value '' (expected a file path)");
+      if (!profile::enableJitDump(Path) && telemetry::compiledIn() && Path)
+        fatal("cannot open jitdump file '%s'", Path);
+      continue;
+    }
     Argv[Out++] = Argv[Idx];
   }
   if (Out < Argc)
     Argv[Out] = nullptr;
+
+  if (!Opts.ProfileReportGiven)
+    if (const char *E = std::getenv("VCODE_PROFILE_REPORT"))
+      if (*E && std::strcmp(E, "0") != 0)
+        Opts.ProfileReportGiven = true;
+
+  if (Opts.ProfileReportGiven) {
+    warnProfilingOff("--profile-report");
+    profile::requestProfileReport();
+  }
+  if (Opts.DumpCodeGiven) {
+    warnProfilingOff("--dump-code");
+    profile::requestDumpCode(Opts.DumpCode);
+  }
+  if (Opts.PerfMapGiven && !profile::enablePerfMap()) {
+    warnProfilingOff("--perf-map");
+    if (telemetry::compiledIn())
+      std::fprintf(stderr, "vcode: --perf-map: cannot open the perf map\n");
+  }
+  if (Opts.JitDumpGiven) {
+    warnProfilingOff("--jitdump");
+    if (telemetry::compiledIn() && profile::jitDumpPath().empty())
+      std::fprintf(stderr, "vcode: --jitdump unavailable on this OS\n");
+  }
+
   return telemetry::handleArgs(Out, Argv);
 }

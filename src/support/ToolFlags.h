@@ -29,6 +29,18 @@
 ///   --duration=<seconds>   length of the churn phase
 ///   --zipf=<s>             traffic skew exponent (0 = uniform)
 ///
+/// plus the generated-code introspection flags (src/profile/; no-ops with
+/// a one-line stderr note when telemetry is compiled out):
+///
+///   --profile-report       start the samplers; print the profile report
+///                          (sample attribution + CodeMap heat) to stderr
+///                          at exit ($VCODE_PROFILE_REPORT as default)
+///   --dump-code=<name|all> print annotated disassembly of the matching
+///                          published regions to stdout at exit
+///   --perf-map             write /tmp/perf-<pid>.map for perf symbolization
+///   --jitdump[=<path>]     write a perf jitdump file (default
+///                          jit-<pid>.dump in the working directory)
+///
 /// Integer flag values are validated strictly: malformed text, a negative
 /// count, or a value past the 64-bit range is a fatal diagnostic with a
 /// nonzero exit, never a silent fallback. The two real-valued flags
@@ -60,6 +72,7 @@ struct ToolOptions {
   uint64_t Churn = 0;           ///< --churn, else 0 (tool default)
   double Duration = 0;          ///< --duration seconds, else 0 (default)
   double Zipf = 0;              ///< --zipf exponent, else 0 (default)
+  const char *DumpCode = nullptr; ///< --dump-code pattern, else null
   bool TierGiven = false;       ///< --tier appeared on the command line
   bool HotGiven = false;        ///< --hot-threshold appeared
   bool TargetGiven = false;     ///< --target appeared
@@ -68,6 +81,10 @@ struct ToolOptions {
   bool ChurnGiven = false;      ///< --churn appeared
   bool DurationGiven = false;   ///< --duration appeared
   bool ZipfGiven = false;       ///< --zipf appeared
+  bool ProfileReportGiven = false; ///< --profile-report appeared (or env)
+  bool DumpCodeGiven = false;   ///< --dump-code appeared
+  bool PerfMapGiven = false;    ///< --perf-map appeared
+  bool JitDumpGiven = false;    ///< --jitdump appeared
 };
 
 /// Scans argv for the shared flags above, fills \p Opts, delegates the

@@ -1,0 +1,543 @@
+//===- x64/X64Disasm.cpp - x86-64 disassembler --------------------------------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x64/X64Disasm.h"
+#include <cstdarg>
+#include <cstdio>
+
+using namespace vcode;
+
+namespace {
+
+std::string fmt(const char *Format, ...) {
+  char Buf[128];
+  va_list Ap;
+  va_start(Ap, Format);
+  std::vsnprintf(Buf, sizeof(Buf), Format, Ap);
+  va_end(Ap);
+  return Buf;
+}
+
+enum Width { W8, W16, W32, W64 };
+
+const char *R64[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                       "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                       "r12", "r13", "r14", "r15"};
+const char *R32[16] = {"eax", "ecx", "edx",  "ebx",  "esp",  "ebp",
+                       "esi", "edi", "r8d",  "r9d",  "r10d", "r11d",
+                       "r12d", "r13d", "r14d", "r15d"};
+const char *R16[16] = {"ax",  "cx",  "dx",   "bx",   "sp",   "bp",
+                       "si",  "di",  "r8w",  "r9w",  "r10w", "r11w",
+                       "r12w", "r13w", "r14w", "r15w"};
+// With any REX prefix, encodings 4-7 are spl/bpl/sil/dil; without, the
+// legacy high-byte registers.
+const char *R8Rex[16] = {"al",  "cl",  "dl",   "bl",   "spl",  "bpl",
+                         "sil", "dil", "r8b",  "r9b",  "r10b", "r11b",
+                         "r12b", "r13b", "r14b", "r15b"};
+const char *R8Leg[8] = {"al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"};
+
+const char *CcName[16] = {"o", "no", "b",  "ae", "e",  "ne", "be", "a",
+                          "s", "ns", "p",  "np", "l",  "ge", "le", "g"};
+
+const char *Grp1Name[8] = {"add", "or",  "adc", "sbb",
+                           "and", "sub", "xor", "cmp"};
+const char *Grp2Name[8] = {"rol", "ror", "rcl", "rcr",
+                           "shl", "shr", "shl", "sar"};
+const char *Grp3Name[8] = {"test", nullptr, "not", "neg",
+                           "mul",  "imul",  "div", "idiv"};
+
+std::string regName(Width W, unsigned R, bool HasRex) {
+  switch (W) {
+  case W8:
+    return HasRex ? R8Rex[R & 15] : R8Leg[R & 7];
+  case W16:
+    return R16[R & 15];
+  case W32:
+    return R32[R & 15];
+  case W64:
+    return R64[R & 15];
+  }
+  return "?";
+}
+
+std::string xmmName(unsigned R) { return fmt("xmm%u", R & 15); }
+
+std::string immStr(int64_t V) {
+  if (V < 0)
+    return fmt("-0x%llx", (unsigned long long)-V);
+  return fmt("0x%llx", (unsigned long long)V);
+}
+
+const char *sizePtr(Width W) {
+  switch (W) {
+  case W8:
+    return "byte ptr ";
+  case W16:
+    return "word ptr ";
+  case W32:
+    return "dword ptr ";
+  case W64:
+    return "qword ptr ";
+  }
+  return "";
+}
+
+/// Bounded byte cursor; any read past Avail sets Fail and the whole
+/// decode reports length 0.
+struct Cursor {
+  const uint8_t *P;
+  size_t N;
+  size_t Off = 0;
+  bool Fail = false;
+
+  uint8_t u8() {
+    if (Off >= N) {
+      Fail = true;
+      return 0;
+    }
+    return P[Off++];
+  }
+  uint8_t peek() const { return Off < N ? P[Off] : 0; }
+  bool more() const { return Off < N; }
+  uint32_t u32() {
+    uint32_t V = 0;
+    for (int K = 0; K < 4; ++K)
+      V |= uint32_t(u8()) << (8 * K);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    for (int K = 0; K < 8; ++K)
+      V |= uint64_t(u8()) << (8 * K);
+    return V;
+  }
+};
+
+/// One decoded ModRM operand pair.
+struct ModRM {
+  unsigned Reg = 0; ///< reg field (with REX.R)
+  unsigned Rm = 0;  ///< r/m register when !IsMem (with REX.B)
+  bool IsMem = false;
+  std::string Mem; ///< formatted [base+index+disp] when IsMem
+};
+
+ModRM readModRM(Cursor &C, uint8_t Rex) {
+  ModRM M;
+  uint8_t B = C.u8();
+  unsigned Mod = B >> 6, RegF = (B >> 3) & 7, RmF = B & 7;
+  M.Reg = RegF | ((Rex & 4) ? 8 : 0);
+  if (Mod == 3) {
+    M.Rm = RmF | ((Rex & 1) ? 8 : 0);
+    return M;
+  }
+  M.IsMem = true;
+  std::string Base, Index;
+  unsigned Scale = 0;
+  bool HaveDisp32 = false;
+  if (RmF == 4) { // SIB
+    uint8_t S = C.u8();
+    Scale = S >> 6;
+    unsigned Ix = ((S >> 3) & 7) | ((Rex & 2) ? 8 : 0);
+    unsigned Bs = (S & 7) | ((Rex & 1) ? 8 : 0);
+    if (((S >> 3) & 7) != 4) // index field 4 = none (REX.X ignored)
+      Index = R64[Ix];
+    if (Mod == 0 && (S & 7) == 5)
+      HaveDisp32 = true; // no base, disp32 follows
+    else
+      Base = R64[Bs];
+  } else if (Mod == 0 && RmF == 5) {
+    Base = "rip"; // never emitted, decoded for robustness
+    HaveDisp32 = true;
+  } else {
+    Base = R64[RmF | ((Rex & 1) ? 8 : 0)];
+  }
+  int64_t Disp = 0;
+  if (Mod == 1)
+    Disp = int8_t(C.u8());
+  else if (Mod == 2 || HaveDisp32)
+    Disp = int32_t(C.u32());
+
+  std::string Mem;
+  Mem += '[';
+  Mem += Base;
+  if (!Index.empty()) {
+    if (!Base.empty())
+      Mem += '+';
+    Mem += Index;
+    if (Scale)
+      Mem += fmt("*%u", 1u << Scale);
+  }
+  if (Disp || (Base.empty() && Index.empty())) {
+    if (Disp < 0)
+      Mem += fmt("-0x%llx", (unsigned long long)-Disp);
+    else
+      Mem += (Base.empty() && Index.empty())
+                 ? fmt("0x%llx", (unsigned long long)Disp)
+                 : fmt("+0x%llx", (unsigned long long)Disp);
+  }
+  Mem += ']';
+  M.Mem = std::move(Mem);
+  return M;
+}
+
+std::string rmStr(const ModRM &M, Width W, bool HasRex) {
+  return M.IsMem ? M.Mem : regName(W, M.Rm, HasRex);
+}
+
+std::string rmStrX(const ModRM &M) {
+  return M.IsMem ? M.Mem : xmmName(M.Rm);
+}
+
+} // namespace
+
+size_t x64::decodeOne(const uint8_t *P, size_t Avail, uint64_t Pc,
+                      std::string &Out) {
+  Cursor C{P, Avail};
+  bool P66 = false, PF2 = false, PF3 = false;
+  // Legacy prefixes (the backend emits at most one, before REX).
+  for (;;) {
+    if (!C.more())
+      return 0;
+    uint8_t B = C.peek();
+    if (B == 0x66)
+      P66 = true;
+    else if (B == 0xF2)
+      PF2 = true;
+    else if (B == 0xF3)
+      PF3 = true;
+    else
+      break;
+    C.u8();
+  }
+  uint8_t Rex = 0;
+  bool HasRex = false;
+  if (C.more() && (C.peek() & 0xF0) == 0x40) {
+    Rex = C.u8();
+    HasRex = true;
+  }
+  bool W = (Rex & 8) != 0;
+  Width IW = W ? W64 : (P66 ? W16 : W32); // integer operand width
+  uint8_t Op = C.u8();
+  if (C.Fail)
+    return 0;
+
+  std::string Text;
+  auto done = [&]() -> size_t {
+    if (C.Fail)
+      return 0;
+    Out += Text;
+    return C.Off;
+  };
+
+  // --- one-byte opcode map ---
+  switch (Op) {
+  // ALU / test / mov, MR direction: op rm, reg
+  case 0x01: case 0x09: case 0x21: case 0x29: case 0x31: case 0x39:
+  case 0x85: case 0x88: case 0x89: {
+    const char *Name;
+    Width OW = IW;
+    switch (Op) {
+    case 0x01: Name = "add"; break;
+    case 0x09: Name = "or"; break;
+    case 0x21: Name = "and"; break;
+    case 0x29: Name = "sub"; break;
+    case 0x31: Name = "xor"; break;
+    case 0x39: Name = "cmp"; break;
+    case 0x85: Name = "test"; break;
+    case 0x88: Name = "mov"; OW = W8; break;
+    default:   Name = "mov"; break;
+    }
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", Name, rmStr(M, OW, HasRex).c_str(),
+               regName(OW, M.Reg, HasRex).c_str());
+    return done();
+  }
+  // ALU / mov, RM direction: op reg, rm
+  case 0x03: case 0x0B: case 0x23: case 0x2B: case 0x33: case 0x3B:
+  case 0x8A: case 0x8B: {
+    const char *Name;
+    Width OW = IW;
+    switch (Op) {
+    case 0x03: Name = "add"; break;
+    case 0x0B: Name = "or"; break;
+    case 0x23: Name = "and"; break;
+    case 0x2B: Name = "sub"; break;
+    case 0x33: Name = "xor"; break;
+    case 0x3B: Name = "cmp"; break;
+    case 0x8A: Name = "mov"; OW = W8; break;
+    default:   Name = "mov"; break;
+    }
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", Name, regName(OW, M.Reg, HasRex).c_str(),
+               rmStr(M, OW, HasRex).c_str());
+    return done();
+  }
+  case 0x50: case 0x51: case 0x52: case 0x53:
+  case 0x54: case 0x55: case 0x56: case 0x57:
+    Text = fmt("%-7s %s", "push", R64[(Op & 7) | ((Rex & 1) ? 8 : 0)]);
+    return done();
+  case 0x58: case 0x59: case 0x5A: case 0x5B:
+  case 0x5C: case 0x5D: case 0x5E: case 0x5F:
+    Text = fmt("%-7s %s", "pop", R64[(Op & 7) | ((Rex & 1) ? 8 : 0)]);
+    return done();
+  case 0x63: { // movsxd r64, r/m32
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", "movsxd",
+               regName(W ? W64 : W32, M.Reg, HasRex).c_str(),
+               rmStr(M, W32, HasRex).c_str());
+    return done();
+  }
+  case 0x69: { // imul reg, rm, imm32
+    ModRM M = readModRM(C, Rex);
+    int32_t Imm = int32_t(C.u32());
+    Text = fmt("%-7s %s, %s, %s", "imul",
+               regName(IW, M.Reg, HasRex).c_str(),
+               rmStr(M, IW, HasRex).c_str(), immStr(Imm).c_str());
+    return done();
+  }
+  case 0x6B: { // imul reg, rm, imm8
+    ModRM M = readModRM(C, Rex);
+    int8_t Imm = int8_t(C.u8());
+    Text = fmt("%-7s %s, %s, %s", "imul",
+               regName(IW, M.Reg, HasRex).c_str(),
+               rmStr(M, IW, HasRex).c_str(), immStr(Imm).c_str());
+    return done();
+  }
+  case 0x81: case 0x83: { // group 1: op rm, imm
+    ModRM M = readModRM(C, Rex);
+    int64_t Imm =
+        Op == 0x81 ? int64_t(int32_t(C.u32())) : int64_t(int8_t(C.u8()));
+    Text = fmt("%-7s %s%s, %s", Grp1Name[M.Reg & 7],
+               M.IsMem ? sizePtr(IW) : "", rmStr(M, IW, HasRex).c_str(),
+               immStr(Imm).c_str());
+    return done();
+  }
+  case 0x90:
+    Text = "nop";
+    return done();
+  case 0x99:
+    Text = W ? "cqo" : "cdq";
+    return done();
+  case 0xB8: case 0xB9: case 0xBA: case 0xBB:
+  case 0xBC: case 0xBD: case 0xBE: case 0xBF: {
+    unsigned R = (Op & 7) | ((Rex & 1) ? 8 : 0);
+    if (W) {
+      uint64_t Imm = C.u64();
+      Text = fmt("%-7s %s, 0x%llx", "movabs", R64[R],
+                 (unsigned long long)Imm);
+    } else if (P66) {
+      uint32_t Imm = C.u8() | (uint32_t(C.u8()) << 8);
+      Text = fmt("%-7s %s, 0x%x", "mov", R16[R], Imm);
+    } else {
+      uint32_t Imm = C.u32();
+      Text = fmt("%-7s %s, 0x%x", "mov", R32[R], Imm);
+    }
+    return done();
+  }
+  case 0xC1: case 0xD1: case 0xD3: { // group 2 shifts/rotates
+    ModRM M = readModRM(C, Rex);
+    const char *Name = Grp2Name[M.Reg & 7];
+    if (Op == 0xC1) {
+      uint8_t Imm = C.u8();
+      Text = fmt("%-7s %s, %u", Name, rmStr(M, IW, HasRex).c_str(), Imm);
+    } else if (Op == 0xD1) {
+      Text = fmt("%-7s %s, 1", Name, rmStr(M, IW, HasRex).c_str());
+    } else {
+      Text = fmt("%-7s %s, cl", Name, rmStr(M, IW, HasRex).c_str());
+    }
+    return done();
+  }
+  case 0xC3:
+    Text = "ret";
+    return done();
+  case 0xC7: { // mov rm, imm32
+    ModRM M = readModRM(C, Rex);
+    if ((M.Reg & 7) != 0)
+      return 0;
+    int32_t Imm = int32_t(C.u32());
+    Text = fmt("%-7s %s%s, %s", "mov", M.IsMem ? sizePtr(IW) : "",
+               rmStr(M, IW, HasRex).c_str(), immStr(Imm).c_str());
+    return done();
+  }
+  case 0xE8: case 0xE9: {
+    int32_t Rel = int32_t(C.u32());
+    uint64_t Target = Pc + C.Off + uint64_t(int64_t(Rel));
+    Text = fmt("%-7s 0x%llx", Op == 0xE8 ? "call" : "jmp",
+               (unsigned long long)Target);
+    return done();
+  }
+  case 0xF7: { // group 3
+    ModRM M = readModRM(C, Rex);
+    const char *Name = Grp3Name[M.Reg & 7];
+    if (!Name)
+      return 0;
+    if ((M.Reg & 7) == 0) { // test rm, imm32
+      int32_t Imm = int32_t(C.u32());
+      Text = fmt("%-7s %s%s, %s", Name, M.IsMem ? sizePtr(IW) : "",
+                 rmStr(M, IW, HasRex).c_str(), immStr(Imm).c_str());
+    } else {
+      Text = fmt("%-7s %s%s", Name, M.IsMem ? sizePtr(IW) : "",
+                 rmStr(M, IW, HasRex).c_str());
+    }
+    return done();
+  }
+  case 0xFF: { // group 5
+    ModRM M = readModRM(C, Rex);
+    const char *Name = nullptr;
+    switch (M.Reg & 7) {
+    case 0: Name = "inc"; break;
+    case 1: Name = "dec"; break;
+    case 2: Name = "call"; break;
+    case 4: Name = "jmp"; break;
+    case 6: Name = "push"; break;
+    default: return 0;
+    }
+    // call/jmp/push through r/m default to 64-bit in long mode.
+    Width OW = ((M.Reg & 7) == 0 || (M.Reg & 7) == 1) ? IW : W64;
+    Text = fmt("%-7s %s%s", Name, M.IsMem ? sizePtr(OW) : "",
+               rmStr(M, OW, HasRex).c_str());
+    return done();
+  }
+  case 0x0F:
+    break; // two-byte map below
+  default:
+    return 0;
+  }
+
+  // --- 0F two-byte opcode map ---
+  uint8_t Op2 = C.u8();
+  if (C.Fail)
+    return 0;
+
+  // Jcc rel32
+  if (Op2 >= 0x80 && Op2 <= 0x8F) {
+    int32_t Rel = int32_t(C.u32());
+    uint64_t Target = Pc + C.Off + uint64_t(int64_t(Rel));
+    Text = fmt("j%-6s 0x%llx", CcName[Op2 & 15], (unsigned long long)Target);
+    return done();
+  }
+  // setcc r/m8
+  if (Op2 >= 0x90 && Op2 <= 0x9F) {
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("set%-4s %s", CcName[Op2 & 15], rmStr(M, W8, HasRex).c_str());
+    return done();
+  }
+  // bswap r
+  if (Op2 >= 0xC8 && Op2 <= 0xCF) {
+    unsigned R = (Op2 & 7) | ((Rex & 1) ? 8 : 0);
+    Text = fmt("%-7s %s", "bswap", W ? R64[R] : R32[R]);
+    return done();
+  }
+
+  switch (Op2) {
+  case 0x10: case 0x11: { // movss/movsd/movups/movupd
+    const char *Name = PF3 ? (P66 ? nullptr : "movss")
+                           : PF2 ? "movsd"
+                                 : P66 ? "movupd" : "movups";
+    if (!Name)
+      return 0;
+    ModRM M = readModRM(C, Rex);
+    if (Op2 == 0x10)
+      Text = fmt("%-7s %s, %s", Name, xmmName(M.Reg).c_str(),
+                 rmStrX(M).c_str());
+    else
+      Text = fmt("%-7s %s, %s", Name, rmStrX(M).c_str(),
+                 xmmName(M.Reg).c_str());
+    return done();
+  }
+  case 0x2A: { // cvtsi2ss/sd xmm, r/m
+    if (!PF3 && !PF2)
+      return 0;
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", PF3 ? "cvtsi2ss" : "cvtsi2sd",
+               xmmName(M.Reg).c_str(),
+               rmStr(M, W ? W64 : W32, HasRex).c_str());
+    return done();
+  }
+  case 0x2C: { // cvttss2si/cvttsd2si r, xmm
+    if (!PF3 && !PF2)
+      return 0;
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", PF3 ? "cvttss2si" : "cvttsd2si",
+               regName(W ? W64 : W32, M.Reg, HasRex).c_str(),
+               rmStrX(M).c_str());
+    return done();
+  }
+  case 0x2E: { // ucomiss/ucomisd
+    if (PF2 || PF3)
+      return 0;
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", P66 ? "ucomisd" : "ucomiss",
+               xmmName(M.Reg).c_str(), rmStrX(M).c_str());
+    return done();
+  }
+  case 0x51: case 0x58: case 0x59: case 0x5C: case 0x5E: { // scalar fp alu
+    const char *Stem;
+    switch (Op2) {
+    case 0x51: Stem = "sqrt"; break;
+    case 0x58: Stem = "add"; break;
+    case 0x59: Stem = "mul"; break;
+    case 0x5C: Stem = "sub"; break;
+    default:   Stem = "div"; break;
+    }
+    const char *Sfx = PF3 ? "ss" : PF2 ? "sd" : P66 ? "pd" : "ps";
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", (std::string(Stem) + Sfx).c_str(),
+               xmmName(M.Reg).c_str(), rmStrX(M).c_str());
+    return done();
+  }
+  case 0x5A: { // cvtss2sd / cvtsd2ss
+    if (!PF3 && !PF2)
+      return 0;
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", PF3 ? "cvtss2sd" : "cvtsd2ss",
+               xmmName(M.Reg).c_str(), rmStrX(M).c_str());
+    return done();
+  }
+  case 0x57: { // xorps/xorpd
+    if (PF2 || PF3)
+      return 0;
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", P66 ? "xorpd" : "xorps",
+               xmmName(M.Reg).c_str(), rmStrX(M).c_str());
+    return done();
+  }
+  case 0x6E: { // movd/movq xmm, r/m
+    if (!P66)
+      return 0;
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", W ? "movq" : "movd", xmmName(M.Reg).c_str(),
+               rmStr(M, W ? W64 : W32, HasRex).c_str());
+    return done();
+  }
+  case 0x7E: { // movd/movq r/m, xmm
+    if (!P66)
+      return 0;
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", W ? "movq" : "movd",
+               rmStr(M, W ? W64 : W32, HasRex).c_str(),
+               xmmName(M.Reg).c_str());
+    return done();
+  }
+  case 0xAF: { // imul reg, rm
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", "imul", regName(IW, M.Reg, HasRex).c_str(),
+               rmStr(M, IW, HasRex).c_str());
+    return done();
+  }
+  case 0xB6: case 0xB7: case 0xBE: case 0xBF: { // movzx/movsx
+    const char *Name = Op2 < 0xBE ? "movzx" : "movsx";
+    Width SrcW = (Op2 & 1) ? W16 : W8;
+    ModRM M = readModRM(C, Rex);
+    Text = fmt("%-7s %s, %s", Name, regName(IW, M.Reg, HasRex).c_str(),
+               rmStr(M, SrcW, HasRex).c_str());
+    return done();
+  }
+  default:
+    return 0;
+  }
+  return 0; // unreachable: every case above returns
+}

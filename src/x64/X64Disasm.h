@@ -1,0 +1,42 @@
+//===- x64/X64Disasm.h - x86-64 disassembler --------------------*- C++ -*-===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A byte-level disassembler for the x86-64 subset X64Target and the DBT
+/// translator emit — the variable-length counterpart of MipsDisasm/
+/// SparcDisasm/AlphaDisasm (the paper's §6.2 symbolic-debugging support).
+/// Unlike the word targets' one-word disassemble(), x86-64 instructions
+/// span 1-10 bytes, so the interface decodes from a byte cursor and
+/// reports the consumed length.
+///
+/// Coverage is intentionally exact: every encoding the backend and the
+/// binary translator produce decodes symbolically, and the vcodegen
+/// --dump-code round-trip check fails if an emitted byte sequence does
+/// not (catching encoder/disassembler drift in either direction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCODE_X64_X64DISASM_H
+#define VCODE_X64_X64DISASM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vcode {
+namespace x64 {
+
+/// Decodes the instruction at \p P (at most \p Avail bytes, fetched from
+/// address \p Pc — rel32 branch targets print absolute), appends its text
+/// to \p Out, and returns its length in bytes. Returns 0 when the bytes
+/// do not decode as an instruction this backend can emit.
+size_t decodeOne(const uint8_t *P, size_t Avail, uint64_t Pc,
+                 std::string &Out);
+
+} // namespace x64
+} // namespace vcode
+
+#endif // VCODE_X64_X64DISASM_H

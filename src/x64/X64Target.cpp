@@ -9,7 +9,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "x64/X64Target.h"
+#include "profile/Disasm.h"
 #include "support/Telemetry.h"
+#include "x64/X64Disasm.h"
 #include <cstdio>
 #include <vector>
 
@@ -54,7 +56,12 @@ const TargetInfo &vcode::x64::x64TargetInfo() {
   return TI;
 }
 
-X64Target::X64Target() { registerMachineInstructions(); }
+X64Target::X64Target() {
+  registerMachineInstructions();
+  // Pair the byte-level encoder with its decoder for --dump-code (and
+  // force X64Disasm.o into any link that uses this backend).
+  profile::registerDisassembler("x64", &x64::decodeOne);
+}
 
 void X64Target::unsignedToFp(VCode &VC, bool ToDouble, Reg Rd, Reg Rs) {
   // cvtsi2ss/sd is a signed convert; a UL/P source with the top bit set

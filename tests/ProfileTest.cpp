@@ -1,0 +1,438 @@
+//===- tests/ProfileTest.cpp - CodeMap / sampler / export tests -----------===//
+//
+// Part of the vcode reproduction of Engler, PLDI 1996.
+//
+// The introspection subsystem (src/profile/): CodeMap lifecycle and
+// boundary lookups, snapshot consistency under 8-thread churn (the TSan
+// target), v_end integration, virtual-PC sampler attribution on a
+// known-hot loop, structural validation of the perf-map and jitdump
+// exports by test-side readers, and disassembler round-trips. Every test
+// skips cleanly under -DVCODE_TELEMETRY=OFF, where the whole subsystem
+// compiles out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VCode.h"
+#include "mips/MipsTarget.h"
+#include "profile/CodeMap.h"
+#include "profile/Disasm.h"
+#include "profile/JitDump.h"
+#include "profile/Profiler.h"
+#include "sim/Memory.h"
+#include "sim/MipsSim.h"
+#include "support/Telemetry.h"
+#include "x64/X64Disasm.h"
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+#include <gtest/gtest.h>
+
+using namespace vcode;
+using sim::TypedValue;
+
+namespace {
+
+/// Every test runs against a clean process-global map and sampler; the
+/// whole suite skips when the subsystem is compiled out.
+class ProfileTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!telemetry::compiledIn())
+      GTEST_SKIP() << "built with -DVCODE_TELEMETRY=OFF";
+    profile::CodeMap::instance().resetForTest();
+    profile::resetSamplerForTest();
+    profile::CodeMap::instance().setCaptureBytes(false);
+  }
+  void TearDown() override {
+    if (!telemetry::compiledIn())
+      return;
+    profile::closeJitExports();
+    profile::CodeMap::instance().resetForTest();
+    profile::resetSamplerForTest();
+  }
+};
+
+TEST_F(ProfileTest, CodeMapLifecycle) {
+  auto &M = profile::CodeMap::instance();
+  uint64_t Gen = M.publish(0x1000, 64, 0x1000, 0, "f1", "mips", Tier::Tier0);
+  EXPECT_GT(Gen, 0u);
+  auto St = M.stats();
+  EXPECT_EQ(St.Published, 1u);
+  EXPECT_EQ(St.Live, 1u);
+
+  auto E = M.lookup(0x1020);
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->Name, "f1");
+  EXPECT_STREQ(E->Target, "mips");
+  EXPECT_EQ(E->Bytes, 64u);
+  EXPECT_EQ(E->Generation, Gen);
+
+  // CodeCache-style rename after publication.
+  EXPECT_TRUE(M.annotate(0x1000, "dpf|mips|set3", Tier::Tier1));
+  EXPECT_FALSE(M.annotate(0x9999, "nope", Tier::Tier0));
+  auto R = M.lookup(0x1000);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Name, "dpf|mips|set3");
+  EXPECT_EQ(R->GenTier, Tier::Tier1);
+  ASSERT_TRUE(M.findByName("dpf|mips|set3"));
+
+  // DBT-style guest range on the containing region.
+  EXPECT_TRUE(M.setGuestRange(0x1010, 0x400000, 0x400040));
+  EXPECT_EQ(M.lookup(0x1000)->GuestLo, 0x400000u);
+
+  M.remove(0x1000);
+  M.remove(0x1000); // absent: no-op, must not double-count
+  St = M.stats();
+  EXPECT_EQ(St.Live, 0u);
+  EXPECT_EQ(St.Removed, 1u);
+  EXPECT_FALSE(M.lookup(0x1020));
+  EXPECT_TRUE(M.entries().empty());
+}
+
+TEST_F(ProfileTest, CodeMapBoundaryLookups) {
+  auto &M = profile::CodeMap::instance();
+  // Two back-to-back regions: every PC must land in exactly one.
+  M.publish(0x2000, 0x40, 0x2000, 0, "lo", "mips", Tier::Tier0);
+  M.publish(0x2040, 0x20, 0x2040, 0, "hi", "mips", Tier::Tier0);
+
+  EXPECT_FALSE(M.lookup(0x1FFF));
+  ASSERT_TRUE(M.lookup(0x2000));
+  EXPECT_EQ(M.lookup(0x2000)->Name, "lo");
+  EXPECT_EQ(M.lookup(0x203F)->Name, "lo");
+  EXPECT_EQ(M.lookup(0x2040)->Name, "hi"); // first byte of the next region
+  EXPECT_EQ(M.lookup(0x205F)->Name, "hi");
+  EXPECT_FALSE(M.lookup(0x2060));
+
+  // Host-address side (what a SIGPROF RIP consults).
+  static uint8_t HostBuf[64];
+  uintptr_t H = reinterpret_cast<uintptr_t>(HostBuf);
+  M.publish(0x3000, sizeof(HostBuf), 0x3000, H, "hosted", "x64",
+            Tier::Tier0);
+  EXPECT_FALSE(M.lookupHost(H - 1));
+  ASSERT_TRUE(M.lookupHost(H));
+  EXPECT_EQ(M.lookupHost(H)->Name, "hosted");
+  EXPECT_EQ(M.lookupHost(H + sizeof(HostBuf) - 1)->Name, "hosted");
+  EXPECT_FALSE(M.lookupHost(H + sizeof(HostBuf)));
+}
+
+TEST_F(ProfileTest, CodeMapOverlapEvictsAndFoldsHeat) {
+  auto &M = profile::CodeMap::instance();
+  M.publish(0x4000, 0x100, 0x4000, 0, "old", "mips", Tier::Tier0);
+  auto Old = M.lookup(0x4000);
+  ASSERT_TRUE(Old);
+  Old->Samples.fetch_add(5, std::memory_order_relaxed);
+
+  // The cache's free pool reuses regions: a publish overlapping a live
+  // entry evicts it, and its heat survives in the retired tally.
+  M.publish(0x4080, 0x100, 0x4080, 0, "new", "mips", Tier::Tier0);
+  EXPECT_FALSE(M.findByName("old"));
+  EXPECT_EQ(M.lookup(0x40FF)->Name, "new");
+  auto St = M.stats();
+  EXPECT_EQ(St.Published, 2u);
+  EXPECT_EQ(St.Removed, 1u);
+  EXPECT_EQ(St.Live, 1u);
+
+  bool Found = false;
+  for (const auto &P : M.retiredHeat())
+    if (P.first == "old") {
+      Found = true;
+      EXPECT_EQ(P.second, 5u);
+    }
+  EXPECT_TRUE(Found) << "retired heat lost the evicted entry's samples";
+}
+
+/// The TSan target: concurrent publish/lookup/remove across 8 threads with
+/// a dedicated reader thread walking snapshots the whole time. Each writer
+/// owns a disjoint address range, so the final census is exact.
+TEST_F(ProfileTest, CodeMapChurnEightThreads) {
+  auto &M = profile::CodeMap::instance();
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kIters = 1500;
+  constexpr unsigned kSlots = 8;
+
+  std::atomic<bool> Stop{false};
+  std::thread Reader([&] {
+    uint64_t Walks = 0;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      for (const auto &E : M.entries()) {
+        // Entries are immutable snapshots: reading through a concurrent
+        // evict must always see consistent metadata.
+        ASSERT_NE(E->Bytes, 0u);
+        ASSERT_FALSE(E->Name.empty());
+      }
+      ++Walks;
+    }
+    EXPECT_GT(Walks, 0u);
+  });
+
+  std::vector<std::thread> Writers;
+  for (unsigned T = 0; T < kThreads; ++T)
+    Writers.emplace_back([&M, T] {
+      uint64_t Base = 0x100000u * (T + 1);
+      for (unsigned I = 0; I < kIters; ++I) {
+        uint64_t Addr = Base + (I % kSlots) * 0x100;
+        M.publish(Addr, 0x80, Addr, 0,
+                  "churn:" + std::to_string(T) + ":" +
+                      std::to_string(I % kSlots),
+                  "mips", Tier::Tier0);
+        auto E = M.lookup(Addr + 0x40);
+        ASSERT_TRUE(E);
+        E->Samples.fetch_add(1, std::memory_order_relaxed);
+        if (I % 3 != 0)
+          M.remove(Addr); // else: left live, overlap-evicted on slot reuse
+      }
+      for (unsigned S = 0; S < kSlots; ++S)
+        M.remove(Base + S * 0x100);
+    });
+  for (auto &W : Writers)
+    W.join();
+  Stop.store(true, std::memory_order_relaxed);
+  Reader.join();
+
+  auto St = M.stats();
+  EXPECT_EQ(St.Published, uint64_t(kThreads) * kIters);
+  EXPECT_EQ(St.Live, 0u);
+  EXPECT_EQ(St.Published - St.Removed, St.Live);
+  EXPECT_TRUE(M.entries().empty());
+
+  // Every one of the 12000 lookups bumped a counter; all of that heat
+  // must have folded into the retired tally (bounded set of names here).
+  uint64_t Retired = 0;
+  for (const auto &P : M.retiredHeat())
+    Retired += P.second;
+  EXPECT_EQ(Retired, uint64_t(kThreads) * kIters);
+}
+
+TEST_F(ProfileTest, VEndPublishesNamedEntry) {
+  auto &M = profile::CodeMap::instance();
+  M.setCaptureBytes(true);
+  sim::Memory Mem;
+  mips::MipsTarget Target;
+
+  VCode V(Target);
+  Reg Arg[1];
+  V.lambda("%i", Arg, LeafHint, Mem.allocCode(4096));
+  V.setFunctionName("test:plus1"); // after lambda: lambda resets the name
+  V.addii(Arg[0], Arg[0], 1);
+  V.reti(Arg[0]);
+  CodePtr Fn = V.end();
+  ASSERT_TRUE(Fn.isValid());
+
+  auto E = M.findByName("test:plus1");
+  ASSERT_TRUE(E) << "v_end did not publish into the CodeMap";
+  EXPECT_STREQ(E->Target, "mips");
+  EXPECT_EQ(E->Entry, Fn.Entry);
+  EXPECT_GT(E->Bytes, 0u);
+  EXPECT_EQ(M.lookup(Fn.Entry).get(), E.get());
+  ASSERT_FALSE(E->Code.empty()); // capture was on
+  EXPECT_EQ(E->Code.size(), E->Bytes);
+
+  // The published bytes round-trip through the registered disassembler.
+  std::string Text;
+  profile::DumpStats S = profile::dumpEntry(*E, Text);
+  EXPECT_TRUE(S.HaveDisasm);
+  EXPECT_TRUE(S.HaveBytes);
+  EXPECT_EQ(S.Undecodable, 0u);
+  EXPECT_EQ(S.Instrs, E->Bytes / 4);
+  EXPECT_NE(Text.find("test:plus1"), std::string::npos);
+}
+
+TEST_F(ProfileTest, VirtualSamplerAttributesHotLoop) {
+  auto &M = profile::CodeMap::instance();
+  sim::Memory Mem;
+  mips::MipsTarget Target;
+  sim::MipsSim Sim(Mem, sim::dec5000Config());
+
+  // sum(n): ~4 instructions per iteration, so 1.5M iterations is ~6M
+  // instructions — well past the 4096-instruction sampling period.
+  VCode V(Target);
+  Reg Arg[1];
+  V.lambda("%i", Arg, LeafHint, Mem.allocCode(4096));
+  V.setFunctionName("hot:sum");
+  Reg S = V.getreg(Type::I), I = V.getreg(Type::I);
+  V.setInt(Type::I, S, 0);
+  V.setInt(Type::I, I, 0);
+  Label L = V.genLabel();
+  V.label(L);
+  V.binop(BinOp::Add, Type::I, S, S, I);
+  V.binopImm(BinOp::Add, Type::I, I, I, 1);
+  V.branch(Cond::Lt, Type::I, I, Arg[0], L);
+  V.ret(Type::I, S);
+  CodePtr Fn = V.end();
+  ASSERT_TRUE(Fn.isValid());
+
+  profile::startSampler(); // native timer may not arm; virtual always does
+  ASSERT_TRUE(profile::samplerActive());
+  const int64_t N = 1'500'000;
+  TypedValue R = Sim.call(Fn.Entry, {TypedValue::fromInt(N)});
+  profile::stopSampler();
+  EXPECT_FALSE(profile::samplerActive());
+  EXPECT_EQ(uint32_t(R.asInt32()), uint32_t(N * (N - 1) / 2));
+
+  profile::SamplerStats PS = profile::samplerStats();
+  EXPECT_GE(PS.VirtualSamples, 100u);
+  // The acceptance bar: >= 95% of samples attribute to live entries. Here
+  // essentially every sampled PC is inside the loop.
+  EXPECT_GE(PS.VirtualAttributed * 100, PS.VirtualSamples * 95)
+      << PS.VirtualAttributed << " of " << PS.VirtualSamples
+      << " samples attributed";
+  auto E = M.findByName("hot:sum");
+  ASSERT_TRUE(E);
+  EXPECT_GE(E->Samples.load(std::memory_order_relaxed),
+            PS.VirtualAttributed);
+
+  // Sampling is a session: with the sampler stopped, the clock keeps
+  // crossing the period boundary but no samples accrue.
+  Sim.call(Fn.Entry, {TypedValue::fromInt(100'000)});
+  profile::SamplerStats PS2 = profile::samplerStats();
+  EXPECT_EQ(PS2.VirtualSamples, PS.VirtualSamples);
+}
+
+TEST_F(ProfileTest, PerfMapStructure) {
+  auto &M = profile::CodeMap::instance();
+  std::string Path = ::testing::TempDir() + "vcode_profiletest_perf.map";
+  ASSERT_TRUE(profile::enablePerfMap(Path.c_str()));
+  EXPECT_EQ(profile::perfMapPath(), Path);
+
+  static uint8_t HostBuf[32];
+  uintptr_t H = reinterpret_cast<uintptr_t>(HostBuf);
+  M.publish(0x7000, 0x40, 0x7000, 0, "sim only", "mips", Tier::Tier0);
+  M.publish(0x8000, sizeof(HostBuf), 0x8000, H, "hosted_fn", "x64",
+            Tier::Tier1);
+  profile::closeJitExports();
+
+  // Test-side reader: every line is "<hex addr> <hex size> <name>", with
+  // the host address preferred when the region has one (perf samples host
+  // RIPs). Names may contain spaces — everything after the second field.
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  std::vector<std::string> Lines;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  ASSERT_EQ(Lines.size(), 2u);
+
+  uint64_t A0, S0, A1, S1;
+  char Name1[64];
+  ASSERT_EQ(std::sscanf(Lines[0].c_str(), "%llx %llx",
+                        (unsigned long long *)&A0,
+                        (unsigned long long *)&S0),
+            2);
+  EXPECT_EQ(A0, 0x7000u);
+  EXPECT_EQ(S0, 0x40u);
+  EXPECT_NE(Lines[0].find("sim only"), std::string::npos);
+  ASSERT_EQ(std::sscanf(Lines[1].c_str(), "%llx %llx %63s",
+                        (unsigned long long *)&A1,
+                        (unsigned long long *)&S1, Name1),
+            3);
+  EXPECT_EQ(A1, uint64_t(H));
+  EXPECT_EQ(S1, sizeof(HostBuf));
+  EXPECT_STREQ(Name1, "hosted_fn");
+}
+
+TEST_F(ProfileTest, JitdumpStructure) {
+#if !defined(__linux__) || !defined(__x86_64__)
+  GTEST_SKIP() << "jitdump is a Linux/x86-64 perf interface";
+#else
+  auto &M = profile::CodeMap::instance();
+  M.setCaptureBytes(true);
+  std::string Path = ::testing::TempDir() + "vcode_profiletest.dump";
+  if (!profile::enableJitDump(Path.c_str()))
+    GTEST_SKIP() << "cannot create a jitdump here";
+  EXPECT_EQ(profile::jitDumpPath(), Path);
+
+  static uint8_t CodeBuf[16] = {0x48, 0x89, 0xd8, 0xc3, 0x90, 0x90,
+                                0x90, 0x90, 0x90, 0x90, 0x90, 0x90,
+                                0x90, 0x90, 0x90, 0x90};
+  uintptr_t H = reinterpret_cast<uintptr_t>(CodeBuf);
+  M.publish(0x9000, sizeof(CodeBuf), 0x9000, H, "jitfn", "x64",
+            Tier::Tier0);
+  profile::closeJitExports();
+
+  // Test-side reader for the jitdump-specification.txt layout.
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In.good());
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string D = SS.str();
+  ASSERT_GE(D.size(), size_t(40 + 56));
+
+  auto U32 = [&](size_t Off) {
+    uint32_t V;
+    std::memcpy(&V, D.data() + Off, 4);
+    return V;
+  };
+  auto U64 = [&](size_t Off) {
+    uint64_t V;
+    std::memcpy(&V, D.data() + Off, 8);
+    return V;
+  };
+  // File header: magic "JiTD", version 1, 40-byte size, EM_X86_64.
+  EXPECT_EQ(U32(0), 0x4A695444u);
+  EXPECT_EQ(U32(4), 1u);
+  EXPECT_EQ(U32(8), 40u);
+  EXPECT_EQ(U32(12), 62u);
+
+  // One JIT_CODE_LOAD record: header + load + NUL name + code bytes.
+  size_t R = 40;
+  EXPECT_EQ(U32(R + 0), 0u); // record id
+  size_t NameLen = std::strlen("jitfn") + 1;
+  EXPECT_EQ(U32(R + 4), 56u + NameLen + sizeof(CodeBuf));
+  EXPECT_EQ(U64(R + 24), uint64_t(H));        // vma
+  EXPECT_EQ(U64(R + 32), uint64_t(H));        // code addr
+  EXPECT_EQ(U64(R + 40), sizeof(CodeBuf));    // code size
+  ASSERT_GE(D.size(), R + 56 + NameLen + sizeof(CodeBuf));
+  EXPECT_STREQ(D.data() + R + 56, "jitfn");
+  EXPECT_EQ(std::memcmp(D.data() + R + 56 + NameLen, CodeBuf,
+                        sizeof(CodeBuf)),
+            0);
+#endif
+}
+
+TEST_F(ProfileTest, X64DisasmKnownEncodings) {
+  // mov rax, rbx — REX.W + 89 /r.
+  const uint8_t Mov[] = {0x48, 0x89, 0xd8};
+  std::string Text;
+  EXPECT_EQ(x64::decodeOne(Mov, sizeof(Mov), 0x1000, Text), 3u);
+  EXPECT_NE(Text.find("mov"), std::string::npos);
+  EXPECT_NE(Text.find("rax"), std::string::npos);
+  EXPECT_NE(Text.find("rbx"), std::string::npos);
+
+  const uint8_t Ret[] = {0xc3};
+  Text.clear();
+  EXPECT_EQ(x64::decodeOne(Ret, 1, 0x1000, Text), 1u);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+
+  // 0x06 (push es) does not exist in 64-bit mode and the backend never
+  // emits it: the decoder must refuse, which is what makes the vcodegen
+  // round-trip check able to fail.
+  const uint8_t Bad[] = {0x06, 0x00, 0x00};
+  Text.clear();
+  EXPECT_EQ(x64::decodeOne(Bad, sizeof(Bad), 0x1000, Text), 0u);
+
+  // Truncated instruction: a REX prefix with no opcode byte after it.
+  const uint8_t Trunc[] = {0x48};
+  Text.clear();
+  EXPECT_EQ(x64::decodeOne(Trunc, 1, 0x1000, Text), 0u);
+}
+
+TEST_F(ProfileTest, ReportSectionsPresent) {
+  auto &M = profile::CodeMap::instance();
+  M.publish(0xA000, 0x40, 0xA000, 0, "rpt:fn", "mips", Tier::Tier0);
+  auto E = M.lookup(0xA000);
+  ASSERT_TRUE(E);
+  E->Samples.fetch_add(3, std::memory_order_relaxed);
+
+  std::string Out;
+  M.appendReport(Out);
+  EXPECT_NE(Out.find("codemap:"), std::string::npos);
+  EXPECT_NE(Out.find("rpt:fn"), std::string::npos);
+
+  std::string Prof;
+  profile::appendProfileReport(Prof);
+  EXPECT_NE(Prof.find("profile:"), std::string::npos);
+}
+
+} // namespace
